@@ -1,0 +1,81 @@
+// E7 — Corollary 7.1 (ACT): the wait-free solvability decision.
+//
+// Regenerates the corollary's verdicts across the paper's tasks: the IS
+// task is solvable at depth 1, the full Chr^2 task at depth 2 (the t = n
+// degeneracy of Section 7: GACT collapses to ACT in the wait-free case),
+// while the total-order task and 2-process consensus exhaust every depth.
+// Benchmarks the search per task and depth.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/act_solver.h"
+#include "tasks/standard_tasks.h"
+
+namespace {
+
+using namespace gact;
+
+void report_task(const tasks::Task& task, int max_k) {
+    const core::ActResult r = core::solve_act(task, max_k);
+    std::cout << task.name << ": ";
+    if (r.solvable) {
+        std::cout << "solvable at depth " << r.witness_depth;
+    } else {
+        std::cout << "no witness up to depth " << max_k
+                  << (r.exhausted_all_depths ? " (search exhausted)"
+                                             : " (budget hit)");
+    }
+    std::cout << "; backtracks per depth:";
+    for (std::size_t b : r.backtracks_per_depth) std::cout << " " << b;
+    std::cout << "\n";
+}
+
+void print_report() {
+    std::cout << "=== E7: wait-free solvability via ACT (Corollary 7.1) "
+                 "===\n";
+    report_task(tasks::immediate_snapshot_task(1).task, 2);
+    report_task(tasks::immediate_snapshot_task(2).task, 2);
+    report_task(tasks::t_resilience_task(1, 1).task, 3);  // Chr^2, t = n
+    report_task(tasks::total_order_task(1).task, 3);
+    report_task(tasks::consensus_task(2, 2), 3);
+    report_task(tasks::k_set_agreement_task(2, 2, 2), 1);
+    std::cout << std::endl;
+}
+
+void BM_ActImmediateSnapshot(benchmark::State& state) {
+    const tasks::AffineTask is =
+        tasks::immediate_snapshot_task(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::solve_act(is.task, 2));
+    }
+}
+BENCHMARK(BM_ActImmediateSnapshot)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ActConsensusExhaustion(benchmark::State& state) {
+    const tasks::Task consensus = tasks::consensus_task(2, 2);
+    const int depth = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::solve_act(consensus, depth));
+    }
+}
+BENCHMARK(BM_ActConsensusExhaustion)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ActTotalOrderExhaustion(benchmark::State& state) {
+    const tasks::AffineTask lord = tasks::total_order_task(1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::solve_act(lord.task, 3));
+    }
+}
+BENCHMARK(BM_ActTotalOrderExhaustion)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

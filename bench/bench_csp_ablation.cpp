@@ -1,0 +1,145 @@
+// E12 (ablation) — design choices of the chromatic-map solver.
+//
+// DESIGN.md calls out two solver decisions: (i) decomposing the free
+// vertices into independent components (the three corner strips of the
+// L_1 collar), and (ii) ordering each vertex's candidates by geometric
+// distance to the radial projection. This bench quantifies both against
+// the Proposition 9.2 instance: without the geometric guidance the search
+// degrades sharply, and the full-problem search without decomposition is
+// reported for reference through the solver's backtrack counter.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/lt_pipeline.h"
+
+namespace {
+
+using namespace gact;
+using core::ChromaticMapProblem;
+using core::TerminatingSubdivision;
+
+struct Instance {
+    tasks::AffineTask task = tasks::t_resilience_task(2, 1);
+    TerminatingSubdivision tsub;
+
+    Instance() {
+        tsub = TerminatingSubdivision(
+            topo::ChromaticComplex::standard_simplex(2));
+        const auto nothing = [](const topo::SubdividedComplex&,
+                                const topo::Simplex&) { return false; };
+        tsub.advance(nothing);
+        tsub.advance(nothing);
+        for (int i = 0; i < 2; ++i) {
+            tsub.advance([](const topo::SubdividedComplex& cx,
+                            const topo::Simplex& s) {
+                return core::lt_stable_rule(2, 1, cx, s);
+            });
+        }
+    }
+
+    ChromaticMapProblem problem(bool fix_identity, bool guide) const {
+        ChromaticMapProblem p;
+        p.domain = &tsub.stable_complex();
+        p.codomain = &task.task.outputs;
+        p.allowed = [this](const topo::Simplex& sigma)
+            -> const topo::SimplicialComplex& {
+            return task.task.delta.at(tsub.stable_carrier(sigma));
+        };
+        if (fix_identity) {
+            for (topo::VertexId v : tsub.stable_complex().vertex_ids()) {
+                const auto lv = task.subdivision.find_vertex(
+                    tsub.stable_position(v), tsub.stable_complex().color(v));
+                if (lv.has_value() && task.l_complex.contains_vertex(*lv)) {
+                    p.fixed[v] = *lv;
+                }
+            }
+        }
+        if (guide) {
+            p.candidate_order = [this](topo::VertexId v) {
+                const topo::Color color = tsub.stable_complex().color(v);
+                const topo::BaryPoint target = core::radial_projection_l1(
+                    task, tsub.stable_position(v));
+                std::vector<std::pair<Rational, topo::VertexId>> scored;
+                for (topo::VertexId w : task.task.outputs.vertex_ids()) {
+                    if (task.task.outputs.color(w) != color) continue;
+                    scored.emplace_back(
+                        target.l1_distance(task.subdivision.position(w)), w);
+                }
+                std::sort(scored.begin(), scored.end());
+                std::vector<topo::VertexId> order;
+                for (const auto& [d, w] : scored) order.push_back(w);
+                return order;
+            };
+        }
+        return p;
+    }
+};
+
+const Instance& instance() {
+    static const Instance i;
+    return i;
+}
+
+void print_report() {
+    std::cout << "=== E12 (ablation): chromatic-map solver design choices "
+                 "===\n";
+    const Instance& inst = instance();
+    struct Config {
+        const char* name;
+        bool fix;
+        bool guide;
+        std::size_t budget;
+    };
+    const Config configs[] = {
+        {"identity-fixed + radial guidance (shipped)", true, true, 2000000},
+        {"identity-fixed, unguided candidates", true, false, 2000000},
+        {"free R_0 (no fixing), radial guidance", false, true, 2000000},
+    };
+    for (const Config& c : configs) {
+        const auto problem = inst.problem(c.fix, c.guide);
+        const auto result = core::solve_chromatic_map(problem, c.budget);
+        std::cout << c.name << ": "
+                  << (result.map ? "found" : "NOT found") << ", "
+                  << result.backtracks << " backtracks"
+                  << (result.exhausted ? "" : " (budget hit)") << "\n";
+    }
+    std::cout << std::endl;
+}
+
+void BM_SolverShipped(benchmark::State& state) {
+    const Instance& inst = instance();
+    const auto problem = inst.problem(true, true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::solve_chromatic_map(problem));
+    }
+}
+BENCHMARK(BM_SolverShipped)->Unit(benchmark::kMillisecond);
+
+void BM_SolverUnguided(benchmark::State& state) {
+    const Instance& inst = instance();
+    const auto problem = inst.problem(true, false);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::solve_chromatic_map(problem, 2000000));
+    }
+}
+BENCHMARK(BM_SolverUnguided)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+void BM_SolverNoFixing(benchmark::State& state) {
+    const Instance& inst = instance();
+    const auto problem = inst.problem(false, true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::solve_chromatic_map(problem, 2000000));
+    }
+}
+BENCHMARK(BM_SolverNoFixing)->Iterations(3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,80 @@
+// E3 — Section 9.2 figure: the complex L_1 for n = 2, and the L_t family.
+//
+// Regenerates the figure's data: facet counts of L_t per (n, t), the
+// emptiness pattern of Delta on faces, and the link-connectedness
+// verdicts the paper relies on (L_t link-connected; L_ord not).
+// Benchmarks construction and the link-connectedness decision.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "tasks/standard_tasks.h"
+#include "topology/connectivity.h"
+
+namespace {
+
+using namespace gact;
+
+void print_report() {
+    std::cout << "=== E3: the t-resilience task L_t (Section 9.2 figure) "
+                 "===\n";
+    for (int t = 0; t <= 2; ++t) {
+        const tasks::AffineTask lt = tasks::t_resilience_task(2, t);
+        const auto report = topo::check_link_connected(lt.l_complex);
+        std::cout << "n=2, t=" << t << ": " << lt.l_complex.facets().size()
+                  << " facets, " << report.to_string() << "\n";
+    }
+    const tasks::AffineTask l1 = tasks::t_resilience_task(2, 1);
+    std::cout << "L_1 Delta images: corners empty="
+              << l1.task.delta.at(topo::Simplex{0}).is_empty()
+              << ", edge {0,1} facets="
+              << l1.task.delta.at(topo::Simplex{0, 1}).facets().size()
+              << ", full=" << l1.task.delta.at(topo::Simplex{0, 1, 2})
+                                  .facets()
+                                  .size()
+              << "\n";
+    for (int t = 1; t <= 3; ++t) {
+        const tasks::AffineTask lt = tasks::t_resilience_task(3, t);
+        std::cout << "n=3, t=" << t << ": " << lt.l_complex.facets().size()
+                  << " facets (link check skipped at this size)\n";
+    }
+    const tasks::AffineTask lord = tasks::total_order_task(2);
+    std::cout << "contrast: L_ord is "
+              << topo::check_link_connected(lord.l_complex).to_string()
+              << "\n"
+              << std::endl;
+}
+
+void BM_BuildLt(benchmark::State& state) {
+    const int t = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tasks::t_resilience_task(2, t));
+    }
+}
+BENCHMARK(BM_BuildLt)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+void BM_LinkConnectedDecision(benchmark::State& state) {
+    const tasks::AffineTask lt = tasks::t_resilience_task(2, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(topo::check_link_connected(lt.l_complex));
+    }
+}
+BENCHMARK(BM_LinkConnectedDecision)->Unit(benchmark::kMillisecond);
+
+void BM_DeltaRestriction(benchmark::State& state) {
+    const tasks::AffineTask lt = tasks::t_resilience_task(2, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tasks::affine_restriction(
+            lt.subdivision, lt.l_complex, topo::Simplex{0, 1}));
+    }
+}
+BENCHMARK(BM_DeltaRestriction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,87 @@
+// E4 — Section 9.2 figure: the region decomposition R_0, R_1, R_2, ... of
+// the complement of the (n-t-1)-skeleton.
+//
+// Regenerates the figure's data: how many stable facets each ring
+// contributes per stage of the terminating subdivision for (n, t) = (2, 1),
+// and that all stable vertices avoid the forbidden skeleton. Benchmarks
+// stage advancement with the L_t stabilization rule.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "core/lt_pipeline.h"
+
+namespace {
+
+using namespace gact;
+using core::TerminatingSubdivision;
+
+TerminatingSubdivision build(int stages) {
+    TerminatingSubdivision t(topo::ChromaticComplex::standard_simplex(2));
+    const auto nothing = [](const topo::SubdividedComplex&,
+                            const topo::Simplex&) { return false; };
+    t.advance(nothing);
+    t.advance(nothing);
+    for (int i = 0; i < stages; ++i) {
+        t.advance([](const topo::SubdividedComplex& cx,
+                     const topo::Simplex& s) {
+            return core::lt_stable_rule(2, 1, cx, s);
+        });
+    }
+    return t;
+}
+
+void print_report() {
+    std::cout << "=== E4: rings R_0, R_1, ... for (n,t) = (2,1) (Section 9.2 "
+                 "figure) ===\n";
+    const TerminatingSubdivision t = build(3);
+    std::map<std::size_t, std::size_t> ring_count;
+    for (const topo::Simplex& f : t.stable_facets()) {
+        ++ring_count[core::ring_of_stable_facet(t, f)];
+    }
+    for (const auto& [ring, count] : ring_count) {
+        std::cout << "R_" << ring << ": " << count << " stable facets\n";
+    }
+    std::size_t on_boundary = 0;
+    for (topo::VertexId v : t.stable_complex().vertex_ids()) {
+        const int dim = t.stable_position(v).support().dimension();
+        if (dim < 1) ++on_boundary;
+    }
+    std::cout << "stable vertices on the forbidden 0-skeleton: "
+              << on_boundary << " (must be 0)\n";
+    std::cout << "|K(T)| vertices so far: "
+              << t.stable_complex().vertex_ids().size() << "\n"
+              << std::endl;
+}
+
+void BM_AdvanceStages(benchmark::State& state) {
+    const int stages = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(build(stages));
+    }
+}
+BENCHMARK(BM_AdvanceStages)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RingClassification(benchmark::State& state) {
+    const TerminatingSubdivision t = build(2);
+    const auto facets = t.stable_facets();
+    for (auto _ : state) {
+        std::size_t acc = 0;
+        for (const topo::Simplex& f : facets) {
+            acc += core::ring_of_stable_facet(t, f);
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_RingClassification)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,100 @@
+// E2 — Section 6.1 figure: the partial chromatic subdivision C_k ->
+// C_{k+1} with a terminated face.
+//
+// Regenerates the figure's data: subdividing the triangle with one edge
+// terminated yields 11 facets instead of 13, the terminated edge stays
+// whole, and the subdivision is geometrically exact. Benchmarks full and
+// partial subdivision steps and terminating-subdivision stage advances.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/terminating_subdivision.h"
+
+namespace {
+
+using namespace gact;
+using topo::ChromaticComplex;
+using topo::Simplex;
+using topo::SubdividedComplex;
+
+void print_report() {
+    std::cout << "=== E2: partial chromatic subdivision (Section 6.1 figure) "
+                 "===\n";
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const SubdividedComplex id = SubdividedComplex::identity(s);
+    const SubdividedComplex full = id.chromatic_subdivision();
+    std::cout << "Chr(triangle): " << full.complex().facets().size()
+              << " facets\n";
+    for (topo::VertexId a = 0; a <= 2; ++a) {
+        for (topo::VertexId b = a + 1; b <= 2; ++b) {
+            const Simplex edge{a, b};
+            const SubdividedComplex part =
+                id.chromatic_subdivision_with_termination(
+                    [&edge](const Simplex& t) { return t.is_face_of(edge); });
+            part.verify_subdivision_exactness();
+            std::cout << "terminated edge " << edge.to_string() << ": "
+                      << part.complex().facets().size()
+                      << " facets (edge survives whole)\n";
+        }
+    }
+    // A fully terminated triangle does not subdivide at all.
+    const SubdividedComplex frozen = id.chromatic_subdivision_with_termination(
+        [](const Simplex&) { return true; });
+    std::cout << "everything terminated: "
+              << frozen.complex().facets().size() << " facet\n"
+              << std::endl;
+}
+
+void BM_FullChr(benchmark::State& state) {
+    const ChromaticComplex s =
+        ChromaticComplex::standard_simplex(static_cast<int>(state.range(0)));
+    const SubdividedComplex id = SubdividedComplex::identity(s);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(id.chromatic_subdivision());
+    }
+}
+BENCHMARK(BM_FullChr)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_PartialChrTerminatedEdge(benchmark::State& state) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const SubdividedComplex id = SubdividedComplex::identity(s);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(id.chromatic_subdivision_with_termination(
+            [](const Simplex& t) { return t.is_face_of(Simplex{0, 1}); }));
+    }
+}
+BENCHMARK(BM_PartialChrTerminatedEdge)->Unit(benchmark::kMillisecond);
+
+void BM_TerminatingSubdivisionStages(benchmark::State& state) {
+    const int stages = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        core::TerminatingSubdivision t(ChromaticComplex::standard_simplex(2));
+        for (int i = 0; i < stages; ++i) {
+            t.advance([](const SubdividedComplex& cx, const Simplex& sg) {
+                // Stabilize interior simplices from depth 2 on (the L_1
+                // rule); keeps stage complexity realistic.
+                if (cx.depth() < 2) return false;
+                for (topo::VertexId v : sg.vertices()) {
+                    if (cx.carrier(v).dimension() < 1) return false;
+                }
+                return true;
+            });
+        }
+        benchmark::DoNotOptimize(t.stable_complex());
+    }
+}
+BENCHMARK(BM_TerminatingSubdivisionStages)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

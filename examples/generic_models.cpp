@@ -1,0 +1,90 @@
+// Arbitrary sub-IIS models (paper, Sections 1, 10, 11).
+//
+// The paper's characterization covers *any* subset of IIS runs — not just
+// the adversarial models that have shared-memory equivalents. This
+// example builds such a model: the "leader" model, in which process 0 is
+// always scheduled alone at the front of round 1. Consensus — unsolvable
+// wait-free, and unsolvable in every non-trivial adversarial model — is
+// solvable here, by adopting the leader's value.
+#include <iostream>
+
+#include "core/act_solver.h"
+#include "iis/run_enumeration.h"
+#include "protocol/verifier.h"
+#include "tasks/standard_tasks.h"
+
+namespace {
+
+using namespace gact;
+
+/// Everyone decides the first process-0 input found in its view.
+class AdoptLeader final : public protocol::Protocol {
+public:
+    explicit AdoptLeader(std::uint32_t num_values) : num_values_(num_values) {}
+
+    std::optional<topo::VertexId> output(
+        protocol::ViewId view, const iis::ViewArena& arena) const override {
+        const iis::ViewNode& node = arena.node(view);
+        if (node.depth < 1) return std::nullopt;
+        const auto leader = find(view, arena);
+        if (!leader) return std::nullopt;
+        return tasks::value_vertex(num_values_, node.owner,
+                                   *leader % num_values_);
+    }
+    std::string name() const override { return "adopt-the-leader"; }
+
+private:
+    std::uint32_t num_values_;
+    static std::optional<topo::VertexId> find(protocol::ViewId view,
+                                              const iis::ViewArena& arena) {
+        const iis::ViewNode& node = arena.node(view);
+        if (node.depth == 0) {
+            return node.owner == 0 ? node.input : std::nullopt;
+        }
+        for (iis::ViewId s : node.seen) {
+            if (const auto f = find(s, arena)) return f;
+        }
+        return std::nullopt;
+    }
+};
+
+}  // namespace
+
+int main() {
+    std::cout << "== Consensus in a generic (non-adversarial) sub-IIS model "
+                 "==\n\n";
+    const tasks::Task consensus = tasks::consensus_task(3, 2);
+
+    std::cout << "[1] wait-free, consensus is unsolvable (ACT search):\n";
+    const core::ActResult act = core::solve_act(consensus, 2);
+    std::cout << "    depths 0..2: "
+              << (act.solvable ? "witness found?!" : "exhausted, no witness")
+              << "\n\n";
+
+    std::cout << "[2] the leader model: process 0 heads round 1 alone.\n";
+    const iis::PredicateModel leader("leader-first", [](const iis::Run& r) {
+        return r.round(0).blocks().front() == ProcessSet::of({0});
+    });
+    const auto runs = iis::filter_by_model(
+        iis::enumerate_stabilized_runs(3, 1), leader);
+    std::cout << "    " << runs.size()
+              << " compact leader runs; the model is not fast-set "
+                 "determined (no adversary expresses it)\n\n";
+
+    std::cout << "[3] adopt-the-leader solves consensus there:\n";
+    iis::ViewArena arena;
+    const AdoptLeader protocol(2);
+    const auto report =
+        protocol::verify_task(consensus, protocol, runs, 6, arena);
+    std::cout << "    " << report.summary() << "\n\n";
+
+    std::cout << "[4] outside the model the same protocol starves:\n";
+    const iis::Run no_leader = iis::Run::forever(
+        3, iis::OrderedPartition::concurrent(ProcessSet::of({1, 2})));
+    const auto bad =
+        protocol::verify_task(consensus, protocol, {no_leader}, 6, arena);
+    std::cout << "    " << bad.summary() << "\n";
+    std::cout << "\nsub-IIS models are strictly richer than adversaries — "
+                 "the paper's Section 11 point.\n";
+    return 0;
+}

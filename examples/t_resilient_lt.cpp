@@ -1,0 +1,85 @@
+// The paper's headline application (Proposition 9.2), end to end:
+// the task L_1 is solvable 1-resiliently by three processes, established
+// by the GACT machinery and then *executed*:
+//
+//   regions R_0, R_1, ...  ->  terminating subdivision T  ->  radial
+//   projection f  ->  chromatic approximation delta  ->  admissibility
+//   check  ->  protocol extraction  ->  Definition 4.1 verification.
+//
+// The paper contrasts this construction with the "very involved"
+// operational solution of [Gafni 1998]; every stage below is a few lines
+// against the library.
+#include <iostream>
+#include <map>
+
+#include "protocol/gact_protocol.h"
+#include "protocol/verifier.h"
+
+int main() {
+    using namespace gact;
+
+    std::cout << "== L_1 in Res_1, via GACT (Proposition 9.2) ==\n\n";
+
+    std::cout << "[1] building the terminating subdivision and delta...\n";
+    const core::LtPipeline pipeline = core::build_lt_pipeline(2, 1, 2);
+    std::cout << "    L_1 facets: " << pipeline.task.l_complex.facets().size()
+              << "\n";
+    std::map<std::size_t, std::size_t> rings;
+    for (const auto& f : pipeline.tsub.stable_facets()) {
+        ++rings[core::ring_of_stable_facet(pipeline.tsub, f)];
+    }
+    for (const auto& [ring, count] : rings) {
+        std::cout << "    ring R_" << ring << ": " << count
+                  << " stable facets\n";
+    }
+    std::cout << "    delta found with " << pipeline.csp_backtracks
+              << " backtracks; carrier conditions verified\n\n";
+
+    std::cout << "[2] admissibility for Res_1 (Theorem 6.1 (a))...\n";
+    const iis::TResilientModel res1(3, 1);
+    const auto runs = iis::filter_by_model(
+        iis::enumerate_stabilized_runs(3, 1), res1);
+    const auto admissibility =
+        core::check_admissibility(pipeline.tsub, runs, 8);
+    std::cout << "    " << admissibility.runs_checked
+              << " compact Res_1 runs; all land by round "
+              << admissibility.max_landing_round << ": "
+              << (admissibility.admissible ? "admissible" : "NOT admissible")
+              << "\n\n";
+
+    std::cout << "[3] extracting the protocol (Theorem 6.1 \"<=\")...\n";
+    iis::ViewArena arena;
+    const auto build = protocol::build_gact_protocol(
+        pipeline.tsub, pipeline.delta, runs, 8, arena);
+    std::cout << "    " << build.protocol.size() << " view->output entries, "
+              << build.conflicts << " conflicts\n\n";
+
+    std::cout << "[4] verifying Definition 4.1 on every run...\n";
+    const auto report = protocol::verify_inputless(
+        pipeline.task.task, build.protocol, runs, 8, arena);
+    std::cout << "    " << report.summary() << "\n\n";
+
+    std::cout << "[5] one run in detail:\n";
+    const iis::Run behind = iis::Run::forever(
+        3,
+        iis::OrderedPartition({ProcessSet::of({0, 1}), ProcessSet::of({2})}));
+    std::cout << "    run " << behind.to_string() << " (fast = "
+              << behind.fast().to_string() << ", p2 forever behind)\n";
+    const auto landing = core::find_landing(pipeline.tsub, behind, 8);
+    std::cout << "    lands at round " << landing->round
+              << " in stable facet of ring R_"
+              << core::ring_of_stable_facet(pipeline.tsub,
+                                            landing->stable_facet)
+              << "\n";
+    for (ProcessId p = 0; p < 3; ++p) {
+        const auto out =
+            build.protocol.output(behind.view(p, 8, arena), arena);
+        std::cout << "    p" << p << " decides "
+                  << (out ? pipeline.task.subdivision.position(*out).to_string()
+                          : std::string("(nothing)"))
+                  << "\n";
+    }
+    std::cout << "\nall decisions form a simplex of L_1: the task is solved "
+                 "1-resiliently.\n";
+    return 0;
+}

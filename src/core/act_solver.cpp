@@ -1,0 +1,46 @@
+#include "core/act_solver.h"
+
+#include "util/require.h"
+
+namespace gact::core {
+
+ChromaticMapProblem act_problem(const tasks::Task& task,
+                                const topo::SubdividedComplex& chr_k) {
+    ChromaticMapProblem problem;
+    problem.domain = &chr_k.complex();
+    problem.codomain = &task.outputs;
+    // eta(sigma) must lie in Delta(carrier(sigma)); carriers are exact
+    // (coordinate supports), so this is precisely Corollary 7.1.
+    problem.allowed = [&task, &chr_k](const Simplex& sigma)
+        -> const SimplicialComplex& {
+        return task.delta.at(chr_k.carrier_of(sigma));
+    };
+    return problem;
+}
+
+ActResult solve_act(const tasks::Task& task, int max_k,
+                    std::size_t max_backtracks_per_depth) {
+    require(task.validate().empty(), "solve_act: invalid task");
+    ActResult out;
+    out.exhausted_all_depths = true;
+    topo::SubdividedComplex chr =
+        topo::SubdividedComplex::identity(task.inputs);
+    for (int k = 0; k <= max_k; ++k) {
+        if (k > 0) chr = chr.chromatic_subdivision();
+        const ChromaticMapProblem problem = act_problem(task, chr);
+        const ChromaticMapResult result =
+            solve_chromatic_map(problem, max_backtracks_per_depth);
+        out.backtracks_per_depth.push_back(result.backtracks);
+        if (!result.exhausted) out.exhausted_all_depths = false;
+        if (result.map) {
+            out.solvable = true;
+            out.witness_depth = k;
+            out.eta = result.map;
+            out.domain = chr;
+            return out;
+        }
+    }
+    return out;
+}
+
+}  // namespace gact::core

@@ -1,0 +1,38 @@
+// The ACT decision procedure (paper, Corollary 7.1).
+//
+// A task T = (I, O, Delta) is wait-free solvable iff for some k there is a
+// chromatic simplicial map eta : Chr^k I -> O with eta(sigma) in
+// Delta(carrier(sigma)) for every simplex sigma. This module searches for
+// such a map for k = 0, 1, .., max_k: a found map is a constructive proof
+// of solvability (GACT with the everywhere-stable subdivision Chr^k I); an
+// exhausted search at every k <= max_k certifies that no witness exists up
+// to that depth (full unsolvability needs the k -> infinity limit, which
+// is where impossibility arguments like FLP take over).
+#pragma once
+
+#include "core/chromatic_csp.h"
+#include "tasks/task.h"
+#include "topology/subdivision.h"
+
+namespace gact::core {
+
+/// Result of the bounded ACT search.
+struct ActResult {
+    bool solvable = false;
+    int witness_depth = -1;              // the k of the witness map
+    std::optional<SimplicialMap> eta;    // the witness
+    topo::SubdividedComplex domain;      // Chr^k I for the witness depth
+    std::vector<std::size_t> backtracks_per_depth;
+    bool exhausted_all_depths = false;   // searches below max_k all complete
+};
+
+/// Search depths k = 0..max_k for a Corollary 7.1 witness.
+ActResult solve_act(const tasks::Task& task, int max_k,
+                    std::size_t max_backtracks_per_depth = 2000000);
+
+/// Build the Corollary 7.1 constraint problem at a fixed depth (exposed
+/// for tests and benchmarks).
+ChromaticMapProblem act_problem(const tasks::Task& task,
+                                const topo::SubdividedComplex& chr_k);
+
+}  // namespace gact::core

@@ -1,0 +1,268 @@
+#include "core/chromatic_csp.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include "util/require.h"
+
+namespace gact::core {
+
+namespace {
+
+struct Searcher {
+    const ChromaticMapProblem& problem;
+    std::vector<VertexId> order;                 // assignment order
+    std::vector<std::vector<VertexId>> domains;  // candidates per position
+    std::unordered_map<VertexId, VertexId> assignment;
+    // simplices of the domain complex indexed by their highest-ordered
+    // vertex, so each constraint is checked exactly once, as soon as it is
+    // fully assigned.
+    std::unordered_map<VertexId, std::vector<Simplex>> constraints_by_last;
+    std::size_t backtracks = 0;
+    std::size_t max_backtracks;
+    bool exhausted = true;
+
+    bool constraint_holds(const Simplex& sigma) {
+        std::vector<VertexId> image;
+        image.reserve(sigma.size());
+        for (VertexId v : sigma.vertices()) image.push_back(assignment.at(v));
+        const Simplex img(std::move(image));
+        if (!problem.codomain->contains(img)) return false;
+        return problem.allowed(sigma).contains(img);
+    }
+
+    bool assign(std::size_t idx) {
+        if (idx == order.size()) return true;
+        const VertexId v = order[idx];
+        for (VertexId w : domains[idx]) {
+            assignment[v] = w;
+            bool ok = true;
+            const auto it = constraints_by_last.find(v);
+            if (it != constraints_by_last.end()) {
+                for (const Simplex& sigma : it->second) {
+                    if (!constraint_holds(sigma)) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if (ok && assign(idx + 1)) return true;
+            assignment.erase(v);
+            if (++backtracks > max_backtracks) {
+                exhausted = false;
+                return false;
+            }
+        }
+        return false;
+    }
+};
+
+}  // namespace
+
+namespace {
+
+/// Solve the subproblem induced by the fixed vertices plus one connected
+/// component of free vertices. `component_order` lists the component's
+/// free vertices in assignment order; fixed vertices head the order with
+/// singleton domains. On success, the component's assignments are merged
+/// into `solution`.
+bool solve_component(const ChromaticMapProblem& problem,
+                     const std::vector<VertexId>& fixed_order,
+                     const std::vector<VertexId>& component_order,
+                     std::size_t max_backtracks, ChromaticMapResult& result,
+                     std::unordered_map<VertexId, VertexId>& solution) {
+    Searcher s{problem, {}, {}, {}, {}, 0, max_backtracks, true};
+    std::unordered_set<VertexId> in_scope;
+    for (VertexId v : fixed_order) {
+        s.order.push_back(v);
+        in_scope.insert(v);
+    }
+    for (VertexId v : component_order) {
+        s.order.push_back(v);
+        in_scope.insert(v);
+    }
+
+    // Constraints restricted to simplices fully inside the scope, indexed
+    // by their latest-assigned vertex so each is checked exactly once.
+    std::unordered_map<VertexId, std::size_t> position;
+    for (std::size_t i = 0; i < s.order.size(); ++i) position[s.order[i]] = i;
+    for (const Simplex& sigma : problem.domain->complex().simplices()) {
+        VertexId last = sigma.vertices().front();
+        bool inside = true;
+        for (VertexId v : sigma.vertices()) {
+            if (in_scope.count(v) == 0) {
+                inside = false;
+                break;
+            }
+            if (position.at(v) > position.at(last)) last = v;
+        }
+        if (inside) s.constraints_by_last[last].push_back(sigma);
+    }
+
+    s.domains.resize(s.order.size());
+    for (std::size_t i = 0; i < s.order.size(); ++i) {
+        const VertexId v = s.order[i];
+        const auto fit = problem.fixed.find(v);
+        std::vector<VertexId> candidates;
+        if (fit != problem.fixed.end()) {
+            candidates = {fit->second};
+        } else if (problem.candidate_order) {
+            candidates = problem.candidate_order(v);
+        } else {
+            const topo::Color c = problem.domain->color(v);
+            for (VertexId w : problem.codomain->vertex_ids()) {
+                if (problem.codomain->color(w) == c) candidates.push_back(w);
+            }
+        }
+        const SimplicialComplex& allowed = problem.allowed(Simplex{v});
+        std::vector<VertexId> filtered;
+        for (VertexId w : candidates) {
+            if (allowed.contains(Simplex{w})) filtered.push_back(w);
+        }
+        s.domains[i] = std::move(filtered);
+    }
+
+    const bool found = s.assign(0);
+    result.backtracks += s.backtracks;
+    if (!s.exhausted) result.exhausted = false;
+    if (found) {
+        for (VertexId v : component_order) solution[v] = s.assignment.at(v);
+        for (VertexId v : fixed_order) solution[v] = s.assignment.at(v);
+    }
+    return found;
+}
+
+}  // namespace
+
+ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
+                                       std::size_t max_backtracks) {
+    require(problem.domain != nullptr && problem.codomain != nullptr,
+            "solve_chromatic_map: missing complexes");
+    require(static_cast<bool>(problem.allowed),
+            "solve_chromatic_map: missing constraint function");
+
+    const std::vector<VertexId> vertices = problem.domain->vertex_ids();
+    std::unordered_map<VertexId, std::vector<VertexId>> adjacency;
+    for (const Simplex& sigma :
+         problem.domain->complex().simplices_of_dimension(1)) {
+        adjacency[sigma.vertices()[0]].push_back(sigma.vertices()[1]);
+        adjacency[sigma.vertices()[1]].push_back(sigma.vertices()[0]);
+    }
+
+    std::vector<VertexId> fixed_order;
+    for (const auto& [v, w] : problem.fixed) {
+        require(problem.domain->contains_vertex(v),
+                "solve_chromatic_map: fixed vertex not in domain");
+        fixed_order.push_back(v);
+    }
+    std::sort(fixed_order.begin(), fixed_order.end());
+
+    // Connected components of free vertices (free-free adjacency): the
+    // components are independent subproblems given the fixed assignments,
+    // so solving them separately avoids cross-component thrashing.
+    std::unordered_map<VertexId, std::size_t> component;
+    std::size_t num_components = 0;
+    for (VertexId v : vertices) {
+        if (problem.fixed.count(v) != 0 || component.count(v) != 0) continue;
+        std::vector<VertexId> stack{v};
+        component[v] = num_components;
+        while (!stack.empty()) {
+            const VertexId u = stack.back();
+            stack.pop_back();
+            for (VertexId w : adjacency[u]) {
+                if (problem.fixed.count(w) == 0 && component.count(w) == 0) {
+                    component[w] = num_components;
+                    stack.push_back(w);
+                }
+            }
+        }
+        ++num_components;
+    }
+
+    // Within each component, maximum-cardinality order: always the vertex
+    // adjacent to the most already-ordered vertices, so contradictions
+    // surface immediately.
+    std::vector<std::vector<VertexId>> component_orders(num_components);
+    {
+        std::unordered_map<VertexId, std::size_t> ordered_neighbors;
+        std::unordered_set<VertexId> placed;
+        const auto place = [&](VertexId v) {
+            placed.insert(v);
+            for (VertexId u : adjacency[v]) ++ordered_neighbors[u];
+        };
+        for (VertexId v : fixed_order) place(v);
+        for (std::size_t c = 0; c < num_components; ++c) {
+            std::vector<VertexId> members;
+            for (VertexId v : vertices) {
+                const auto it = component.find(v);
+                if (it != component.end() && it->second == c) {
+                    members.push_back(v);
+                }
+            }
+            for (std::size_t step = 0; step < members.size(); ++step) {
+                VertexId best = 0;
+                std::size_t best_score = 0;
+                bool found = false;
+                for (VertexId v : members) {
+                    if (placed.count(v) != 0) continue;
+                    const std::size_t score = ordered_neighbors[v];
+                    if (!found || score > best_score ||
+                        (score == best_score && v < best)) {
+                        best = v;
+                        best_score = score;
+                        found = true;
+                    }
+                }
+                component_orders[c].push_back(best);
+                place(best);
+            }
+        }
+    }
+
+    ChromaticMapResult result;
+    result.exhausted = true;
+    std::unordered_map<VertexId, VertexId> solution;
+
+    // The fixed-only subproblem validates the pre-assignment itself.
+    if (!solve_component(problem, fixed_order, {}, max_backtracks, result,
+                         solution)) {
+        return result;
+    }
+    for (std::size_t c = 0; c < num_components; ++c) {
+        if (!solve_component(problem, fixed_order, component_orders[c],
+                             max_backtracks, result, solution)) {
+            return result;
+        }
+    }
+
+    result.map = SimplicialMap(std::move(solution));
+    const std::string err = check_chromatic_map(problem, *result.map);
+    ensure(err.empty(), "solve_chromatic_map: solver bug: " + err);
+    return result;
+}
+
+std::string check_chromatic_map(const ChromaticMapProblem& problem,
+                                const SimplicialMap& map) {
+    if (!map.is_simplicial(problem.domain->complex(),
+                           problem.codomain->complex())) {
+        return "not simplicial";
+    }
+    if (!map.is_chromatic(*problem.domain, *problem.codomain)) {
+        return "not chromatic";
+    }
+    for (const Simplex& sigma : problem.domain->complex().simplices()) {
+        if (!problem.allowed(sigma).contains(map.apply(sigma))) {
+            return "image of " + sigma.to_string() +
+                   " violates its constraint";
+        }
+    }
+    for (const auto& [v, w] : problem.fixed) {
+        if (map.apply(v) != w) {
+            return "fixed vertex " + std::to_string(v) + " not respected";
+        }
+    }
+    return "";
+}
+
+}  // namespace gact::core

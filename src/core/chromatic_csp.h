@@ -1,0 +1,70 @@
+// A backtracking solver for chromatic, carrier-preserving simplicial maps.
+//
+// Both directions of the paper's machinery need witnesses of the form
+// "a chromatic simplicial map from A to B such that the image of every
+// simplex lies in a prescribed subcomplex":
+//  * ACT (Corollary 7.1): eta : Chr^k I -> O with eta(sigma) in
+//    Delta(carrier(sigma));
+//  * the chromatic simplicial approximation of Theorem 8.4 / Proposition
+//    9.1: delta : K(T') -> O approximating a continuous map f, found here
+//    by ordering each vertex's candidates by distance to f(vertex).
+//
+// The solver is a plain constraint search: variables are the vertices of
+// A, domains are color-matching vertices of B allowed by the vertex's
+// constraint complex, and every simplex of A whose vertices are all
+// assigned must map to a simplex of its constraint complex.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "topology/simplicial_map.h"
+
+namespace gact::core {
+
+using topo::ChromaticComplex;
+using topo::Simplex;
+using topo::SimplicialComplex;
+using topo::SimplicialMap;
+using topo::VertexId;
+
+/// Problem statement; see header comment.
+struct ChromaticMapProblem {
+    const ChromaticComplex* domain = nullptr;
+    const ChromaticComplex* codomain = nullptr;
+
+    /// The constraint complex for each simplex of the domain (the image
+    /// must be one of its simplices). Must be monotone under faces for the
+    /// search to be meaningful (carrier maps are).
+    std::function<const SimplicialComplex&(const Simplex&)> allowed;
+
+    /// Pre-assigned vertices (may be empty).
+    std::unordered_map<VertexId, VertexId> fixed;
+
+    /// Optional candidate ordering: given a domain vertex, an ordered list
+    /// of codomain vertices to try (already color-matching). When absent,
+    /// all color-matching vertices allowed at the vertex are tried.
+    std::function<std::vector<VertexId>(VertexId)> candidate_order;
+};
+
+/// Result of the search.
+struct ChromaticMapResult {
+    std::optional<SimplicialMap> map;
+    /// Number of backtracking steps performed.
+    std::size_t backtracks = 0;
+    /// True when the search space was exhausted (so no map exists under
+    /// the given constraints); false when the backtrack budget ran out.
+    bool exhausted = false;
+};
+
+/// Search for a satisfying map. `max_backtracks` bounds the search.
+ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
+                                       std::size_t max_backtracks = 1000000);
+
+/// Verify that `map` is a chromatic simplicial map from problem.domain to
+/// problem.codomain with every simplex image inside its constraint
+/// complex. Returns a diagnostic or "" if valid.
+std::string check_chromatic_map(const ChromaticMapProblem& problem,
+                                const SimplicialMap& map);
+
+}  // namespace gact::core

@@ -1,0 +1,314 @@
+#include "core/lt_pipeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/require.h"
+
+namespace gact::core {
+
+bool lt_stable_rule(int n, int t, const SubdividedComplex& cx,
+                    const Simplex& s) {
+    if (cx.depth() < 2) return false;
+    for (VertexId v : s.vertices()) {
+        if (cx.carrier(v).dimension() < n - t) return false;
+    }
+    return true;
+}
+
+std::size_t ring_of_stable_facet(const TerminatingSubdivision& tsub,
+                                 const Simplex& global_facet) {
+    // A facet belongs to ring m when it first appears in Sigma_{m+2}; we
+    // recover this from the stage complexes by locating its vertices.
+    for (std::size_t k = 2; k < tsub.stages(); ++k) {
+        const SubdividedComplex& cx = tsub.complex_at(k);
+        bool all_found = true;
+        std::vector<VertexId> stage_verts;
+        for (VertexId v : global_facet.vertices()) {
+            const auto sv = cx.find_vertex(
+                tsub.stable_position(v), tsub.stable_complex().color(v));
+            if (!sv.has_value()) {
+                all_found = false;
+                break;
+            }
+            stage_verts.push_back(*sv);
+        }
+        if (all_found &&
+            tsub.stable_at(k).contains(Simplex(stage_verts))) {
+            return k - 2;
+        }
+    }
+    throw precondition_error("ring_of_stable_facet: facet is not stable");
+}
+
+bool point_in_l(const tasks::AffineTask& lt, const BaryPoint& x) {
+    for (const Simplex& f : lt.l_complex.facets()) {
+        if (topo::point_in_simplex(x, lt.subdivision.positions_of(f))) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<Simplex> l_boundary_edges(const tasks::AffineTask& lt) {
+    // Boundary edges: faces of exactly one facet of L.
+    std::map<Simplex, int> facet_count;
+    for (const Simplex& f : lt.l_complex.facets()) {
+        for (const Simplex& e : f.boundary_faces()) ++facet_count[e];
+    }
+    std::vector<Simplex> out;
+    for (const auto& [e, count] : facet_count) {
+        if (count == 1) out.push_back(e);
+    }
+    return out;
+}
+
+namespace {
+
+/// Coordinate difference b - a over the base vertex ids 0..n.
+std::vector<Rational> coord_diff(const BaryPoint& b, const BaryPoint& a,
+                                 int n) {
+    std::vector<Rational> out;
+    out.reserve(n + 1);
+    for (int i = 0; i <= n; ++i) {
+        out.push_back(b.coord(static_cast<VertexId>(i)) -
+                      a.coord(static_cast<VertexId>(i)));
+    }
+    return out;
+}
+
+/// Intersection of the ray c + s*(x - c) with the segment [a, b]:
+/// solutions (s, u) of c + s d = a + u e with u in [0,1]; collinear cases
+/// yield the endpoints. Returns candidate s values with their points.
+struct RayHit {
+    Rational s;
+    BaryPoint point;
+};
+
+void ray_segment_hits(const BaryPoint& c, const BaryPoint& x,
+                      const BaryPoint& a, const BaryPoint& b, int n,
+                      std::vector<RayHit>& out) {
+    const std::vector<Rational> d = coord_diff(x, c, n);
+    const std::vector<Rational> e = coord_diff(b, a, n);
+    const std::vector<Rational> rhs = coord_diff(a, c, n);
+
+    // Find a non-singular 2x2 subsystem s*d - u*e = rhs.
+    for (int i = 0; i <= n; ++i) {
+        for (int j = i + 1; j <= n; ++j) {
+            const Rational det = d[i] * (-e[j]) - (-e[i]) * d[j];
+            if (det.is_zero()) continue;
+            const Rational s =
+                (rhs[i] * (-e[j]) - (-e[i]) * rhs[j]) / det;
+            const Rational u = (d[i] * rhs[j] - rhs[i] * d[j]) / det;
+            // Verify the remaining coordinates.
+            for (int m = 0; m <= n; ++m) {
+                if (!(s * d[m] - u * e[m] == rhs[m])) return;  // no solution
+            }
+            if (u < Rational(0) || u > Rational(1)) return;
+            if (s <= Rational(0)) return;
+            std::vector<BaryPoint> pts = {a, b};
+            std::vector<Rational> weights = {Rational(1) - u, u};
+            out.push_back(RayHit{s, BaryPoint::combination(pts, weights)});
+            return;
+        }
+    }
+    // All 2x2 systems singular: d parallel to e (or degenerate). The
+    // collinear case contributes the endpoints if they lie on the ray.
+    for (const BaryPoint& endpoint : {a, b}) {
+        const std::vector<Rational> g = coord_diff(endpoint, c, n);
+        // endpoint = c + s*d needs g = s*d componentwise.
+        Rational s;
+        bool found_s = false;
+        bool ok = true;
+        for (int m = 0; m <= n; ++m) {
+            if (d[m].is_zero()) {
+                if (!g[m].is_zero()) ok = false;
+            } else if (!found_s) {
+                s = g[m] / d[m];
+                found_s = true;
+            } else if (!(g[m] == s * d[m])) {
+                ok = false;
+            }
+        }
+        if (ok && found_s && s > Rational(0)) {
+            out.push_back(RayHit{s, endpoint});
+        }
+    }
+}
+
+}  // namespace
+
+BaryPoint radial_projection_l1(const tasks::AffineTask& lt,
+                               const BaryPoint& x) {
+    const int n = lt.subdivision.base().dimension();
+    require(n == 2, "radial_projection_l1: implemented for n = 2");
+    if (point_in_l(lt, x)) return x;
+
+    // Boundary edges of |L_1| as geometric segments.
+    std::vector<std::pair<BaryPoint, BaryPoint>> segments;
+    for (const Simplex& e : l_boundary_edges(lt)) {
+        const auto pos = lt.subdivision.positions_of(e);
+        segments.emplace_back(pos[0], pos[1]);
+    }
+
+    // Identify the corner whose radial ray reaches x before R_0: the one
+    // for which every boundary hit is at parameter s >= 1.
+    std::optional<BaryPoint> best;
+    for (int corner = 0; corner <= n; ++corner) {
+        const BaryPoint c = BaryPoint::vertex(static_cast<VertexId>(corner));
+        if (x == c) continue;
+        std::vector<RayHit> hits;
+        for (const auto& [a, b] : segments) {
+            ray_segment_hits(c, x, a, b, n, hits);
+        }
+        if (hits.empty()) continue;
+        const auto min_hit = std::min_element(
+            hits.begin(), hits.end(),
+            [](const RayHit& p, const RayHit& q) { return p.s < q.s; });
+        if (min_hit->s >= Rational(1)) {
+            require(!best.has_value(),
+                    "radial_projection_l1: ambiguous corner for " +
+                        x.to_string());
+            best = min_hit->point;
+        }
+    }
+    require(best.has_value(),
+            "radial_projection_l1: no corner projects " + x.to_string());
+    return *best;
+}
+
+LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages) {
+    LtPipeline out;
+    out.task = tasks::t_resilience_task(n, t);
+
+    // Stages: C_0 = s, C_1 = Chr s, C_2 = Chr^2 s (nothing stable), then
+    // the stabilization rule takes over.
+    out.tsub = TerminatingSubdivision(
+        topo::ChromaticComplex::standard_simplex(n));
+    const auto nothing = [](const SubdividedComplex&, const Simplex&) {
+        return false;
+    };
+    out.tsub.advance(nothing);
+    out.tsub.advance(nothing);
+    for (std::size_t i = 0; i < extra_stages; ++i) {
+        out.tsub.advance([n, t](const SubdividedComplex& cx, const Simplex& s) {
+            return lt_stable_rule(n, t, cx, s);
+        });
+    }
+
+    // delta: chromatic carrier-preserving approximation K(T) -> L_t.
+    const ChromaticComplex& k_complex = out.tsub.stable_complex();
+    require(!k_complex.is_empty(),
+            "build_lt_pipeline: no stable simplices; raise extra_stages");
+
+    ChromaticMapProblem problem;
+    problem.domain = &k_complex;
+    problem.codomain = &out.task.task.outputs;
+    const tasks::Task& task = out.task.task;
+    const TerminatingSubdivision& tsub = out.tsub;
+    problem.allowed = [&task, &tsub](const Simplex& sigma)
+        -> const SimplicialComplex& {
+        return task.delta.at(tsub.stable_carrier(sigma));
+    };
+
+    // Identity on the stable vertices that are vertices of L itself (the
+    // R_0 part of K(T)).
+    for (VertexId v : k_complex.vertex_ids()) {
+        const auto lv = out.task.subdivision.find_vertex(
+            tsub.stable_position(v), k_complex.color(v));
+        if (lv.has_value() && out.task.l_complex.contains_vertex(*lv)) {
+            problem.fixed[v] = *lv;
+        }
+    }
+
+    // Candidate order: L vertices of the right color, nearest (to the
+    // radial projection of the vertex when available, else to the vertex
+    // itself) first.
+    const tasks::AffineTask& lt = out.task;
+    const bool have_radial = (n == 2 && t == 1);
+    problem.candidate_order = [&k_complex, &lt, &tsub,
+                               have_radial](VertexId v) {
+        const topo::Color color = k_complex.color(v);
+        BaryPoint target = tsub.stable_position(v);
+        if (have_radial) target = radial_projection_l1(lt, target);
+        std::vector<std::pair<Rational, VertexId>> scored;
+        for (VertexId w : lt.task.outputs.vertex_ids()) {
+            if (lt.task.outputs.color(w) != color) continue;
+            scored.emplace_back(
+                target.l1_distance(lt.subdivision.position(w)), w);
+        }
+        std::sort(scored.begin(), scored.end());
+        std::vector<VertexId> order;
+        order.reserve(scored.size());
+        for (const auto& [dist, w] : scored) order.push_back(w);
+        return order;
+    };
+
+    const ChromaticMapResult result = solve_chromatic_map(problem);
+    out.csp_backtracks = result.backtracks;
+    require(result.map.has_value(),
+            "build_lt_pipeline: no chromatic approximation found; "
+            "a finer stable refinement is needed");
+    out.delta = *result.map;
+    return out;
+}
+
+std::optional<Landing> find_landing(const TerminatingSubdivision& tsub,
+                                    const iis::Run& run,
+                                    std::size_t max_round) {
+    const int n = tsub.base().dimension();
+    std::vector<VertexId> inputs;
+    for (int i = 0; i <= n; ++i) inputs.push_back(static_cast<VertexId>(i));
+
+    // The landing simplex must live inside the face spanned by the run's
+    // participants: condition (2) of Definition 4.1 constrains outputs to
+    // Delta(omega ∩ chi^{-1}(part(r))), and condition (b) of Theorem 6.1
+    // delivers delta(tau) in Delta(carrier(tau)) — so tau's carrier must
+    // be a face of the participation face. The candidates are the
+    // maximal stable simplices of K(T) restricted to that face.
+    std::vector<VertexId> face_verts;
+    for (gact::ProcessId p : run.participants().members()) {
+        face_verts.push_back(static_cast<VertexId>(p));
+    }
+    const Simplex face{std::move(face_verts)};
+    std::vector<Simplex> candidates;
+    for (const Simplex& tau :
+         tsub.stable_complex().complex().simplices_of_dimension(
+             face.dimension())) {
+        if (tsub.stable_carrier(tau).is_face_of(face)) {
+            candidates.push_back(tau);
+        }
+    }
+
+    for (std::size_t k = 1; k <= max_round; ++k) {
+        const auto points = iis::run_simplex_positions(run, k, inputs);
+        for (const Simplex& tau : candidates) {
+            if (tsub.stable_simplex_contains(tau, points)) {
+                return Landing{k, tau,
+                               std::max(k, tsub.stable_since(tau))};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+AdmissibilityReport check_admissibility(const TerminatingSubdivision& tsub,
+                                        const std::vector<iis::Run>& runs,
+                                        std::size_t max_round) {
+    AdmissibilityReport report;
+    report.admissible = true;
+    for (const iis::Run& run : runs) {
+        ++report.runs_checked;
+        const auto landing = find_landing(tsub, run, max_round);
+        if (!landing.has_value()) {
+            report.admissible = false;
+            report.failures.push_back(run);
+        } else {
+            report.max_landing_round =
+                std::max(report.max_landing_round, landing->round);
+        }
+    }
+    return report;
+}
+
+}  // namespace gact::core

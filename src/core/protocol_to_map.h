@@ -1,0 +1,46 @@
+// The "=>" direction of the characterizations: from a protocol to a
+// topological witness.
+//
+// Every vertex of Chr^k s *is* a (process, view) pair: the Chr vertex
+// (p, tau) encodes "p's previous view, together with the simplex of views
+// it saw" (Sections 2.1, 5). view_of_vertex materializes this
+// correspondence through the subdivision's provenance chain. Given a
+// protocol, mapping each vertex through its view's output yields the
+// simplicial map eta of Corollary 7.1 — when the protocol decides on all
+// views by depth k, which is exactly the compactness step of the
+// wait-free proof. For genuinely non-wait-free protocols (such as the
+// Res_t protocol for L_t) the extraction is partial, witnessing why a
+// uniform depth bound cannot exist (the paper's 1-resilient example in
+// the introduction).
+#pragma once
+
+#include "core/act_solver.h"
+#include "iis/projection.h"
+#include "protocol/protocol.h"
+
+namespace gact::core {
+
+/// The view of the process owning `vertex` of Chr^k(base), reconstructed
+/// from subdivision provenance. For input-less tasks: the depth-0 views
+/// carry no input vertex. `chain` must have level k built or buildable.
+iis::ViewId view_of_vertex(iis::SubdivisionChain& chain,
+                           iis::ViewArena& arena, std::size_t k,
+                           VertexId vertex);
+
+/// Result of extracting eta from a protocol at depth k.
+struct EtaExtraction {
+    SimplicialMap eta;
+    /// Vertices of Chr^k whose views are outside the protocol's domain;
+    /// empty iff the protocol decides everywhere by depth k.
+    std::vector<VertexId> undecided;
+    bool total() const noexcept { return undecided.empty(); }
+};
+
+/// Map every vertex of Chr^k(inputs) through the protocol. For a total
+/// extraction on a wait-free-solvable task, the result is a Corollary 7.1
+/// witness (validated by act_problem + check_chromatic_map in tests).
+EtaExtraction extract_eta(const protocol::Protocol& protocol,
+                          iis::SubdivisionChain& chain,
+                          iis::ViewArena& arena, std::size_t k);
+
+}  // namespace gact::core

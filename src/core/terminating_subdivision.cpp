@@ -1,0 +1,146 @@
+#include "core/terminating_subdivision.h"
+
+#include "util/require.h"
+
+namespace gact::core {
+
+TerminatingSubdivision::TerminatingSubdivision(const ChromaticComplex& base)
+    : base_(base) {
+    Stage s;
+    s.complex = SubdividedComplex::identity(base);
+    stages_.push_back(std::move(s));
+}
+
+VertexId TerminatingSubdivision::global_id(
+    const SubdividedComplex& stage_complex, VertexId v) {
+    const BaryPoint& pos = stage_complex.position(v);
+    const Color color = stage_complex.complex().color(v);
+    const auto key = std::make_pair(pos, color);
+    const auto it = global_index_.find(key);
+    if (it != global_index_.end()) return it->second;
+    const VertexId id = static_cast<VertexId>(global_position_.size());
+    global_index_.emplace(key, id);
+    global_position_.push_back(pos);
+    global_color_[id] = color;
+    return id;
+}
+
+void TerminatingSubdivision::advance(
+    const std::function<bool(const SubdividedComplex&, const Simplex&)>&
+        stabilize) {
+    require(!stages_.empty(),
+            "TerminatingSubdivision: advance on an empty placeholder");
+    Stage& current = stages_.back();
+    const SubdividedComplex& cx = current.complex;
+
+    // Collect Sigma_k: previously stable simplices persist; new ones come
+    // from the predicate. Closure under faces is enforced by construction
+    // (SimplicialComplex::add_simplex adds all faces).
+    for (const Simplex& f : cx.complex().facets()) {
+        for (const Simplex& s : f.faces()) {
+            if (current.stable.contains(s)) continue;
+            if (stabilize(cx, s)) current.stable.add_simplex(s);
+        }
+    }
+
+    // Record the newly stable simplices into the global complex, stamping
+    // first-stabilization stages (faces stabilize with their cofaces).
+    const std::size_t stage = stages_.size() - 1;
+    for (const Simplex& s : current.stable.simplices()) {
+        std::vector<VertexId> verts;
+        verts.reserve(s.size());
+        for (VertexId v : s.vertices()) verts.push_back(global_id(cx, v));
+        Simplex global(std::move(verts));
+        for (const Simplex& face : global.faces()) {
+            stable_since_.emplace(face, stage);
+        }
+        stable_simplices_.add_simplex(std::move(global));
+    }
+    stable_ = ChromaticComplex(stable_simplices_, global_color_);
+
+    // Build C_{k+1}: partial chromatic subdivision terminating Sigma_k.
+    const SimplicialComplex& sigma = current.stable;
+    Stage next;
+    next.complex = cx.chromatic_subdivision_with_termination(
+        [&sigma](const Simplex& t) { return sigma.contains(t); });
+
+    // Sigma_k persists in C_{k+1}: terminated simplices survive with new
+    // vertex ids (matched by position + color).
+    for (const Simplex& s : sigma.simplices()) {
+        std::vector<VertexId> verts;
+        for (VertexId v : s.vertices()) {
+            const auto nv = next.complex.find_vertex(
+                cx.position(v), cx.complex().color(v));
+            ensure(nv.has_value(),
+                   "TerminatingSubdivision: stable vertex vanished");
+            verts.push_back(*nv);
+        }
+        const Simplex image{std::move(verts)};
+        ensure(next.complex.complex().contains(image),
+               "TerminatingSubdivision: stable simplex not preserved");
+        next.stable.add_simplex(image);
+    }
+    stages_.push_back(std::move(next));
+}
+
+const SubdividedComplex& TerminatingSubdivision::complex_at(
+    std::size_t k) const {
+    require(k < stages_.size(), "TerminatingSubdivision: stage not built");
+    return stages_[k].complex;
+}
+
+const SimplicialComplex& TerminatingSubdivision::stable_at(
+    std::size_t k) const {
+    require(k < stages_.size(), "TerminatingSubdivision: stage not built");
+    return stages_[k].stable;
+}
+
+const BaryPoint& TerminatingSubdivision::stable_position(
+    VertexId global_vertex) const {
+    require(global_vertex < global_position_.size(),
+            "TerminatingSubdivision: unknown global vertex");
+    return global_position_[global_vertex];
+}
+
+Simplex TerminatingSubdivision::stable_carrier(
+    const Simplex& global_simplex) const {
+    Simplex out;
+    for (VertexId v : global_simplex.vertices()) {
+        out = out.union_with(stable_position(v).support());
+    }
+    return out;
+}
+
+std::vector<BaryPoint> TerminatingSubdivision::stable_positions_of(
+    const Simplex& s) const {
+    std::vector<BaryPoint> out;
+    out.reserve(s.size());
+    for (VertexId v : s.vertices()) out.push_back(stable_position(v));
+    return out;
+}
+
+std::size_t TerminatingSubdivision::stable_since(
+    const Simplex& global_simplex) const {
+    const auto it = stable_since_.find(global_simplex);
+    require(it != stable_since_.end(),
+            "TerminatingSubdivision: simplex is not stable");
+    return it->second;
+}
+
+std::optional<VertexId> TerminatingSubdivision::find_stable_vertex(
+    const BaryPoint& position, Color color) const {
+    const auto it = global_index_.find(std::make_pair(position, color));
+    if (it == global_index_.end()) return std::nullopt;
+    return it->second;
+}
+
+bool TerminatingSubdivision::stable_simplex_contains(
+    const Simplex& tau, const std::vector<BaryPoint>& points) const {
+    const std::vector<BaryPoint> vertices = stable_positions_of(tau);
+    for (const BaryPoint& p : points) {
+        if (!topo::point_in_simplex(p, vertices)) return false;
+    }
+    return true;
+}
+
+}  // namespace gact::core

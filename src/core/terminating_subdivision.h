@@ -1,0 +1,116 @@
+// Terminating subdivisions (paper, Section 6.1).
+//
+// A terminating subdivision T of a chromatic complex C is a sequence of
+// complexes C_0 = C, C_1, C_2, ... together with subcomplexes
+// Sigma_0 ⊆ Sigma_1 ⊆ ... of "stable" simplices: C_{k+1} is the partial
+// chromatic subdivision of C_k in which the simplices of Sigma_k are
+// terminated (not subdivided further). Stable simplices persist verbatim
+// in all later stages. The union K(T) of all stable simplices is a
+// chromatic complex whose realization sits inside |C|.
+//
+// Stage complexes have per-stage vertex ids; K(T) is accumulated in a
+// global registry keyed by (color, exact position), so a stable vertex is
+// the same K(T) vertex no matter at which stage it stabilized.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "topology/subdivision.h"
+
+namespace gact::core {
+
+using topo::BaryPoint;
+using topo::ChromaticComplex;
+using topo::Color;
+using topo::Simplex;
+using topo::SimplicialComplex;
+using topo::SubdividedComplex;
+using topo::VertexId;
+
+/// A terminating subdivision, materialized stage by stage.
+class TerminatingSubdivision {
+public:
+    /// An empty placeholder; assign a real subdivision before use.
+    TerminatingSubdivision() = default;
+
+    explicit TerminatingSubdivision(const ChromaticComplex& base);
+
+    /// Advance one stage: mark as stable every *not yet stable* simplex of
+    /// the current complex selected by `stabilize` (must be closed under
+    /// faces together with the already-stable simplices), then build the
+    /// next complex by partial chromatic subdivision.
+    void advance(const std::function<bool(const SubdividedComplex&,
+                                          const Simplex&)>& stabilize);
+
+    /// Number of stages built (C_0 .. C_{stages()-1}).
+    std::size_t stages() const noexcept { return stages_.size(); }
+
+    /// The stage complex C_k.
+    const SubdividedComplex& complex_at(std::size_t k) const;
+
+    /// The stable subcomplex Sigma_k in C_k's vertex ids.
+    const SimplicialComplex& stable_at(std::size_t k) const;
+
+    /// K(T) so far: the union of stable simplices, in global vertex ids.
+    const ChromaticComplex& stable_complex() const noexcept {
+        return stable_;
+    }
+
+    /// Position in |base| of a global stable vertex.
+    const BaryPoint& stable_position(VertexId global_vertex) const;
+
+    /// Carrier in the base complex of a global stable simplex.
+    Simplex stable_carrier(const Simplex& global_simplex) const;
+
+    /// Positions of a global stable simplex's vertices, in vertex order.
+    std::vector<BaryPoint> stable_positions_of(const Simplex& s) const;
+
+    /// The global id for a stable vertex given color and exact position;
+    /// nullopt if no such stable vertex exists yet.
+    std::optional<VertexId> find_stable_vertex(const BaryPoint& position,
+                                               Color color) const;
+
+    /// The stage at which a global stable simplex was terminated (its
+    /// first appearance in some Sigma_k). A protocol may only output on a
+    /// stable simplex from this many rounds on: stable simplices stand for
+    /// "outputs produced after stage-many IS layers" (Section 6.1), and
+    /// firing earlier breaks Definition 4.1 (2) in runs that share the
+    /// early views but land elsewhere.
+    std::size_t stable_since(const Simplex& global_simplex) const;
+
+    /// The stable facets (maximal stable simplices) of K(T) so far.
+    std::vector<Simplex> stable_facets() const {
+        return stable_.complex().facets();
+    }
+
+    /// Is the realization of the global stable simplex `tau` a superset of
+    /// the geometric simplex spanned by `points`? (The landing condition
+    /// |sigma_k| ⊆ |tau| of Section 6.2, input-less case.)
+    bool stable_simplex_contains(const Simplex& tau,
+                                 const std::vector<BaryPoint>& points) const;
+
+    const ChromaticComplex& base() const noexcept { return base_; }
+
+private:
+    struct Stage {
+        SubdividedComplex complex;
+        SimplicialComplex stable;  // Sigma_k, in this stage's vertex ids
+    };
+
+    /// Intern a stage vertex into the global registry.
+    VertexId global_id(const SubdividedComplex& stage_complex, VertexId v);
+
+    ChromaticComplex base_;
+    std::vector<Stage> stages_;
+
+    // Global stable complex and geometry.
+    ChromaticComplex stable_;
+    std::map<std::pair<BaryPoint, Color>, VertexId> global_index_;
+    std::vector<BaryPoint> global_position_;
+    std::unordered_map<VertexId, Color> global_color_;
+    SimplicialComplex stable_simplices_;
+    std::map<Simplex, std::size_t> stable_since_;
+};
+
+}  // namespace gact::core

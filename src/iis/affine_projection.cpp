@@ -1,0 +1,120 @@
+#include "iis/affine_projection.h"
+
+#include "iis/projection.h"
+#include "util/require.h"
+
+namespace gact::iis {
+
+namespace {
+
+/// The one-round update matrix restricted to `members` (row-stochastic):
+/// row p, column q holds q's weight in p's Section 3.2 position update.
+std::vector<std::vector<Rational>> round_matrix(
+    const OrderedPartition& round, const std::vector<ProcessId>& members) {
+    const std::size_t m = members.size();
+    std::vector<std::size_t> index(kMaxProcesses, m);
+    for (std::size_t i = 0; i < m; ++i) index[members[i]] = i;
+
+    std::vector<std::vector<Rational>> a(m, std::vector<Rational>(m));
+    for (std::size_t i = 0; i < m; ++i) {
+        const ProcessId p = members[i];
+        const ProcessSet snap = round.snapshot_of(p);
+        const auto c = static_cast<std::int64_t>(snap.size());
+        for (ProcessId q : snap.members()) {
+            ensure(index[q] < m,
+                   "round_matrix: snapshot leaves the member set");
+            a[i][index[q]] = Rational(q == p ? 1 : 2, 2 * c - 1);
+        }
+    }
+    return a;
+}
+
+std::vector<std::vector<Rational>> multiply(
+    const std::vector<std::vector<Rational>>& x,
+    const std::vector<std::vector<Rational>>& y) {
+    const std::size_t m = x.size();
+    std::vector<std::vector<Rational>> out(m, std::vector<Rational>(m));
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t k = 0; k < m; ++k) {
+            if (x[i][k].is_zero()) continue;
+            for (std::size_t j = 0; j < m; ++j) {
+                out[i][j] += x[i][k] * y[k][j];
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::pair<ProcessId, Rational>> tail_stationary_distribution(
+    const Run& run) {
+    // The recurrent class of the cycle's composite matrix is fast(r).
+    const std::vector<ProcessId> fast = run.fast().members();
+    const std::size_t m = fast.size();
+
+    // Composite one-cycle matrix over the fast processes (closed under
+    // snapshots within the cycle, so the restriction is row-stochastic).
+    std::vector<std::vector<Rational>> a(m, std::vector<Rational>(m));
+    for (std::size_t i = 0; i < m; ++i) a[i][i] = Rational(1);
+    for (const OrderedPartition& round : run.cycle()) {
+        // Positions update x <- A_round x, so later rounds compose on the
+        // left: A_cycle = A_c ... A_2 A_1.
+        a = multiply(round_matrix(round.restrict_to(run.fast()), fast), a);
+    }
+
+    // Solve w^T A = w^T with sum(w) = 1: rows are (A^T - I) plus the
+    // normalization; the aperiodic single-class chain makes the solution
+    // unique, so m of the m+1 equations are independent.
+    std::vector<std::vector<Rational>> system(
+        m + 1, std::vector<Rational>(m));
+    std::vector<Rational> rhs(m + 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            system[i][j] = a[j][i] - (i == j ? Rational(1) : Rational(0));
+        }
+        rhs[i] = Rational(0);
+    }
+    for (std::size_t j = 0; j < m; ++j) system[m][j] = Rational(1);
+    rhs[m] = Rational(1);
+
+    const auto w = topo::solve_linear_system(std::move(system), std::move(rhs));
+    ensure(w.has_value(),
+           "tail_stationary_distribution: stationary system not unique");
+    std::vector<std::pair<ProcessId, Rational>> out;
+    out.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        ensure(!(*w)[i].is_negative(),
+               "tail_stationary_distribution: negative stationary weight");
+        out.emplace_back(fast[i], (*w)[i]);
+    }
+    return out;
+}
+
+topo::BaryPoint affine_projection(
+    const Run& run,
+    const std::vector<topo::VertexId>& input_vertex_of_process) {
+    const auto weights = tail_stationary_distribution(run);
+    // Positions at the start of the cycle (after the prefix).
+    const auto table =
+        view_positions(run, run.prefix().size(), input_vertex_of_process);
+    std::vector<topo::BaryPoint> points;
+    std::vector<Rational> coefficients;
+    for (const auto& [p, w] : weights) {
+        ensure(table[run.prefix().size()][p].has_value(),
+               "affine_projection: fast process missing a position");
+        points.push_back(*table[run.prefix().size()][p]);
+        coefficients.push_back(w);
+    }
+    return topo::BaryPoint::combination(points, coefficients);
+}
+
+topo::BaryPoint affine_projection(const Run& run) {
+    std::vector<topo::VertexId> inputs;
+    for (ProcessId p = 0; p < run.num_processes(); ++p) {
+        inputs.push_back(static_cast<topo::VertexId>(p));
+    }
+    return affine_projection(run, inputs);
+}
+
+}  // namespace gact::iis

@@ -1,0 +1,62 @@
+// The affine projection pi : R -> |s| (paper, Section 5), computed
+// exactly for eventually-periodic runs.
+//
+// Every run's simplex chain sigma_0 ⊇ sigma_1 ⊇ ... converges to a single
+// point pi(r) of |s|. For an eventually-periodic run the convergence is
+// governed by a linear process: one tail round updates the position
+// vector by a row-stochastic matrix A (process p's new position is the
+// Section 3.2 affine combination of its snapshot's positions), and the
+// composite matrix of one full cycle has a single aperiodic recurrent
+// class — exactly fast(r), the closure of the minimal core under
+// "sees within the cycle". Hence lim A^k = 1 w^T with w the stationary
+// distribution on fast(r), and
+//
+//      pi(r) = sum over q in fast(r) of w_q * position_q(prefix end),
+//
+// an exact rational point. The paper identifies pi(r) with minimal(r)
+// and observes that the canonical coloring of pi(r) is fast(r); the tests
+// verify pi(r) = pi(minimal(r)), containment in every sigma_k, and that
+// landing simplices of the L_t pipeline contain pi(r).
+#pragma once
+
+#include "iis/models.h"
+#include "iis/run.h"
+#include "topology/geometry.h"
+
+namespace gact::iis {
+
+/// The exact affine projection of a run, with processes starting at the
+/// given base vertices (input_vertex_of_process[p] is p's corner; use
+/// 0..n for the standard simplex).
+topo::BaryPoint affine_projection(
+    const Run& run, const std::vector<topo::VertexId>& input_vertex_of_process);
+
+/// Convenience for the standard simplex: process p starts at vertex p.
+topo::BaryPoint affine_projection(const Run& run);
+
+/// The stationary weights w over fast(r) (by process id) used by the
+/// projection; exposed for tests and diagnostics.
+std::vector<std::pair<ProcessId, Rational>> tail_stationary_distribution(
+    const Run& run);
+
+/// A geometric model (paper, Section 5): the runs whose affine projection
+/// lies in a region S of |s|, i.e. pi^{-1}(S). All the paper's example
+/// models are geometric; this class also admits regions that are not
+/// unions of fast-set cells.
+class GeometricModel final : public Model {
+public:
+    GeometricModel(std::string name,
+                   std::function<bool(const topo::BaryPoint&)> region)
+        : name_(std::move(name)), region_(std::move(region)) {}
+
+    bool contains(const Run& r) const override {
+        return region_(affine_projection(r));
+    }
+    std::string name() const override { return name_; }
+
+private:
+    std::string name_;
+    std::function<bool(const topo::BaryPoint&)> region_;
+};
+
+}  // namespace gact::iis

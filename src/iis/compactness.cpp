@@ -1,0 +1,38 @@
+#include "iis/compactness.h"
+
+#include "util/require.h"
+
+namespace gact::iis {
+
+std::vector<Run> largest_agreeing_class(const std::vector<Run>& runs,
+                                        std::size_t depth) {
+    require(!runs.empty(), "largest_agreeing_class: empty family");
+    std::vector<Run> best;
+    for (const Run& candidate : runs) {
+        std::vector<Run> cls;
+        for (const Run& r : runs) {
+            if (r.round(depth) == candidate.round(depth)) cls.push_back(r);
+        }
+        if (cls.size() > best.size()) best = cls;
+    }
+    return best;
+}
+
+DiagonalExtraction diagonal_extraction(const std::vector<Run>& runs,
+                                       std::size_t max_depth) {
+    require(!runs.empty(), "diagonal_extraction: empty family");
+    std::vector<Run> current = runs;
+    std::vector<std::size_t> sizes;
+    for (std::size_t depth = 0; depth < max_depth; ++depth) {
+        current = largest_agreeing_class(current, depth);
+        sizes.push_back(current.size());
+    }
+    // The limit point of the extracted subsequence: any survivor serves
+    // as the representative — every survivor is within 1/(1+max_depth)
+    // of it, which is the convergence statement of the lemma.
+    Run limit = current.front();
+    return DiagonalExtraction(std::move(sizes), std::move(current),
+                              std::move(limit));
+}
+
+}  // namespace gact::iis

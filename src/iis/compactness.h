@@ -1,0 +1,41 @@
+// The compactness construction of Lemma 5.1, as library code.
+//
+// From any (finitely represented) family of runs, extract a subsequence
+// converging in the run metric by the paper's diagonal argument: group by
+// agreeing prefixes of growing length, always keeping a largest class.
+// Since each round has finitely many possible values, pigeonhole keeps
+// the classes non-empty forever; pairwise distances inside the class at
+// depth k are at most 1/(1+k).
+#pragma once
+
+#include <vector>
+
+#include "iis/run.h"
+
+namespace gact::iis {
+
+/// One extraction step: the largest sub-family agreeing on round `depth`.
+std::vector<Run> largest_agreeing_class(const std::vector<Run>& runs,
+                                        std::size_t depth);
+
+/// The diagonal argument, carried to `max_depth`: the trace of class
+/// sizes, and the surviving class (whose pairwise distance is at most
+/// 1/(1+max_depth) by construction).
+struct DiagonalExtraction {
+    std::vector<std::size_t> class_sizes;  // per depth 0..max_depth-1
+    std::vector<Run> survivors;
+    /// The limit run the survivors converge to: the common prefix,
+    /// continued by the first survivor's tail.
+    Run limit;
+
+    DiagonalExtraction(std::vector<std::size_t> sizes, std::vector<Run> s,
+                       Run l)
+        : class_sizes(std::move(sizes)),
+          survivors(std::move(s)),
+          limit(std::move(l)) {}
+};
+
+DiagonalExtraction diagonal_extraction(const std::vector<Run>& runs,
+                                       std::size_t max_depth);
+
+}  // namespace gact::iis

@@ -1,0 +1,36 @@
+#include "iis/models.h"
+
+#include "util/require.h"
+
+namespace gact::iis {
+
+TResilientModel::TResilientModel(std::uint32_t num_processes, std::uint32_t t)
+    : num_processes_(num_processes), t_(t) {
+    require(t < num_processes,
+            "TResilientModel: t must be smaller than the process count");
+}
+
+bool TResilientModel::contains(const Run& r) const {
+    require(r.num_processes() == num_processes_,
+            "TResilientModel: process count mismatch");
+    return r.fast().size() >= num_processes_ - t_;
+}
+
+std::string TResilientModel::name() const {
+    return "Res_" + std::to_string(t_);
+}
+
+AdversaryModel::AdversaryModel(std::string name,
+                               std::vector<ProcessSet> allowed_slow_sets)
+    : name_(std::move(name)),
+      allowed_slow_sets_(std::move(allowed_slow_sets)) {}
+
+bool AdversaryModel::contains(const Run& r) const {
+    const ProcessSet slow = r.slow();
+    for (const ProcessSet& s : allowed_slow_sets_) {
+        if (s == slow) return true;
+    }
+    return false;
+}
+
+}  // namespace gact::iis

@@ -1,0 +1,144 @@
+// Sub-IIS models (paper, Section 2.2).
+//
+// A model is any subset M of the runs of IIS. The paper's examples — the
+// wait-free model WF, the t-resilient models Res_t, the k-obstruction-free
+// models OF_k, and the adversary models M_adv(A) — are all determined by
+// the fast set of a run, and so are decidable on this library's
+// eventually-periodic runs. The "fast" companion M_fast of Section 4.5
+// (minimal runs of M) is provided as a wrapper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iis/run.h"
+
+namespace gact::iis {
+
+/// A sub-IIS model: a (decidable) set of runs.
+class Model {
+public:
+    virtual ~Model() = default;
+
+    /// Is the run in the model?
+    virtual bool contains(const Run& r) const = 0;
+
+    /// Human-readable name for diagnostics and reports.
+    virtual std::string name() const = 0;
+};
+
+/// Example 2.1: the wait-free model WF — all runs.
+class WaitFreeModel final : public Model {
+public:
+    bool contains(const Run&) const override { return true; }
+    std::string name() const override { return "WF"; }
+};
+
+/// Example 2.2: Res_t — runs with |fast(r)| >= n+1-t ("at most t slow").
+class TResilientModel final : public Model {
+public:
+    TResilientModel(std::uint32_t num_processes, std::uint32_t t);
+    bool contains(const Run& r) const override;
+    std::string name() const override;
+
+private:
+    std::uint32_t num_processes_;
+    std::uint32_t t_;
+};
+
+/// Example 2.3: OF_k — runs with |fast(r)| <= k.
+class ObstructionFreeModel final : public Model {
+public:
+    explicit ObstructionFreeModel(std::uint32_t k) : k_(k) {}
+    bool contains(const Run& r) const override {
+        return r.fast().size() <= k_;
+    }
+    std::string name() const override {
+        return "OF_" + std::to_string(k_);
+    }
+
+private:
+    std::uint32_t k_;
+};
+
+/// Example 2.4: M_adv(A) — runs whose slow set belongs to the adversary A
+/// (a set of subsets of {0, .., n}).
+class AdversaryModel final : public Model {
+public:
+    AdversaryModel(std::string name, std::vector<ProcessSet> allowed_slow_sets);
+    bool contains(const Run& r) const override;
+    std::string name() const override { return name_; }
+
+private:
+    std::string name_;
+    std::vector<ProcessSet> allowed_slow_sets_;
+};
+
+/// Section 4.5: M_fast = { minimal(r') : r' in M }. For fast-set-determined
+/// models this equals { r in M : r is minimal }, which is how we decide it.
+class MinimalRunsModel final : public Model {
+public:
+    explicit MinimalRunsModel(std::shared_ptr<const Model> base)
+        : base_(std::move(base)) {}
+    bool contains(const Run& r) const override {
+        return r.is_minimal() && base_->contains(r);
+    }
+    std::string name() const override { return base_->name() + "_fast"; }
+
+private:
+    std::shared_ptr<const Model> base_;
+};
+
+/// The union of two models (a sub-IIS model is just a set of runs, so
+/// models compose by set algebra; paper, Section 2.2).
+class UnionModel final : public Model {
+public:
+    UnionModel(std::shared_ptr<const Model> a, std::shared_ptr<const Model> b)
+        : a_(std::move(a)), b_(std::move(b)) {}
+    bool contains(const Run& r) const override {
+        return a_->contains(r) || b_->contains(r);
+    }
+    std::string name() const override {
+        return a_->name() + " ∪ " + b_->name();
+    }
+
+private:
+    std::shared_ptr<const Model> a_;
+    std::shared_ptr<const Model> b_;
+};
+
+/// The intersection of two models.
+class IntersectionModel final : public Model {
+public:
+    IntersectionModel(std::shared_ptr<const Model> a,
+                      std::shared_ptr<const Model> b)
+        : a_(std::move(a)), b_(std::move(b)) {}
+    bool contains(const Run& r) const override {
+        return a_->contains(r) && b_->contains(r);
+    }
+    std::string name() const override {
+        return a_->name() + " ∩ " + b_->name();
+    }
+
+private:
+    std::shared_ptr<const Model> a_;
+    std::shared_ptr<const Model> b_;
+};
+
+/// A model given by an arbitrary predicate (for tests and experiments;
+/// covers the paper's "not necessarily geometric" generality).
+class PredicateModel final : public Model {
+public:
+    PredicateModel(std::string name, std::function<bool(const Run&)> pred)
+        : name_(std::move(name)), pred_(std::move(pred)) {}
+    bool contains(const Run& r) const override { return pred_(r); }
+    std::string name() const override { return name_; }
+
+private:
+    std::string name_;
+    std::function<bool(const Run&)> pred_;
+};
+
+}  // namespace gact::iis

@@ -1,0 +1,89 @@
+#include "iis/ordered_partition.h"
+
+#include <ostream>
+
+#include "topology/combinatorics.h"
+#include "util/require.h"
+
+namespace gact::iis {
+
+OrderedPartition::OrderedPartition(std::vector<ProcessSet> blocks)
+    : blocks_(std::move(blocks)) {
+    for (const ProcessSet& b : blocks_) {
+        require(!b.empty(), "OrderedPartition: empty block");
+        require(!support_.intersects(b), "OrderedPartition: overlapping blocks");
+        support_ = support_ | b;
+    }
+}
+
+OrderedPartition OrderedPartition::concurrent(ProcessSet s) {
+    require(!s.empty(), "OrderedPartition::concurrent: empty set");
+    return OrderedPartition({s});
+}
+
+OrderedPartition OrderedPartition::sequential(
+    const std::vector<ProcessId>& order) {
+    std::vector<ProcessSet> blocks;
+    blocks.reserve(order.size());
+    for (ProcessId p : order) blocks.push_back(ProcessSet::single(p));
+    return OrderedPartition(std::move(blocks));
+}
+
+std::size_t OrderedPartition::block_index(ProcessId p) const {
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        if (blocks_[i].contains(p)) return i;
+    }
+    throw precondition_error("OrderedPartition: process not in support");
+}
+
+ProcessSet OrderedPartition::snapshot_of(ProcessId p) const {
+    ProcessSet seen;
+    for (const ProcessSet& b : blocks_) {
+        seen = seen | b;
+        if (b.contains(p)) return seen;
+    }
+    throw precondition_error("OrderedPartition: process not in support");
+}
+
+OrderedPartition OrderedPartition::restrict_to(ProcessSet keep) const {
+    std::vector<ProcessSet> blocks;
+    for (const ProcessSet& b : blocks_) {
+        const ProcessSet kept = b & keep;
+        if (!kept.empty()) blocks.push_back(kept);
+    }
+    return OrderedPartition(std::move(blocks));
+}
+
+std::string OrderedPartition::to_string() const {
+    std::string out = "(";
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        if (i > 0) out += "|";
+        out += blocks_[i].to_string();
+    }
+    out += ")";
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const OrderedPartition& p) {
+    return os << p.to_string();
+}
+
+std::vector<OrderedPartition> all_ordered_partitions(ProcessSet support) {
+    require(!support.empty(), "all_ordered_partitions: empty support");
+    const std::vector<ProcessId> members = support.members();
+    std::vector<OrderedPartition> out;
+    for (const topo::OrderedIndexPartition& part :
+         topo::ordered_partitions(members.size())) {
+        std::vector<ProcessSet> blocks;
+        blocks.reserve(part.size());
+        for (const std::vector<std::size_t>& block : part) {
+            ProcessSet b;
+            for (std::size_t i : block) b = b.with(members[i]);
+            blocks.push_back(b);
+        }
+        out.emplace_back(std::move(blocks));
+    }
+    return out;
+}
+
+}  // namespace gact::iis

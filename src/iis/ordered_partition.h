@@ -1,0 +1,69 @@
+// Ordered partitions of process sets: one round of immediate snapshot.
+//
+// Paper, Section 2.1: each round k of an IIS run is a set S_k of processes
+// equipped with an ordered partition S_k = S^1_k ∪ ... ∪ S^{n_k}_k, the
+// order in which groups of processes access the immediate-snapshot object.
+// A process p in block j "sees" exactly the processes in blocks 1..j.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/process_set.h"
+
+namespace gact::iis {
+
+using gact::ProcessId;
+using gact::ProcessSet;
+
+/// One immediate-snapshot round: an ordered partition of a process set.
+class OrderedPartition {
+public:
+    OrderedPartition() = default;
+
+    /// From blocks in order; blocks must be non-empty and disjoint.
+    explicit OrderedPartition(std::vector<ProcessSet> blocks);
+
+    /// The one-block partition (fully concurrent round).
+    static OrderedPartition concurrent(ProcessSet s);
+
+    /// The singleton-block partition following the given process order.
+    static OrderedPartition sequential(const std::vector<ProcessId>& order);
+
+    const std::vector<ProcessSet>& blocks() const noexcept { return blocks_; }
+    std::size_t num_blocks() const noexcept { return blocks_.size(); }
+    bool empty() const noexcept { return blocks_.empty(); }
+
+    /// The union of all blocks (the set S_k).
+    ProcessSet support() const noexcept { return support_; }
+
+    bool contains(ProcessId p) const noexcept { return support_.contains(p); }
+
+    /// The index of p's block. Requires p in the support.
+    std::size_t block_index(ProcessId p) const;
+
+    /// The processes p sees in this round: union of blocks 1..block(p),
+    /// including p itself.
+    ProcessSet snapshot_of(ProcessId p) const;
+
+    /// Restriction to `keep`: drop other processes, drop empty blocks.
+    OrderedPartition restrict_to(ProcessSet keep) const;
+
+    friend bool operator==(const OrderedPartition& a,
+                           const OrderedPartition& b) noexcept = default;
+
+    /// "({0,2}|{1})".
+    std::string to_string() const;
+
+private:
+    std::vector<ProcessSet> blocks_;
+    ProcessSet support_;
+};
+
+std::ostream& operator<<(std::ostream& os, const OrderedPartition& p);
+
+/// All ordered partitions of `support` (ordered Bell(|support|) of them).
+std::vector<OrderedPartition> all_ordered_partitions(ProcessSet support);
+
+}  // namespace gact::iis

@@ -1,0 +1,82 @@
+#include "iis/view.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace gact::iis {
+
+ViewId ViewArena::intern(ViewNode n) {
+    const auto it = index_.find(n);
+    if (it != index_.end()) return it->second;
+    const ViewId id = static_cast<ViewId>(nodes_.size());
+    index_.emplace(n, id);
+    nodes_.push_back(std::move(n));
+    processes_cache_.emplace_back();
+    return id;
+}
+
+ViewId ViewArena::make_initial(ProcessId owner,
+                               std::optional<topo::VertexId> input) {
+    ViewNode n;
+    n.owner = owner;
+    n.depth = 0;
+    n.input = input;
+    return intern(std::move(n));
+}
+
+ViewId ViewArena::make_view(ProcessId owner, std::vector<ViewId> seen) {
+    require(!seen.empty(), "ViewArena::make_view: no views seen");
+    std::sort(seen.begin(), seen.end());
+    seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+    int child_depth = -1;
+    bool owner_present = false;
+    for (ViewId s : seen) {
+        const ViewNode& child = node(s);
+        if (child_depth < 0) child_depth = child.depth;
+        require(child.depth == child_depth,
+                "ViewArena::make_view: mixed child depths");
+        if (child.owner == owner) owner_present = true;
+    }
+    require(owner_present,
+            "ViewArena::make_view: a process always sees its own view");
+    ViewNode n;
+    n.owner = owner;
+    n.depth = child_depth + 1;
+    n.seen = std::move(seen);
+    return intern(std::move(n));
+}
+
+const ViewNode& ViewArena::node(ViewId id) const {
+    require(id < nodes_.size(), "ViewArena: unknown view id");
+    return nodes_[id];
+}
+
+ProcessSet ViewArena::processes_in(ViewId id) const {
+    require(id < nodes_.size(), "ViewArena: unknown view id");
+    if (processes_cache_[id]) return *processes_cache_[id];
+    const ViewNode& n = nodes_[id];
+    ProcessSet out = ProcessSet::single(n.owner);
+    for (ViewId s : n.seen) out = out | processes_in(s);
+    processes_cache_[id] = out;
+    return out;
+}
+
+std::string ViewArena::to_string(ViewId id) const {
+    const ViewNode& n = node(id);
+    std::string out = "p" + std::to_string(n.owner) + "@" +
+                      std::to_string(n.depth);
+    if (n.depth == 0) {
+        if (n.input) out += "<in:" + std::to_string(*n.input) + ">";
+        return out;
+    }
+    out += "{";
+    for (std::size_t i = 0; i < n.seen.size(); ++i) {
+        if (i > 0) out += ",";
+        out += to_string(n.seen[i]);
+    }
+    out += "}";
+    return out;
+}
+
+}  // namespace gact::iis

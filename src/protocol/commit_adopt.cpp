@@ -1,0 +1,134 @@
+#include "protocol/commit_adopt.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace gact::protocol {
+
+namespace {
+
+/// The seen child owned by the view's owner (its own previous view).
+ViewId own_child(const ViewArena& arena, ViewId view) {
+    const iis::ViewNode& node = arena.node(view);
+    require(node.depth >= 1, "own_child: depth-0 view");
+    for (ViewId s : node.seen) {
+        if (arena.node(s).owner == node.owner) return s;
+    }
+    throw invariant_error("own_child: a view always contains its own past");
+}
+
+}  // namespace
+
+ViewId CommitAdoptEvaluator::own_view_at(ViewId view, int depth) const {
+    require(depth >= 0, "own_view_at: negative depth");
+    while (arena_->node(view).depth > depth) {
+        view = own_child(*arena_, view);
+    }
+    require(arena_->node(view).depth == depth,
+            "own_view_at: requested depth above the view's depth");
+    return view;
+}
+
+Order CommitAdoptEvaluator::estimate(ViewId view) const {
+    const iis::ViewNode& node = arena_->node(view);
+    require(node.depth % 2 == 0, "estimate: depth must be even");
+    if (node.depth == 0) return {node.owner};
+    return decision(view).value;
+}
+
+Order CommitAdoptEvaluator::proposal(ViewId view) const {
+    Order order = estimate(view);
+    const gact::ProcessSet seen = arena_->processes_in(view);
+    for (gact::ProcessId p : seen.members()) {
+        if (std::find(order.begin(), order.end(), p) == order.end()) {
+            order.push_back(p);
+        }
+    }
+    return order;
+}
+
+CaPhase1 CommitAdoptEvaluator::phase1(ViewId odd_view) const {
+    const iis::ViewNode& node = arena_->node(odd_view);
+    require(node.depth % 2 == 1, "phase1: depth must be odd");
+    // Proposals of the processes seen in the odd round.
+    std::vector<std::pair<gact::ProcessId, Order>> proposals;
+    for (ViewId u : node.seen) {
+        proposals.emplace_back(arena_->node(u).owner, proposal(u));
+    }
+    CaPhase1 out;
+    out.all_agree = true;
+    for (const auto& [owner, prop] : proposals) {
+        if (!(prop == proposals.front().second)) out.all_agree = false;
+    }
+    if (out.all_agree) {
+        out.value = proposals.front().second;
+    } else {
+        // Deterministic fallback: the proposal of the smallest owner seen.
+        const auto min_it = std::min_element(
+            proposals.begin(), proposals.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+        out.value = min_it->second;
+    }
+    return out;
+}
+
+CaDecision CommitAdoptEvaluator::decision(ViewId view) const {
+    const iis::ViewNode& node = arena_->node(view);
+    require(node.depth >= 2 && node.depth % 2 == 0,
+            "decision: needs an even depth >= 2");
+    std::vector<CaPhase1> seen_phase1;
+    for (ViewId w : node.seen) seen_phase1.push_back(phase1(w));
+
+    CaDecision out;
+    bool any_true = false;
+    bool all_true = true;
+    Order committed;
+    for (const CaPhase1& ph : seen_phase1) {
+        if (ph.all_agree) {
+            if (any_true) {
+                ensure(ph.value == committed,
+                       "commit-adopt: two distinct agreed values in one "
+                       "instance");
+            }
+            any_true = true;
+            committed = ph.value;
+        } else {
+            all_true = false;
+        }
+    }
+    if (any_true) {
+        out.commit = all_true;
+        out.value = committed;
+    } else {
+        out.commit = false;
+        out.value = phase1(own_child(*arena_, view)).value;
+    }
+    return out;
+}
+
+std::optional<std::pair<std::size_t, Order>> CommitAdoptEvaluator::first_commit(
+    ViewId view) const {
+    const int depth = arena_->node(view).depth;
+    for (int d = 2; d <= depth; d += 2) {
+        const CaDecision dec = decision(own_view_at(view, d));
+        if (dec.commit) {
+            return std::make_pair(static_cast<std::size_t>(d) / 2, dec.value);
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<topo::VertexId> TotalOrderProtocol::output(
+    ViewId view, const ViewArena& arena) const {
+    const auto commit = evaluator_.first_commit(view);
+    if (!commit.has_value()) return std::nullopt;
+    const Order& pi = commit->second;
+    const gact::ProcessId owner = arena.node(view).owner;
+    ensure(std::find(pi.begin(), pi.end(), owner) != pi.end(),
+           "total order: committed a permutation without self");
+    const topo::Simplex sigma = tasks::sigma_alpha(lord_->subdivision, pi);
+    return lord_->subdivision.complex().vertex_with_color(sigma, owner);
+}
+
+}  // namespace gact::protocol

@@ -1,0 +1,97 @@
+// Commit-adopt in IIS, and the total-order solver of Section 4.5.
+//
+// Commit-adopt [Gafni, PODC'98] over two immediate-snapshot rounds:
+//  round 2m-1: write your proposal, snapshot; if all proposals seen are
+//              equal to v, your phase-1 value is (true, v), else
+//              (false, w) for a deterministic seen proposal w;
+//  round 2m:   write your phase-1 value, snapshot; if all phase-1 values
+//              seen are (true, v): COMMIT v; else if some (true, v) seen:
+//              ADOPT v; else keep your own phase-1 value.
+// Properties (verified exhaustively in tests): two commits of the same
+// instance agree, and a commit forces every other process of the instance
+// to adopt the committed value.
+//
+// The L_ord solver (Section 4.5: "we can easily solve L_ord in OF_fast
+// using commit-adopt"): proposals are total orders (permutations of the
+// processes seen so far); a process repeats commit-adopt instances,
+// extending its estimate with newly seen processes appended in id order;
+// on commit of a permutation pi it outputs the vertex of sigma_pi colored
+// by itself. Commits are prefix-consistent across instances, and the
+// sigma_alpha flag characterization makes prefix-consistent outputs lie
+// in a common simplex. In a minimal run with |fast(r)| = 1 the fast
+// process eventually runs solo and its instance commits — but in a
+// non-minimal OF_1 run, processes running forever behind a fast leader
+// never commit, which is the paper's point in Section 4.5.
+#pragma once
+
+#include "iis/run.h"
+#include "protocol/protocol.h"
+#include "tasks/standard_tasks.h"
+
+namespace gact::protocol {
+
+/// A commit-adopt proposal/estimate: an ordered list of process ids.
+using Order = std::vector<gact::ProcessId>;
+
+/// The phase-1 value of the commit-adopt round pair.
+struct CaPhase1 {
+    bool all_agree = false;
+    Order value;
+};
+
+/// The result of one commit-adopt instance for one process.
+struct CaDecision {
+    bool commit = false;
+    Order value;
+};
+
+/// The full-information commit-adopt evaluation: given a view of even
+/// depth 2m (owner p), the state of p after m commit-adopt instances.
+/// Implemented recursively over the view DAG — everything a process needs
+/// is contained in its view.
+class CommitAdoptEvaluator {
+public:
+    explicit CommitAdoptEvaluator(const ViewArena& arena) : arena_(&arena) {}
+
+    /// p's estimate after the instances contained in `view` (depth must
+    /// be even; depth 0 gives the singleton [owner]).
+    Order estimate(ViewId view) const;
+
+    /// p's proposal for the next instance: estimate extended by the
+    /// processes seen so far but absent, appended in increasing id order.
+    Order proposal(ViewId view) const;
+
+    /// The instance decision at an even-depth view (depth >= 2).
+    CaDecision decision(ViewId view) const;
+
+    /// The first instance (1-indexed) at which the owner of `view`
+    /// committed, scanning the owner's own view chain; nullopt if none.
+    std::optional<std::pair<std::size_t, Order>> first_commit(
+        ViewId view) const;
+
+    /// The owner's own sub-view at a given depth <= depth(view).
+    ViewId own_view_at(ViewId view, int depth) const;
+
+private:
+    CaPhase1 phase1(ViewId odd_view) const;
+
+    const ViewArena* arena_;
+};
+
+/// The Section 4.5 protocol for L_ord: decide on first commit.
+class TotalOrderProtocol final : public Protocol {
+public:
+    TotalOrderProtocol(const tasks::AffineTask& lord, const ViewArena& arena)
+        : lord_(&lord), evaluator_(arena) {}
+
+    std::optional<topo::VertexId> output(ViewId view,
+                                         const ViewArena& arena) const override;
+
+    std::string name() const override { return "commit-adopt total order"; }
+
+private:
+    const tasks::AffineTask* lord_;
+    CommitAdoptEvaluator evaluator_;
+};
+
+}  // namespace gact::protocol

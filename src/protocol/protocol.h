@@ -1,0 +1,62 @@
+// Protocols (paper, Section 4.4).
+//
+// "For us, when dealing with solvability rather than complexity, a
+// protocol is just a partial map from views to outputs." Views are
+// interned in a ViewArena, so a protocol maps ViewIds to output vertices
+// of the task's output complex. A protocol must be deterministic and
+// prefix-stable per Definition 4.1; the verifier checks both.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "iis/view.h"
+#include "topology/simplex.h"
+
+namespace gact::protocol {
+
+using iis::ViewArena;
+using iis::ViewId;
+
+/// A protocol: a partial map from views to output vertices.
+class Protocol {
+public:
+    virtual ~Protocol() = default;
+
+    /// The output for this view, or nullopt when the view is outside the
+    /// protocol's domain (the process does not decide yet).
+    virtual std::optional<topo::VertexId> output(ViewId view,
+                                                 const ViewArena& arena)
+        const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+/// A protocol given extensionally by a finite table (the form produced by
+/// GACT protocol extraction).
+class TableProtocol final : public Protocol {
+public:
+    explicit TableProtocol(std::string name) : name_(std::move(name)) {}
+
+    /// Insert an entry; returns false on a conflicting existing entry.
+    bool insert(ViewId view, topo::VertexId output) {
+        const auto [it, fresh] = table_.emplace(view, output);
+        return fresh || it->second == output;
+    }
+
+    std::optional<topo::VertexId> output(ViewId view,
+                                         const ViewArena&) const override {
+        const auto it = table_.find(view);
+        if (it == table_.end()) return std::nullopt;
+        return it->second;
+    }
+
+    std::size_t size() const noexcept { return table_.size(); }
+    std::string name() const override { return name_; }
+
+private:
+    std::string name_;
+    std::unordered_map<ViewId, topo::VertexId> table_;
+};
+
+}  // namespace gact::protocol

@@ -1,0 +1,53 @@
+#include "protocol/simple_protocols.h"
+
+namespace gact::protocol {
+
+std::optional<topo::VertexId> IsTaskProtocol::output(
+    ViewId view, const ViewArena& arena) const {
+    const iis::ViewNode& node = arena.node(view);
+    if (node.depth < 1) return std::nullopt;
+    // Walk down to the owner's depth-1 view: its member set is the
+    // first-round snapshot, which determines the Chr s vertex (p, tau).
+    ViewId v = view;
+    while (arena.node(v).depth > 1) {
+        bool found = false;
+        for (ViewId s : arena.node(v).seen) {
+            if (arena.node(s).owner == node.owner) {
+                v = s;
+                found = true;
+                break;
+            }
+        }
+        ensure(found, "IsTaskProtocol: view without own history");
+    }
+    std::vector<topo::VertexId> tau;
+    for (gact::ProcessId q : arena.processes_in(v).members()) {
+        tau.push_back(static_cast<topo::VertexId>(q));
+    }
+    return task_->subdivision.vertex_for(
+        static_cast<topo::VertexId>(node.owner), topo::Simplex(tau));
+}
+
+std::optional<topo::VertexId> OwnInputProtocol::output(
+    ViewId view, const ViewArena& arena) const {
+    const iis::ViewNode& node = arena.node(view);
+    if (node.depth < 1) return std::nullopt;
+    // Find the owner's depth-0 view and return its input vertex.
+    ViewId v = view;
+    while (arena.node(v).depth > 0) {
+        bool found = false;
+        for (ViewId s : arena.node(v).seen) {
+            if (arena.node(s).owner == node.owner) {
+                v = s;
+                found = true;
+                break;
+            }
+        }
+        ensure(found, "OwnInputProtocol: view without own history");
+    }
+    const auto& input = arena.node(v).input;
+    require(input.has_value(), "OwnInputProtocol: views carry no inputs");
+    return *input;
+}
+
+}  // namespace gact::protocol

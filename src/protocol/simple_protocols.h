@@ -1,0 +1,39 @@
+// Small concrete protocols used across examples, benches and tests.
+#pragma once
+
+#include "protocol/protocol.h"
+#include "tasks/affine_task.h"
+
+namespace gact::protocol {
+
+/// Solves the one-shot immediate-snapshot task: after round 1 a process
+/// outputs the Chr s vertex (p, tau) encoding its first-round snapshot —
+/// and sticks to it. The canonical example of an affine task protocol.
+class IsTaskProtocol final : public Protocol {
+public:
+    explicit IsTaskProtocol(const tasks::AffineTask& is_task)
+        : task_(&is_task) {
+        require(is_task.subdivision.depth() == 1,
+                "IsTaskProtocol: needs the first chromatic subdivision");
+    }
+
+    std::optional<topo::VertexId> output(ViewId view,
+                                         const ViewArena& arena) const override;
+
+    std::string name() const override { return "one-shot IS"; }
+
+private:
+    const tasks::AffineTask* task_;
+};
+
+/// Decides the process's own input vertex after its first step: solves
+/// (n+1)-set agreement (and any task whose Delta allows the identity).
+class OwnInputProtocol final : public Protocol {
+public:
+    std::optional<topo::VertexId> output(ViewId view,
+                                         const ViewArena& arena) const override;
+
+    std::string name() const override { return "decide own input"; }
+};
+
+}  // namespace gact::protocol

@@ -1,0 +1,54 @@
+// The Definition 4.1 solvability verifier.
+//
+// Given a task, a protocol and a family of runs, this module checks the
+// two conditions of Definition 4.1 on every run, to a finite horizon:
+//  (1) every infinitely participating process eventually decides, and its
+//      decision is stable: before the first decision its views are
+//      outside the protocol's domain, and from then on every view maps to
+//      the same vertex (of the process's color);
+//  (2) at every round, the set of outputs produced so far (by all
+//      processes, including slow ones that happen to decide) is a
+//      sub-simplex of a simplex of Delta(omega ∩ chi^{-1}(part(r))).
+//
+// The horizon makes this a check on the compact family M_{D,K} of
+// DESIGN.md: condition (1) must be witnessed by the horizon, which is
+// sound for eventually-periodic runs whose landing round is below it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iis/run.h"
+#include "protocol/protocol.h"
+#include "tasks/task.h"
+
+namespace gact::protocol {
+
+/// Outcome of verifying one protocol against one family of runs.
+struct SolvabilityReport {
+    bool solved = false;
+    std::size_t runs_checked = 0;
+    std::size_t decisions_checked = 0;
+    /// Human-readable descriptions of the violations found (empty when
+    /// solved).
+    std::vector<std::string> violations;
+
+    std::string summary() const;
+};
+
+/// Verify an input-less task (inputs = the standard simplex; every
+/// process's input is its own identity).
+SolvabilityReport verify_inputless(const tasks::Task& task,
+                                   const Protocol& protocol,
+                                   const std::vector<iis::Run>& runs,
+                                   std::size_t horizon, ViewArena& arena);
+
+/// Verify a task with inputs: Definition 4.1 quantifies over every
+/// n-dimensional input simplex omega; views carry the input vertices, and
+/// condition (2) uses Delta(omega ∩ chi^{-1}(part(r))).
+SolvabilityReport verify_task(const tasks::Task& task,
+                              const Protocol& protocol,
+                              const std::vector<iis::Run>& runs,
+                              std::size_t horizon, ViewArena& arena);
+
+}  // namespace gact::protocol

@@ -1,0 +1,69 @@
+#include "sm/registers.h"
+
+namespace gact::sm {
+
+void RegisterFile::write(std::uint32_t r, Word value) {
+    require(r < values_.size(), "RegisterFile: register out of range");
+    ++clock_;
+    values_[r] = value;
+    log_[r].push_back(WriteEvent{clock_, value});
+}
+
+std::optional<Word> RegisterFile::read(std::uint32_t r) {
+    require(r < values_.size(), "RegisterFile: register out of range");
+    ++clock_;
+    return values_[r];
+}
+
+std::optional<Word> RegisterFile::value_at(std::uint32_t r,
+                                           std::uint64_t time) const {
+    require(r < values_.size(), "RegisterFile: register out of range");
+    std::optional<Word> value;
+    for (const WriteEvent& e : log_[r]) {
+        if (e.time <= time) {
+            value = e.value;
+        } else {
+            break;
+        }
+    }
+    return value;
+}
+
+ScanResult double_collect_scan(RegisterFile& registers,
+                               std::size_t max_collects) {
+    ScanResult result;
+    result.started_at = registers.now();
+    std::optional<std::vector<std::optional<Word>>> previous;
+    for (std::size_t attempt = 0; attempt < max_collects; ++attempt) {
+        std::vector<std::optional<Word>> collect(registers.size());
+        for (std::uint32_t r = 0; r < registers.size(); ++r) {
+            collect[r] = registers.read(r);
+        }
+        ++result.collects;
+        if (previous.has_value() && *previous == collect) {
+            result.snapshot = std::move(collect);
+            result.finished_at = registers.now();
+            return result;
+        }
+        previous = std::move(collect);
+    }
+    throw precondition_error(
+        "double_collect_scan: no clean double collect within the budget");
+}
+
+bool snapshot_is_atomic(const RegisterFile& registers,
+                        const ScanResult& scan) {
+    for (std::uint64_t t = scan.started_at; t <= scan.finished_at; ++t) {
+        bool all_match = true;
+        for (std::uint32_t r = 0; r < registers.size(); ++r) {
+            if (!(registers.value_at(r, t) == scan.snapshot[r])) {
+                all_match = false;
+                break;
+            }
+        }
+        if (all_match) return true;
+    }
+    return false;
+}
+
+}  // namespace gact::sm

@@ -1,0 +1,81 @@
+// Read/write registers and the double-collect snapshot.
+//
+// The paper's standard shared-memory model SM is plain single-writer
+// multi-reader registers. sm/snapshot_memory.h exposes atomic snapshots
+// as a primitive; this module grounds that primitive in registers, the
+// classical way: a scanner collects all registers repeatedly until two
+// consecutive collects agree — the agreeing collect is then a snapshot
+// that existed at an instant between the two collects [Afek et al. 1993].
+//
+// Every read and write advances a global step clock and is logged, so
+// tests can verify atomicity *semantically*: a returned snapshot must
+// equal the register contents at some instant within the scan.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/process_set.h"
+#include "util/require.h"
+
+namespace gact::sm {
+
+using gact::ProcessId;
+using Word = std::uint64_t;
+
+/// An array of single-writer registers with a step clock and write log.
+class RegisterFile {
+public:
+    explicit RegisterFile(std::uint32_t num_registers)
+        : values_(num_registers) {}
+
+    std::uint32_t size() const noexcept {
+        return static_cast<std::uint32_t>(values_.size());
+    }
+
+    /// Atomic write of register r (one step).
+    void write(std::uint32_t r, Word value);
+
+    /// Atomic read of register r (one step).
+    std::optional<Word> read(std::uint32_t r);
+
+    /// The current step count (reads + writes so far).
+    std::uint64_t now() const noexcept { return clock_; }
+
+    /// The contents of register r at step `time` (after all operations
+    /// with step index <= time).
+    std::optional<Word> value_at(std::uint32_t r, std::uint64_t time) const;
+
+private:
+    struct WriteEvent {
+        std::uint64_t time;
+        Word value;
+    };
+
+    std::vector<std::optional<Word>> values_;
+    std::vector<std::vector<WriteEvent>> log_{values_.size()};
+    std::uint64_t clock_ = 0;
+};
+
+/// One double-collect scan attempt bookkeeping.
+struct ScanResult {
+    std::vector<std::optional<Word>> snapshot;
+    std::uint64_t started_at = 0;
+    std::uint64_t finished_at = 0;
+    std::size_t collects = 0;  // number of full collects performed
+};
+
+/// Scan by double collect: repeat full collects until two consecutive
+/// ones agree; at most `max_collects` collects (throws on exhaustion —
+/// under a fair schedule with finitely many writes this cannot happen).
+ScanResult double_collect_scan(RegisterFile& registers,
+                               std::size_t max_collects = 64);
+
+/// Does `snapshot` equal the registers' contents at some instant in
+/// [started_at, finished_at]? The correctness statement of double
+/// collect, checked against the write log.
+bool snapshot_is_atomic(const RegisterFile& registers,
+                        const ScanResult& scan);
+
+}  // namespace gact::sm

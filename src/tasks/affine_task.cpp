@@ -1,0 +1,50 @@
+#include "tasks/affine_task.h"
+
+#include "util/require.h"
+
+namespace gact::tasks {
+
+SimplicialComplex affine_restriction(const topo::SubdividedComplex& chr_k,
+                                     const SimplicialComplex& l_complex,
+                                     const Simplex& face) {
+    SimplicialComplex out;
+    for (const Simplex& s : l_complex.simplices()) {
+        if (chr_k.carrier_of(s).is_face_of(face)) out.add_simplex(s);
+    }
+    return out;
+}
+
+AffineTask make_affine_task(std::string name,
+                            const topo::SubdividedComplex& chr_k,
+                            const SimplicialComplex& l_complex) {
+    require(l_complex.is_subcomplex_of(chr_k.complex().complex()),
+            "make_affine_task: L is not a subcomplex of Chr^k s");
+    const int n = chr_k.base().dimension();
+    require(l_complex.is_pure(n),
+            "make_affine_task: L is not pure of dimension n");
+
+    AffineTask out;
+    out.task.name = std::move(name);
+    out.task.num_processes = static_cast<std::uint32_t>(n) + 1;
+    out.task.inputs = chr_k.base();
+    out.task.outputs = chr_k.complex().restrict_to(l_complex);
+
+    for (const Simplex& t : chr_k.base().complex().simplices()) {
+        SimplicialComplex image = affine_restriction(chr_k, l_complex, t);
+        if (!image.is_empty()) {
+            require(image.is_pure(t.dimension()),
+                    "make_affine_task: L ∩ Chr^k " + t.to_string() +
+                        " is not pure of dimension " +
+                        std::to_string(t.dimension()));
+        }
+        out.task.delta.set(t, std::move(image));
+    }
+    out.subdivision = chr_k;
+    out.l_complex = l_complex;
+
+    const std::string err = out.task.validate();
+    ensure(err.empty(), "make_affine_task: invalid task: " + err);
+    return out;
+}
+
+}  // namespace gact::tasks

@@ -1,0 +1,47 @@
+// The concrete tasks used in the paper, plus classical colored tasks.
+//
+//  * The total-order task L_ord (Section 4.2): outputs are the (n+1)!
+//    simplices sigma_alpha of Chr^2 s whose vertex colored alpha(i) lies in
+//    the interior of the i-dimensional face {alpha(0), .., alpha(i)}. Not
+//    link-connected; solvable in OF_fast via commit-adopt (Section 4.5)
+//    but not wait-free.
+//  * The t-resilience task L_t (Section 9.2): the simplices of Chr^2 s
+//    having no vertex on an (n-t-1)-dimensional face of s. Link-connected,
+//    and solvable in Res_t — the paper's headline application of GACT.
+//  * The immediate-snapshot task: L = Chr^1 s (one IS round).
+//  * Consensus and k-set agreement, as colored tasks with value inputs.
+#pragma once
+
+#include "tasks/affine_task.h"
+
+namespace gact::tasks {
+
+/// The facet sigma_alpha of Chr^2 s for the permutation `alpha` of
+/// {0..n} (paper, Section 4.2). Throws if it is not unique (it is, for
+/// the standard subdivision).
+Simplex sigma_alpha(const topo::SubdividedComplex& chr2,
+                    const std::vector<ProcessId>& alpha);
+
+/// The total-order affine task L_ord on n+1 processes.
+AffineTask total_order_task(int n);
+
+/// The t-resilience affine task L_t on n+1 processes (0 <= t <= n).
+AffineTask t_resilience_task(int n, int t);
+
+/// The one-round immediate-snapshot task: L = Chr s.
+AffineTask immediate_snapshot_task(int n);
+
+/// Consensus on n+1 processes with inputs {0, .., num_values-1}: all
+/// deciders agree on one participant's input.
+Task consensus_task(std::uint32_t num_processes, std::uint32_t num_values);
+
+/// k-set agreement: deciders output participants' inputs with at most k
+/// distinct values. k = 1 is consensus.
+Task k_set_agreement_task(std::uint32_t num_processes, std::uint32_t k,
+                          std::uint32_t num_values);
+
+/// The vertex id used by the value tasks for (process, value).
+topo::VertexId value_vertex(std::uint32_t num_values, ProcessId p,
+                            std::uint32_t value);
+
+}  // namespace gact::tasks

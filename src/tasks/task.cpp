@@ -1,0 +1,101 @@
+#include "tasks/task.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace gact::tasks {
+
+std::string Task::validate() const {
+    const int n = static_cast<int>(num_processes) - 1;
+    if (n < 0) return "task has no processes";
+    if (!inputs.is_pure(n)) {
+        return "input complex is not pure of dimension " + std::to_string(n);
+    }
+    if (!outputs.is_pure(n)) {
+        return "output complex is not pure of dimension " + std::to_string(n);
+    }
+    const ProcessSet all = ProcessSet::full(num_processes);
+    if (!(inputs.all_colors() == all)) return "input colors are not {0..n}";
+    if (!(outputs.all_colors() == all)) return "output colors are not {0..n}";
+    const std::string delta_error = delta.validate(inputs, outputs);
+    if (!delta_error.empty()) return "delta: " + delta_error;
+    return "";
+}
+
+bool Task::is_inputless() const {
+    const ChromaticComplex s =
+        ChromaticComplex::standard_simplex(static_cast<int>(num_processes) - 1);
+    return inputs == s;
+}
+
+Task plus_completion(const Task& task) {
+    // Fresh vertex ids for the "no output" vertices v_0 .. v_n.
+    topo::VertexId max_id = 0;
+    for (topo::VertexId v : task.outputs.vertex_ids()) {
+        max_id = std::max(max_id, v);
+    }
+    std::vector<topo::VertexId> no_output(task.num_processes);
+    std::unordered_map<topo::VertexId, topo::Color> colors;
+    for (topo::VertexId v : task.outputs.vertex_ids()) {
+        colors[v] = task.outputs.color(v);
+    }
+    for (ProcessId i = 0; i < task.num_processes; ++i) {
+        no_output[i] = max_id + 1 + i;
+        colors[no_output[i]] = i;
+    }
+
+    // Complete a simplex with "no output" vertices for the given colors.
+    const auto complete = [&](const Simplex& sigma, ProcessSet target_colors) {
+        Simplex out = sigma;
+        ProcessSet have;
+        for (topo::VertexId v : sigma.vertices()) have = have.with(colors[v]);
+        for (ProcessId i : (target_colors - have).members()) {
+            out = out.with(no_output[i]);
+        }
+        return out;
+    };
+
+    // O+ facets: every output simplex completed to full dimension, plus
+    // the all-no-output facet.
+    const ProcessSet all = ProcessSet::full(task.num_processes);
+    std::vector<Simplex> facets;
+    for (const Simplex& sigma : task.outputs.complex().simplices()) {
+        facets.push_back(complete(sigma, all));
+    }
+    {
+        Simplex nobody;
+        for (ProcessId i = 0; i < task.num_processes; ++i) {
+            nobody = nobody.with(no_output[i]);
+        }
+        facets.push_back(nobody);
+    }
+    ChromaticComplex outputs_plus(SimplicialComplex::from_facets(facets),
+                                  colors);
+
+    // Delta+: images completed within the carrier's colors, so that purity
+    // and the color condition hold (footnote 2, restricted to chi(tau)).
+    CarrierMap delta_plus;
+    for (const Simplex& tau : task.inputs.complex().simplices()) {
+        const ProcessSet tau_colors = task.inputs.colors_of(tau);
+        SimplicialComplex image;
+        if (task.delta.at(tau).is_empty()) {
+            image.add_simplex(complete(Simplex(), tau_colors));
+        } else {
+            for (const Simplex& sigma : task.delta.at(tau).simplices()) {
+                image.add_simplex(complete(sigma, tau_colors));
+            }
+        }
+        delta_plus.set(tau, std::move(image));
+    }
+
+    Task out;
+    out.name = task.name + "+";
+    out.inputs = task.inputs;
+    out.outputs = std::move(outputs_plus);
+    out.delta = std::move(delta_plus);
+    out.num_processes = task.num_processes;
+    return out;
+}
+
+}  // namespace gact::tasks

@@ -1,0 +1,45 @@
+// Tasks (paper, Section 4).
+//
+// A task T = (I, O, Delta) on n+1 processes consists of two finite pure
+// n-dimensional chromatic complexes — the input complex I and the output
+// complex O — and a chromatic multi-map Delta : I -> 2^O describing the
+// outputs allowed for each set of participants and inputs.
+#pragma once
+
+#include <string>
+
+#include "topology/carrier_map.h"
+#include "topology/chromatic_complex.h"
+
+namespace gact::tasks {
+
+using topo::CarrierMap;
+using topo::ChromaticComplex;
+using topo::Simplex;
+using topo::SimplicialComplex;
+
+/// A decision task.
+struct Task {
+    std::string name;
+    ChromaticComplex inputs;
+    ChromaticComplex outputs;
+    CarrierMap delta;
+    std::uint32_t num_processes = 0;
+
+    /// Full validation per Section 4.1: both complexes pure n-dimensional
+    /// and properly colored by {0..n}; Delta a valid chromatic multi-map.
+    /// Returns a diagnostic, or "" when the task is well-formed.
+    std::string validate() const;
+
+    /// Is the task input-less (inputs = the standard simplex, identity
+    /// colors)?
+    bool is_inputless() const;
+};
+
+/// The T+ construction of footnote 2: extend the output complex with one
+/// "no output" vertex per color and close Delta images accordingly, so
+/// every Delta image becomes non-empty and pure of full dimension. The new
+/// vertices receive ids above every existing output vertex id.
+Task plus_completion(const Task& task);
+
+}  // namespace gact::tasks

@@ -1,0 +1,50 @@
+// Chromatic multi-maps ("carrier maps") between chromatic complexes
+// (paper, Section 3.2).
+//
+// A chromatic multi-map Delta : A -> 2^B takes every m-simplex of A to a
+// pure m-dimensional subcomplex of B such that
+//   (i)  chi(sigma) = chi(Delta(sigma)), and
+//   (ii) Delta(sigma ∩ tau) ⊆ Delta(sigma) ∩ Delta(tau)
+// (so in particular Delta is monotone under faces).
+#pragma once
+
+#include <map>
+
+#include "topology/chromatic_complex.h"
+
+namespace gact::topo {
+
+/// A chromatic multi-map, stored extensionally simplex-by-simplex.
+class CarrierMap {
+public:
+    CarrierMap() = default;
+
+    /// Define Delta(sigma); the image must be a subcomplex of the intended
+    /// codomain (validated by `validate`).
+    void set(const Simplex& sigma, SimplicialComplex image);
+
+    bool is_defined_at(const Simplex& sigma) const {
+        return images_.count(sigma) != 0;
+    }
+
+    /// Delta(sigma). Requires sigma to be defined.
+    const SimplicialComplex& at(const Simplex& sigma) const;
+
+    /// Is `candidate` a simplex of Delta(sigma)?
+    bool allows(const Simplex& sigma, const Simplex& candidate) const;
+
+    std::size_t size() const noexcept { return images_.size(); }
+
+    /// Validate the definition of a chromatic multi-map from `domain` to
+    /// `codomain`: defined on every simplex of the domain, images are pure
+    /// subcomplexes of the codomain of matching dimension and colors
+    /// (empty images are allowed, cf. the paper's footnote 2), and the
+    /// intersection condition (ii) holds. Returns a diagnostic or "" if ok.
+    std::string validate(const ChromaticComplex& domain,
+                         const ChromaticComplex& codomain) const;
+
+private:
+    std::map<Simplex, SimplicialComplex> images_;
+};
+
+}  // namespace gact::topo

@@ -1,0 +1,76 @@
+#include "topology/chromatic_complex.h"
+
+namespace gact::topo {
+
+bool is_properly_colored(const SimplicialComplex& complex,
+                         const std::unordered_map<VertexId, Color>& colors) {
+    for (const Simplex& s : complex.simplices()) {
+        ProcessSet seen;
+        for (VertexId v : s.vertices()) {
+            const auto it = colors.find(v);
+            if (it == colors.end()) return false;
+            if (seen.contains(it->second)) return false;
+            seen = seen.with(it->second);
+        }
+    }
+    return true;
+}
+
+ChromaticComplex::ChromaticComplex(SimplicialComplex complex,
+                                   std::unordered_map<VertexId, Color> colors)
+    : complex_(std::move(complex)), colors_(std::move(colors)) {
+    require(is_properly_colored(complex_, colors_),
+            "ChromaticComplex: coloring is missing a vertex or not proper");
+}
+
+ChromaticComplex ChromaticComplex::standard_simplex(int n) {
+    require(n >= 0 && n + 1 <= static_cast<int>(kMaxProcesses),
+            "standard_simplex: dimension out of range");
+    std::vector<VertexId> all;
+    std::unordered_map<VertexId, Color> colors;
+    for (int i = 0; i <= n; ++i) {
+        all.push_back(static_cast<VertexId>(i));
+        colors[static_cast<VertexId>(i)] = static_cast<Color>(i);
+    }
+    SimplicialComplex c = SimplicialComplex::from_facets({Simplex(all)});
+    return ChromaticComplex(std::move(c), std::move(colors));
+}
+
+Color ChromaticComplex::color(VertexId v) const {
+    const auto it = colors_.find(v);
+    require(it != colors_.end(), "ChromaticComplex: vertex has no color");
+    return it->second;
+}
+
+ProcessSet ChromaticComplex::colors_of(const Simplex& s) const {
+    ProcessSet out;
+    for (VertexId v : s.vertices()) out = out.with(color(v));
+    return out;
+}
+
+ProcessSet ChromaticComplex::all_colors() const {
+    ProcessSet out;
+    for (VertexId v : complex_.vertex_ids()) out = out.with(color(v));
+    return out;
+}
+
+VertexId ChromaticComplex::vertex_with_color(const Simplex& s, Color c) const {
+    for (VertexId v : s.vertices()) {
+        if (color(v) == c) return v;
+    }
+    throw precondition_error("ChromaticComplex: no vertex of requested color");
+}
+
+ChromaticComplex ChromaticComplex::restrict_to(
+    const SimplicialComplex& sub) const {
+    require(sub.is_subcomplex_of(complex_),
+            "ChromaticComplex::restrict_to: not a subcomplex");
+    std::unordered_map<VertexId, Color> colors;
+    for (VertexId v : sub.vertex_ids()) colors[v] = color(v);
+    ChromaticComplex out;
+    out.complex_ = sub;
+    out.colors_ = std::move(colors);
+    return out;
+}
+
+}  // namespace gact::topo

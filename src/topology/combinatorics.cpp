@@ -1,0 +1,78 @@
+#include "topology/combinatorics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace gact::topo {
+
+namespace {
+
+void extend_partition(std::size_t n, std::vector<bool>& used,
+                      std::size_t remaining, OrderedIndexPartition& current,
+                      std::vector<OrderedIndexPartition>& out) {
+    if (remaining == 0) {
+        out.push_back(current);
+        return;
+    }
+    // Choose the next block: any non-empty subset of the unused elements.
+    std::vector<std::size_t> unused;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!used[i]) unused.push_back(i);
+    }
+    const std::size_t m = unused.size();
+    for (std::size_t mask = 1; mask < (std::size_t{1} << m); ++mask) {
+        std::vector<std::size_t> block;
+        for (std::size_t i = 0; i < m; ++i) {
+            if (mask & (std::size_t{1} << i)) block.push_back(unused[i]);
+        }
+        for (std::size_t i : block) used[i] = true;
+        current.push_back(block);
+        extend_partition(n, used, remaining - block.size(), current, out);
+        current.pop_back();
+        for (std::size_t i : block) used[i] = false;
+    }
+}
+
+}  // namespace
+
+std::vector<OrderedIndexPartition> ordered_partitions(std::size_t n) {
+    require(n <= 10, "ordered_partitions: n too large to enumerate");
+    std::vector<OrderedIndexPartition> out;
+    if (n == 0) {
+        out.push_back({});
+        return out;
+    }
+    std::vector<bool> used(n, false);
+    OrderedIndexPartition current;
+    extend_partition(n, used, n, current, out);
+    return out;
+}
+
+unsigned long long ordered_bell_number(std::size_t n) {
+    // a(n) = sum_{k=1..n} C(n,k) a(n-k), a(0) = 1.
+    std::vector<unsigned long long> a(n + 1, 0);
+    a[0] = 1;
+    for (std::size_t m = 1; m <= n; ++m) {
+        // Binomial coefficients C(m, k) computed incrementally.
+        unsigned long long binom = 1;
+        for (std::size_t k = 1; k <= m; ++k) {
+            binom = binom * (m - k + 1) / k;
+            a[m] += binom * a[m - k];
+        }
+    }
+    return a[n];
+}
+
+std::vector<std::vector<std::size_t>> all_permutations(std::size_t n) {
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    std::vector<std::vector<std::size_t>> out;
+    do {
+        out.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return out;
+}
+
+}  // namespace gact::topo

@@ -1,0 +1,31 @@
+// Combinatorial enumeration shared by the chromatic subdivision and the
+// immediate-snapshot model.
+//
+// The facets of the standard chromatic subdivision Chr s are in one-to-one
+// correspondence with the ordered set partitions of the color set (paper,
+// Section 3.2: condition (a)-(b) on tuples ((0,t_0),..,(n,t_n)) encodes a
+// sequence of "concurrency classes"). The same objects are exactly the
+// one-round schedules of the immediate-snapshot task (Section 2.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gact::topo {
+
+/// An ordered partition of {0, .., n-1} into non-empty blocks, as a list of
+/// index blocks in order.
+using OrderedIndexPartition = std::vector<std::vector<std::size_t>>;
+
+/// All ordered set partitions of {0, .., n-1}. The count is the ordered
+/// Bell number: 1, 1, 3, 13, 75, 541, ... for n = 0, 1, 2, 3, 4, 5.
+std::vector<OrderedIndexPartition> ordered_partitions(std::size_t n);
+
+/// The number of ordered set partitions of an n-element set (Fubini /
+/// ordered Bell number), by recurrence.
+unsigned long long ordered_bell_number(std::size_t n);
+
+/// All permutations of {0, .., n-1}.
+std::vector<std::vector<std::size_t>> all_permutations(std::size_t n);
+
+}  // namespace gact::topo

@@ -1,0 +1,35 @@
+#include "topology/connectivity.h"
+
+#include "topology/homology.h"
+
+namespace gact::topo {
+
+std::string LinkConnectivityReport::to_string() const {
+    if (link_connected) return "link-connected";
+    std::string out = "not link-connected";
+    if (witness) {
+        out += ": link of " + witness->to_string() + " is not " +
+               std::to_string(required_connectivity) + "-connected";
+    }
+    return out;
+}
+
+LinkConnectivityReport check_link_connected(const SimplicialComplex& complex) {
+    LinkConnectivityReport report;
+    const int n = complex.dimension();
+    for (const Simplex& sigma : complex.simplices()) {
+        const int required = n - sigma.dimension() - 2;
+        if (required <= -2) continue;  // vacuous
+        const SimplicialComplex link = complex.link(sigma);
+        if (!is_k_connected(link, required)) {
+            report.link_connected = false;
+            report.witness = sigma;
+            report.required_connectivity = required;
+            return report;
+        }
+    }
+    report.link_connected = true;
+    return report;
+}
+
+}  // namespace gact::topo

@@ -1,0 +1,74 @@
+#include "topology/facet_graph.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace gact::topo {
+
+FacetGraph::FacetGraph(const SimplicialComplex& complex)
+    : facets_(complex.facets()) {
+    adjacency_.resize(facets_.size());
+    for (std::size_t i = 0; i < facets_.size(); ++i) {
+        for (const Simplex& ridge : facets_[i].boundary_faces()) {
+            if (!ridge.empty()) ridge_to_facets_[ridge].push_back(i);
+        }
+    }
+    for (const auto& [ridge, incident] : ridge_to_facets_) {
+        if (incident.size() > 2) pseudomanifold_ = false;
+        for (std::size_t a : incident) {
+            for (std::size_t b : incident) {
+                if (a != b) adjacency_[a].push_back(b);
+            }
+        }
+    }
+    for (auto& neighbors : adjacency_) {
+        std::sort(neighbors.begin(), neighbors.end());
+        neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                        neighbors.end());
+    }
+}
+
+const std::vector<std::size_t>& FacetGraph::neighbors(std::size_t i) const {
+    require(i < adjacency_.size(), "FacetGraph: facet index out of range");
+    return adjacency_[i];
+}
+
+std::vector<std::size_t> FacetGraph::component_ids() const {
+    std::vector<std::size_t> component(facets_.size(), SIZE_MAX);
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < facets_.size(); ++i) {
+        if (component[i] != SIZE_MAX) continue;
+        std::vector<std::size_t> stack{i};
+        component[i] = next;
+        while (!stack.empty()) {
+            const std::size_t u = stack.back();
+            stack.pop_back();
+            for (std::size_t v : adjacency_[u]) {
+                if (component[v] == SIZE_MAX) {
+                    component[v] = next;
+                    stack.push_back(v);
+                }
+            }
+        }
+        ++next;
+    }
+    return component;
+}
+
+std::size_t FacetGraph::num_components() const {
+    const auto ids = component_ids();
+    std::size_t max_id = 0;
+    for (std::size_t id : ids) max_id = std::max(max_id, id + 1);
+    return max_id;
+}
+
+std::vector<Simplex> FacetGraph::boundary_ridges() const {
+    std::vector<Simplex> out;
+    for (const auto& [ridge, incident] : ridge_to_facets_) {
+        if (incident.size() == 1) out.push_back(ridge);
+    }
+    return out;
+}
+
+}  // namespace gact::topo

@@ -1,0 +1,48 @@
+// The dual (facet-adjacency) graph of a pure complex.
+//
+// Two facets are adjacent when they share a codimension-1 face. The dual
+// graph exposes structure the paper's figures show at a glance: the
+// collar rings of the L_t construction are strips (one connected band per
+// forbidden face), and pseudomanifold-ness (every ridge in at most two
+// facets) distinguishes subdivided simplices from branching complexes.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "topology/simplicial_complex.h"
+
+namespace gact::topo {
+
+/// The facet-adjacency structure of a complex.
+class FacetGraph {
+public:
+    explicit FacetGraph(const SimplicialComplex& complex);
+
+    std::size_t num_facets() const noexcept { return facets_.size(); }
+    const std::vector<Simplex>& facets() const noexcept { return facets_; }
+
+    /// Indices (into facets()) of the facets adjacent to facet i.
+    const std::vector<std::size_t>& neighbors(std::size_t i) const;
+
+    /// Number of connected components of the dual graph.
+    std::size_t num_components() const;
+
+    /// Component id (0-based) per facet, aligned with facets().
+    std::vector<std::size_t> component_ids() const;
+
+    /// Is every codimension-1 face shared by at most two facets?
+    bool is_pseudomanifold() const noexcept { return pseudomanifold_; }
+
+    /// The ridges (codimension-1 faces) on the boundary: faces of exactly
+    /// one facet.
+    std::vector<Simplex> boundary_ridges() const;
+
+private:
+    std::vector<Simplex> facets_;
+    std::vector<std::vector<std::size_t>> adjacency_;
+    std::map<Simplex, std::vector<std::size_t>> ridge_to_facets_;
+    bool pseudomanifold_ = true;
+};
+
+}  // namespace gact::topo

@@ -1,0 +1,207 @@
+#include "topology/homology.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "util/require.h"
+
+namespace gact::topo {
+
+IntMatrix boundary_matrix(const SimplicialComplex& complex, int d) {
+    require(d >= 0, "boundary_matrix: dimension must be >= 0");
+    const std::vector<Simplex> chains = complex.simplices_of_dimension(d);
+
+    if (d == 0) {
+        // Augmentation: every vertex maps to the (formal) empty simplex.
+        IntMatrix m;
+        m.rows = 1;
+        m.cols = chains.size();
+        m.entries.assign(m.rows * m.cols, 1);
+        return m;
+    }
+
+    const std::vector<Simplex> faces = complex.simplices_of_dimension(d - 1);
+    std::map<Simplex, std::size_t> face_index;
+    for (std::size_t i = 0; i < faces.size(); ++i) face_index[faces[i]] = i;
+
+    IntMatrix m;
+    m.rows = faces.size();
+    m.cols = chains.size();
+    m.entries.assign(m.rows * m.cols, 0);
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+        const std::vector<Simplex> boundary = chains[c].boundary_faces();
+        for (std::size_t i = 0; i < boundary.size(); ++i) {
+            const std::int64_t sign = (i % 2 == 0) ? 1 : -1;
+            m.at(face_index.at(boundary[i]), c) = sign;
+        }
+    }
+    return m;
+}
+
+namespace {
+
+std::int64_t checked_mul(std::int64_t a, std::int64_t b) {
+    std::int64_t out = 0;
+    if (__builtin_mul_overflow(a, b, &out)) {
+        throw overflow_error("smith normal form: entry overflow");
+    }
+    return out;
+}
+
+std::int64_t checked_sub(std::int64_t a, std::int64_t b) {
+    std::int64_t out = 0;
+    if (__builtin_sub_overflow(a, b, &out)) {
+        throw overflow_error("smith normal form: entry overflow");
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> smith_invariant_factors(IntMatrix m) {
+    std::vector<std::int64_t> factors;
+    std::size_t offset = 0;  // current top-left corner of the working block
+
+    while (offset < m.rows && offset < m.cols) {
+        // Find the nonzero entry of minimal absolute value in the block.
+        std::size_t pr = 0;
+        std::size_t pc = 0;
+        std::int64_t best = 0;
+        for (std::size_t r = offset; r < m.rows; ++r) {
+            for (std::size_t c = offset; c < m.cols; ++c) {
+                const std::int64_t v = std::abs(m.at(r, c));
+                if (v != 0 && (best == 0 || v < best)) {
+                    best = v;
+                    pr = r;
+                    pc = c;
+                }
+            }
+        }
+        if (best == 0) break;  // block is zero; done
+
+        // Move pivot into place.
+        for (std::size_t c = 0; c < m.cols; ++c)
+            std::swap(m.at(offset, c), m.at(pr, c));
+        for (std::size_t r = 0; r < m.rows; ++r)
+            std::swap(m.at(r, offset), m.at(r, pc));
+
+        const std::int64_t pivot = m.at(offset, offset);
+
+        // Reduce the pivot row and column; if a remainder appears the loop
+        // re-selects a smaller pivot next pass.
+        bool reduced = true;
+        for (std::size_t r = offset + 1; r < m.rows && reduced; ++r) {
+            if (m.at(r, offset) % pivot != 0) reduced = false;
+        }
+        for (std::size_t c = offset + 1; c < m.cols && reduced; ++c) {
+            if (m.at(offset, c) % pivot != 0) reduced = false;
+        }
+        if (!reduced) {
+            // Make one elimination pass to shrink entries, then retry.
+            for (std::size_t r = offset + 1; r < m.rows; ++r) {
+                const std::int64_t q = m.at(r, offset) / pivot;
+                if (q == 0) continue;
+                for (std::size_t c = offset; c < m.cols; ++c) {
+                    m.at(r, c) =
+                        checked_sub(m.at(r, c), checked_mul(q, m.at(offset, c)));
+                }
+            }
+            for (std::size_t c = offset + 1; c < m.cols; ++c) {
+                const std::int64_t q = m.at(offset, c) / pivot;
+                if (q == 0) continue;
+                for (std::size_t r = offset; r < m.rows; ++r) {
+                    m.at(r, c) =
+                        checked_sub(m.at(r, c), checked_mul(q, m.at(r, offset)));
+                }
+            }
+            continue;  // re-select pivot
+        }
+
+        // Clear the pivot row and column exactly.
+        for (std::size_t r = offset + 1; r < m.rows; ++r) {
+            const std::int64_t q = m.at(r, offset) / pivot;
+            if (q == 0) continue;
+            for (std::size_t c = offset; c < m.cols; ++c) {
+                m.at(r, c) =
+                    checked_sub(m.at(r, c), checked_mul(q, m.at(offset, c)));
+            }
+        }
+        for (std::size_t c = offset + 1; c < m.cols; ++c) {
+            const std::int64_t q = m.at(offset, c) / pivot;
+            if (q == 0) continue;
+            for (std::size_t r = offset; r < m.rows; ++r) {
+                m.at(r, c) =
+                    checked_sub(m.at(r, c), checked_mul(q, m.at(r, offset)));
+            }
+        }
+
+        // Enforce divisibility into the rest of the block: if some entry is
+        // not divisible by the pivot, fold its column in and redo.
+        bool divides_all = true;
+        for (std::size_t r = offset + 1; r < m.rows && divides_all; ++r) {
+            for (std::size_t c = offset + 1; c < m.cols; ++c) {
+                if (m.at(r, c) % pivot != 0) {
+                    // Add column c to column offset and re-run this corner.
+                    for (std::size_t rr = 0; rr < m.rows; ++rr) {
+                        m.at(rr, offset) =
+                            checked_sub(m.at(rr, offset), -m.at(rr, c));
+                    }
+                    divides_all = false;
+                    break;
+                }
+            }
+        }
+        if (!divides_all) continue;
+
+        factors.push_back(std::abs(pivot));
+        ++offset;
+    }
+    return factors;
+}
+
+std::size_t matrix_rank(const IntMatrix& m) {
+    return smith_invariant_factors(m).size();
+}
+
+std::vector<HomologyGroup> reduced_homology(const SimplicialComplex& complex) {
+    require(!complex.is_empty(), "reduced_homology of the empty complex");
+    const int dim = complex.dimension();
+    // Invariant factors of each boundary operator; the augmentation is
+    // boundary_matrix(_, 0).
+    std::vector<std::vector<std::int64_t>> inv(dim + 2);
+    std::vector<std::size_t> num_simplices(dim + 2, 0);
+    for (int d = 0; d <= dim; ++d) {
+        inv[d] = smith_invariant_factors(boundary_matrix(complex, d));
+        num_simplices[d] = complex.simplices_of_dimension(d).size();
+    }
+    inv[dim + 1] = {};  // zero map from the (dim+1)-chains (none)
+
+    std::vector<HomologyGroup> out(dim + 1);
+    for (int d = 0; d <= dim; ++d) {
+        const std::size_t rank_d = inv[d].size();        // rank of boundary_d
+        const std::size_t rank_d1 = inv[d + 1].size();   // rank of boundary_{d+1}
+        const std::size_t kernel = num_simplices[d] - rank_d;
+        ensure(kernel >= rank_d1, "reduced_homology: negative betti number");
+        out[d].betti = kernel - rank_d1;
+        for (std::int64_t f : inv[d + 1]) {
+            if (f > 1) out[d].torsion.push_back(f);
+        }
+    }
+    return out;
+}
+
+bool is_k_connected(const SimplicialComplex& complex, int k) {
+    if (k <= -2) return true;
+    if (complex.is_empty()) return false;
+    if (k == -1) return true;
+    if (!complex.is_connected()) return false;
+    if (k == 0) return true;
+    const std::vector<HomologyGroup> h = reduced_homology(complex);
+    for (int d = 1; d <= k && d < static_cast<int>(h.size()); ++d) {
+        if (!h[d].is_trivial()) return false;
+    }
+    return true;
+}
+
+}  // namespace gact::topo

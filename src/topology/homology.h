@@ -1,0 +1,61 @@
+// Simplicial homology over Z, via Smith normal form.
+//
+// Used to implement the computable proxy for k-connectivity needed by
+// link-connectedness (paper, Definition 8.3): a complex is reported
+// k-connected when it is non-empty, path-connected, and its reduced
+// homology vanishes (free part and torsion) in dimensions 1..k. For the
+// complexes this library checks (links of dimension <= 1, and contractible
+// regions built by construction) the proxy coincides with true topological
+// k-connectivity; see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/simplicial_complex.h"
+
+namespace gact::topo {
+
+/// An integer matrix, row-major.
+struct IntMatrix {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    std::vector<std::int64_t> entries;  // rows * cols
+
+    std::int64_t& at(std::size_t r, std::size_t c) {
+        return entries[r * cols + c];
+    }
+    std::int64_t at(std::size_t r, std::size_t c) const {
+        return entries[r * cols + c];
+    }
+};
+
+/// The boundary operator from d-chains to (d-1)-chains of `complex`, with
+/// simplices ordered as in simplices_of_dimension. For d == 0 returns the
+/// augmentation map (one row of ones) used by reduced homology.
+IntMatrix boundary_matrix(const SimplicialComplex& complex, int d);
+
+/// Invariant factors (diagonal of the Smith normal form), nonzero entries
+/// only, each dividing the next.
+std::vector<std::int64_t> smith_invariant_factors(IntMatrix m);
+
+/// Rank of an integer matrix (over Q).
+std::size_t matrix_rank(const IntMatrix& m);
+
+/// Description of one reduced homology group ~H_d = Z^betti + torsion.
+struct HomologyGroup {
+    std::size_t betti = 0;
+    std::vector<std::int64_t> torsion;  // invariant factors > 1
+
+    bool is_trivial() const noexcept { return betti == 0 && torsion.empty(); }
+};
+
+/// Reduced homology groups ~H_0 .. ~H_maxdim of a non-empty complex.
+std::vector<HomologyGroup> reduced_homology(const SimplicialComplex& complex);
+
+/// The k-connectivity proxy described above. Conventions follow the paper:
+/// every complex (even empty) is k-connected for k <= -2; (-1)-connected
+/// means non-empty; 0-connected means non-empty and path-connected.
+bool is_k_connected(const SimplicialComplex& complex, int k);
+
+}  // namespace gact::topo

@@ -1,0 +1,148 @@
+#include "topology/simplex.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace gact::topo {
+
+namespace {
+
+std::vector<VertexId> sorted_unique(std::vector<VertexId> v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+}
+
+}  // namespace
+
+Simplex::Simplex(std::initializer_list<VertexId> vertices)
+    : vertices_(sorted_unique(std::vector<VertexId>(vertices))) {}
+
+Simplex::Simplex(std::vector<VertexId> vertices)
+    : vertices_(sorted_unique(std::move(vertices))) {}
+
+bool Simplex::contains(VertexId v) const noexcept {
+    return std::binary_search(vertices_.begin(), vertices_.end(), v);
+}
+
+bool Simplex::is_face_of(const Simplex& other) const noexcept {
+    return std::includes(other.vertices_.begin(), other.vertices_.end(),
+                         vertices_.begin(), vertices_.end());
+}
+
+Simplex Simplex::union_with(const Simplex& other) const {
+    std::vector<VertexId> out;
+    out.reserve(vertices_.size() + other.vertices_.size());
+    std::set_union(vertices_.begin(), vertices_.end(), other.vertices_.begin(),
+                   other.vertices_.end(), std::back_inserter(out));
+    Simplex s;
+    s.vertices_ = std::move(out);
+    return s;
+}
+
+Simplex Simplex::intersection_with(const Simplex& other) const {
+    std::vector<VertexId> out;
+    std::set_intersection(vertices_.begin(), vertices_.end(),
+                          other.vertices_.begin(), other.vertices_.end(),
+                          std::back_inserter(out));
+    Simplex s;
+    s.vertices_ = std::move(out);
+    return s;
+}
+
+Simplex Simplex::difference(const Simplex& other) const {
+    std::vector<VertexId> out;
+    std::set_difference(vertices_.begin(), vertices_.end(),
+                        other.vertices_.begin(), other.vertices_.end(),
+                        std::back_inserter(out));
+    Simplex s;
+    s.vertices_ = std::move(out);
+    return s;
+}
+
+Simplex Simplex::with(VertexId v) const {
+    if (contains(v)) return *this;
+    std::vector<VertexId> out = vertices_;
+    out.insert(std::upper_bound(out.begin(), out.end(), v), v);
+    Simplex s;
+    s.vertices_ = std::move(out);
+    return s;
+}
+
+Simplex Simplex::without(VertexId v) const {
+    Simplex s;
+    s.vertices_.reserve(vertices_.size());
+    for (VertexId u : vertices_) {
+        if (u != v) s.vertices_.push_back(u);
+    }
+    return s;
+}
+
+std::vector<Simplex> Simplex::faces() const {
+    std::vector<Simplex> out;
+    const std::size_t n = vertices_.size();
+    require(n <= 24, "Simplex::faces: simplex too large to enumerate faces");
+    const std::size_t total = (std::size_t{1} << n) - 1;
+    out.reserve(total);
+    for (std::size_t mask = 1; mask <= total; ++mask) {
+        Simplex face;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (mask & (std::size_t{1} << i)) face.vertices_.push_back(vertices_[i]);
+        }
+        out.push_back(std::move(face));
+    }
+    return out;
+}
+
+std::vector<Simplex> Simplex::faces_of_dimension(int d) const {
+    std::vector<Simplex> out;
+    if (d < 0 || d > dimension()) return out;
+    // Enumerate (d+1)-subsets with the standard combination walk.
+    const std::size_t k = static_cast<std::size_t>(d) + 1;
+    const std::size_t n = vertices_.size();
+    std::vector<std::size_t> idx(k);
+    for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+    while (true) {
+        Simplex face;
+        face.vertices_.reserve(k);
+        for (std::size_t i : idx) face.vertices_.push_back(vertices_[i]);
+        out.push_back(std::move(face));
+        // Advance the combination.
+        std::size_t i = k;
+        while (i > 0 && idx[i - 1] == n - k + i - 1) --i;
+        if (i == 0) break;
+        ++idx[i - 1];
+        for (std::size_t j = i; j < k; ++j) idx[j] = idx[j - 1] + 1;
+    }
+    return out;
+}
+
+std::vector<Simplex> Simplex::boundary_faces() const {
+    std::vector<Simplex> out;
+    out.reserve(vertices_.size());
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+        Simplex face;
+        face.vertices_.reserve(vertices_.size() - 1);
+        for (std::size_t j = 0; j < vertices_.size(); ++j) {
+            if (j != i) face.vertices_.push_back(vertices_[j]);
+        }
+        out.push_back(std::move(face));
+    }
+    return out;
+}
+
+std::string Simplex::to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+        if (i > 0) out += " ";
+        out += std::to_string(vertices_[i]);
+    }
+    out += "]";
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Simplex& s) {
+    return os << s.to_string();
+}
+
+}  // namespace gact::topo

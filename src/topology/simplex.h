@@ -1,0 +1,87 @@
+// Abstract simplices: finite, sorted, duplicate-free vertex sets.
+//
+// Paper reference: Section 3.1. A simplex is a finite nonempty subset of
+// the vertex set of a complex; its dimension is its cardinality minus one.
+// This type also admits the empty simplex, which is convenient as a
+// neutral element for joins and as the "carrier of nothing".
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/require.h"
+
+namespace gact::topo {
+
+/// Vertex identifier within one simplicial complex.
+using VertexId = std::uint32_t;
+
+/// A simplex as a sorted set of vertex ids.
+class Simplex {
+public:
+    /// The empty simplex (dimension -1).
+    Simplex() = default;
+
+    /// From an arbitrary list; sorted and deduplicated.
+    Simplex(std::initializer_list<VertexId> vertices);
+    explicit Simplex(std::vector<VertexId> vertices);
+
+    /// Number of vertices.
+    std::size_t size() const noexcept { return vertices_.size(); }
+    bool empty() const noexcept { return vertices_.empty(); }
+
+    /// Dimension = |vertices| - 1; the empty simplex has dimension -1.
+    int dimension() const noexcept { return static_cast<int>(vertices_.size()) - 1; }
+
+    const std::vector<VertexId>& vertices() const noexcept { return vertices_; }
+
+    bool contains(VertexId v) const noexcept;
+
+    /// Face relation: is this a subset of `other`?
+    bool is_face_of(const Simplex& other) const noexcept;
+
+    /// Set operations (all results are valid simplices).
+    Simplex union_with(const Simplex& other) const;
+    Simplex intersection_with(const Simplex& other) const;
+    /// this \ other.
+    Simplex difference(const Simplex& other) const;
+
+    Simplex with(VertexId v) const;
+    Simplex without(VertexId v) const;
+
+    /// All faces of this simplex, including itself, excluding the empty
+    /// simplex. 2^size - 1 results.
+    std::vector<Simplex> faces() const;
+
+    /// All faces of exactly dimension d.
+    std::vector<Simplex> faces_of_dimension(int d) const;
+
+    /// The codimension-1 faces (boundary facets), in the order obtained by
+    /// dropping vertex i; this order defines boundary-operator signs.
+    std::vector<Simplex> boundary_faces() const;
+
+    friend bool operator==(const Simplex& a, const Simplex& b) noexcept = default;
+    friend bool operator<(const Simplex& a, const Simplex& b) noexcept {
+        return a.vertices_ < b.vertices_;
+    }
+
+    std::string to_string() const;
+
+private:
+    std::vector<VertexId> vertices_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Simplex& s);
+
+}  // namespace gact::topo
+
+template <>
+struct std::hash<gact::topo::Simplex> {
+    std::size_t operator()(const gact::topo::Simplex& s) const noexcept {
+        return gact::hash_range(s.vertices());
+    }
+};

@@ -1,0 +1,152 @@
+#include "topology/simplicial_complex.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace gact::topo {
+
+SimplicialComplex SimplicialComplex::from_facets(
+    const std::vector<Simplex>& facets) {
+    SimplicialComplex c;
+    for (const Simplex& f : facets) c.add_simplex(f);
+    return c;
+}
+
+void SimplicialComplex::add_simplex(const Simplex& s) {
+    require(!s.empty(), "SimplicialComplex: cannot add the empty simplex");
+    if (contains(s)) return;
+    for (Simplex& face : s.faces()) simplices_.insert(std::move(face));
+}
+
+std::vector<Simplex> SimplicialComplex::simplices_of_dimension(int d) const {
+    std::vector<Simplex> out;
+    for (const Simplex& s : simplices_) {
+        if (s.dimension() == d) out.push_back(s);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<Simplex> SimplicialComplex::facets() const {
+    // A simplex is maximal iff no coface obtained by adding one vertex of
+    // the complex is present. Checking against all vertices is quadratic in
+    // the worst case; group by dimension instead: s is a facet iff it is not
+    // a face of any simplex of dimension dim(s)+1.
+    std::vector<Simplex> out;
+    std::unordered_set<Simplex> non_maximal;
+    for (const Simplex& s : simplices_) {
+        for (const Simplex& b : s.boundary_faces()) {
+            if (!b.empty()) non_maximal.insert(b);
+        }
+    }
+    for (const Simplex& s : simplices_) {
+        if (non_maximal.count(s) == 0) out.push_back(s);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<VertexId> SimplicialComplex::vertex_ids() const {
+    std::vector<VertexId> out;
+    for (const Simplex& s : simplices_) {
+        if (s.dimension() == 0) out.push_back(s.vertices()[0]);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+int SimplicialComplex::dimension() const {
+    int d = -1;
+    for (const Simplex& s : simplices_) d = std::max(d, s.dimension());
+    return d;
+}
+
+bool SimplicialComplex::is_pure(int n) const {
+    if (dimension() > n) return false;
+    // Every simplex must be a face of some n-simplex. It suffices to check
+    // maximality: every facet has dimension exactly n.
+    for (const Simplex& f : facets()) {
+        if (f.dimension() != n) return false;
+    }
+    return true;
+}
+
+SimplicialComplex SimplicialComplex::skeleton(int k) const {
+    SimplicialComplex out;
+    for (const Simplex& s : simplices_) {
+        if (s.dimension() <= k) out.simplices_.insert(s);
+    }
+    return out;
+}
+
+std::vector<Simplex> SimplicialComplex::open_star(const Simplex& s) const {
+    std::vector<Simplex> out;
+    for (const Simplex& t : simplices_) {
+        if (s.is_face_of(t)) out.push_back(t);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+SimplicialComplex SimplicialComplex::closed_star(const Simplex& s) const {
+    SimplicialComplex out;
+    for (const Simplex& t : open_star(s)) out.add_simplex(t);
+    return out;
+}
+
+SimplicialComplex SimplicialComplex::link(const Simplex& s) const {
+    SimplicialComplex out;
+    for (const Simplex& t : simplices_) {
+        if (t.intersection_with(s).empty() && contains(t.union_with(s))) {
+            out.simplices_.insert(t);
+        }
+    }
+    return out;
+}
+
+bool SimplicialComplex::is_subcomplex_of(const SimplicialComplex& other) const {
+    for (const Simplex& s : simplices_) {
+        if (!other.contains(s)) return false;
+    }
+    return true;
+}
+
+long long SimplicialComplex::euler_characteristic() const {
+    long long chi = 0;
+    for (const Simplex& s : simplices_) {
+        chi += (s.dimension() % 2 == 0) ? 1 : -1;
+    }
+    return chi;
+}
+
+std::size_t SimplicialComplex::num_connected_components() const {
+    // Union-find over vertices, joined along edges.
+    std::vector<VertexId> verts = vertex_ids();
+    std::unordered_map<VertexId, std::size_t> index;
+    for (std::size_t i = 0; i < verts.size(); ++i) index[verts[i]] = i;
+
+    std::vector<std::size_t> parent(verts.size());
+    for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+    const auto find = [&](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    for (const Simplex& s : simplices_) {
+        if (s.dimension() >= 1) {
+            const std::size_t root = find(index.at(s.vertices()[0]));
+            for (VertexId v : s.vertices()) parent[find(index.at(v))] = root;
+        }
+    }
+
+    std::size_t components = 0;
+    for (std::size_t i = 0; i < parent.size(); ++i) {
+        if (find(i) == i) ++components;
+    }
+    return components;
+}
+
+}  // namespace gact::topo

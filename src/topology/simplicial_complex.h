@@ -1,0 +1,93 @@
+// Simplicial complexes (paper, Section 3.1).
+//
+// A complex is stored as the downward-closed set of its simplices. All the
+// combinatorial notions of Section 3.1 are provided: faces, skeleta, purity,
+// open and closed stars, links, and connectivity of the 1-skeleton.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "topology/simplex.h"
+
+namespace gact::topo {
+
+/// A finite simplicial complex over vertex ids.
+class SimplicialComplex {
+public:
+    SimplicialComplex() = default;
+
+    /// Build the downward closure of the given facets.
+    static SimplicialComplex from_facets(const std::vector<Simplex>& facets);
+
+    /// Insert a simplex together with all its faces.
+    void add_simplex(const Simplex& s);
+
+    bool contains(const Simplex& s) const { return simplices_.count(s) != 0; }
+    bool contains_vertex(VertexId v) const { return contains(Simplex{v}); }
+
+    bool is_empty() const noexcept { return simplices_.empty(); }
+
+    /// Number of simplices (all dimensions).
+    std::size_t size() const noexcept { return simplices_.size(); }
+
+    /// All simplices, unordered.
+    const std::unordered_set<Simplex>& simplices() const noexcept {
+        return simplices_;
+    }
+
+    /// All simplices of dimension d, sorted for determinism.
+    std::vector<Simplex> simplices_of_dimension(int d) const;
+
+    /// The maximal simplices, sorted for determinism.
+    std::vector<Simplex> facets() const;
+
+    /// Vertex ids present in the complex, sorted.
+    std::vector<VertexId> vertex_ids() const;
+
+    /// Largest simplex dimension; -1 for the empty complex.
+    int dimension() const;
+
+    /// Is every simplex a face of a simplex of dimension n (and none larger)?
+    /// (Paper: "pure of dimension n".)
+    bool is_pure(int n) const;
+
+    /// Pure of its own (maximal) dimension.
+    bool is_pure() const { return is_empty() || is_pure(dimension()); }
+
+    /// Subcomplex of simplices of dimension <= k ("k-skeleton").
+    SimplicialComplex skeleton(int k) const;
+
+    /// Open star of s: all simplices having s as a face. Not a complex.
+    std::vector<Simplex> open_star(const Simplex& s) const;
+
+    /// Closed star: smallest subcomplex containing the open star.
+    SimplicialComplex closed_star(const Simplex& s) const;
+
+    /// Link of s: closed_star(s) minus open_star(s); equivalently the
+    /// simplices t disjoint from s with t ∪ s in the complex.
+    SimplicialComplex link(const Simplex& s) const;
+
+    bool is_subcomplex_of(const SimplicialComplex& other) const;
+
+    /// Euler characteristic: sum over d of (-1)^d (#d-simplices).
+    long long euler_characteristic() const;
+
+    /// Connected components of the 1-skeleton (isolated vertices count).
+    std::size_t num_connected_components() const;
+
+    /// True iff non-empty and a single connected component.
+    bool is_connected() const {
+        return !is_empty() && num_connected_components() == 1;
+    }
+
+    friend bool operator==(const SimplicialComplex& a,
+                           const SimplicialComplex& b) {
+        return a.simplices_ == b.simplices_;
+    }
+
+private:
+    std::unordered_set<Simplex> simplices_;
+};
+
+}  // namespace gact::topo

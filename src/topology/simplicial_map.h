@@ -1,0 +1,62 @@
+// Simplicial and chromatic maps (paper, Sections 3.1-3.2).
+//
+// A simplicial map is induced by a vertex map; it is chromatic when it
+// preserves colors (and is then automatically noncollapsing). The geometric
+// realization |f| acts on barycentric points by pushing weights forward.
+#pragma once
+
+#include <unordered_map>
+
+#include "topology/chromatic_complex.h"
+#include "topology/geometry.h"
+
+namespace gact::topo {
+
+/// A vertex-induced map between simplicial complexes.
+class SimplicialMap {
+public:
+    SimplicialMap() = default;
+
+    explicit SimplicialMap(std::unordered_map<VertexId, VertexId> vertex_map)
+        : vertex_map_(std::move(vertex_map)) {}
+
+    /// Define (or redefine) the image of one vertex.
+    void set(VertexId v, VertexId image) { vertex_map_[v] = image; }
+
+    bool is_defined_at(VertexId v) const { return vertex_map_.count(v) != 0; }
+
+    VertexId apply(VertexId v) const;
+
+    /// Image of a simplex: the union of its vertex images.
+    Simplex apply(const Simplex& s) const;
+
+    /// Push a barycentric point forward: |f|(alpha)(v') = sum over
+    /// preimages of v' of alpha(v).
+    BaryPoint apply(const BaryPoint& p) const;
+
+    /// g after f (this is f).
+    SimplicialMap then(const SimplicialMap& g) const;
+
+    std::size_t size() const noexcept { return vertex_map_.size(); }
+    const std::unordered_map<VertexId, VertexId>& vertex_map() const noexcept {
+        return vertex_map_;
+    }
+
+    /// Is this a simplicial map from `domain` into `codomain`? Requires
+    /// every vertex of domain to be mapped and every simplex image to be a
+    /// simplex of codomain.
+    bool is_simplicial(const SimplicialComplex& domain,
+                       const SimplicialComplex& codomain) const;
+
+    /// Does the map preserve simplex dimension on `domain`?
+    bool is_noncollapsing(const SimplicialComplex& domain) const;
+
+    /// Does the map preserve colors?
+    bool is_chromatic(const ChromaticComplex& domain,
+                      const ChromaticComplex& codomain) const;
+
+private:
+    std::unordered_map<VertexId, VertexId> vertex_map_;
+};
+
+}  // namespace gact::topo

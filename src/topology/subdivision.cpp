@@ -1,0 +1,292 @@
+#include "topology/subdivision.h"
+
+#include <algorithm>
+
+#include "topology/combinatorics.h"
+
+namespace gact::topo {
+
+SubdividedComplex SubdividedComplex::identity(const ChromaticComplex& base) {
+    SubdividedComplex out;
+    out.base_ = base;
+    out.complex_ = base;
+    const std::vector<VertexId> verts = base.vertex_ids();
+    VertexId max_id = 0;
+    for (VertexId v : verts) max_id = std::max(max_id, v);
+    out.position_.resize(verts.empty() ? 0 : max_id + 1);
+    for (VertexId v : verts) out.position_[v] = BaryPoint::vertex(v);
+    out.depth_ = 0;
+    return out;
+}
+
+SubdividedComplex SubdividedComplex::chromatic_subdivision() const {
+    return subdivide_impl([](const Simplex&) { return false; });
+}
+
+SubdividedComplex SubdividedComplex::chromatic_subdivision_with_termination(
+    const std::function<bool(const Simplex&)>& terminated) const {
+    return subdivide_impl(terminated);
+}
+
+SubdividedComplex SubdividedComplex::subdivide_impl(
+    const std::function<bool(const Simplex&)>& terminated) const {
+    SubdividedComplex out;
+    out.base_ = base_;
+    out.depth_ = depth_ + 1;
+
+    // Key for a subdivision vertex: the pair (p, tau) with the collapse
+    // rule of Section 6.1 applied: a terminated non-singleton tau collapses
+    // the pair onto (p, {p}).
+    const auto canonical_key =
+        [&](VertexId p, const Simplex& tau) -> std::pair<VertexId, Simplex> {
+        if (tau.size() > 1 && terminated(tau)) return {p, Simplex{p}};
+        return {p, tau};
+    };
+
+    std::unordered_map<VertexId, Color> colors;
+    const auto intern = [&](VertexId p,
+                            const Simplex& tau) -> VertexId {
+        const auto key = canonical_key(p, tau);
+        const auto it = out.vertex_index_.find(key);
+        if (it != out.vertex_index_.end()) return it->second;
+        const VertexId id = static_cast<VertexId>(out.position_.size());
+        out.vertex_index_.emplace(key, id);
+
+        // Geometric position per Section 3.2; a singleton tau keeps the
+        // parent vertex's position.
+        const Simplex& t = key.second;
+        if (t.size() == 1) {
+            out.position_.push_back(position(p));
+        } else {
+            const auto k = static_cast<std::int64_t>(t.size());
+            std::vector<BaryPoint> pts;
+            std::vector<Rational> weights;
+            pts.push_back(position(p));
+            weights.emplace_back(1, 2 * k - 1);
+            for (VertexId q : t.vertices()) {
+                if (q == p) continue;
+                pts.push_back(position(q));
+                weights.emplace_back(2, 2 * k - 1);
+            }
+            out.position_.push_back(BaryPoint::combination(pts, weights));
+        }
+        out.provenance_.push_back(Provenance{p, t});
+        colors[id] = complex_.color(p);
+        return id;
+    };
+
+    // Generate the facets of the (partial) subdivision: for every parent
+    // facet and every ordered partition of its vertices, the simplex of
+    // pairs (v, prefix-union up to v's block), collapsed where terminated.
+    std::vector<Simplex> facets;
+    for (const Simplex& parent : complex_.facets()) {
+        const std::vector<VertexId>& pv = parent.vertices();
+        for (const OrderedIndexPartition& part : ordered_partitions(pv.size())) {
+            std::vector<VertexId> verts;
+            verts.reserve(pv.size());
+            Simplex prefix;
+            for (const std::vector<std::size_t>& block : part) {
+                for (std::size_t i : block) prefix = prefix.with(pv[i]);
+                for (std::size_t i : block) verts.push_back(intern(pv[i], prefix));
+            }
+            facets.emplace_back(std::move(verts));
+        }
+    }
+    std::sort(facets.begin(), facets.end());
+    facets.erase(std::unique(facets.begin(), facets.end()), facets.end());
+
+    out.complex_ = ChromaticComplex(SimplicialComplex::from_facets(facets),
+                                    std::move(colors));
+    return out;
+}
+
+SubdividedComplex SubdividedComplex::iterated_chromatic(
+    const ChromaticComplex& base, int k) {
+    require(k >= 0, "iterated_chromatic: negative depth");
+    SubdividedComplex out = identity(base);
+    for (int i = 0; i < k; ++i) out = out.chromatic_subdivision();
+    return out;
+}
+
+SubdividedComplex SubdividedComplex::barycentric_subdivision() const {
+    SubdividedComplex out;
+    out.base_ = base_;
+    out.depth_ = depth_ + 1;
+
+    std::unordered_map<VertexId, Color> colors;
+    std::map<Simplex, VertexId> barycenter_id;
+    const auto intern = [&](const Simplex& sigma) -> VertexId {
+        const auto it = barycenter_id.find(sigma);
+        if (it != barycenter_id.end()) return it->second;
+        const VertexId id = static_cast<VertexId>(out.position_.size());
+        barycenter_id.emplace(sigma, id);
+        // Barycenter position, expressed in base coordinates.
+        std::vector<BaryPoint> pts;
+        std::vector<Rational> weights;
+        const Rational w(1, static_cast<std::int64_t>(sigma.size()));
+        for (VertexId v : sigma.vertices()) {
+            pts.push_back(position(v));
+            weights.push_back(w);
+        }
+        out.position_.push_back(BaryPoint::combination(pts, weights));
+        out.provenance_.push_back(
+            Provenance{sigma.vertices().front(), sigma});
+        out.vertex_index_.emplace(
+            std::make_pair(sigma.vertices().front(), sigma), id);
+        colors[id] = static_cast<Color>(sigma.dimension());
+        return id;
+    };
+
+    // Facets of Bary(C): flags sigma_0 < sigma_1 < ... < sigma_m of
+    // simplices of C with sigma_m a facet.
+    std::vector<Simplex> facets;
+    for (const Simplex& f : complex_.facets()) {
+        // Enumerate flags ending at f: permutations of f's vertices define
+        // maximal flags; build them from vertex orderings.
+        const std::vector<VertexId>& pv = f.vertices();
+        for (const std::vector<std::size_t>& perm : all_permutations(pv.size())) {
+            std::vector<VertexId> verts;
+            Simplex prefix;
+            for (std::size_t i : perm) {
+                prefix = prefix.with(pv[i]);
+                verts.push_back(intern(prefix));
+            }
+            facets.emplace_back(std::move(verts));
+        }
+    }
+    std::sort(facets.begin(), facets.end());
+    facets.erase(std::unique(facets.begin(), facets.end()), facets.end());
+
+    out.complex_ = ChromaticComplex(SimplicialComplex::from_facets(facets),
+                                    std::move(colors));
+    return out;
+}
+
+const BaryPoint& SubdividedComplex::position(VertexId v) const {
+    require(v < position_.size(), "SubdividedComplex: unknown vertex");
+    return position_[v];
+}
+
+Simplex SubdividedComplex::carrier_of(const Simplex& s) const {
+    Simplex out;
+    for (VertexId v : s.vertices()) out = out.union_with(carrier(v));
+    return out;
+}
+
+std::vector<BaryPoint> SubdividedComplex::positions_of(const Simplex& s) const {
+    std::vector<BaryPoint> out;
+    out.reserve(s.size());
+    for (VertexId v : s.vertices()) out.push_back(position(v));
+    return out;
+}
+
+const SubdividedComplex::Provenance& SubdividedComplex::provenance(
+    VertexId v) const {
+    require(depth_ > 0, "SubdividedComplex: no provenance at depth 0");
+    require(v < provenance_.size(), "SubdividedComplex: unknown vertex");
+    return provenance_[v];
+}
+
+VertexId SubdividedComplex::vertex_for(VertexId parent_vertex,
+                                       const Simplex& parent_simplex) const {
+    require(depth_ > 0, "SubdividedComplex: vertex_for requires depth > 0");
+    const auto it =
+        vertex_index_.find(std::make_pair(parent_vertex, parent_simplex));
+    require(it != vertex_index_.end(),
+            "SubdividedComplex: no vertex for (p, tau); tau may be terminated");
+    return it->second;
+}
+
+std::optional<VertexId> SubdividedComplex::find_vertex(
+    const BaryPoint& position, Color color) const {
+    for (VertexId v = 0; v < position_.size(); ++v) {
+        if (position_[v] == position && complex_.contains_vertex(v) &&
+            complex_.color(v) == color) {
+            return v;
+        }
+    }
+    return std::nullopt;
+}
+
+Simplex SubdividedComplex::facet_for_partition(
+    const Simplex& parent_facet,
+    const std::vector<std::vector<VertexId>>& blocks) const {
+    require(depth_ > 0, "facet_for_partition requires depth > 0");
+    std::vector<VertexId> verts;
+    Simplex prefix;
+    std::size_t covered = 0;
+    for (const std::vector<VertexId>& block : blocks) {
+        require(!block.empty(), "facet_for_partition: empty block");
+        for (VertexId v : block) {
+            require(parent_facet.contains(v),
+                    "facet_for_partition: block vertex not in facet");
+            prefix = prefix.with(v);
+        }
+        covered += block.size();
+        for (VertexId v : block) {
+            // Look up through the canonical (collapsed) key.
+            auto it = vertex_index_.find(std::make_pair(v, prefix));
+            if (it == vertex_index_.end()) {
+                it = vertex_index_.find(std::make_pair(v, Simplex{v}));
+            }
+            require(it != vertex_index_.end(),
+                    "facet_for_partition: missing subdivision vertex");
+            verts.push_back(it->second);
+        }
+    }
+    require(covered == parent_facet.size(),
+            "facet_for_partition: blocks must partition the facet");
+    return Simplex(std::move(verts));
+}
+
+SimplicialMap SubdividedComplex::retraction_to_parent(
+    const ChromaticComplex& parent) const {
+    require(depth_ > 0, "retraction_to_parent requires depth > 0");
+    std::unordered_map<VertexId, VertexId> vm;
+    for (VertexId v : complex_.vertex_ids()) {
+        vm[v] = provenance_[v].parent_vertex;
+    }
+    SimplicialMap map(std::move(vm));
+    ensure(map.is_simplicial(complex_.complex(), parent.complex()),
+           "retraction_to_parent: not simplicial");
+    return map;
+}
+
+std::vector<Simplex> SubdividedComplex::facets_containing(
+    const BaryPoint& p) const {
+    std::vector<Simplex> out;
+    for (const Simplex& f : complex_.facets()) {
+        if (point_in_simplex(p, positions_of(f))) out.push_back(f);
+    }
+    return out;
+}
+
+void SubdividedComplex::verify_subdivision_exactness() const {
+    // Every facet must be non-degenerate within its carrier.
+    for (const Simplex& f : complex_.facets()) {
+        const Simplex c = carrier_of(f);
+        ensure(f.dimension() == c.dimension(),
+               "subdivision exactness: facet " + f.to_string() +
+                   " degenerate in carrier " + c.to_string());
+        ensure(!relative_volume(positions_of(f), c).is_zero(),
+               "subdivision exactness: zero-volume facet " + f.to_string());
+    }
+    for (const Simplex& base_facet : base_.facets()) {
+        Rational total;
+        for (const Simplex& f : complex_.facets()) {
+            if (!carrier_of(f).is_face_of(base_facet)) continue;
+            // Only full-dimensional pieces contribute volume.
+            if (f.dimension() != base_facet.dimension()) continue;
+            if (!(carrier_of(f) == base_facet)) continue;
+            const Rational vol = relative_volume(positions_of(f), base_facet);
+            ensure(!vol.is_zero(),
+                   "subdivision exactness: degenerate facet " + f.to_string());
+            total += vol;
+        }
+        ensure(total == Rational(1),
+               "subdivision exactness: volumes sum to " + total.to_string() +
+                   " on base facet " + base_facet.to_string());
+    }
+}
+
+}  // namespace gact::topo

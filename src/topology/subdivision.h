@@ -1,0 +1,130 @@
+// Standard chromatic subdivisions with exact geometry (paper, Section 3.2),
+// plus the partial ("terminating") variant of Section 6.1.
+//
+// A SubdividedComplex is a chromatic complex together with
+//  * a base chromatic complex it subdivides,
+//  * an exact rational position in |base| for every vertex (from which the
+//    carrier in the base complex is the coordinate support), and
+//  * for complexes produced by a subdivision step, the provenance of every
+//    vertex: the pair (p, tau) of Section 3.2, where tau is a simplex of
+//    the parent complex and p a vertex of tau.
+//
+// The vertices of Chr C are the pairs (p, tau); the vertex (p, {p}) is
+// identified with the parent vertex p. The facets of Chr C inside a parent
+// facet F correspond to the ordered set partitions of F's vertices: for
+// partition (B_1, .., B_r), the facet is { (v, B_1 ∪ .. ∪ B_{j(v)}) } where
+// j(v) is v's block. Geometrically, vertex (p, tau) sits at
+//   1/(2k-1) * pos(p) + 2/(2k-1) * sum_{q in tau, q != p} pos(q),
+// with k = |tau| (paper, Section 3.2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "topology/chromatic_complex.h"
+#include "topology/geometry.h"
+#include "topology/simplicial_map.h"
+
+namespace gact::topo {
+
+/// A chromatic complex realized as a subdivision of a base complex.
+class SubdividedComplex {
+public:
+    /// An empty placeholder; assign a real subdivision before use.
+    SubdividedComplex() = default;
+
+    /// The trivial subdivision: the base complex itself.
+    static SubdividedComplex identity(const ChromaticComplex& base);
+
+    /// One standard chromatic subdivision step applied to this complex.
+    SubdividedComplex chromatic_subdivision() const;
+
+    /// One *partial* chromatic subdivision step (Section 6.1): simplices
+    /// for which `terminated` returns true are not subdivided. A vertex
+    /// (p, tau) with tau terminated and |tau| > 1 is collapsed onto the
+    /// parent vertex p; facets are the images of the ordinary Chr facets
+    /// under this collapse. `terminated` must be closed under faces on the
+    /// simplices where it returns true (a subcomplex predicate).
+    SubdividedComplex chromatic_subdivision_with_termination(
+        const std::function<bool(const Simplex&)>& terminated) const;
+
+    /// k iterated chromatic subdivisions of the base complex.
+    static SubdividedComplex iterated_chromatic(const ChromaticComplex& base,
+                                                int k);
+
+    /// The barycentric subdivision, colored by simplex dimension (the
+    /// barycenter of a d-simplex gets color d; flags make this proper).
+    /// Note this changes the coloring scheme; it is provided for the
+    /// classical approximation results of Section 8.1.
+    SubdividedComplex barycentric_subdivision() const;
+
+    const ChromaticComplex& base() const noexcept { return base_; }
+    const ChromaticComplex& complex() const noexcept { return complex_; }
+
+    /// Number of subdivision steps applied since `identity` (0 for it).
+    int depth() const noexcept { return depth_; }
+
+    /// Exact position of a subdivision vertex in |base|.
+    const BaryPoint& position(VertexId v) const;
+
+    /// Carrier of a vertex: the minimal base simplex containing it.
+    Simplex carrier(VertexId v) const { return position(v).support(); }
+
+    /// Carrier of a simplex: the minimal base simplex containing all its
+    /// vertices (the union of vertex carriers).
+    Simplex carrier_of(const Simplex& s) const;
+
+    /// Positions of all vertices of a simplex, in vertex order.
+    std::vector<BaryPoint> positions_of(const Simplex& s) const;
+
+    /// Provenance of a vertex created by the last subdivision step:
+    /// the pair (parent vertex p, parent simplex tau). Unset for depth 0.
+    struct Provenance {
+        VertexId parent_vertex;
+        Simplex parent_simplex;
+    };
+    const Provenance& provenance(VertexId v) const;
+
+    /// The vertex (p, tau) created by the last subdivision step. For
+    /// |tau| == 1 this is the surviving parent vertex. Requires depth > 0
+    /// and, for the terminated variant, tau not terminated (or singleton).
+    VertexId vertex_for(VertexId parent_vertex,
+                        const Simplex& parent_simplex) const;
+
+    /// Looks up a vertex by exact position and color.
+    std::optional<VertexId> find_vertex(const BaryPoint& position,
+                                        Color color) const;
+
+    /// The facet of this subdivision corresponding to one ordered partition
+    /// (by *vertex* blocks) of a parent facet; see the header comment.
+    /// Requires depth > 0.
+    Simplex facet_for_partition(
+        const Simplex& parent_facet,
+        const std::vector<std::vector<VertexId>>& blocks) const;
+
+    /// The canonical chromatic retraction Chr C -> C mapping (p, tau) to p.
+    /// Requires depth > 0.
+    SimplicialMap retraction_to_parent(const ChromaticComplex& parent) const;
+
+    /// All facets of this complex whose realization contains `p`.
+    std::vector<Simplex> facets_containing(const BaryPoint& p) const;
+
+    /// Subdivision-exactness check: for every base facet F, the facets of
+    /// this complex carried by F have positive volume and their volumes sum
+    /// to vol(F); throws invariant_error otherwise. Exact arithmetic.
+    void verify_subdivision_exactness() const;
+
+private:
+    SubdividedComplex subdivide_impl(
+        const std::function<bool(const Simplex&)>& terminated) const;
+
+    ChromaticComplex base_;
+    ChromaticComplex complex_;
+    std::vector<BaryPoint> position_;           // indexed by VertexId
+    std::vector<Provenance> provenance_;        // indexed by VertexId
+    std::map<std::pair<VertexId, Simplex>, VertexId> vertex_index_;
+    int depth_ = 0;
+};
+
+}  // namespace gact::topo

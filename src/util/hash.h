@@ -1,0 +1,23 @@
+// Hash combining helpers shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace gact {
+
+/// Combine a hash value into a seed (boost::hash_combine recipe).
+inline void hash_combine(std::size_t& seed, std::size_t value) noexcept {
+    seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hash a contiguous range of hashable values.
+template <typename T>
+std::size_t hash_range(const std::vector<T>& values) noexcept {
+    std::size_t seed = values.size();
+    for (const T& v : values) hash_combine(seed, std::hash<T>{}(v));
+    return seed;
+}
+
+}  // namespace gact

@@ -1,0 +1,36 @@
+#include "util/process_set.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace gact {
+
+std::string ProcessSet::to_string() const {
+    std::string out = "{";
+    bool first = true;
+    for (ProcessId p : members()) {
+        if (!first) out += ",";
+        out += std::to_string(p);
+        first = false;
+    }
+    out += "}";
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, ProcessSet s) {
+    return os << s.to_string();
+}
+
+std::vector<ProcessSet> nonempty_subsets(ProcessSet universe) {
+    std::vector<ProcessSet> out;
+    const std::uint32_t u = universe.bits();
+    // Standard subset-enumeration trick: step through submasks of u.
+    for (std::uint32_t sub = u; sub != 0; sub = (sub - 1) & u) {
+        out.push_back(ProcessSet::from_bits(sub));
+    }
+    // The loop visits submasks in decreasing order; reverse for stability.
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+}  // namespace gact

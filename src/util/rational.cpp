@@ -1,0 +1,131 @@
+#include "util/rational.h"
+
+#include <numeric>
+#include <ostream>
+
+#include "util/require.h"
+
+namespace gact {
+
+namespace {
+
+using int128 = __int128;
+
+constexpr int128 kMin64 = std::numeric_limits<std::int64_t>::min();
+constexpr int128 kMax64 = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t narrow(int128 v, const char* context) {
+    if (v < kMin64 || v > kMax64) {
+        throw overflow_error(std::string("Rational overflow in ") + context);
+    }
+    return static_cast<std::int64_t>(v);
+}
+
+int128 abs128(int128 v) { return v < 0 ? -v : v; }
+
+int128 gcd128(int128 a, int128 b) {
+    a = abs128(a);
+    b = abs128(b);
+    while (b != 0) {
+        const int128 t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) {
+    require(den != 0, "Rational: zero denominator");
+    int128 n = num;
+    int128 d = den;
+    if (d < 0) {
+        n = -n;
+        d = -d;
+    }
+    if (n == 0) {
+        d = 1;
+    } else {
+        const int128 g = gcd128(n, d);
+        n /= g;
+        d /= g;
+    }
+    num_ = narrow(n, "constructor");
+    den_ = narrow(d, "constructor");
+}
+
+Rational Rational::operator-() const {
+    Rational r;
+    r.num_ = narrow(-static_cast<int128>(num_), "negation");
+    r.den_ = den_;
+    return r;
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+    const int128 n = static_cast<int128>(num_) * other.den_ +
+                     static_cast<int128>(other.num_) * den_;
+    const int128 d = static_cast<int128>(den_) * other.den_;
+    const int128 g = n == 0 ? d : gcd128(n, d);
+    num_ = narrow(n / g, "addition");
+    den_ = narrow(d / g, "addition");
+    return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) {
+    return *this += -other;
+}
+
+Rational& Rational::operator*=(const Rational& other) {
+    // Cross-reduce before multiplying to keep intermediates small.
+    const int128 g1 = gcd128(num_, other.den_);
+    const int128 g2 = gcd128(other.num_, den_);
+    const int128 n = (static_cast<int128>(num_) / g1) * (other.num_ / g2);
+    const int128 d = (static_cast<int128>(den_) / g2) * (other.den_ / g1);
+    num_ = narrow(n, "multiplication");
+    den_ = narrow(d, "multiplication");
+    return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+    require(!other.is_zero(), "Rational: division by zero");
+    Rational inverse;
+    // Build the inverse without renormalizing through the constructor twice.
+    if (other.num_ < 0) {
+        inverse.num_ = narrow(-static_cast<int128>(other.den_), "division");
+        inverse.den_ = narrow(-static_cast<int128>(other.num_), "division");
+    } else {
+        inverse.num_ = other.den_;
+        inverse.den_ = other.num_;
+    }
+    return *this *= inverse;
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+    const int128 lhs = static_cast<int128>(a.num_) * b.den_;
+    const int128 rhs = static_cast<int128>(b.num_) * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+}
+
+Rational Rational::abs() const {
+    return is_negative() ? -*this : *this;
+}
+
+std::string Rational::to_string() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+    return os << r.to_string();
+}
+
+std::size_t hash_value(const Rational& r) noexcept {
+    const std::size_t h1 = std::hash<std::int64_t>{}(r.num());
+    const std::size_t h2 = std::hash<std::int64_t>{}(r.den());
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+}
+
+}  // namespace gact

@@ -1,0 +1,86 @@
+// Exact rational arithmetic for geometric realizations of chromatic
+// subdivisions.
+//
+// Vertex coordinates in |Chr^k s| are rationals whose denominators are
+// products of odd numbers (2j - 1) with j <= n + 1 (paper, Section 3.2).
+// For the subdivision depths this library materializes, numerators and
+// denominators fit comfortably in 64 bits; all operations are computed in
+// 128-bit intermediates and checked, so an overflow is reported as
+// gact::overflow_error instead of silent wraparound.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+namespace gact {
+
+/// An exact rational number with checked 64-bit numerator/denominator.
+///
+/// Invariants: the denominator is strictly positive and gcd(num, den) == 1.
+class Rational {
+public:
+    /// Zero.
+    constexpr Rational() noexcept : num_(0), den_(1) {}
+
+    /// The integer n.
+    constexpr Rational(std::int64_t n) noexcept : num_(n), den_(1) {}
+
+    /// num/den, reduced to lowest terms. Requires den != 0.
+    Rational(std::int64_t num, std::int64_t den);
+
+    std::int64_t num() const noexcept { return num_; }
+    std::int64_t den() const noexcept { return den_; }
+
+    bool is_zero() const noexcept { return num_ == 0; }
+    bool is_negative() const noexcept { return num_ < 0; }
+    bool is_integer() const noexcept { return den_ == 1; }
+
+    Rational operator-() const;
+
+    Rational& operator+=(const Rational& other);
+    Rational& operator-=(const Rational& other);
+    Rational& operator*=(const Rational& other);
+    /// Requires other != 0.
+    Rational& operator/=(const Rational& other);
+
+    friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+    friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+    friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+    friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+    friend bool operator==(const Rational& a, const Rational& b) noexcept {
+        return a.num_ == b.num_ && a.den_ == b.den_;
+    }
+    friend std::strong_ordering operator<=>(const Rational& a, const Rational& b);
+
+    /// Absolute value.
+    Rational abs() const;
+
+    /// Lossy conversion for diagnostics and heuristics only.
+    double to_double() const noexcept {
+        return static_cast<double>(num_) / static_cast<double>(den_);
+    }
+
+    /// "num/den" (or just "num" for integers).
+    std::string to_string() const;
+
+private:
+    std::int64_t num_;
+    std::int64_t den_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// FNV-style hash usable in unordered containers.
+std::size_t hash_value(const Rational& r) noexcept;
+
+}  // namespace gact
+
+template <>
+struct std::hash<gact::Rational> {
+    std::size_t operator()(const gact::Rational& r) const noexcept {
+        return gact::hash_value(r);
+    }
+};

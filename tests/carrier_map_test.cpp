@@ -1,0 +1,110 @@
+#include "topology/carrier_map.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/subdivision.h"
+
+namespace gact::topo {
+namespace {
+
+// The identity carrier map on the standard simplex: Delta(t) = {t and its
+// faces}.
+CarrierMap identity_carrier(const ChromaticComplex& s) {
+    CarrierMap delta;
+    for (const Simplex& sigma : s.complex().simplices()) {
+        delta.set(sigma, SimplicialComplex::from_facets({sigma}));
+    }
+    return delta;
+}
+
+TEST(CarrierMap, IdentityValidates) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const CarrierMap delta = identity_carrier(s);
+    EXPECT_EQ(delta.validate(s, s), "");
+}
+
+TEST(CarrierMap, AllowsFacesOfImage) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const CarrierMap delta = identity_carrier(s);
+    EXPECT_TRUE(delta.allows(Simplex{0, 1, 2}, Simplex{0, 1}));
+    EXPECT_FALSE(delta.allows(Simplex{0, 1}, Simplex{0, 2}));
+    EXPECT_TRUE(delta.allows(Simplex{0, 1}, Simplex()));
+}
+
+TEST(CarrierMap, UndefinedAtThrows) {
+    CarrierMap delta;
+    EXPECT_THROW(delta.at(Simplex{0}), precondition_error);
+    EXPECT_THROW(delta.set(Simplex(), SimplicialComplex()), precondition_error);
+}
+
+TEST(CarrierMap, DetectsMissingSimplex) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(1);
+    CarrierMap delta;
+    delta.set(Simplex{0, 1}, SimplicialComplex::from_facets({Simplex{0, 1}}));
+    const std::string err = delta.validate(s, s);
+    EXPECT_NE(err.find("undefined"), std::string::npos) << err;
+}
+
+TEST(CarrierMap, DetectsWrongColors) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(1);
+    CarrierMap delta = identity_carrier(s);
+    // Send vertex {0} to the wrong-colored vertex {1}.
+    delta.set(Simplex{0}, SimplicialComplex::from_facets({Simplex{1}}));
+    const std::string err = delta.validate(s, s);
+    EXPECT_NE(err.find("colors"), std::string::npos) << err;
+}
+
+TEST(CarrierMap, DetectsImpurity) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(1);
+    CarrierMap delta = identity_carrier(s);
+    // The image of the edge is a single vertex: not pure of dimension 1.
+    delta.set(Simplex{0, 1}, SimplicialComplex::from_facets({Simplex{0}}));
+    const std::string err = delta.validate(s, s);
+    EXPECT_NE(err.find("pure"), std::string::npos) << err;
+}
+
+TEST(CarrierMap, DetectsNonMonotone) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(1);
+    // Build a codomain with two disjoint edges so monotonicity can fail:
+    // vertices 0,1 (colors 0,1) and 10,11 (colors 0,1).
+    SimplicialComplex oc =
+        SimplicialComplex::from_facets({Simplex{0, 1}, Simplex{10, 11}});
+    ChromaticComplex codomain(oc, {{0, 0}, {1, 1}, {10, 0}, {11, 1}});
+    CarrierMap delta;
+    delta.set(Simplex{0}, SimplicialComplex::from_facets({Simplex{10}}));
+    delta.set(Simplex{1}, SimplicialComplex::from_facets({Simplex{1}}));
+    delta.set(Simplex{0, 1}, SimplicialComplex::from_facets({Simplex{0, 1}}));
+    const std::string err = delta.validate(s, codomain);
+    EXPECT_NE(err.find("monotone"), std::string::npos) << err;
+}
+
+TEST(CarrierMap, EmptyImagesAreAllowed) {
+    // Footnote 2 of the paper: tasks may leave some inputs without outputs.
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(1);
+    CarrierMap delta;
+    delta.set(Simplex{0}, SimplicialComplex());
+    delta.set(Simplex{1}, SimplicialComplex::from_facets({Simplex{1}}));
+    delta.set(Simplex{0, 1}, SimplicialComplex::from_facets({Simplex{0, 1}}));
+    // Empty is fine for monotonicity (empty ⊆ anything).
+    EXPECT_EQ(delta.validate(s, s), "");
+}
+
+// Property: the standard chromatic subdivision, viewed as a carrier map
+// sending each simplex of s to its subdivided image, validates.
+TEST(CarrierMap, ChrAsCarrierMapValidates) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const SubdividedComplex chr =
+        SubdividedComplex::identity(s).chromatic_subdivision();
+    CarrierMap delta;
+    for (const Simplex& sigma : s.complex().simplices()) {
+        SimplicialComplex image;
+        for (const Simplex& f : chr.complex().complex().simplices()) {
+            if (chr.carrier_of(f).is_face_of(sigma)) image.add_simplex(f);
+        }
+        delta.set(sigma, image);
+    }
+    EXPECT_EQ(delta.validate(s, chr.complex()), "");
+}
+
+}  // namespace
+}  // namespace gact::topo

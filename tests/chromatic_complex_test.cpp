@@ -1,0 +1,85 @@
+#include "topology/chromatic_complex.h"
+
+#include <gtest/gtest.h>
+
+namespace gact::topo {
+namespace {
+
+TEST(ChromaticComplex, StandardSimplex) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    EXPECT_EQ(s.dimension(), 2);
+    EXPECT_TRUE(s.is_pure(2));
+    EXPECT_EQ(s.color(0), 0u);
+    EXPECT_EQ(s.color(1), 1u);
+    EXPECT_EQ(s.color(2), 2u);
+    EXPECT_EQ(s.all_colors(), ProcessSet::full(3));
+    // Identity coloring: chi is the identity on vertex ids.
+    EXPECT_EQ(s.colors_of(Simplex{0, 2}), ProcessSet::of({0, 2}));
+}
+
+TEST(ChromaticComplex, StandardSimplexZeroDim) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(0);
+    EXPECT_EQ(s.dimension(), 0);
+    EXPECT_EQ(s.all_colors(), ProcessSet::of({0}));
+}
+
+TEST(ChromaticComplex, RejectsImproperColoring) {
+    SimplicialComplex c = SimplicialComplex::from_facets({Simplex{0, 1}});
+    std::unordered_map<VertexId, Color> same_colors{{0, 0}, {1, 0}};
+    EXPECT_THROW(ChromaticComplex(c, same_colors), precondition_error);
+}
+
+TEST(ChromaticComplex, RejectsMissingColor) {
+    SimplicialComplex c = SimplicialComplex::from_facets({Simplex{0, 1}});
+    std::unordered_map<VertexId, Color> partial{{0, 0}};
+    EXPECT_THROW(ChromaticComplex(c, partial), precondition_error);
+}
+
+TEST(ChromaticComplex, VertexWithColor) {
+    SimplicialComplex c = SimplicialComplex::from_facets({Simplex{10, 20}});
+    ChromaticComplex cc(c, {{10, 1}, {20, 0}});
+    EXPECT_EQ(cc.vertex_with_color(Simplex{10, 20}, 0), 20u);
+    EXPECT_EQ(cc.vertex_with_color(Simplex{10, 20}, 1), 10u);
+    EXPECT_THROW(cc.vertex_with_color(Simplex{10}, 0), precondition_error);
+}
+
+TEST(ChromaticComplex, RestrictToSubcomplex) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const ChromaticComplex boundary = s.skeleton(1);
+    EXPECT_EQ(boundary.dimension(), 1);
+    EXPECT_EQ(boundary.color(1), 1u);
+    EXPECT_FALSE(boundary.contains(Simplex{0, 1, 2}));
+}
+
+TEST(ChromaticComplex, RestrictRejectsNonSubcomplex) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(1);
+    SimplicialComplex other = SimplicialComplex::from_facets({Simplex{5}});
+    EXPECT_THROW(s.restrict_to(other), precondition_error);
+}
+
+TEST(ChromaticComplex, LinkInheritsColors) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const ChromaticComplex link = s.link(Simplex{0});
+    EXPECT_TRUE(link.contains(Simplex{1, 2}));
+    EXPECT_EQ(link.color(1), 1u);
+    EXPECT_EQ(link.color(2), 2u);
+}
+
+TEST(ChromaticComplex, ProperColoringCheck) {
+    SimplicialComplex c = SimplicialComplex::from_facets({Simplex{0, 1, 2}});
+    EXPECT_TRUE(is_properly_colored(c, {{0, 0}, {1, 1}, {2, 2}}));
+    EXPECT_FALSE(is_properly_colored(c, {{0, 0}, {1, 1}, {2, 1}}));
+    EXPECT_FALSE(is_properly_colored(c, {{0, 0}, {1, 1}}));
+}
+
+TEST(ChromaticComplex, EqualityIncludesColors) {
+    SimplicialComplex c = SimplicialComplex::from_facets({Simplex{0, 1}});
+    ChromaticComplex a(c, {{0, 0}, {1, 1}});
+    ChromaticComplex b(c, {{0, 1}, {1, 0}});
+    EXPECT_FALSE(a == b);
+    ChromaticComplex a2(c, {{0, 0}, {1, 1}});
+    EXPECT_TRUE(a == a2);
+}
+
+}  // namespace
+}  // namespace gact::topo

@@ -1,0 +1,159 @@
+#include "core/chromatic_csp.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/carrier_map.h"
+#include "topology/subdivision.h"
+
+namespace gact::core {
+namespace {
+
+using topo::CarrierMap;
+
+/// An "allowed" function that only requires images to live in the given
+/// complex (no carrier constraints).
+std::function<const SimplicialComplex&(const Simplex&)> allow_all(
+    const ChromaticComplex& codomain) {
+    return [&codomain](const Simplex&) -> const SimplicialComplex& {
+        return codomain.complex();
+    };
+}
+
+TEST(ChromaticCsp, IdentityOnStandardSimplex) {
+    const ChromaticComplex s = topo::ChromaticComplex::standard_simplex(2);
+    ChromaticMapProblem problem;
+    problem.domain = &s;
+    problem.codomain = &s;
+    problem.allowed = allow_all(s);
+    const auto result = solve_chromatic_map(problem);
+    ASSERT_TRUE(result.map.has_value());
+    // Colors force the identity.
+    for (topo::VertexId v : s.vertex_ids()) {
+        EXPECT_EQ(result.map->apply(v), v);
+    }
+    EXPECT_TRUE(result.exhausted || result.backtracks == 0);
+}
+
+TEST(ChromaticCsp, RetractionOfChrFoundBySearch) {
+    const ChromaticComplex s = topo::ChromaticComplex::standard_simplex(2);
+    const topo::SubdividedComplex chr =
+        topo::SubdividedComplex::identity(s).chromatic_subdivision();
+    // Constrain images to the carrier: a chromatic carrier-preserving map
+    // Chr s -> s (the canonical retraction qualifies, so search succeeds).
+    CarrierMap closure;
+    for (const Simplex& sigma : s.complex().simplices()) {
+        closure.set(sigma, SimplicialComplex::from_facets({sigma}));
+    }
+    ChromaticMapProblem problem;
+    problem.domain = &chr.complex();
+    problem.codomain = &s;
+    problem.allowed = [&closure, &chr](const Simplex& sigma)
+        -> const SimplicialComplex& {
+        return closure.at(chr.carrier_of(sigma));
+    };
+    const auto result = solve_chromatic_map(problem);
+    ASSERT_TRUE(result.map.has_value());
+    EXPECT_EQ(check_chromatic_map(problem, *result.map), "");
+}
+
+TEST(ChromaticCsp, DisconnectedTargetIsUnsatisfiable) {
+    // Domain: a path of two edges with colors 0-1-0. Codomain: two
+    // disjoint edges. Fixing the path's endpoints into different
+    // components makes the problem unsatisfiable.
+    SimplicialComplex path =
+        SimplicialComplex::from_facets({Simplex{0, 1}, Simplex{1, 2}});
+    ChromaticComplex domain(path, {{0, 0}, {1, 1}, {2, 0}});
+    SimplicialComplex two =
+        SimplicialComplex::from_facets({Simplex{10, 11}, Simplex{20, 21}});
+    ChromaticComplex codomain(two, {{10, 0}, {11, 1}, {20, 0}, {21, 1}});
+
+    ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &codomain;
+    problem.allowed = allow_all(codomain);
+    problem.fixed = {{0, 10}, {2, 20}};
+    const auto result = solve_chromatic_map(problem);
+    EXPECT_FALSE(result.map.has_value());
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_GT(result.backtracks, 0u);
+}
+
+TEST(ChromaticCsp, SatisfiableWithConsistentFixing) {
+    SimplicialComplex path =
+        SimplicialComplex::from_facets({Simplex{0, 1}, Simplex{1, 2}});
+    ChromaticComplex domain(path, {{0, 0}, {1, 1}, {2, 0}});
+    SimplicialComplex two =
+        SimplicialComplex::from_facets({Simplex{10, 11}, Simplex{20, 21}});
+    ChromaticComplex codomain(two, {{10, 0}, {11, 1}, {20, 0}, {21, 1}});
+
+    ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &codomain;
+    problem.allowed = allow_all(codomain);
+    problem.fixed = {{0, 10}, {2, 10}};
+    const auto result = solve_chromatic_map(problem);
+    ASSERT_TRUE(result.map.has_value());
+    EXPECT_EQ(result.map->apply(topo::VertexId{1}), 11u);
+}
+
+TEST(ChromaticCsp, CandidateOrderIsRespected) {
+    // One free vertex with two valid images: the first candidate wins.
+    SimplicialComplex pt = SimplicialComplex::from_facets({Simplex{0}});
+    ChromaticComplex domain(pt, {{0, 0}});
+    SimplicialComplex two_pts =
+        SimplicialComplex::from_facets({Simplex{10}, Simplex{20}});
+    ChromaticComplex codomain(two_pts, {{10, 0}, {20, 0}});
+
+    ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &codomain;
+    problem.allowed = allow_all(codomain);
+    problem.candidate_order = [](topo::VertexId) {
+        return std::vector<topo::VertexId>{20, 10};
+    };
+    const auto result = solve_chromatic_map(problem);
+    ASSERT_TRUE(result.map.has_value());
+    EXPECT_EQ(result.map->apply(topo::VertexId{0}), 20u);
+}
+
+TEST(ChromaticCsp, BacktrackBudgetReportsNonExhaustion) {
+    // The unsatisfiable problem above, with a budget of 0 backtracks.
+    SimplicialComplex path =
+        SimplicialComplex::from_facets({Simplex{0, 1}, Simplex{1, 2}});
+    ChromaticComplex domain(path, {{0, 0}, {1, 1}, {2, 0}});
+    SimplicialComplex two =
+        SimplicialComplex::from_facets({Simplex{10, 11}, Simplex{20, 21}});
+    ChromaticComplex codomain(two, {{10, 0}, {11, 1}, {20, 0}, {21, 1}});
+    ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &codomain;
+    problem.allowed = allow_all(codomain);
+    problem.fixed = {{0, 10}, {2, 20}};
+    const auto result = solve_chromatic_map(problem, 1);
+    EXPECT_FALSE(result.map.has_value());
+    EXPECT_FALSE(result.exhausted);
+}
+
+TEST(ChromaticCsp, CheckRejectsBadMaps) {
+    const ChromaticComplex s = topo::ChromaticComplex::standard_simplex(1);
+    ChromaticMapProblem problem;
+    problem.domain = &s;
+    problem.codomain = &s;
+    problem.allowed = allow_all(s);
+    // Swapping colors is not chromatic.
+    SimplicialMap swap(std::unordered_map<topo::VertexId, topo::VertexId>{
+        {0, 1}, {1, 0}});
+    EXPECT_NE(check_chromatic_map(problem, swap), "");
+    // Identity is fine.
+    SimplicialMap id(std::unordered_map<topo::VertexId, topo::VertexId>{
+        {0, 0}, {1, 1}});
+    EXPECT_EQ(check_chromatic_map(problem, id), "");
+}
+
+TEST(ChromaticCsp, MissingInputsRejected) {
+    ChromaticMapProblem problem;
+    EXPECT_THROW(solve_chromatic_map(problem), precondition_error);
+}
+
+}  // namespace
+}  // namespace gact::core

@@ -1,0 +1,86 @@
+#include "topology/combinatorics.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gact::topo {
+namespace {
+
+TEST(OrderedPartitions, CountsAreOrderedBellNumbers) {
+    EXPECT_EQ(ordered_partitions(0).size(), 1u);
+    EXPECT_EQ(ordered_partitions(1).size(), 1u);
+    EXPECT_EQ(ordered_partitions(2).size(), 3u);
+    EXPECT_EQ(ordered_partitions(3).size(), 13u);
+    EXPECT_EQ(ordered_partitions(4).size(), 75u);
+    EXPECT_EQ(ordered_partitions(5).size(), 541u);
+}
+
+TEST(OrderedPartitions, BellNumberFormulaMatchesEnumeration) {
+    for (std::size_t n = 0; n <= 6; ++n) {
+        if (n <= 5) {
+            EXPECT_EQ(ordered_bell_number(n), ordered_partitions(n).size());
+        }
+    }
+    EXPECT_EQ(ordered_bell_number(6), 4683ull);
+    EXPECT_EQ(ordered_bell_number(7), 47293ull);
+}
+
+TEST(OrderedPartitions, EachIsAPartition) {
+    for (const auto& part : ordered_partitions(4)) {
+        std::set<std::size_t> seen;
+        for (const auto& block : part) {
+            EXPECT_FALSE(block.empty());
+            for (std::size_t i : block) {
+                EXPECT_TRUE(seen.insert(i).second) << "duplicate element";
+                EXPECT_LT(i, 4u);
+            }
+        }
+        EXPECT_EQ(seen.size(), 4u);
+    }
+}
+
+TEST(OrderedPartitions, AllDistinct) {
+    const auto parts = ordered_partitions(4);
+    std::set<std::vector<std::vector<std::size_t>>> unique(parts.begin(),
+                                                           parts.end());
+    EXPECT_EQ(unique.size(), parts.size());
+}
+
+TEST(OrderedPartitions, TwoElements) {
+    const auto parts = ordered_partitions(2);
+    // {0,1} together; 0 then 1; 1 then 0.
+    ASSERT_EQ(parts.size(), 3u);
+    std::set<std::size_t> block_counts;
+    for (const auto& p : parts) block_counts.insert(p.size());
+    EXPECT_EQ(block_counts, (std::set<std::size_t>{1, 2}));
+}
+
+TEST(Permutations, CountAndDistinctness) {
+    const auto perms = all_permutations(4);
+    EXPECT_EQ(perms.size(), 24u);
+    std::set<std::vector<std::size_t>> unique(perms.begin(), perms.end());
+    EXPECT_EQ(unique.size(), 24u);
+}
+
+TEST(Permutations, ZeroAndOne) {
+    EXPECT_EQ(all_permutations(0).size(), 1u);
+    EXPECT_EQ(all_permutations(1).size(), 1u);
+}
+
+// Ordered partitions into singleton blocks are exactly the permutations.
+TEST(OrderedPartitions, SingletonChainsArePermutations) {
+    const auto parts = ordered_partitions(4);
+    std::size_t chains = 0;
+    for (const auto& p : parts) {
+        bool all_singleton = true;
+        for (const auto& b : p) {
+            if (b.size() != 1) all_singleton = false;
+        }
+        if (all_singleton) ++chains;
+    }
+    EXPECT_EQ(chains, 24u);
+}
+
+}  // namespace
+}  // namespace gact::topo

@@ -1,0 +1,206 @@
+#include "protocol/commit_adopt.h"
+
+#include <gtest/gtest.h>
+
+#include "iis/run_enumeration.h"
+#include "protocol/verifier.h"
+
+namespace gact::protocol {
+namespace {
+
+using iis::OrderedPartition;
+
+OrderedPartition conc(std::initializer_list<gact::ProcessId> procs) {
+    return OrderedPartition::concurrent(ProcessSet::of(procs));
+}
+
+OrderedPartition seq(std::initializer_list<gact::ProcessId> order) {
+    return OrderedPartition::sequential(std::vector<gact::ProcessId>(order));
+}
+
+TEST(CommitAdopt, SoloProcessCommitsImmediately) {
+    ViewArena arena;
+    const iis::Run solo = iis::Run::forever(2, conc({0}));
+    CommitAdoptEvaluator eval(arena);
+    const ViewId v = solo.view(0, 2, arena);
+    const CaDecision d = eval.decision(v);
+    EXPECT_TRUE(d.commit);
+    EXPECT_EQ(d.value, Order{0});
+}
+
+TEST(CommitAdopt, LockstepProcessesDoNotCommitWithDistinctProposals) {
+    ViewArena arena;
+    const iis::Run lockstep = iis::Run::forever(2, conc({0, 1}));
+    CommitAdoptEvaluator eval(arena);
+    for (gact::ProcessId p = 0; p < 2; ++p) {
+        const CaDecision d = eval.decision(lockstep.view(p, 2, arena));
+        EXPECT_FALSE(d.commit);
+    }
+}
+
+TEST(CommitAdopt, LaggardAdoptsLeaderValue) {
+    ViewArena arena;
+    // p0 ahead: commits [0]; p1 sees p0's phase-1 and must adopt [0].
+    const iis::Run r = iis::Run::forever(2, seq({0, 1}));
+    CommitAdoptEvaluator eval(arena);
+    const CaDecision d0 = eval.decision(r.view(0, 2, arena));
+    EXPECT_TRUE(d0.commit);
+    EXPECT_EQ(d0.value, Order{0});
+    const CaDecision d1 = eval.decision(r.view(1, 2, arena));
+    EXPECT_FALSE(d1.commit);
+    EXPECT_EQ(d1.value, Order{0});  // adopted
+}
+
+TEST(CommitAdopt, AgreementAndConvergenceExhaustive) {
+    // Over every 2-round schedule of 3 processes (one commit-adopt
+    // instance): (a) all commits agree; (b) a commit forces every other
+    // process to hold the committed value as its estimate.
+    for (const OrderedPartition& r1 :
+         iis::all_ordered_partitions(ProcessSet::full(3))) {
+        for (const OrderedPartition& r2 :
+             iis::all_ordered_partitions(ProcessSet::full(3))) {
+            ViewArena arena;
+            const iis::Run run(3, {r1}, {r2});
+            CommitAdoptEvaluator eval(arena);
+            std::optional<Order> committed;
+            std::vector<Order> estimates(3);
+            for (gact::ProcessId p = 0; p < 3; ++p) {
+                const CaDecision d = eval.decision(run.view(p, 2, arena));
+                estimates[p] = d.value;
+                if (d.commit) {
+                    if (committed.has_value()) {
+                        EXPECT_EQ(*committed, d.value)
+                            << run.to_string();
+                    }
+                    committed = d.value;
+                }
+            }
+            if (committed.has_value()) {
+                for (gact::ProcessId p = 0; p < 3; ++p) {
+                    EXPECT_EQ(estimates[p], *committed) << run.to_string();
+                }
+            }
+        }
+    }
+}
+
+TEST(CommitAdopt, PrefixConsistencyAcrossInstances) {
+    // After p0 commits [0] in instance 1 of a sequential run, every later
+    // commit extends [0].
+    ViewArena arena;
+    const iis::Run r(3, {seq({0, 1, 2}), seq({0, 1, 2})}, {conc({1, 2})});
+    CommitAdoptEvaluator eval(arena);
+    const auto c0 = eval.first_commit(r.view(0, 2, arena));
+    ASSERT_TRUE(c0.has_value());
+    EXPECT_EQ(c0->second, Order{0});
+    // Run instances 2 and 3 for p1/p2 (rounds 3..6).
+    for (gact::ProcessId p = 1; p < 3; ++p) {
+        const auto c = eval.first_commit(r.view(p, 6, arena));
+        if (c.has_value()) {
+            ASSERT_GE(c->second.size(), 1u);
+            EXPECT_EQ(c->second[0], 0u) << "commit must extend [0]";
+        }
+    }
+}
+
+TEST(CommitAdopt, OwnViewChain) {
+    ViewArena arena;
+    const iis::Run r = iis::Run::forever(2, conc({0, 1}));
+    CommitAdoptEvaluator eval(arena);
+    const ViewId deep = r.view(0, 4, arena);
+    EXPECT_EQ(eval.own_view_at(deep, 2), r.view(0, 2, arena));
+    EXPECT_EQ(eval.own_view_at(deep, 0), r.view(0, 0, arena));
+    EXPECT_THROW(eval.own_view_at(deep, 6), precondition_error);
+}
+
+TEST(CommitAdopt, ProposalsExtendEstimatesWithSeenProcesses) {
+    ViewArena arena;
+    const iis::Run r = iis::Run::forever(3, seq({2, 0, 1}));
+    CommitAdoptEvaluator eval(arena);
+    // After 2 rounds, p1 saw everyone; its proposal starts with its
+    // estimate and appends the missing processes in id order.
+    const Order prop = eval.proposal(r.view(1, 2, arena));
+    EXPECT_EQ(prop.size(), 3u);
+    // Contains each process exactly once.
+    ProcessSet seen;
+    for (gact::ProcessId p : prop) {
+        EXPECT_FALSE(seen.contains(p));
+        seen = seen.with(p);
+    }
+    EXPECT_EQ(seen, ProcessSet::full(3));
+}
+
+// ---- The Section 4.5 reproduction: L_ord in OF_fast vs OF. ----
+
+struct LordFixture {
+    tasks::AffineTask lord = tasks::total_order_task(2);
+    ViewArena arena;
+};
+
+LordFixture& lord_fixture() {
+    static LordFixture f;
+    return f;
+}
+
+TEST(TotalOrderProtocol, SolvesLordInObstructionFreeFastModel) {
+    LordFixture& f = lord_fixture();
+    const auto of1 = std::make_shared<iis::ObstructionFreeModel>(1);
+    const iis::MinimalRunsModel of1_fast(of1);
+    const auto runs = iis::filter_by_model(
+        iis::enumerate_stabilized_runs(3, 2), of1_fast);
+    ASSERT_FALSE(runs.empty());
+    const TotalOrderProtocol protocol(f.lord, f.arena);
+    const auto report =
+        verify_inputless(f.lord.task, protocol, runs, 10, f.arena);
+    EXPECT_TRUE(report.solved) << report.summary();
+}
+
+TEST(TotalOrderProtocol, FailsInFullObstructionFreeModel) {
+    // Section 4.5: in the OF_1 run where the fast process stays ahead of
+    // two lockstep followers forever, the followers are infinitely
+    // participating but never commit: condition (1) fails. (And no
+    // protocol can fix this: L_ord is not solvable in OF.)
+    LordFixture& f = lord_fixture();
+    const iis::Run leader_ahead = iis::Run::forever(
+        3, iis::OrderedPartition(
+               {ProcessSet::of({0}), ProcessSet::of({1, 2})}));
+    ASSERT_TRUE(iis::ObstructionFreeModel(1).contains(leader_ahead));
+    const TotalOrderProtocol protocol(f.lord, f.arena);
+    const auto report = verify_inputless(f.lord.task, protocol,
+                                         {leader_ahead}, 10, f.arena);
+    EXPECT_FALSE(report.solved);
+    bool follower_starves = false;
+    for (const std::string& v : report.violations) {
+        if (v.find("never decides") != std::string::npos) {
+            follower_starves = true;
+        }
+    }
+    EXPECT_TRUE(follower_starves) << report.summary();
+}
+
+TEST(TotalOrderProtocol, SoloRunDecidesOwnCorner) {
+    LordFixture& f = lord_fixture();
+    const iis::Run solo = iis::Run::forever(3, conc({1}));
+    const TotalOrderProtocol protocol(f.lord, f.arena);
+    const auto out = protocol.output(solo.view(1, 2, f.arena), f.arena);
+    ASSERT_TRUE(out.has_value());
+    // The committed order is [1]: the output is corner 1 of Chr^2 s.
+    EXPECT_EQ(f.lord.subdivision.position(*out), topo::BaryPoint::vertex(1));
+}
+
+TEST(TotalOrderProtocol, OutputsAgreeOnCommonSigmaAlpha) {
+    // Sequential-forever run: p0 commits [0] solo; later p1 (seeing p0)
+    // commits an extension. Their outputs are faces of one sigma_alpha.
+    LordFixture& f = lord_fixture();
+    const iis::Run r(3, {seq({0, 1}), seq({0, 1})}, {conc({1})});
+    ASSERT_TRUE(
+        iis::MinimalRunsModel(std::make_shared<iis::ObstructionFreeModel>(1))
+            .contains(r));
+    const TotalOrderProtocol protocol(f.lord, f.arena);
+    const auto report = verify_inputless(f.lord.task, protocol, {r}, 10,
+                                         f.arena);
+    EXPECT_TRUE(report.solved) << report.summary();
+}
+
+}  // namespace
+}  // namespace gact::protocol

@@ -1,0 +1,84 @@
+#include "iis/compactness.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "iis/run_enumeration.h"
+
+namespace gact::iis {
+namespace {
+
+std::vector<iis::Run> family(std::size_t count, unsigned seed) {
+    std::mt19937 rng(seed);
+    std::vector<iis::Run> out;
+    while (out.size() < count) {
+        iis::Run r = random_stabilized_run(rng, 3, 2);
+        if (r.participants() == ProcessSet::full(3)) out.push_back(std::move(r));
+    }
+    return out;
+}
+
+TEST(Compactness, LargestClassAgreesOnTheRound) {
+    const auto runs = family(200, 1);
+    const auto cls = largest_agreeing_class(runs, 0);
+    ASSERT_FALSE(cls.empty());
+    for (const iis::Run& r : cls) {
+        EXPECT_TRUE(r.round(0) == cls.front().round(0));
+    }
+    // Pigeonhole: at least runs/13 (13 partitions of the full set).
+    EXPECT_GE(cls.size() * 13, runs.size());
+}
+
+TEST(Compactness, DiagonalDistancesShrink) {
+    const auto runs = family(500, 2);
+    const auto extraction = diagonal_extraction(runs, 4);
+    ASSERT_FALSE(extraction.survivors.empty());
+    for (const iis::Run& r : extraction.survivors) {
+        EXPECT_LE(r.distance_to(extraction.limit), Rational(1, 5));
+    }
+    // Class sizes are non-increasing.
+    for (std::size_t i = 1; i < extraction.class_sizes.size(); ++i) {
+        EXPECT_LE(extraction.class_sizes[i], extraction.class_sizes[i - 1]);
+    }
+}
+
+TEST(Compactness, LimitBelongsToTheSurvivors) {
+    const auto runs = family(100, 3);
+    const auto extraction = diagonal_extraction(runs, 3);
+    bool found = false;
+    for (const iis::Run& r : extraction.survivors) {
+        if (r == extraction.limit) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Compactness, EmptyFamilyRejected) {
+    EXPECT_THROW(diagonal_extraction({}, 2), precondition_error);
+    EXPECT_THROW(largest_agreeing_class({}, 0), precondition_error);
+}
+
+TEST(Compactness, SingletonFamilyIsItsOwnLimit) {
+    const iis::Run r = iis::Run::forever(
+        3, OrderedPartition::concurrent(ProcessSet::full(3)));
+    const auto extraction = diagonal_extraction({r}, 5);
+    EXPECT_EQ(extraction.survivors.size(), 1u);
+    EXPECT_TRUE(extraction.limit == r);
+}
+
+// The finite-ball property behind Lemma 5.1: only finitely many distinct
+// k-round prefixes exist, so some class must stay large.
+TEST(Compactness, PigeonholeBoundHolds) {
+    const auto runs = family(1000, 4);
+    std::vector<iis::Run> current = runs;
+    for (std::size_t depth = 0; depth < 3; ++depth) {
+        const std::size_t before = current.size();
+        current = largest_agreeing_class(current, depth);
+        // Any round has at most 25 (support, partition) choices for 3
+        // processes; the first round of these families is always full.
+        EXPECT_GE(current.size() * 25, before);
+    }
+}
+
+}  // namespace
+}  // namespace gact::iis

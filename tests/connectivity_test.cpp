@@ -1,0 +1,92 @@
+#include "topology/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/subdivision.h"
+
+namespace gact::topo {
+namespace {
+
+TEST(LinkConnected, SolidTriangle) {
+    const SimplicialComplex c =
+        SimplicialComplex::from_facets({Simplex{0, 1, 2}});
+    // Links: of a vertex, the opposite edge (0-connected ✓); of an edge,
+    // the opposite vertex ((-1)-connected ✓); of the triangle, empty
+    // ((-2)-connected, vacuous ✓).
+    EXPECT_TRUE(is_link_connected(c));
+}
+
+TEST(LinkConnected, ChrOfTriangle) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const SubdividedComplex chr =
+        SubdividedComplex::identity(s).chromatic_subdivision();
+    EXPECT_TRUE(is_link_connected(chr.complex().complex()));
+}
+
+TEST(LinkConnected, TwoTrianglesSharingAVertexFail) {
+    // The "bowtie": links of the shared vertex are two disjoint edges.
+    const SimplicialComplex c =
+        SimplicialComplex::from_facets({Simplex{0, 1, 2}, Simplex{2, 3, 4}});
+    const LinkConnectivityReport report = check_link_connected(c);
+    EXPECT_FALSE(report.link_connected);
+    ASSERT_TRUE(report.witness.has_value());
+    EXPECT_EQ(*report.witness, Simplex({2}));
+    EXPECT_EQ(report.required_connectivity, 0);
+}
+
+TEST(LinkConnected, TwoTrianglesSharingAnEdge) {
+    const SimplicialComplex c =
+        SimplicialComplex::from_facets({Simplex{0, 1, 2}, Simplex{1, 2, 3}});
+    EXPECT_TRUE(is_link_connected(c));
+}
+
+TEST(LinkConnected, PathGraphIsLinkConnectedAsPure1Complex) {
+    // n = 1: links of vertices must be (-1)-connected (non-empty): true for
+    // every vertex of a path; link of an edge must be (-2)-connected: vacuous.
+    const SimplicialComplex path = SimplicialComplex::from_facets(
+        {Simplex{0, 1}, Simplex{1, 2}, Simplex{2, 3}});
+    EXPECT_TRUE(is_link_connected(path));
+}
+
+TEST(LinkConnected, IsolatedVertexInGraphFails) {
+    // An isolated vertex in a 1-dimensional complex has an empty link,
+    // which is not (-1)-connected.
+    const SimplicialComplex c =
+        SimplicialComplex::from_facets({Simplex{0, 1}, Simplex{5}});
+    const LinkConnectivityReport report = check_link_connected(c);
+    EXPECT_FALSE(report.link_connected);
+    ASSERT_TRUE(report.witness.has_value());
+    EXPECT_EQ(*report.witness, Simplex({5}));
+}
+
+TEST(LinkConnected, ReportToString) {
+    const SimplicialComplex c =
+        SimplicialComplex::from_facets({Simplex{0, 1, 2}, Simplex{2, 3, 4}});
+    const LinkConnectivityReport report = check_link_connected(c);
+    EXPECT_NE(report.to_string().find("not link-connected"), std::string::npos);
+    const SimplicialComplex good =
+        SimplicialComplex::from_facets({Simplex{0, 1, 2}});
+    EXPECT_EQ(check_link_connected(good).to_string(), "link-connected");
+}
+
+// The paper's key negative example is checked in tasks tests: the total
+// order complex L_ord is not link-connected. Here we exercise the sweep on
+// subdivided simplices, which are always link-connected.
+class LinkConnectedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LinkConnectedSweep, ChrOfSimplexIsLinkConnected) {
+    const auto [n, k] = GetParam();
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(n);
+    const SubdividedComplex chr = SubdividedComplex::iterated_chromatic(s, k);
+    EXPECT_TRUE(is_link_connected(chr.complex().complex()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LinkConnectedSweep,
+                         ::testing::Values(std::make_tuple(1, 1),
+                                           std::make_tuple(1, 3),
+                                           std::make_tuple(2, 1),
+                                           std::make_tuple(2, 2)));
+
+}  // namespace
+}  // namespace gact::topo

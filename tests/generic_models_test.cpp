@@ -1,0 +1,147 @@
+// Generic sub-IIS models beyond the adversarial ones.
+//
+// The paper stresses (Sections 1, 10, 11) that its characterization
+// covers *arbitrary* subsets of IIS runs, including models that are not
+// determined by fast sets and have no shared-memory equivalent. The
+// leader model below — every round's first concurrency class is process
+// 0 — is such a model: consensus is solvable in it (everyone adopts the
+// leader's input), although consensus is unsolvable in every non-trivial
+// adversarial model.
+#include <gtest/gtest.h>
+
+#include "iis/run_enumeration.h"
+#include "protocol/verifier.h"
+#include "tasks/standard_tasks.h"
+
+namespace gact::protocol {
+namespace {
+
+/// The leader model: process 0 is alone in the first block of round 1
+/// (so every other participant sees its value immediately).
+iis::PredicateModel leader_model() {
+    return iis::PredicateModel("leader-first", [](const iis::Run& r) {
+        return r.round(0).blocks().front() == ProcessSet::of({0});
+    });
+}
+
+/// Decide the leader's input value: each process re-encodes the leader's
+/// input with its own color as soon as its view contains it.
+class LeaderConsensusProtocol final : public Protocol {
+public:
+    explicit LeaderConsensusProtocol(std::uint32_t num_values)
+        : num_values_(num_values) {}
+
+    std::optional<topo::VertexId> output(ViewId view,
+                                         const ViewArena& arena) const override {
+        const iis::ViewNode& node = arena.node(view);
+        if (node.depth < 1) return std::nullopt;
+        const auto leader_input = find_leader_input(view, arena);
+        if (!leader_input.has_value()) return std::nullopt;
+        return tasks::value_vertex(num_values_, node.owner,
+                                   *leader_input % num_values_);
+    }
+
+    std::string name() const override { return "adopt the leader"; }
+
+private:
+    std::uint32_t num_values_;
+
+    static std::optional<topo::VertexId> find_leader_input(
+        ViewId view, const ViewArena& arena) {
+        const iis::ViewNode& node = arena.node(view);
+        if (node.depth == 0) {
+            if (node.owner == 0) return node.input;
+            return std::nullopt;
+        }
+        for (iis::ViewId s : node.seen) {
+            const auto found = find_leader_input(s, arena);
+            if (found.has_value()) return found;
+        }
+        return std::nullopt;
+    }
+};
+
+std::vector<iis::Run> leader_runs() {
+    return iis::filter_by_model(iis::enumerate_stabilized_runs(3, 1),
+                                leader_model());
+}
+
+TEST(LeaderModel, IsNotDeterminedByFastSets) {
+    // Two runs with the same fast set, one inside the model and one
+    // outside: the leader model is not adversarial (Example 2.4 cannot
+    // express it).
+    const iis::Run in = iis::Run::forever(
+        3, iis::OrderedPartition({ProcessSet::of({0}),
+                                  ProcessSet::of({1, 2})}));
+    const iis::Run out = iis::Run::forever(
+        3, iis::OrderedPartition({ProcessSet::of({1}),
+                                  ProcessSet::of({0, 2})}));
+    const auto model = leader_model();
+    EXPECT_TRUE(model.contains(in));
+    EXPECT_FALSE(model.contains(out));
+    EXPECT_EQ(in.fast().size(), out.fast().size());
+}
+
+TEST(LeaderModel, ConsensusSolvable) {
+    // Consensus — wait-free unsolvable (see act_solver_test) — is
+    // solvable in this non-adversarial sub-IIS model.
+    const tasks::Task consensus = tasks::consensus_task(3, 2);
+    const LeaderConsensusProtocol protocol(2);
+    ViewArena arena;
+    const auto runs = leader_runs();
+    ASSERT_FALSE(runs.empty());
+    const auto report = verify_task(consensus, protocol, runs, 6, arena);
+    EXPECT_TRUE(report.solved) << report.summary();
+}
+
+TEST(LeaderModel, LeaderlessRunBreaksTheProtocol) {
+    // Outside the model, a run without the leader never decides for the
+    // others (condition (1) fails) — consensus is *not* solved in WF.
+    const tasks::Task consensus = tasks::consensus_task(3, 2);
+    const LeaderConsensusProtocol protocol(2);
+    ViewArena arena;
+    const iis::Run no_leader = iis::Run::forever(
+        3, iis::OrderedPartition::concurrent(ProcessSet::of({1, 2})));
+    const auto report = verify_task(consensus, protocol, {no_leader}, 6,
+                                    arena);
+    EXPECT_FALSE(report.solved);
+}
+
+TEST(LeaderModel, ModelAlgebra) {
+    // Intersecting with Res_1 and unioning with OF_1 compose as set
+    // algebra over runs.
+    const auto leader = std::make_shared<iis::PredicateModel>(leader_model());
+    const auto res1 = std::make_shared<iis::TResilientModel>(3, 1);
+    const iis::IntersectionModel both(leader, res1);
+    const iis::UnionModel either(leader, res1);
+    for (const iis::Run& r : iis::enumerate_stabilized_runs(3, 1)) {
+        EXPECT_EQ(both.contains(r), leader->contains(r) && res1->contains(r));
+        EXPECT_EQ(either.contains(r),
+                  leader->contains(r) || res1->contains(r));
+    }
+    EXPECT_NE(both.name().find("∩"), std::string::npos);
+    EXPECT_NE(either.name().find("∪"), std::string::npos);
+}
+
+TEST(LeaderModel, ConsensusDecisionsAreImmediateForObservers) {
+    // In a leader run, every round-1 participant decides at round 1.
+    const tasks::Task consensus = tasks::consensus_task(3, 2);
+    const LeaderConsensusProtocol protocol(2);
+    ViewArena arena;
+    const iis::Run r = iis::Run::forever(
+        3, iis::OrderedPartition({ProcessSet::of({0}),
+                                  ProcessSet::of({1, 2})}));
+    const std::vector<std::optional<topo::VertexId>> inputs = {
+        tasks::value_vertex(2, 0, 1), tasks::value_vertex(2, 1, 0),
+        tasks::value_vertex(2, 2, 0)};
+    for (gact::ProcessId p = 0; p < 3; ++p) {
+        const auto out = protocol.output(r.view(p, 1, arena, &inputs), arena);
+        ASSERT_TRUE(out.has_value());
+        // Everyone decides the leader's input value (value 1).
+        EXPECT_EQ(*out % 2, 1u);
+        EXPECT_EQ(consensus.outputs.color(*out), p);
+    }
+}
+
+}  // namespace
+}  // namespace gact::protocol

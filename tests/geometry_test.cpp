@@ -1,0 +1,151 @@
+#include "topology/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/require.h"
+
+namespace gact::topo {
+namespace {
+
+TEST(BaryPoint, VertexPoint) {
+    const BaryPoint p = BaryPoint::vertex(3);
+    EXPECT_EQ(p.coord(3), Rational(1));
+    EXPECT_EQ(p.coord(0), Rational(0));
+    EXPECT_EQ(p.support(), Simplex({3}));
+}
+
+TEST(BaryPoint, ConstructorValidatesSum) {
+    EXPECT_THROW(BaryPoint({{0, Rational(1, 2)}}), precondition_error);
+    EXPECT_NO_THROW(BaryPoint({{0, Rational(1, 2)}, {1, Rational(1, 2)}}));
+}
+
+TEST(BaryPoint, ConstructorRejectsNegative) {
+    EXPECT_THROW(
+        BaryPoint({{0, Rational(3, 2)}, {1, Rational(-1, 2)}}),
+        precondition_error);
+}
+
+TEST(BaryPoint, DropsZeroCoordinates) {
+    const BaryPoint p({{0, Rational(1)}, {5, Rational(0)}});
+    EXPECT_EQ(p.support(), Simplex({0}));
+}
+
+TEST(BaryPoint, Barycenter) {
+    const BaryPoint p = BaryPoint::barycenter(Simplex{0, 1, 2});
+    EXPECT_EQ(p.coord(0), Rational(1, 3));
+    EXPECT_EQ(p.coord(1), Rational(1, 3));
+    EXPECT_EQ(p.coord(2), Rational(1, 3));
+}
+
+TEST(BaryPoint, Combination) {
+    const BaryPoint a = BaryPoint::vertex(0);
+    const BaryPoint b = BaryPoint::vertex(1);
+    const BaryPoint mid =
+        BaryPoint::combination({a, b}, {Rational(1, 2), Rational(1, 2)});
+    EXPECT_EQ(mid.coord(0), Rational(1, 2));
+    EXPECT_EQ(mid.coord(1), Rational(1, 2));
+    EXPECT_EQ(mid.support(), Simplex({0, 1}));
+}
+
+TEST(BaryPoint, CombinationWeightsMustSumToOne) {
+    EXPECT_THROW(BaryPoint::combination({BaryPoint::vertex(0)},
+                                        {Rational(1, 2)}),
+                 precondition_error);
+}
+
+TEST(BaryPoint, L1Distance) {
+    const BaryPoint a = BaryPoint::vertex(0);
+    const BaryPoint b = BaryPoint::vertex(1);
+    EXPECT_EQ(a.l1_distance(b), Rational(2));
+    EXPECT_EQ(a.l1_distance(a), Rational(0));
+    const BaryPoint mid =
+        BaryPoint::combination({a, b}, {Rational(1, 2), Rational(1, 2)});
+    EXPECT_EQ(a.l1_distance(mid), Rational(1));
+    // Triangle inequality on a sample.
+    EXPECT_LE(a.l1_distance(b), a.l1_distance(mid) + mid.l1_distance(b));
+}
+
+TEST(AffineCoordinates, RecoverWeights) {
+    const BaryPoint a = BaryPoint::vertex(0);
+    const BaryPoint b = BaryPoint::vertex(1);
+    const BaryPoint c = BaryPoint::vertex(2);
+    const BaryPoint p = BaryPoint::combination(
+        {a, b, c}, {Rational(1, 2), Rational(1, 3), Rational(1, 6)});
+    const auto w = affine_coordinates(p, {a, b, c});
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w[0], Rational(1, 2));
+    EXPECT_EQ(w[1], Rational(1, 3));
+    EXPECT_EQ(w[2], Rational(1, 6));
+}
+
+TEST(AffineCoordinates, OutsidePointHasNegativeWeight) {
+    const BaryPoint a = BaryPoint::vertex(0);
+    const BaryPoint m = BaryPoint::combination(
+        {a, BaryPoint::vertex(1)}, {Rational(1, 2), Rational(1, 2)});
+    // The point "vertex 1" relative to {a, m}: 1 = -1*a + 2*m.
+    const auto w = affine_coordinates(BaryPoint::vertex(1), {a, m});
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_EQ(w[0], Rational(-1));
+    EXPECT_EQ(w[1], Rational(2));
+}
+
+TEST(AffineCoordinates, DependentVerticesRejected) {
+    const BaryPoint a = BaryPoint::vertex(0);
+    EXPECT_TRUE(affine_coordinates(a, {a, a}).empty());
+}
+
+TEST(AffineCoordinates, PointOutsideAffineHull) {
+    const BaryPoint a = BaryPoint::vertex(0);
+    const BaryPoint b = BaryPoint::vertex(1);
+    // Vertex 2 is not on the line through vertices 0 and 1.
+    EXPECT_TRUE(affine_coordinates(BaryPoint::vertex(2), {a, b}).empty());
+}
+
+TEST(PointInSimplex, InteriorBoundaryExterior) {
+    const BaryPoint a = BaryPoint::vertex(0);
+    const BaryPoint b = BaryPoint::vertex(1);
+    const BaryPoint c = BaryPoint::vertex(2);
+    EXPECT_TRUE(point_in_simplex(BaryPoint::barycenter(Simplex{0, 1, 2}),
+                                 {a, b, c}));
+    EXPECT_TRUE(point_in_simplex(a, {a, b, c}));  // vertex: boundary
+    const BaryPoint edge_mid =
+        BaryPoint::combination({a, b}, {Rational(1, 2), Rational(1, 2)});
+    EXPECT_TRUE(point_in_simplex(edge_mid, {a, b, c}));
+    EXPECT_FALSE(point_in_simplex(c, {a, b}));
+}
+
+TEST(RelativeVolume, WholeSimplexIsOne) {
+    const Simplex base{0, 1, 2};
+    EXPECT_EQ(relative_volume({BaryPoint::vertex(0), BaryPoint::vertex(1),
+                               BaryPoint::vertex(2)},
+                              base),
+              Rational(1));
+}
+
+TEST(RelativeVolume, HalfEdge) {
+    const Simplex base{0, 1};
+    const BaryPoint mid = BaryPoint::combination(
+        {BaryPoint::vertex(0), BaryPoint::vertex(1)},
+        {Rational(1, 2), Rational(1, 2)});
+    EXPECT_EQ(relative_volume({BaryPoint::vertex(0), mid}, base),
+              Rational(1, 2));
+}
+
+TEST(RelativeVolume, DegenerateIsZero) {
+    const Simplex base{0, 1};
+    EXPECT_EQ(relative_volume({BaryPoint::vertex(0), BaryPoint::vertex(0)},
+                              base),
+              Rational(0));
+}
+
+TEST(BaryPoint, HashingAgreesOnEqualPoints) {
+    const BaryPoint p = BaryPoint::barycenter(Simplex{0, 1});
+    const BaryPoint q = BaryPoint::combination(
+        {BaryPoint::vertex(0), BaryPoint::vertex(1)},
+        {Rational(1, 2), Rational(1, 2)});
+    EXPECT_EQ(p, q);
+    EXPECT_EQ(hash_value(p), hash_value(q));
+}
+
+}  // namespace
+}  // namespace gact::topo

@@ -1,0 +1,198 @@
+#include "topology/homology.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "topology/subdivision.h"
+
+namespace gact::topo {
+namespace {
+
+SimplicialComplex circle() {
+    return SimplicialComplex::from_facets(
+        {Simplex{0, 1}, Simplex{1, 2}, Simplex{0, 2}});
+}
+
+SimplicialComplex sphere2() {
+    // Boundary of the tetrahedron.
+    return SimplicialComplex::from_facets({Simplex{0, 1, 2}, Simplex{0, 1, 3},
+                                           Simplex{0, 2, 3},
+                                           Simplex{1, 2, 3}});
+}
+
+// A triangulation of the real projective plane RP^2 (6 vertices, the
+// standard minimal triangulation): tests torsion Z/2 in H_1.
+SimplicialComplex projective_plane() {
+    // Antipodal quotient of the icosahedron: 6 vertices, 15 edges, 10
+    // triangles, every edge in exactly two triangles, Euler char 1.
+    return SimplicialComplex::from_facets(
+        {Simplex{0, 1, 4}, Simplex{0, 1, 5}, Simplex{0, 2, 3},
+         Simplex{0, 2, 5}, Simplex{0, 3, 4}, Simplex{1, 2, 3},
+         Simplex{1, 2, 4}, Simplex{1, 3, 5}, Simplex{2, 4, 5},
+         Simplex{3, 4, 5}});
+}
+
+TEST(BoundaryMatrix, EdgeBoundary) {
+    const SimplicialComplex c = SimplicialComplex::from_facets({Simplex{0, 1}});
+    const IntMatrix m = boundary_matrix(c, 1);
+    ASSERT_EQ(m.rows, 2u);
+    ASSERT_EQ(m.cols, 1u);
+    // d[0,1] = [1] - [0]; faces sorted as {0},{1}; dropping vertex 0 first.
+    EXPECT_EQ(m.at(0, 0) + m.at(1, 0), 0);
+    EXPECT_EQ(std::abs(m.at(0, 0)), 1);
+}
+
+TEST(BoundaryMatrix, BoundaryOfBoundaryIsZero) {
+    const SimplicialComplex c = sphere2();
+    const IntMatrix d2 = boundary_matrix(c, 2);
+    const IntMatrix d1 = boundary_matrix(c, 1);
+    // (d1 * d2) must vanish.
+    for (std::size_t i = 0; i < d1.rows; ++i) {
+        for (std::size_t j = 0; j < d2.cols; ++j) {
+            std::int64_t sum = 0;
+            for (std::size_t k = 0; k < d1.cols; ++k) {
+                sum += d1.at(i, k) * d2.at(k, j);
+            }
+            EXPECT_EQ(sum, 0);
+        }
+    }
+}
+
+TEST(Smith, DiagonalMatrix) {
+    IntMatrix m;
+    m.rows = m.cols = 2;
+    m.entries = {2, 0, 0, 3};
+    const auto f = smith_invariant_factors(m);
+    ASSERT_EQ(f.size(), 2u);
+    // Invariant factors 1, 6 (each divides the next).
+    EXPECT_EQ(f[0] * f[1], 6);
+    EXPECT_EQ(f[1] % f[0], 0);
+}
+
+TEST(Smith, RankOfSingularMatrix) {
+    IntMatrix m;
+    m.rows = m.cols = 2;
+    m.entries = {1, 2, 2, 4};
+    EXPECT_EQ(matrix_rank(m), 1u);
+}
+
+TEST(Smith, ZeroMatrix) {
+    IntMatrix m;
+    m.rows = 3;
+    m.cols = 2;
+    m.entries.assign(6, 0);
+    EXPECT_TRUE(smith_invariant_factors(m).empty());
+    EXPECT_EQ(matrix_rank(m), 0u);
+}
+
+TEST(Homology, PointIsTrivial) {
+    const SimplicialComplex c = SimplicialComplex::from_facets({Simplex{0}});
+    const auto h = reduced_homology(c);
+    ASSERT_EQ(h.size(), 1u);
+    EXPECT_TRUE(h[0].is_trivial());
+}
+
+TEST(Homology, TriangleIsContractible) {
+    const SimplicialComplex c =
+        SimplicialComplex::from_facets({Simplex{0, 1, 2}});
+    for (const auto& g : reduced_homology(c)) EXPECT_TRUE(g.is_trivial());
+}
+
+TEST(Homology, CircleHasH1) {
+    const auto h = reduced_homology(circle());
+    ASSERT_EQ(h.size(), 2u);
+    EXPECT_TRUE(h[0].is_trivial());
+    EXPECT_EQ(h[1].betti, 1u);
+    EXPECT_TRUE(h[1].torsion.empty());
+}
+
+TEST(Homology, SphereHasH2) {
+    const auto h = reduced_homology(sphere2());
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_TRUE(h[0].is_trivial());
+    EXPECT_TRUE(h[1].is_trivial());
+    EXPECT_EQ(h[2].betti, 1u);
+}
+
+TEST(Homology, TwoComponents) {
+    const SimplicialComplex c =
+        SimplicialComplex::from_facets({Simplex{0}, Simplex{1}});
+    const auto h = reduced_homology(c);
+    EXPECT_EQ(h[0].betti, 1u);  // reduced H_0 counts components minus one
+}
+
+TEST(Homology, ProjectivePlaneTorsion) {
+    const auto h = reduced_homology(projective_plane());
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_TRUE(h[0].is_trivial());
+    EXPECT_EQ(h[1].betti, 0u);
+    ASSERT_EQ(h[1].torsion.size(), 1u);
+    EXPECT_EQ(h[1].torsion[0], 2);  // H_1(RP^2) = Z/2
+    EXPECT_TRUE(h[2].is_trivial()); // H_2(RP^2; Z) = 0
+}
+
+TEST(Connectivity, Conventions) {
+    SimplicialComplex empty;
+    EXPECT_TRUE(is_k_connected(empty, -2));
+    EXPECT_FALSE(is_k_connected(empty, -1));
+    const SimplicialComplex pt = SimplicialComplex::from_facets({Simplex{0}});
+    EXPECT_TRUE(is_k_connected(pt, -1));
+    EXPECT_TRUE(is_k_connected(pt, 0));
+    EXPECT_TRUE(is_k_connected(pt, 5));  // contractible
+}
+
+TEST(Connectivity, CircleIsConnectedButNotSimplyConnected) {
+    EXPECT_TRUE(is_k_connected(circle(), 0));
+    EXPECT_FALSE(is_k_connected(circle(), 1));
+}
+
+TEST(Connectivity, SphereIsSimplyConnectedButNot2Connected) {
+    EXPECT_TRUE(is_k_connected(sphere2(), 1));
+    EXPECT_FALSE(is_k_connected(sphere2(), 2));
+}
+
+TEST(Connectivity, DisconnectedFails0) {
+    const SimplicialComplex c =
+        SimplicialComplex::from_facets({Simplex{0}, Simplex{1}});
+    EXPECT_TRUE(is_k_connected(c, -1));
+    EXPECT_FALSE(is_k_connected(c, 0));
+}
+
+// Property: Chr^k of the standard simplex remains contractible (it is a
+// subdivision of a disk).
+class ChrHomologySweep : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(ChrHomologySweep, SubdivisionPreservesTrivialHomology) {
+    const auto [n, k] = GetParam();
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(n);
+    const SubdividedComplex chr = SubdividedComplex::iterated_chromatic(s, k);
+    for (const auto& g : reduced_homology(chr.complex().complex())) {
+        EXPECT_TRUE(g.is_trivial());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChrHomologySweep,
+                         ::testing::Values(std::make_tuple(1, 2),
+                                           std::make_tuple(2, 1),
+                                           std::make_tuple(2, 2)));
+
+// Property: the boundary of Chr(s) is a subdivided (n-1)-sphere.
+TEST(Homology, ChrBoundaryIsSphere) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const SubdividedComplex chr =
+        SubdividedComplex::identity(s).chromatic_subdivision();
+    // Keep only simplices carried by proper faces of s.
+    SimplicialComplex boundary;
+    for (const Simplex& f : chr.complex().complex().simplices()) {
+        if (chr.carrier_of(f).dimension() < 2) boundary.add_simplex(f);
+    }
+    const auto h = reduced_homology(boundary);
+    ASSERT_EQ(h.size(), 2u);
+    EXPECT_TRUE(h[0].is_trivial());
+    EXPECT_EQ(h[1].betti, 1u);
+}
+
+}  // namespace
+}  // namespace gact::topo

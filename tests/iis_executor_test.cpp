@@ -1,0 +1,175 @@
+#include "sm/iis_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+namespace gact::sm {
+namespace {
+
+std::vector<ProcessId> round_robin(std::initializer_list<ProcessId> procs,
+                                   std::size_t rounds) {
+    std::vector<ProcessId> s;
+    for (std::size_t i = 0; i < rounds; ++i) {
+        for (ProcessId p : procs) s.push_back(p);
+    }
+    return s;
+}
+
+TEST(IisExecutor, RoundRobinRealizesConcurrentRounds) {
+    iis::ViewArena arena;
+    const auto prefix =
+        run_iis_round_robin(3, ProcessSet::full(3), 3, arena);
+    ASSERT_EQ(prefix.size(), 3u);
+    for (const iis::OrderedPartition& p : prefix) {
+        EXPECT_EQ(p.support(), ProcessSet::full(3));
+        // Lockstep round-robin: everyone in one concurrency class.
+        EXPECT_EQ(p.num_blocks(), 1u);
+    }
+}
+
+TEST(IisExecutor, ViewsMatchAbstractRunSemantics) {
+    // Execute three levels on shared memory, then recompute views from the
+    // extracted run with the abstract Run machinery: they must be
+    // identical arena nodes.
+    iis::ViewArena arena;
+    IisExecution exec(3, ProcessSet::full(3), arena);
+    exec.run_levels(round_robin({0, 1, 2}, 40), 3);
+    const auto prefix = exec.extract_prefix();
+    ASSERT_GE(prefix.size(), 3u);
+
+    const iis::Run run(3, prefix,
+                       {iis::OrderedPartition::concurrent(ProcessSet::full(3))});
+    for (ProcessId p = 0; p < 3; ++p) {
+        EXPECT_EQ(exec.view_of(p), run.view(p, 3, arena));
+    }
+}
+
+TEST(IisExecutor, SequentialScheduleRealizesOrderedBlocks) {
+    iis::ViewArena arena;
+    IisExecution exec(2, ProcessSet::full(2), arena);
+    // p0 completes level 0 alone, then p1 runs.
+    std::vector<ProcessId> schedule(10, 0);
+    schedule.insert(schedule.end(), 10, 1);
+    const std::vector<ProcessId> tail = round_robin({0, 1}, 10);
+    schedule.insert(schedule.end(), tail.begin(), tail.end());
+    exec.run_levels(schedule, 1);
+    const auto p0 = exec.partition_of_level(0);
+    EXPECT_EQ(p0.num_blocks(), 2u);
+    EXPECT_EQ(p0.blocks()[0], ProcessSet::of({0}));
+}
+
+TEST(IisExecutor, LaggardEntersLaterLevelBehind) {
+    iis::ViewArena arena;
+    IisExecution exec(2, ProcessSet::full(2), arena);
+    // p0 sprints through two levels before p1 takes any step.
+    std::vector<ProcessId> schedule(20, 0);
+    schedule.insert(schedule.end(), 20, 1);
+    exec.run_levels(schedule, 2);
+    // In each level p0 went first: partitions are ({0}|{1}).
+    for (std::size_t m = 0; m < 2; ++m) {
+        const auto part = exec.partition_of_level(m);
+        EXPECT_EQ(part.num_blocks(), 2u);
+        EXPECT_EQ(part.blocks()[0], ProcessSet::of({0}));
+        EXPECT_EQ(part.blocks()[1], ProcessSet::of({1}));
+    }
+    // p0 never saw p1.
+    EXPECT_EQ(arena.processes_in(exec.view_of(0)), ProcessSet::of({0}));
+    EXPECT_EQ(arena.processes_in(exec.view_of(1)), ProcessSet::full(2));
+}
+
+TEST(IisExecutor, NonParticipantsAreSkipped) {
+    iis::ViewArena arena;
+    IisExecution exec(3, ProcessSet::of({0, 1}), arena);
+    exec.step(2);  // no-op
+    exec.run_levels(round_robin({0, 1}, 20), 2);
+    const auto prefix = exec.extract_prefix();
+    ASSERT_GE(prefix.size(), 2u);
+    EXPECT_EQ(prefix[0].support(), ProcessSet::of({0, 1}));
+}
+
+TEST(IisExecutor, InputsFlowIntoInitialViews) {
+    iis::ViewArena arena;
+    const std::vector<std::optional<topo::VertexId>> inputs = {7, 9};
+    IisExecution exec(2, ProcessSet::full(2), arena, &inputs);
+    exec.run_levels(round_robin({0, 1}, 10), 1);
+    const iis::ViewNode& n = arena.node(exec.view_of(0));
+    ASSERT_EQ(n.seen.size(), 2u);
+    EXPECT_EQ(arena.node(n.seen[0]).input, topo::VertexId{7});
+    EXPECT_EQ(arena.node(n.seen[1]).input, topo::VertexId{9});
+}
+
+TEST(IisExecutor, PartitionOfUnfinishedLevelThrows) {
+    iis::ViewArena arena;
+    IisExecution exec(2, ProcessSet::full(2), arena);
+    exec.step(0);  // p0 has entered level 0; p1 has not finished
+    EXPECT_THROW(exec.partition_of_level(0), precondition_error);
+}
+
+TEST(IisExecutor, ScheduleTooShortThrows) {
+    iis::ViewArena arena;
+    IisExecution exec(2, ProcessSet::full(2), arena);
+    EXPECT_THROW(exec.run_levels({0, 1, 0}, 2), precondition_error);
+}
+
+TEST(IisExecutor, RandomSchedulesAlwaysYieldValidRunPrefixes) {
+    std::mt19937 rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        iis::ViewArena arena;
+        IisExecution exec(3, ProcessSet::full(3), arena);
+        std::uniform_int_distribution<int> coin(0, 2);
+        // Enough random steps for everyone to clear 2 levels.
+        for (int i = 0; i < 400; ++i) {
+            exec.step(static_cast<ProcessId>(coin(rng)));
+        }
+        const auto prefix = exec.extract_prefix();
+        ASSERT_GE(prefix.size(), 2u) << "trial " << trial;
+        // Prefix must be a valid run: decreasing supports is automatic
+        // here (full participation), Run construction validates the rest.
+        const iis::Run run(
+            3, std::vector<iis::OrderedPartition>(prefix.begin(),
+                                                  prefix.begin() + 2),
+            {iis::OrderedPartition::concurrent(ProcessSet::full(3))});
+        // Views agree between the SM execution and the abstract run for
+        // processes currently sitting exactly at level 2.
+        for (ProcessId p = 0; p < 3; ++p) {
+            if (exec.level_of(p) == 2) {
+                EXPECT_EQ(exec.view_of(p), run.view(p, 2, arena));
+            }
+        }
+    }
+}
+
+
+TEST(IisExecutor, ExhaustivePrefixEnumerationTwoProcessesTwoLevels) {
+    // Over every SM schedule, the chained executor realizes exactly the
+    // 3 x 3 combinations of ordered partitions per level: the IIS model's
+    // round structure, reached from shared memory alone.
+    const auto prefixes = sm::enumerate_iis_prefixes(2, 2);
+    EXPECT_EQ(prefixes.size(), 9u);
+    std::set<std::string> seen;
+    for (const auto& prefix : prefixes) {
+        ASSERT_EQ(prefix.size(), 2u);
+        seen.insert(prefix[0].to_string() + prefix[1].to_string());
+        for (const auto& part : prefix) {
+            EXPECT_EQ(part.support(), ProcessSet::full(2));
+        }
+    }
+    EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(IisExecutor, ExhaustivePrefixEnumerationThreeProcessesOneLevel) {
+    // One level over 3 processes: the 13 ordered partitions again, now
+    // through the chained executor.
+    const auto prefixes = sm::enumerate_iis_prefixes(3, 1);
+    EXPECT_EQ(prefixes.size(), 13u);
+}
+
+TEST(IisExecutor, PrefixEnumerationGuardsItsStateSpace) {
+    EXPECT_THROW(sm::enumerate_iis_prefixes(4, 1), precondition_error);
+    EXPECT_THROW(sm::enumerate_iis_prefixes(2, 3), precondition_error);
+}
+
+}  // namespace
+}  // namespace gact::sm

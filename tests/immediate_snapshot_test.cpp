@@ -1,0 +1,147 @@
+#include "sm/immediate_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/chromatic_complex.h"
+#include "topology/subdivision.h"
+
+namespace gact::sm {
+namespace {
+
+std::vector<std::optional<Word>> inputs(std::initializer_list<Word> values) {
+    std::vector<std::optional<Word>> out;
+    for (Word w : values) out.emplace_back(w);
+    return out;
+}
+
+std::vector<ProcessId> round_robin(std::uint32_t n, std::size_t rounds) {
+    std::vector<ProcessId> s;
+    for (std::size_t i = 0; i < rounds; ++i) {
+        for (ProcessId p = 0; p < n; ++p) s.push_back(p);
+    }
+    return s;
+}
+
+TEST(ImmediateSnapshot, SoloProcessSeesOnlyItself) {
+    const auto out = run_immediate_snapshot(
+        1, inputs({42}), std::vector<ProcessId>(10, 0));
+    EXPECT_EQ(out.result_sets[0], ProcessSet::of({0}));
+    EXPECT_EQ(out.values[0][0], Word{42});
+    EXPECT_EQ(check_is_properties(out), "");
+}
+
+TEST(ImmediateSnapshot, LockstepProcessesSeeEachOther) {
+    const auto out =
+        run_immediate_snapshot(2, inputs({10, 20}), round_robin(2, 10));
+    EXPECT_EQ(check_is_properties(out), "");
+    EXPECT_EQ(out.result_sets[0], ProcessSet::full(2));
+    EXPECT_EQ(out.result_sets[1], ProcessSet::full(2));
+    EXPECT_EQ(out.values[0][1], Word{20});
+    EXPECT_EQ(out.values[1][0], Word{10});
+}
+
+TEST(ImmediateSnapshot, SequentialProcessesNest) {
+    // p0 runs to completion, then p1.
+    std::vector<ProcessId> schedule(10, 0);
+    schedule.insert(schedule.end(), 10, 1);
+    const auto out = run_immediate_snapshot(2, inputs({10, 20}), schedule);
+    EXPECT_EQ(check_is_properties(out), "");
+    EXPECT_EQ(out.result_sets[0], ProcessSet::of({0}));
+    EXPECT_EQ(out.result_sets[1], ProcessSet::full(2));
+}
+
+TEST(ImmediateSnapshot, PartitionExtraction) {
+    std::vector<ProcessId> schedule(10, 0);
+    schedule.insert(schedule.end(), 10, 1);
+    const auto out = run_immediate_snapshot(2, inputs({10, 20}), schedule);
+    const iis::OrderedPartition p = outcome_partition(out);
+    EXPECT_EQ(p.num_blocks(), 2u);
+    EXPECT_EQ(p.blocks()[0], ProcessSet::of({0}));
+    EXPECT_EQ(p.blocks()[1], ProcessSet::of({1}));
+}
+
+TEST(ImmediateSnapshot, TooShortScheduleThrows) {
+    EXPECT_THROW(
+        run_immediate_snapshot(2, inputs({1, 2}), {0, 1}),
+        precondition_error);
+}
+
+TEST(ImmediateSnapshot, MissingInputThrows) {
+    std::vector<std::optional<Word>> vals(2);
+    vals[0] = 7;
+    EXPECT_THROW(run_immediate_snapshot(2, vals, {1, 1, 1, 1}),
+                 precondition_error);
+}
+
+TEST(ImmediateSnapshot, AllOutcomesSatisfyIsProperties) {
+    for (std::uint32_t n = 1; n <= 3; ++n) {
+        std::vector<std::optional<Word>> vals;
+        for (ProcessId p = 0; p < n; ++p) vals.emplace_back(100 + p);
+        const auto outcomes =
+            enumerate_is_outcomes(n, vals, ProcessSet::full(n));
+        EXPECT_FALSE(outcomes.empty());
+        for (const IsOutcome& out : outcomes) {
+            EXPECT_EQ(check_is_properties(out), "");
+            EXPECT_EQ(out.finished, ProcessSet::full(n));
+        }
+    }
+}
+
+TEST(ImmediateSnapshot, OutcomesRealizeAllOrderedPartitions) {
+    // The reachable outcomes of the BG protocol are exactly the ordered
+    // partitions: the facets of Chr s (13 for three processes).
+    std::vector<std::optional<Word>> vals = {1, 2, 3};
+    const auto outcomes = enumerate_is_outcomes(3, vals, ProcessSet::full(3));
+    std::set<std::string> partitions;
+    for (const IsOutcome& out : outcomes) {
+        partitions.insert(outcome_partition(out).to_string());
+    }
+    EXPECT_EQ(partitions.size(), 13u);
+}
+
+TEST(ImmediateSnapshot, TwoProcessOutcomesAreChrEdges) {
+    std::vector<std::optional<Word>> vals = {1, 2};
+    const auto outcomes = enumerate_is_outcomes(2, vals, ProcessSet::full(2));
+    std::set<std::string> partitions;
+    for (const IsOutcome& out : outcomes) {
+        partitions.insert(outcome_partition(out).to_string());
+    }
+    // 3 outcomes = the 3 edges of the subdivided edge Chr s, n = 1.
+    EXPECT_EQ(partitions.size(), 3u);
+    const auto chr = topo::SubdividedComplex::identity(
+                         topo::ChromaticComplex::standard_simplex(1))
+                         .chromatic_subdivision();
+    EXPECT_EQ(chr.complex().facets().size(), partitions.size());
+}
+
+TEST(ImmediateSnapshot, SubsetParticipation) {
+    // Only processes 0 and 2 of three participate.
+    std::vector<std::optional<Word>> vals(3);
+    vals[0] = 5;
+    vals[2] = 7;
+    const auto outcomes =
+        enumerate_is_outcomes(3, vals, ProcessSet::of({0, 2}));
+    std::set<std::string> partitions;
+    for (const IsOutcome& out : outcomes) {
+        EXPECT_EQ(check_is_properties(out), "");
+        partitions.insert(outcome_partition(out).to_string());
+    }
+    EXPECT_EQ(partitions.size(), 3u);  // ordered partitions of {0,2}
+}
+
+TEST(ImmediateSnapshot, ReturnedValuesMatchWriters) {
+    std::vector<std::optional<Word>> vals = {11, 22, 33};
+    for (const IsOutcome& out :
+         enumerate_is_outcomes(3, vals, ProcessSet::full(3))) {
+        for (ProcessId p : out.finished.members()) {
+            for (ProcessId q : out.result_sets[p].members()) {
+                EXPECT_EQ(out.values[p][q], vals[q]);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace gact::sm

@@ -1,0 +1,157 @@
+#include "iis/models.h"
+
+#include <gtest/gtest.h>
+
+#include "iis/run_enumeration.h"
+
+namespace gact::iis {
+namespace {
+
+OrderedPartition seq(std::initializer_list<ProcessId> order) {
+    return OrderedPartition::sequential(std::vector<ProcessId>(order));
+}
+
+OrderedPartition conc(std::initializer_list<ProcessId> procs) {
+    return OrderedPartition::concurrent(ProcessSet::of(procs));
+}
+
+TEST(Models, WaitFreeContainsEverything) {
+    const WaitFreeModel wf;
+    for (const iis::Run& r : enumerate_stabilized_runs(2, 1)) {
+        EXPECT_TRUE(wf.contains(r));
+    }
+    EXPECT_EQ(wf.name(), "WF");
+}
+
+TEST(Models, TResilientBounds) {
+    // 3 processes, t = 1: at least 2 fast processes required.
+    const TResilientModel res1(3, 1);
+    EXPECT_TRUE(res1.contains(iis::Run::forever(3, conc({0, 1, 2}))));
+    EXPECT_TRUE(res1.contains(iis::Run::forever(3, conc({0, 1}))));
+    EXPECT_FALSE(res1.contains(iis::Run::forever(3, conc({0}))));
+    // Leader ahead of concurrent followers: fast = {0}, not 1-resilient.
+    EXPECT_FALSE(res1.contains(iis::Run::forever(
+        3, OrderedPartition({ProcessSet::of({0}), ProcessSet::of({1, 2})}))));
+    EXPECT_EQ(res1.name(), "Res_1");
+}
+
+TEST(Models, TResilientRejectsWrongProcessCount) {
+    const TResilientModel res1(3, 1);
+    EXPECT_THROW(res1.contains(iis::Run::forever(2, conc({0}))),
+                 precondition_error);
+    EXPECT_THROW(TResilientModel(3, 3), precondition_error);
+}
+
+TEST(Models, WaitFreeEqualsNMinusOneResilient) {
+    // Res_n on n+1 processes allows any non-empty fast set = all runs.
+    const TResilientModel res2(3, 2);
+    const WaitFreeModel wf;
+    for (const iis::Run& r : enumerate_stabilized_runs(3, 1)) {
+        EXPECT_EQ(res2.contains(r), wf.contains(r)) << r.to_string();
+    }
+}
+
+TEST(Models, ObstructionFree) {
+    const ObstructionFreeModel of1(1);
+    EXPECT_TRUE(of1.contains(iis::Run::forever(3, conc({0}))));
+    EXPECT_TRUE(of1.contains(iis::Run::forever(3, seq({0, 1, 2}))));
+    EXPECT_FALSE(of1.contains(iis::Run::forever(3, conc({0, 1}))));
+    // Leader with concurrent followers has fast = {0}: obstruction-free.
+    EXPECT_TRUE(of1.contains(iis::Run::forever(
+        3, OrderedPartition({ProcessSet::of({0}), ProcessSet::of({1, 2})}))));
+    EXPECT_EQ(of1.name(), "OF_1");
+}
+
+TEST(Models, ObstructionFreePartitionOfRuns) {
+    // OF_k for k = n+1 is the whole of WF.
+    const ObstructionFreeModel of3(3);
+    for (const iis::Run& r : enumerate_stabilized_runs(3, 1)) {
+        EXPECT_TRUE(of3.contains(r));
+    }
+}
+
+TEST(Models, AdversaryModel) {
+    // Adversary allowing only slow sets {} and {2}: process 2 may be slow.
+    const AdversaryModel adv("adv", {ProcessSet(), ProcessSet::of({2})});
+    EXPECT_TRUE(adv.contains(iis::Run::forever(3, conc({0, 1, 2}))));
+    EXPECT_TRUE(adv.contains(iis::Run::forever(3, conc({0, 1}))));
+    EXPECT_FALSE(adv.contains(iis::Run::forever(3, conc({0, 2}))));
+    EXPECT_FALSE(adv.contains(iis::Run::forever(3, conc({0}))));
+    EXPECT_EQ(adv.name(), "adv");
+}
+
+TEST(Models, TResilientIsAnAdversaryModel) {
+    // Res_t = M_adv({A : |A| <= t}); check extensional equality on the
+    // enumeration (paper, Examples 2.2 and 2.4).
+    std::vector<ProcessSet> small_sets = {ProcessSet()};
+    for (const ProcessSet s : nonempty_subsets(ProcessSet::full(3))) {
+        if (s.size() <= 1) small_sets.push_back(s);
+    }
+    const AdversaryModel adv("adv<=1", small_sets);
+    const TResilientModel res1(3, 1);
+    for (const iis::Run& r : enumerate_stabilized_runs(3, 1)) {
+        EXPECT_EQ(adv.contains(r), res1.contains(r)) << r.to_string();
+    }
+}
+
+TEST(Models, MinimalRunsModel) {
+    const auto of1 = std::make_shared<ObstructionFreeModel>(1);
+    const MinimalRunsModel of1_fast(of1);
+    // The leader-with-followers run is in OF_1 but is not minimal.
+    const iis::Run leader = iis::Run::forever(
+        3, OrderedPartition({ProcessSet::of({0}), ProcessSet::of({1, 2})}));
+    EXPECT_TRUE(of1->contains(leader));
+    EXPECT_FALSE(of1_fast.contains(leader));
+    EXPECT_TRUE(of1_fast.contains(leader.minimal()));
+    EXPECT_EQ(of1_fast.name(), "OF_1_fast");
+}
+
+TEST(Models, MfastIsExactlyMinimalsOfM) {
+    // On the enumeration: r in M_fast iff r = minimal(r') for some r' in M.
+    const auto of1 = std::make_shared<ObstructionFreeModel>(1);
+    const MinimalRunsModel of1_fast(of1);
+    const std::vector<iis::Run> runs = enumerate_stabilized_runs(2, 1);
+    for (const iis::Run& r : runs) {
+        bool witnessed = false;
+        for (const iis::Run& rp : runs) {
+            if (of1->contains(rp) && rp.minimal() == r) witnessed = true;
+        }
+        EXPECT_EQ(of1_fast.contains(r), witnessed) << r.to_string();
+    }
+}
+
+TEST(Models, PredicateModel) {
+    const PredicateModel solo("solo-start", [](const iis::Run& r) {
+        return r.participants().size() == 1;
+    });
+    EXPECT_TRUE(solo.contains(iis::Run::forever(2, conc({0}))));
+    EXPECT_FALSE(solo.contains(iis::Run::forever(2, conc({0, 1}))));
+}
+
+TEST(Models, FilterByModel) {
+    const std::vector<iis::Run> runs = enumerate_stabilized_runs(3, 0);
+    const TResilientModel res1(3, 1);
+    const auto filtered = filter_by_model(runs, res1);
+    EXPECT_FALSE(filtered.empty());
+    EXPECT_LT(filtered.size(), runs.size());
+    for (const iis::Run& r : filtered) EXPECT_TRUE(res1.contains(r));
+}
+
+TEST(Models, RandomRunInModel) {
+    std::mt19937 rng(7);
+    const TResilientModel res1(3, 1);
+    for (int i = 0; i < 20; ++i) {
+        const iis::Run r = random_run_in_model(rng, res1, 3, 2);
+        EXPECT_TRUE(res1.contains(r));
+    }
+}
+
+TEST(Models, RandomRunImpossibleModelThrows) {
+    std::mt19937 rng(7);
+    const PredicateModel never("never", [](const iis::Run&) { return false; });
+    EXPECT_THROW(random_run_in_model(rng, never, 2, 1, 50),
+                 precondition_error);
+}
+
+}  // namespace
+}  // namespace gact::iis

@@ -1,0 +1,103 @@
+#include "iis/ordered_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gact::iis {
+namespace {
+
+TEST(OrderedPartition, BasicConstruction) {
+    OrderedPartition p({ProcessSet::of({0, 2}), ProcessSet::of({1})});
+    EXPECT_EQ(p.num_blocks(), 2u);
+    EXPECT_EQ(p.support(), ProcessSet::of({0, 1, 2}));
+    EXPECT_TRUE(p.contains(2));
+    EXPECT_FALSE(p.contains(3));
+}
+
+TEST(OrderedPartition, RejectsEmptyBlock) {
+    EXPECT_THROW(OrderedPartition({ProcessSet()}), precondition_error);
+}
+
+TEST(OrderedPartition, RejectsOverlap) {
+    EXPECT_THROW(
+        OrderedPartition({ProcessSet::of({0, 1}), ProcessSet::of({1})}),
+        precondition_error);
+}
+
+TEST(OrderedPartition, ConcurrentAndSequential) {
+    const OrderedPartition c = OrderedPartition::concurrent(
+        ProcessSet::of({0, 1, 2}));
+    EXPECT_EQ(c.num_blocks(), 1u);
+    const OrderedPartition s = OrderedPartition::sequential({2, 0, 1});
+    EXPECT_EQ(s.num_blocks(), 3u);
+    EXPECT_EQ(s.block_index(2), 0u);
+    EXPECT_EQ(s.block_index(1), 2u);
+}
+
+TEST(OrderedPartition, SnapshotSemantics) {
+    // Paper 2.1: a process in block j sees blocks 1..j.
+    OrderedPartition p({ProcessSet::of({1}), ProcessSet::of({0, 2})});
+    EXPECT_EQ(p.snapshot_of(1), ProcessSet::of({1}));
+    EXPECT_EQ(p.snapshot_of(0), ProcessSet::of({0, 1, 2}));
+    EXPECT_EQ(p.snapshot_of(2), ProcessSet::of({0, 1, 2}));
+    EXPECT_THROW(p.snapshot_of(3), precondition_error);
+}
+
+TEST(OrderedPartition, SnapshotsAreTotallyOrderedWithinARound) {
+    for (const OrderedPartition& p :
+         all_ordered_partitions(ProcessSet::full(4))) {
+        const auto members = p.support().members();
+        for (ProcessId a : members) {
+            for (ProcessId b : members) {
+                const ProcessSet sa = p.snapshot_of(a);
+                const ProcessSet sb = p.snapshot_of(b);
+                EXPECT_TRUE(sa.contains_all(sb) || sb.contains_all(sa));
+            }
+        }
+    }
+}
+
+TEST(OrderedPartition, SelfInclusion) {
+    for (const OrderedPartition& p :
+         all_ordered_partitions(ProcessSet::full(3))) {
+        for (ProcessId q : p.support().members()) {
+            EXPECT_TRUE(p.snapshot_of(q).contains(q));
+        }
+    }
+}
+
+TEST(OrderedPartition, RestrictTo) {
+    OrderedPartition p({ProcessSet::of({1}), ProcessSet::of({0, 2})});
+    const OrderedPartition r = p.restrict_to(ProcessSet::of({0, 1}));
+    EXPECT_EQ(r.num_blocks(), 2u);
+    EXPECT_EQ(r.blocks()[0], ProcessSet::of({1}));
+    EXPECT_EQ(r.blocks()[1], ProcessSet::of({0}));
+    // Dropping a whole block removes it.
+    const OrderedPartition r2 = p.restrict_to(ProcessSet::of({0, 2}));
+    EXPECT_EQ(r2.num_blocks(), 1u);
+}
+
+TEST(OrderedPartition, EnumerationCounts) {
+    EXPECT_EQ(all_ordered_partitions(ProcessSet::full(1)).size(), 1u);
+    EXPECT_EQ(all_ordered_partitions(ProcessSet::full(2)).size(), 3u);
+    EXPECT_EQ(all_ordered_partitions(ProcessSet::full(3)).size(), 13u);
+    EXPECT_EQ(all_ordered_partitions(ProcessSet::of({1, 3})).size(), 3u);
+}
+
+TEST(OrderedPartition, EnumerationDistinctAndValid) {
+    std::set<std::string> seen;
+    for (const OrderedPartition& p :
+         all_ordered_partitions(ProcessSet::full(3))) {
+        EXPECT_EQ(p.support(), ProcessSet::full(3));
+        EXPECT_TRUE(seen.insert(p.to_string()).second);
+    }
+}
+
+TEST(OrderedPartition, ToString) {
+    OrderedPartition p({ProcessSet::of({1}), ProcessSet::of({0, 2})});
+    EXPECT_EQ(p.to_string(), "({1}|{0,2})");
+}
+
+}  // namespace
+}  // namespace gact::iis

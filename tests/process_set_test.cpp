@@ -1,0 +1,95 @@
+#include "util/process_set.h"
+
+#include <gtest/gtest.h>
+
+namespace gact {
+namespace {
+
+TEST(ProcessSet, EmptyByDefault) {
+    ProcessSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(ProcessSet, SingleAndFull) {
+    EXPECT_EQ(ProcessSet::single(3).bits(), 0b1000u);
+    EXPECT_EQ(ProcessSet::full(3).bits(), 0b111u);
+    EXPECT_EQ(ProcessSet::full(0).bits(), 0u);
+}
+
+TEST(ProcessSet, OfList) {
+    const ProcessSet s = ProcessSet::of({0, 2, 5});
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_TRUE(s.contains(2));
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ProcessSet, SetAlgebra) {
+    const ProcessSet a = ProcessSet::of({0, 1, 2});
+    const ProcessSet b = ProcessSet::of({2, 3});
+    EXPECT_EQ(a | b, ProcessSet::of({0, 1, 2, 3}));
+    EXPECT_EQ(a & b, ProcessSet::of({2}));
+    EXPECT_EQ(a - b, ProcessSet::of({0, 1}));
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(a.contains_all(ProcessSet::of({0, 2})));
+    EXPECT_FALSE(a.contains_all(b));
+}
+
+TEST(ProcessSet, WithWithout) {
+    ProcessSet s = ProcessSet::of({1});
+    s = s.with(4);
+    EXPECT_TRUE(s.contains(4));
+    s = s.without(1);
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_EQ(s, ProcessSet::of({4}));
+}
+
+TEST(ProcessSet, Min) {
+    EXPECT_EQ(ProcessSet::of({5, 2, 9}).min(), 2u);
+    EXPECT_THROW(ProcessSet().min(), precondition_error);
+}
+
+TEST(ProcessSet, Members) {
+    const std::vector<ProcessId> expected = {1, 3, 6};
+    EXPECT_EQ(ProcessSet::of({6, 1, 3}).members(), expected);
+}
+
+TEST(ProcessSet, ToString) {
+    EXPECT_EQ(ProcessSet::of({0, 2}).to_string(), "{0,2}");
+    EXPECT_EQ(ProcessSet().to_string(), "{}");
+}
+
+TEST(ProcessSet, OutOfRangeRejected) {
+    EXPECT_THROW(ProcessSet::single(32), precondition_error);
+    EXPECT_THROW(ProcessSet::full(33), precondition_error);
+}
+
+TEST(ProcessSet, NonemptySubsetsCountAndContents) {
+    const auto subs = nonempty_subsets(ProcessSet::full(3));
+    EXPECT_EQ(subs.size(), 7u);  // 2^3 - 1
+    for (const ProcessSet& s : subs) {
+        EXPECT_FALSE(s.empty());
+        EXPECT_TRUE(ProcessSet::full(3).contains_all(s));
+    }
+    // All distinct.
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+        for (std::size_t j = i + 1; j < subs.size(); ++j) {
+            EXPECT_FALSE(subs[i] == subs[j]);
+        }
+    }
+}
+
+class SubsetSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SubsetSweep, SubsetCountIsPowerOfTwoMinusOne) {
+    const std::uint32_t n = GetParam();
+    const auto subs = nonempty_subsets(ProcessSet::full(n));
+    EXPECT_EQ(subs.size(), (std::size_t{1} << n) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubsetSweep, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+}  // namespace
+}  // namespace gact

@@ -1,0 +1,193 @@
+// Cross-module property tests: invariants that tie the substrates
+// together, beyond what each module's unit tests cover.
+#include <gtest/gtest.h>
+
+#include "iis/projection.h"
+#include "iis/run_enumeration.h"
+#include "topology/connectivity.h"
+#include "topology/facet_graph.h"
+#include "topology/homology.h"
+#include "topology/subdivision.h"
+
+namespace gact {
+namespace {
+
+using topo::ChromaticComplex;
+using topo::Simplex;
+using topo::SimplicialComplex;
+using topo::SubdividedComplex;
+
+// ---------- homology of classical surfaces ----------
+
+TEST(SurfaceHomology, Torus) {
+    // The standard 7-vertex triangulation of the torus (Möbius–Kantor):
+    // facets (i, i+1, i+3) and (i, i+2, i+3) mod 7.
+    std::vector<Simplex> facets;
+    for (topo::VertexId i = 0; i < 7; ++i) {
+        facets.push_back(Simplex{i, static_cast<topo::VertexId>((i + 1) % 7),
+                                 static_cast<topo::VertexId>((i + 3) % 7)});
+        facets.push_back(Simplex{i, static_cast<topo::VertexId>((i + 2) % 7),
+                                 static_cast<topo::VertexId>((i + 3) % 7)});
+    }
+    const SimplicialComplex torus = SimplicialComplex::from_facets(facets);
+    EXPECT_EQ(torus.euler_characteristic(), 0);
+    const auto h = topo::reduced_homology(torus);
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_TRUE(h[0].is_trivial());
+    EXPECT_EQ(h[1].betti, 2u);  // H_1(T^2) = Z^2
+    EXPECT_TRUE(h[1].torsion.empty());
+    EXPECT_EQ(h[2].betti, 1u);  // orientable: H_2 = Z
+}
+
+TEST(SurfaceHomology, MoebiusBand) {
+    // A 5-triangle Möbius band: homotopy equivalent to a circle. The
+    // paper's concluding remarks mention the Möbius task [14]; the band
+    // is the classical non-orientable building block.
+    const SimplicialComplex moebius = SimplicialComplex::from_facets(
+        {Simplex{0, 1, 2}, Simplex{1, 2, 3}, Simplex{2, 3, 4},
+         Simplex{3, 4, 0}, Simplex{4, 0, 1}});
+    const auto h = topo::reduced_homology(moebius);
+    ASSERT_EQ(h.size(), 3u);
+    EXPECT_TRUE(h[0].is_trivial());
+    EXPECT_EQ(h[1].betti, 1u);
+    EXPECT_TRUE(h[1].torsion.empty());
+    EXPECT_EQ(h[2].betti, 0u);  // non-orientable: no top homology
+    // The band is a pseudomanifold with a single boundary circle.
+    const topo::FacetGraph g(moebius);
+    EXPECT_TRUE(g.is_pseudomanifold());
+    const SimplicialComplex boundary =
+        SimplicialComplex::from_facets(g.boundary_ridges());
+    EXPECT_EQ(boundary.num_connected_components(), 1u);
+}
+
+// ---------- subdivisions of general chromatic complexes ----------
+
+TEST(GeneralSubdivision, BoundaryComplexSubdividesConsistently) {
+    // Chr of the hollow triangle (a chromatic circle): 3 edges -> 9 edges,
+    // exactness per base facet, circle homology preserved.
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const ChromaticComplex boundary = s.skeleton(1);
+    const SubdividedComplex chr =
+        SubdividedComplex::identity(boundary).chromatic_subdivision();
+    EXPECT_EQ(chr.complex().facets().size(), 9u);
+    chr.verify_subdivision_exactness();
+    const auto h = topo::reduced_homology(chr.complex().complex());
+    EXPECT_EQ(h[1].betti, 1u);
+}
+
+TEST(GeneralSubdivision, TwoTrianglesGlueAlongSharedEdge) {
+    // A chromatic complex with two facets sharing an edge: vertices 0,1,2
+    // and 0,1,3 with colors 0,1,2,2.
+    SimplicialComplex c = SimplicialComplex::from_facets(
+        {Simplex{0, 1, 2}, Simplex{0, 1, 3}});
+    const ChromaticComplex cc(c, {{0, 0}, {1, 1}, {2, 2}, {3, 2}});
+    const SubdividedComplex chr =
+        SubdividedComplex::identity(cc).chromatic_subdivision();
+    // 13 facets per triangle; the shared edge is subdivided once, shared.
+    EXPECT_EQ(chr.complex().facets().size(), 26u);
+    chr.verify_subdivision_exactness();
+    std::size_t on_shared_edge = 0;
+    for (topo::VertexId v : chr.complex().vertex_ids()) {
+        if (chr.carrier(v) == Simplex({0, 1})) ++on_shared_edge;
+    }
+    EXPECT_EQ(on_shared_edge, 2u);  // the two interior Chr vertices
+    // Still contractible (two disks glued along an arc).
+    for (const auto& g : topo::reduced_homology(chr.complex().complex())) {
+        EXPECT_TRUE(g.is_trivial());
+    }
+}
+
+TEST(GeneralSubdivision, IteratedBarycentricOfEdgeHalves) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(1);
+    SubdividedComplex bary = SubdividedComplex::identity(s);
+    std::size_t expected = 1;
+    for (int i = 0; i < 3; ++i) {
+        bary = bary.barycentric_subdivision();
+        expected *= 2;
+        EXPECT_EQ(bary.complex().facets().size(), expected);
+        bary.verify_subdivision_exactness();
+    }
+}
+
+// ---------- extension order vs views, cross-validated ----------
+
+TEST(ExtensionOrder, ExtensionPreservesParticipantViews) {
+    // r <= r' implies every participant of r has identical views in both,
+    // for every round it takes: the definition of Section 2.1, checked
+    // through the interned-view machinery rather than snapshots.
+    const auto runs = iis::enumerate_stabilized_runs(2, 1);
+    iis::ViewArena arena;
+    for (const iis::Run& small : runs) {
+        for (const iis::Run& big : runs) {
+            if (!big.is_extension_of(small)) continue;
+            for (ProcessId p : small.participants().members()) {
+                for (std::size_t k = 1; k <= 4; ++k) {
+                    if (!small.takes_step(p, k)) break;
+                    EXPECT_EQ(small.view(p, k, arena), big.view(p, k, arena))
+                        << small.to_string() << " <= " << big.to_string();
+                }
+            }
+        }
+    }
+}
+
+TEST(ExtensionOrder, MinimalRunHasMinimalParticipants) {
+    for (const iis::Run& r : iis::enumerate_stabilized_runs(3, 0)) {
+        const iis::Run m = r.minimal();
+        EXPECT_TRUE(r.participants().contains_all(m.participants()));
+        EXPECT_TRUE(
+            r.infinite_participants().contains_all(m.infinite_participants()));
+        EXPECT_EQ(m.infinite_participants(), r.fast());
+    }
+}
+
+// ---------- view positions vs materialized subdivisions ----------
+
+TEST(ViewPositions, AgreeWithSubdivisionVertices) {
+    // The recursive position formula must land exactly on the vertex the
+    // chain-based correspondence picks.
+    iis::SubdivisionChain chain(ChromaticComplex::standard_simplex(2));
+    const Simplex s{0, 1, 2};
+    const std::vector<topo::VertexId> inputs = {0, 1, 2};
+    for (const iis::Run& r : iis::enumerate_full_participation_runs(3, 1)) {
+        const auto table = iis::view_positions(r, 2, inputs);
+        for (ProcessId p : r.round(1).support().members()) {
+            const topo::VertexId v = iis::view_vertex(chain, r, p, 2, s);
+            EXPECT_EQ(chain.level(2).position(v), *table[2][p])
+                << r.to_string();
+        }
+        // Sampled: one run variant per 11 to keep runtime low.
+        break;
+    }
+}
+
+TEST(ViewPositions, SumToOneAndStayInParticipantFace) {
+    const std::vector<topo::VertexId> inputs = {0, 1, 2};
+    for (const iis::Run& r : iis::enumerate_stabilized_runs(3, 1)) {
+        const auto table = iis::view_positions(r, 3, inputs);
+        for (ProcessId p = 0; p < 3; ++p) {
+            if (!table[3][p].has_value()) continue;
+            // Supported within the face of processes p has seen.
+            iis::ViewArena arena;
+            const ProcessSet seen = arena.processes_in(r.view(p, 3, arena));
+            for (const auto& [vert, weight] : table[3][p]->coords()) {
+                EXPECT_TRUE(seen.contains(static_cast<ProcessId>(vert)));
+            }
+        }
+    }
+}
+
+// ---------- the arena's sharing really is sharing ----------
+
+TEST(ViewArena, HashConsingBoundsGrowth) {
+    // Along one run, each round adds at most one node per process: after
+    // k rounds the arena holds at most (k+1) * n nodes, not 2^k.
+    iis::ViewArena arena;
+    const iis::Run r = iis::Run::forever(
+        3, iis::OrderedPartition::concurrent(ProcessSet::full(3)));
+    r.view_table(20, arena);
+    EXPECT_LE(arena.size(), 21u * 3u);
+}
+
+}  // namespace
+}  // namespace gact

@@ -1,0 +1,135 @@
+#include "util/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/require.h"
+
+namespace gact {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+    Rational r;
+    EXPECT_TRUE(r.is_zero());
+    EXPECT_EQ(r.num(), 0);
+    EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ReducesToLowestTerms) {
+    Rational r(6, 8);
+    EXPECT_EQ(r.num(), 3);
+    EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesSign) {
+    Rational r(3, -6);
+    EXPECT_EQ(r.num(), -1);
+    EXPECT_EQ(r.den(), 2);
+    EXPECT_TRUE(r.is_negative());
+}
+
+TEST(Rational, ZeroNumeratorNormalizesDenominator) {
+    Rational r(0, -17);
+    EXPECT_EQ(r.num(), 0);
+    EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+    EXPECT_THROW(Rational(1, 0), precondition_error);
+}
+
+TEST(Rational, Addition) {
+    EXPECT_EQ(Rational(1, 3) + Rational(1, 6), Rational(1, 2));
+    EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+    EXPECT_EQ(Rational(3, 4) - Rational(1, 4), Rational(1, 2));
+}
+
+TEST(Rational, Multiplication) {
+    EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+}
+
+TEST(Rational, Division) {
+    EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+    EXPECT_THROW(Rational(1) / Rational(0), precondition_error);
+}
+
+TEST(Rational, DivisionByNegative) {
+    EXPECT_EQ(Rational(1, 2) / Rational(-2, 3), Rational(-3, 4));
+}
+
+TEST(Rational, Comparison) {
+    EXPECT_LT(Rational(1, 3), Rational(1, 2));
+    EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+    EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+    EXPECT_LE(Rational(5, 10), Rational(1, 2));
+}
+
+TEST(Rational, Abs) {
+    EXPECT_EQ(Rational(-3, 7).abs(), Rational(3, 7));
+    EXPECT_EQ(Rational(3, 7).abs(), Rational(3, 7));
+}
+
+TEST(Rational, ToString) {
+    EXPECT_EQ(Rational(1, 2).to_string(), "1/2");
+    EXPECT_EQ(Rational(5).to_string(), "5");
+    EXPECT_EQ(Rational(-2, 3).to_string(), "-2/3");
+}
+
+TEST(Rational, HashEqualValuesAgree) {
+    EXPECT_EQ(hash_value(Rational(2, 4)), hash_value(Rational(1, 2)));
+}
+
+TEST(Rational, OverflowDetected) {
+    const std::int64_t big = std::numeric_limits<std::int64_t>::max();
+    Rational r(big, 1);
+    EXPECT_THROW(r * r, overflow_error);
+}
+
+TEST(Rational, LargeIntermediateSurvivesWhenResultFits) {
+    // (2^40 / 3) * (3 / 2^40) = 1; cross-reduction must keep this in range.
+    const std::int64_t big = std::int64_t{1} << 40;
+    EXPECT_EQ(Rational(big, 3) * Rational(3, big), Rational(1));
+}
+
+// The denominators appearing in Chr^k subdivisions: products of (2j-1).
+TEST(Rational, ChromaticSubdivisionDenominators) {
+    Rational x(1);
+    for (int iter = 0; iter < 10; ++iter) {
+        x *= Rational(1, 7);  // n = 3: 2*4-1 = 7
+    }
+    EXPECT_EQ(x, Rational(1, 282475249));  // 7^10
+}
+
+class RationalFieldAxioms
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RationalFieldAxioms, ArithmeticLaws) {
+    const auto [i, j] = GetParam();
+    const Rational a(i, 7);
+    const Rational b(j, 5);
+    const Rational c(i + j, 11);
+    // Commutativity and associativity.
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    // Distributivity.
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Inverses.
+    EXPECT_EQ(a + (-a), Rational(0));
+    if (!a.is_zero()) {
+        EXPECT_EQ(a / a, Rational(1));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RationalFieldAxioms,
+    ::testing::Combine(::testing::Values(-3, -1, 0, 2, 5),
+                       ::testing::Values(-4, 1, 3, 7)));
+
+}  // namespace
+}  // namespace gact

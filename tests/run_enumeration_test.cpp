@@ -1,0 +1,77 @@
+#include "iis/run_enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gact::iis {
+namespace {
+
+TEST(RunEnumeration, DepthZeroCounts) {
+    // Depth 0: one fixed tail partition on any non-empty subset.
+    // For 2 processes: subsets {0},{1},{0,1} with 1,1,3 partitions = 5.
+    EXPECT_EQ(enumerate_stabilized_runs(2, 0).size(), 5u);
+    // For 3 processes: 3*1 + 3*3 + 13 = 25.
+    EXPECT_EQ(enumerate_stabilized_runs(3, 0).size(), 25u);
+}
+
+TEST(RunEnumeration, DepthOneCounts) {
+    // Each depth-0 suffix is preceded by a round on a superset support.
+    const auto runs = enumerate_stabilized_runs(2, 1);
+    // First round on {0,1}: 3 partitions, then tails on subsets of {0,1}
+    // (5 each); first round on {0}: tails on {0} (1); same for {1}.
+    EXPECT_EQ(runs.size(), 3u * 5u + 1u + 1u);
+}
+
+TEST(RunEnumeration, AllRunsValidAndDistinct) {
+    const auto runs = enumerate_stabilized_runs(3, 1);
+    std::set<std::string> seen;
+    for (const iis::Run& r : runs) {
+        EXPECT_EQ(r.num_processes(), 3u);
+        EXPECT_TRUE(seen.insert(r.to_string()).second) << r.to_string();
+    }
+}
+
+TEST(RunEnumeration, FullParticipationFilter) {
+    const auto runs = enumerate_full_participation_runs(3, 0);
+    EXPECT_EQ(runs.size(), 13u);  // partitions of the full set only
+    for (const iis::Run& r : runs) {
+        EXPECT_EQ(r.participants(), ProcessSet::full(3));
+    }
+}
+
+TEST(RunEnumeration, EnumerationCoversModels) {
+    // Every enumerated run lands in exactly one fast-set size class.
+    const auto runs = enumerate_stabilized_runs(3, 1);
+    std::size_t of1 = 0;
+    std::size_t res1 = 0;
+    const ObstructionFreeModel m_of1(1);
+    const TResilientModel m_res1(3, 1);
+    for (const iis::Run& r : runs) {
+        if (m_of1.contains(r)) ++of1;
+        if (m_res1.contains(r)) ++res1;
+    }
+    EXPECT_GT(of1, 0u);
+    EXPECT_GT(res1, 0u);
+    // Some runs lie in neither (fast size exactly... none: sizes 1,2,3
+    // always fall in OF_1 ∪ Res_1 for 3 processes). Sanity: union covers.
+    for (const iis::Run& r : runs) {
+        EXPECT_TRUE(m_of1.contains(r) || m_res1.contains(r));
+    }
+}
+
+TEST(RunEnumeration, RandomRunsAreValid) {
+    std::mt19937 rng(11);
+    for (int i = 0; i < 100; ++i) {
+        const iis::Run r = random_stabilized_run(rng, 4, 3);
+        EXPECT_EQ(r.num_processes(), 4u);
+        EXPECT_FALSE(r.infinite_participants().empty());
+    }
+}
+
+TEST(RunEnumeration, RejectsTooManyProcesses) {
+    EXPECT_THROW(enumerate_stabilized_runs(6, 1), precondition_error);
+}
+
+}  // namespace
+}  // namespace gact::iis

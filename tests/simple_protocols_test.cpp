@@ -1,0 +1,93 @@
+#include "protocol/simple_protocols.h"
+
+#include <gtest/gtest.h>
+
+#include "iis/run_enumeration.h"
+#include "protocol/verifier.h"
+#include "tasks/standard_tasks.h"
+
+namespace gact::protocol {
+namespace {
+
+TEST(IsTaskProtocol, SolvesTheIsTaskOnEnumeratedRuns) {
+    const tasks::AffineTask is = tasks::immediate_snapshot_task(2);
+    const IsTaskProtocol protocol(is);
+    ViewArena arena;
+    const auto runs = iis::enumerate_stabilized_runs(3, 1);
+    const auto report = verify_inputless(is.task, protocol, runs, 4, arena);
+    EXPECT_TRUE(report.solved) << report.summary();
+}
+
+TEST(IsTaskProtocol, RejectsWrongSubdivisionDepth) {
+    const tasks::AffineTask lord = tasks::total_order_task(1);  // depth 2
+    EXPECT_THROW(IsTaskProtocol{lord}, precondition_error);
+}
+
+TEST(IsTaskProtocol, OutputMatchesFirstRoundSnapshot) {
+    const tasks::AffineTask is = tasks::immediate_snapshot_task(2);
+    const IsTaskProtocol protocol(is);
+    ViewArena arena;
+    const iis::Run r = iis::Run::forever(
+        3, iis::OrderedPartition::sequential({2, 0, 1}));
+    // p0's first-round snapshot is {0, 2}.
+    const auto out = protocol.output(r.view(0, 1, arena), arena);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(is.subdivision.carrier(*out), topo::Simplex({0, 2}));
+    EXPECT_EQ(is.task.outputs.color(*out), 0u);
+    // Deeper views give the same decision (stability).
+    EXPECT_EQ(protocol.output(r.view(0, 3, arena), arena), out);
+}
+
+TEST(OwnInputProtocol, SolvesTrivialSetAgreementWithInputs) {
+    // (n+1)-set agreement allows deciding your own input; the colored
+    // verifier sweeps all input simplices omega.
+    const tasks::Task trivial = tasks::k_set_agreement_task(3, 3, 2);
+    const OwnInputProtocol protocol;
+    ViewArena arena;
+    const auto runs = iis::enumerate_stabilized_runs(3, 0);
+    const auto report = verify_task(trivial, protocol, runs, 3, arena);
+    EXPECT_TRUE(report.solved) << report.summary();
+    // 8 input facets x 25 runs.
+    EXPECT_EQ(report.runs_checked, 8u * 25u);
+}
+
+TEST(OwnInputProtocol, ViolatesConsensus) {
+    // Deciding your own input is not consensus: with mixed inputs the
+    // outputs disagree, and the colored verifier reports it.
+    const tasks::Task consensus = tasks::consensus_task(2, 2);
+    const OwnInputProtocol protocol;
+    ViewArena arena;
+    const std::vector<iis::Run> runs = {iis::Run::forever(
+        2, iis::OrderedPartition::concurrent(ProcessSet::full(2)))};
+    const auto report = verify_task(consensus, protocol, runs, 3, arena);
+    EXPECT_FALSE(report.solved);
+    bool disallowed = false;
+    for (const std::string& v : report.violations) {
+        if (v.find("not allowed") != std::string::npos) disallowed = true;
+    }
+    EXPECT_TRUE(disallowed) << report.summary();
+}
+
+TEST(OwnInputProtocol, RequiresInputCarryingViews) {
+    const OwnInputProtocol protocol;
+    ViewArena arena;
+    const iis::Run r = iis::Run::forever(
+        2, iis::OrderedPartition::concurrent(ProcessSet::full(2)));
+    // Views built without inputs cannot be decided on.
+    EXPECT_THROW(protocol.output(r.view(0, 1, arena), arena),
+                 precondition_error);
+}
+
+TEST(VerifyTask, AgreesWithInputlessOnInputlessTasks) {
+    // For an input-less task, verify_task (sweeping the single facet of
+    // s... per color assignment) and verify_inputless agree.
+    const tasks::AffineTask is = tasks::immediate_snapshot_task(1);
+    const IsTaskProtocol protocol(is);
+    ViewArena arena;
+    const auto runs = iis::enumerate_stabilized_runs(2, 1);
+    const auto a = verify_inputless(is.task, protocol, runs, 3, arena);
+    EXPECT_TRUE(a.solved) << a.summary();
+}
+
+}  // namespace
+}  // namespace gact::protocol

@@ -1,0 +1,99 @@
+#include "topology/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace gact::topo {
+namespace {
+
+TEST(Simplex, EmptyHasDimensionMinusOne) {
+    Simplex s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.dimension(), -1);
+}
+
+TEST(Simplex, SortsAndDeduplicates) {
+    Simplex s{3, 1, 3, 2};
+    const std::vector<VertexId> expected = {1, 2, 3};
+    EXPECT_EQ(s.vertices(), expected);
+    EXPECT_EQ(s.dimension(), 2);
+}
+
+TEST(Simplex, Contains) {
+    Simplex s{0, 4, 7};
+    EXPECT_TRUE(s.contains(4));
+    EXPECT_FALSE(s.contains(5));
+}
+
+TEST(Simplex, FaceRelation) {
+    Simplex big{0, 1, 2};
+    EXPECT_TRUE(Simplex({0, 2}).is_face_of(big));
+    EXPECT_TRUE(big.is_face_of(big));
+    EXPECT_TRUE(Simplex().is_face_of(big));
+    EXPECT_FALSE(Simplex({0, 3}).is_face_of(big));
+}
+
+TEST(Simplex, SetOperations) {
+    Simplex a{0, 1, 2};
+    Simplex b{1, 2, 3};
+    EXPECT_EQ(a.union_with(b), Simplex({0, 1, 2, 3}));
+    EXPECT_EQ(a.intersection_with(b), Simplex({1, 2}));
+    EXPECT_EQ(a.difference(b), Simplex({0}));
+}
+
+TEST(Simplex, WithWithout) {
+    Simplex s{1, 3};
+    EXPECT_EQ(s.with(2), Simplex({1, 2, 3}));
+    EXPECT_EQ(s.with(3), s);
+    EXPECT_EQ(s.without(3), Simplex({1}));
+    EXPECT_EQ(s.without(9), s);
+}
+
+TEST(Simplex, FacesCount) {
+    Simplex s{0, 1, 2};
+    EXPECT_EQ(s.faces().size(), 7u);  // 2^3 - 1
+    // Faces include the simplex itself and all vertices.
+    bool found_self = false;
+    for (const Simplex& f : s.faces()) {
+        EXPECT_TRUE(f.is_face_of(s));
+        if (f == s) found_self = true;
+    }
+    EXPECT_TRUE(found_self);
+}
+
+TEST(Simplex, FacesOfDimension) {
+    Simplex s{0, 1, 2, 3};
+    EXPECT_EQ(s.faces_of_dimension(0).size(), 4u);
+    EXPECT_EQ(s.faces_of_dimension(1).size(), 6u);
+    EXPECT_EQ(s.faces_of_dimension(2).size(), 4u);
+    EXPECT_EQ(s.faces_of_dimension(3).size(), 1u);
+    EXPECT_TRUE(s.faces_of_dimension(4).empty());
+    EXPECT_TRUE(s.faces_of_dimension(-1).empty());
+}
+
+TEST(Simplex, BoundaryFacesOrderedByDroppedIndex) {
+    Simplex s{5, 7, 9};
+    const auto b = s.boundary_faces();
+    ASSERT_EQ(b.size(), 3u);
+    EXPECT_EQ(b[0], Simplex({7, 9}));
+    EXPECT_EQ(b[1], Simplex({5, 9}));
+    EXPECT_EQ(b[2], Simplex({5, 7}));
+}
+
+TEST(Simplex, Ordering) {
+    EXPECT_LT(Simplex({0}), Simplex({0, 1}));
+    EXPECT_LT(Simplex({0, 1}), Simplex({0, 2}));
+}
+
+TEST(Simplex, ToString) {
+    EXPECT_EQ(Simplex({2, 0}).to_string(), "[0 2]");
+    EXPECT_EQ(Simplex().to_string(), "[]");
+}
+
+TEST(Simplex, HashingDistinguishesAndAgrees) {
+    std::hash<Simplex> h;
+    EXPECT_EQ(h(Simplex({1, 2})), h(Simplex({2, 1})));
+    EXPECT_NE(h(Simplex({1, 2})), h(Simplex({1, 3})));
+}
+
+}  // namespace
+}  // namespace gact::topo

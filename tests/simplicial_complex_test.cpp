@@ -1,0 +1,159 @@
+#include "topology/simplicial_complex.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace gact::topo {
+namespace {
+
+SimplicialComplex triangle() {
+    return SimplicialComplex::from_facets({Simplex{0, 1, 2}});
+}
+
+SimplicialComplex hollow_triangle() {
+    return SimplicialComplex::from_facets(
+        {Simplex{0, 1}, Simplex{1, 2}, Simplex{0, 2}});
+}
+
+TEST(SimplicialComplex, DownwardClosure) {
+    const SimplicialComplex c = triangle();
+    EXPECT_EQ(c.size(), 7u);  // 3 vertices + 3 edges + 1 triangle
+    EXPECT_TRUE(c.contains(Simplex{0, 1}));
+    EXPECT_TRUE(c.contains(Simplex{2}));
+    EXPECT_FALSE(c.contains(Simplex{0, 3}));
+}
+
+TEST(SimplicialComplex, AddSimplexRejectsEmpty) {
+    SimplicialComplex c;
+    EXPECT_THROW(c.add_simplex(Simplex()), precondition_error);
+}
+
+TEST(SimplicialComplex, FacetsOfTriangle) {
+    const auto f = triangle().facets();
+    ASSERT_EQ(f.size(), 1u);
+    EXPECT_EQ(f[0], Simplex({0, 1, 2}));
+}
+
+TEST(SimplicialComplex, FacetsMixedDimensions) {
+    SimplicialComplex c = SimplicialComplex::from_facets(
+        {Simplex{0, 1, 2}, Simplex{2, 3}, Simplex{4}});
+    const auto f = c.facets();
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(f[0], Simplex({0, 1, 2}));
+    EXPECT_EQ(f[1], Simplex({2, 3}));
+    EXPECT_EQ(f[2], Simplex({4}));
+}
+
+TEST(SimplicialComplex, DimensionAndPurity) {
+    EXPECT_EQ(triangle().dimension(), 2);
+    EXPECT_TRUE(triangle().is_pure(2));
+    EXPECT_FALSE(triangle().is_pure(1));
+
+    SimplicialComplex mixed = SimplicialComplex::from_facets(
+        {Simplex{0, 1, 2}, Simplex{3, 4}});
+    EXPECT_FALSE(mixed.is_pure(2));
+    EXPECT_FALSE(mixed.is_pure());
+}
+
+TEST(SimplicialComplex, PureOfOwnDimension) {
+    SimplicialComplex mixed = SimplicialComplex::from_facets(
+        {Simplex{0, 1, 2}, Simplex{3, 4}});
+    // Dimension 2, but edge {3,4} is maximal: not pure.
+    EXPECT_FALSE(mixed.is_pure(mixed.dimension()));
+}
+
+TEST(SimplicialComplex, Skeleton) {
+    const SimplicialComplex sk = triangle().skeleton(1);
+    EXPECT_EQ(sk.size(), 6u);
+    EXPECT_FALSE(sk.contains(Simplex{0, 1, 2}));
+    EXPECT_TRUE(sk.contains(Simplex{0, 1}));
+    EXPECT_TRUE(sk == hollow_triangle());
+}
+
+TEST(SimplicialComplex, OpenStar) {
+    const SimplicialComplex c = triangle();
+    const auto star = c.open_star(Simplex{0});
+    // Simplices containing vertex 0: {0}, {0,1}, {0,2}, {0,1,2}.
+    EXPECT_EQ(star.size(), 4u);
+}
+
+TEST(SimplicialComplex, ClosedStarIsWholeTriangle) {
+    const SimplicialComplex c = triangle();
+    EXPECT_TRUE(c.closed_star(Simplex{0}) == c);
+}
+
+TEST(SimplicialComplex, LinkOfVertexInTriangle) {
+    const SimplicialComplex link = triangle().link(Simplex{0});
+    // Link of a vertex of a solid triangle is the opposite edge.
+    EXPECT_TRUE(link.contains(Simplex{1, 2}));
+    EXPECT_EQ(link.size(), 3u);
+}
+
+TEST(SimplicialComplex, LinkOfEdge) {
+    const SimplicialComplex link = triangle().link(Simplex{0, 1});
+    EXPECT_EQ(link.size(), 1u);
+    EXPECT_TRUE(link.contains(Simplex{2}));
+}
+
+TEST(SimplicialComplex, LinkInHollowTriangle) {
+    const SimplicialComplex link = hollow_triangle().link(Simplex{0});
+    // Two isolated vertices.
+    EXPECT_EQ(link.size(), 2u);
+    EXPECT_EQ(link.num_connected_components(), 2u);
+}
+
+TEST(SimplicialComplex, EulerCharacteristic) {
+    EXPECT_EQ(triangle().euler_characteristic(), 1);         // disk
+    EXPECT_EQ(hollow_triangle().euler_characteristic(), 0);  // circle
+}
+
+TEST(SimplicialComplex, ConnectedComponents) {
+    SimplicialComplex c = SimplicialComplex::from_facets(
+        {Simplex{0, 1}, Simplex{2, 3}, Simplex{4}});
+    EXPECT_EQ(c.num_connected_components(), 3u);
+    EXPECT_FALSE(c.is_connected());
+    EXPECT_TRUE(triangle().is_connected());
+}
+
+TEST(SimplicialComplex, SubcomplexRelation) {
+    EXPECT_TRUE(hollow_triangle().is_subcomplex_of(triangle()));
+    EXPECT_FALSE(triangle().is_subcomplex_of(hollow_triangle()));
+}
+
+TEST(SimplicialComplex, VertexIds) {
+    SimplicialComplex c = SimplicialComplex::from_facets({Simplex{7, 3}});
+    const std::vector<VertexId> expected = {3, 7};
+    EXPECT_EQ(c.vertex_ids(), expected);
+}
+
+TEST(SimplicialComplex, EmptyComplex) {
+    SimplicialComplex c;
+    EXPECT_TRUE(c.is_empty());
+    EXPECT_EQ(c.dimension(), -1);
+    EXPECT_EQ(c.euler_characteristic(), 0);
+    EXPECT_EQ(c.num_connected_components(), 0u);
+    EXPECT_FALSE(c.is_connected());
+}
+
+// Property sweep: boundary-of-boundary vanishes combinatorially — every
+// (d-2)-face of a simplex appears in exactly two boundary faces.
+class SimplexBoundarySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexBoundarySweep, FacesAppearTwiceInBoundary) {
+    const int n = GetParam();
+    std::vector<VertexId> verts;
+    for (int i = 0; i <= n; ++i) verts.push_back(static_cast<VertexId>(i));
+    const Simplex s(verts);
+    std::map<Simplex, int> count;
+    for (const Simplex& b : s.boundary_faces()) {
+        for (const Simplex& bb : b.boundary_faces()) ++count[bb];
+    }
+    for (const auto& [face, c] : count) EXPECT_EQ(c, 2) << face.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimplexBoundarySweep,
+                         ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace gact::topo

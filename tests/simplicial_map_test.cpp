@@ -1,0 +1,94 @@
+#include "topology/simplicial_map.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/subdivision.h"
+
+namespace gact::topo {
+namespace {
+
+TEST(SimplicialMap, ApplyVertexAndSimplex) {
+    SimplicialMap f({{0, 10}, {1, 11}, {2, 10}});
+    EXPECT_EQ(f.apply(VertexId{0}), 10u);
+    EXPECT_EQ(f.apply(Simplex{0, 1}), Simplex({10, 11}));
+    // Collapsing: {0,2} maps onto a single vertex.
+    EXPECT_EQ(f.apply(Simplex{0, 2}), Simplex({10}));
+}
+
+TEST(SimplicialMap, UndefinedVertexThrows) {
+    SimplicialMap f;
+    EXPECT_THROW(f.apply(VertexId{5}), precondition_error);
+}
+
+TEST(SimplicialMap, PushforwardOfPoint) {
+    SimplicialMap f({{0, 10}, {1, 11}, {2, 10}});
+    const BaryPoint p({{0, Rational(1, 2)},
+                       {1, Rational(1, 4)},
+                       {2, Rational(1, 4)}});
+    const BaryPoint q = f.apply(p);
+    EXPECT_EQ(q.coord(10), Rational(3, 4));
+    EXPECT_EQ(q.coord(11), Rational(1, 4));
+}
+
+TEST(SimplicialMap, Composition) {
+    SimplicialMap f({{0, 1}, {1, 2}});
+    SimplicialMap g({{1, 7}, {2, 9}});
+    const SimplicialMap h = f.then(g);
+    EXPECT_EQ(h.apply(VertexId{0}), 7u);
+    EXPECT_EQ(h.apply(VertexId{1}), 9u);
+}
+
+TEST(SimplicialMap, IsSimplicialChecks) {
+    const SimplicialComplex edge =
+        SimplicialComplex::from_facets({Simplex{0, 1}});
+    const SimplicialComplex two_points =
+        SimplicialComplex::from_facets({Simplex{5}, Simplex{6}});
+    // Mapping the edge endpoints to two disconnected points is not
+    // simplicial (image of {0,1} is not a simplex of the codomain).
+    SimplicialMap bad({{0, 5}, {1, 6}});
+    EXPECT_FALSE(bad.is_simplicial(edge, two_points));
+    // Collapsing both endpoints to one point is simplicial.
+    SimplicialMap collapse({{0, 5}, {1, 5}});
+    EXPECT_TRUE(collapse.is_simplicial(edge, two_points));
+    EXPECT_FALSE(collapse.is_noncollapsing(edge));
+}
+
+TEST(SimplicialMap, PartialMapIsNotSimplicial) {
+    const SimplicialComplex edge =
+        SimplicialComplex::from_facets({Simplex{0, 1}});
+    SimplicialMap partial(std::unordered_map<VertexId, VertexId>{{0, 0}});
+    EXPECT_FALSE(partial.is_simplicial(edge, edge));
+}
+
+TEST(SimplicialMap, ChromaticCheck) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(1);
+    SimplicialMap identity({{0, 0}, {1, 1}});
+    EXPECT_TRUE(identity.is_chromatic(s, s));
+    SimplicialMap swap({{0, 1}, {1, 0}});
+    EXPECT_FALSE(swap.is_chromatic(s, s));
+}
+
+TEST(SimplicialMap, ChromaticImpliesNoncollapsingOnChrSubdivision) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const SubdividedComplex chr =
+        SubdividedComplex::identity(s).chromatic_subdivision();
+    const SimplicialMap r = chr.retraction_to_parent(s);
+    ASSERT_TRUE(r.is_chromatic(chr.complex(), s));
+    EXPECT_TRUE(r.is_noncollapsing(chr.complex().complex()));
+}
+
+TEST(SimplicialMap, GeometricRealizationOfRetractionFixesVertices) {
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const SubdividedComplex chr =
+        SubdividedComplex::identity(s).chromatic_subdivision();
+    const SimplicialMap r = chr.retraction_to_parent(s);
+    // The surviving original vertices map to themselves.
+    for (int i = 0; i <= 2; ++i) {
+        const VertexId v = chr.vertex_for(static_cast<VertexId>(i),
+                                          Simplex{static_cast<VertexId>(i)});
+        EXPECT_EQ(r.apply(v), static_cast<VertexId>(i));
+    }
+}
+
+}  // namespace
+}  // namespace gact::topo

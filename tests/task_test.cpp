@@ -1,0 +1,120 @@
+#include "tasks/task.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tasks/standard_tasks.h"
+
+namespace gact::tasks {
+namespace {
+
+TEST(Task, ConsensusValidates) {
+    const Task t = consensus_task(2, 2);
+    EXPECT_EQ(t.validate(), "");
+    EXPECT_EQ(t.num_processes, 2u);
+    EXPECT_FALSE(t.is_inputless());
+}
+
+TEST(Task, ValidationCatchesColorGaps) {
+    Task t = consensus_task(2, 2);
+    // Truncate the output complex to colors {0}: invalid.
+    SimplicialComplex small =
+        SimplicialComplex::from_facets({Simplex{value_vertex(2, 0, 0)}});
+    t.outputs = t.outputs.restrict_to(small);
+    EXPECT_NE(t.validate(), "");
+}
+
+TEST(Task, InputlessDetection) {
+    const AffineTask is1 = immediate_snapshot_task(2);
+    EXPECT_TRUE(is1.task.is_inputless());
+    EXPECT_EQ(is1.task.validate(), "");
+}
+
+TEST(Task, PlusCompletionValidates) {
+    const Task t = consensus_task(2, 2);
+    const Task tp = plus_completion(t);
+    EXPECT_EQ(tp.validate(), "") << tp.validate();
+    EXPECT_EQ(tp.name, t.name + "+");
+    // The all-no-output facet exists.
+    EXPECT_TRUE(tp.outputs.complex().facets().size() >
+                t.outputs.complex().facets().size());
+}
+
+TEST(Task, PlusCompletionAllowsPartialOutputs) {
+    const Task t = consensus_task(2, 2);
+    const Task tp = plus_completion(t);
+    // For a single-process input, delta+ contains both a decided vertex
+    // and the no-output vertex completion.
+    const Simplex solo{value_vertex(2, 0, 1)};
+    const SimplicialComplex& image = tp.delta.at(solo);
+    EXPECT_FALSE(image.is_empty());
+    // Every facet of the image is 0-dimensional (one process).
+    for (const Simplex& f : image.facets()) {
+        EXPECT_EQ(f.dimension(), 0);
+    }
+}
+
+TEST(Task, PlusCompletionOfEmptyImage) {
+    // Build a task where some input has an empty image; T+ fills it with
+    // the pure no-output simplex.
+    AffineTask lt = t_resilience_task(2, 1);
+    // L_1 ∩ Chr^2 {corner} is empty: Delta(vertex) = {} in L_t.
+    const SimplicialComplex& corner_image = lt.task.delta.at(Simplex{0});
+    EXPECT_TRUE(corner_image.is_empty());
+    const Task plus = plus_completion(lt.task);
+    EXPECT_EQ(plus.validate(), "") << plus.validate();
+    EXPECT_FALSE(plus.delta.at(Simplex{0}).is_empty());
+}
+
+TEST(Task, ConsensusDeltaSemantics) {
+    const Task t = consensus_task(3, 2);
+    ASSERT_EQ(t.validate(), "");
+    // All three processes start with input 1: only all-1 outputs allowed.
+    Simplex all_one;
+    for (ProcessId p = 0; p < 3; ++p) {
+        all_one = all_one.with(value_vertex(2, p, 1));
+    }
+    const SimplicialComplex& image = t.delta.at(all_one);
+    const auto facets = image.facets();
+    ASSERT_EQ(facets.size(), 1u);
+    EXPECT_EQ(facets[0], all_one);
+    // Mixed inputs allow either agreement value but never disagreement.
+    Simplex mixed = Simplex{value_vertex(2, 0, 0)}.with(value_vertex(2, 1, 1));
+    const auto mixed_facets = t.delta.at(mixed).facets();
+    EXPECT_EQ(mixed_facets.size(), 2u);
+}
+
+TEST(Task, KSetAgreementDeltaSemantics) {
+    const Task t = k_set_agreement_task(3, 2, 3);
+    ASSERT_EQ(t.validate(), "");
+    // Three distinct inputs: outputs may use at most 2 distinct values.
+    Simplex distinct;
+    for (ProcessId p = 0; p < 3; ++p) {
+        distinct = distinct.with(value_vertex(3, p, p));
+    }
+    for (const Simplex& f : t.delta.at(distinct).facets()) {
+        std::set<std::uint32_t> values;
+        for (topo::VertexId v : f.vertices()) values.insert(v % 3);
+        EXPECT_LE(values.size(), 2u);
+        EXPECT_GE(values.size(), 1u);
+    }
+}
+
+TEST(Task, KSetAgreementTrivialWhenKIsLarge) {
+    // k = n+1: any choice of participant inputs is allowed.
+    const Task t = k_set_agreement_task(2, 2, 2);
+    ASSERT_EQ(t.validate(), "");
+    Simplex mixed = Simplex{value_vertex(2, 0, 0)}.with(value_vertex(2, 1, 1));
+    // 2 processes x 2 allowed values = 4 output facets.
+    EXPECT_EQ(t.delta.at(mixed).facets().size(), 4u);
+}
+
+TEST(Task, ValueVertexEncoding) {
+    EXPECT_EQ(value_vertex(3, 0, 2), 2u);
+    EXPECT_EQ(value_vertex(3, 2, 1), 7u);
+    EXPECT_THROW(value_vertex(3, 0, 3), precondition_error);
+}
+
+}  // namespace
+}  // namespace gact::tasks

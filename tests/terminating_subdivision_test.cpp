@@ -1,0 +1,130 @@
+#include "core/terminating_subdivision.h"
+
+#include <gtest/gtest.h>
+
+namespace gact::core {
+namespace {
+
+const auto kNothing = [](const SubdividedComplex&, const Simplex&) {
+    return false;
+};
+const auto kEverything = [](const SubdividedComplex&, const Simplex&) {
+    return true;
+};
+
+TEST(TerminatingSubdivision, NoStableGivesPlainChr) {
+    TerminatingSubdivision t(topo::ChromaticComplex::standard_simplex(2));
+    t.advance(kNothing);
+    t.advance(kNothing);
+    EXPECT_EQ(t.stages(), 3u);
+    EXPECT_EQ(t.complex_at(1).complex().facets().size(), 13u);
+    EXPECT_EQ(t.complex_at(2).complex().facets().size(), 169u);
+    EXPECT_TRUE(t.stable_complex().is_empty());
+}
+
+TEST(TerminatingSubdivision, EverythingStableFreezes) {
+    TerminatingSubdivision t(topo::ChromaticComplex::standard_simplex(2));
+    t.advance(kEverything);
+    t.advance(kEverything);
+    // All stages are the base complex itself.
+    EXPECT_EQ(t.complex_at(1).complex().facets().size(), 1u);
+    EXPECT_EQ(t.complex_at(2).complex().facets().size(), 1u);
+    // K(T) is the base simplex (with global ids).
+    EXPECT_EQ(t.stable_complex().complex().facets().size(), 1u);
+    EXPECT_TRUE(t.stable_complex().is_pure(2));
+}
+
+TEST(TerminatingSubdivision, Section61EdgeExample) {
+    // The figure of Section 6.1: terminate one edge of the triangle.
+    TerminatingSubdivision t(topo::ChromaticComplex::standard_simplex(2));
+    t.advance([](const SubdividedComplex& cx, const Simplex& s) {
+        return cx.depth() == 0 && s.is_face_of(Simplex{0, 1});
+    });
+    EXPECT_EQ(t.complex_at(1).complex().facets().size(), 11u);
+    t.complex_at(1).verify_subdivision_exactness();
+    // Stable: the edge and its two endpoints (3 simplices).
+    EXPECT_EQ(t.stable_at(0).size(), 3u);
+    // The stable edge persists verbatim in the next stage.
+    t.advance(kNothing);
+    const auto e01 = t.stable_complex().complex().simplices_of_dimension(1);
+    ASSERT_EQ(e01.size(), 1u);
+    EXPECT_EQ(t.stable_carrier(e01[0]), Simplex({0, 1}));
+}
+
+TEST(TerminatingSubdivision, StableSimplicesNeverSubdividedAgain) {
+    TerminatingSubdivision t(topo::ChromaticComplex::standard_simplex(2));
+    // Stage 0: subdivide once with nothing stable.
+    t.advance(kNothing);
+    // Stage 1: stabilize the central facet of Chr s (all carriers full).
+    t.advance([](const SubdividedComplex& cx, const Simplex& s) {
+        for (topo::VertexId v : s.vertices()) {
+            if (!(cx.carrier(v) == Simplex({0, 1, 2}))) return false;
+        }
+        return cx.depth() == 1;
+    });
+    const std::size_t stable_before = t.stable_complex().complex().size();
+    EXPECT_GT(stable_before, 0u);
+    // Two more stages: the stable part must persist unchanged.
+    t.advance(kNothing);
+    const std::size_t stable_after = t.stable_complex().complex().size();
+    EXPECT_EQ(stable_before, stable_after);
+    // The central facet of Chr s is a facet of C_3.
+    bool found = false;
+    for (const Simplex& f : t.complex_at(3).complex().facets()) {
+        bool central = true;
+        for (topo::VertexId v : f.vertices()) {
+            const Rational w =
+                t.complex_at(3).position(v).coord(
+                    t.complex_at(3).complex().color(v));
+            if (!(w == Rational(1, 5))) central = false;
+        }
+        if (central) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(TerminatingSubdivision, GlobalIdsAreStableAcrossStages) {
+    TerminatingSubdivision t(topo::ChromaticComplex::standard_simplex(1));
+    // Stabilize vertex {0} at stage 1 and everything at stage 2; the
+    // global id of the corner must not change.
+    t.advance([](const SubdividedComplex& cx, const Simplex& s) {
+        return cx.depth() == 0 && s == Simplex{0};
+    });
+    const auto v1 = t.find_stable_vertex(topo::BaryPoint::vertex(0), 0);
+    ASSERT_TRUE(v1.has_value());
+    t.advance(kEverything);
+    const auto v2 = t.find_stable_vertex(topo::BaryPoint::vertex(0), 0);
+    ASSERT_TRUE(v2.has_value());
+    EXPECT_EQ(*v1, *v2);
+}
+
+TEST(TerminatingSubdivision, StablePositionsAndCarriers) {
+    TerminatingSubdivision t(topo::ChromaticComplex::standard_simplex(2));
+    t.advance(kNothing);
+    t.advance(kEverything);
+    // All Chr s vertices are now stable; check one interior vertex.
+    const topo::BaryPoint center{{{0, Rational(1, 5)},
+                                  {1, Rational(2, 5)},
+                                  {2, Rational(2, 5)}}};
+    const auto v = t.find_stable_vertex(center, 0);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(t.stable_position(*v), center);
+    EXPECT_EQ(t.stable_carrier(Simplex{*v}), Simplex({0, 1, 2}));
+}
+
+TEST(TerminatingSubdivision, StableSimplexContains) {
+    TerminatingSubdivision t(topo::ChromaticComplex::standard_simplex(1));
+    t.advance(kEverything);
+    const auto facets = t.stable_facets();
+    ASSERT_EQ(facets.size(), 1u);
+    const topo::BaryPoint mid = topo::BaryPoint::barycenter(Simplex{0, 1});
+    EXPECT_TRUE(t.stable_simplex_contains(facets[0], {mid}));
+}
+
+TEST(TerminatingSubdivision, EmptyPlaceholderRejectsAdvance) {
+    TerminatingSubdivision t;
+    EXPECT_THROW(t.advance(kNothing), precondition_error);
+}
+
+}  // namespace
+}  // namespace gact::core

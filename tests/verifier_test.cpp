@@ -1,0 +1,168 @@
+#include "protocol/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "iis/run_enumeration.h"
+#include "tasks/standard_tasks.h"
+
+namespace gact::protocol {
+namespace {
+
+using iis::OrderedPartition;
+
+// A protocol that decides nothing, ever.
+class SilentProtocol final : public Protocol {
+public:
+    std::optional<topo::VertexId> output(ViewId, const ViewArena&) const
+        override {
+        return std::nullopt;
+    }
+    std::string name() const override { return "silent"; }
+};
+
+TEST(Verifier, SilentProtocolViolatesTermination) {
+    const tasks::AffineTask is = tasks::immediate_snapshot_task(1);
+    ViewArena arena;
+    const std::vector<iis::Run> runs = {
+        iis::Run::forever(2, OrderedPartition::concurrent(ProcessSet::full(2)))};
+    const SilentProtocol silent;
+    const auto report = verify_inputless(is.task, silent, runs, 4, arena);
+    EXPECT_FALSE(report.solved);
+    ASSERT_FALSE(report.violations.empty());
+    EXPECT_NE(report.violations[0].find("never decides"), std::string::npos);
+}
+
+// A correct protocol for the one-round IS task: after round 1, output the
+// Chr s vertex corresponding to the view.
+class IsTaskProtocol final : public Protocol {
+public:
+    explicit IsTaskProtocol(const tasks::AffineTask& is) : is_(&is) {}
+
+    std::optional<topo::VertexId> output(ViewId view,
+                                         const ViewArena& arena) const override {
+        const iis::ViewNode& node = arena.node(view);
+        if (node.depth < 1) return std::nullopt;
+        // The round-1 snapshot of the owner determines the Chr s vertex
+        // (p, tau): recover it from the depth-1 own view.
+        ViewId v = view;
+        while (arena.node(v).depth > 1) {
+            for (ViewId s : arena.node(v).seen) {
+                if (arena.node(s).owner == node.owner) {
+                    v = s;
+                    break;
+                }
+            }
+        }
+        const ProcessSet snap = arena.processes_in(v);
+        std::vector<topo::VertexId> tau;
+        for (gact::ProcessId q : snap.members()) {
+            tau.push_back(static_cast<topo::VertexId>(q));
+        }
+        return is_->subdivision.vertex_for(
+            static_cast<topo::VertexId>(node.owner), topo::Simplex(tau));
+    }
+    std::string name() const override { return "one-shot IS"; }
+
+private:
+    const tasks::AffineTask* is_;
+};
+
+TEST(Verifier, ImmediateSnapshotProtocolSolvesIsTask) {
+    const tasks::AffineTask is = tasks::immediate_snapshot_task(2);
+    ViewArena arena;
+    const auto runs = iis::enumerate_stabilized_runs(3, 1);
+    const IsTaskProtocol protocol(is);
+    const auto report = verify_inputless(is.task, protocol, runs, 4, arena);
+    EXPECT_TRUE(report.solved) << report.summary();
+    EXPECT_EQ(report.runs_checked, runs.size());
+    EXPECT_GT(report.decisions_checked, 0u);
+}
+
+// A protocol deciding the wrong color exposes condition (1)'s color check.
+class WrongColorProtocol final : public Protocol {
+public:
+    explicit WrongColorProtocol(topo::VertexId out) : out_(out) {}
+    std::optional<topo::VertexId> output(ViewId view,
+                                         const ViewArena& arena) const override {
+        if (arena.node(view).depth < 1) return std::nullopt;
+        return out_;  // same vertex for everyone: some color is wrong
+    }
+    std::string name() const override { return "wrong color"; }
+
+private:
+    topo::VertexId out_;
+};
+
+TEST(Verifier, WrongColorDetected) {
+    const tasks::AffineTask is = tasks::immediate_snapshot_task(1);
+    ViewArena arena;
+    const std::vector<iis::Run> runs = {
+        iis::Run::forever(2, OrderedPartition::concurrent(ProcessSet::full(2)))};
+    // Pick any output vertex; it has one color, wrong for the other process.
+    const topo::VertexId some_output = is.task.outputs.vertex_ids().front();
+    const WrongColorProtocol protocol(some_output);
+    const auto report = verify_inputless(is.task, protocol, runs, 3, arena);
+    EXPECT_FALSE(report.solved);
+}
+
+// An unstable protocol (changes its decision) violates condition (1).
+class FlipFlopProtocol final : public Protocol {
+public:
+    explicit FlipFlopProtocol(const tasks::AffineTask& is) : is_(&is) {}
+    std::optional<topo::VertexId> output(ViewId view,
+                                         const ViewArena& arena) const override {
+        const iis::ViewNode& node = arena.node(view);
+        if (node.depth < 1) return std::nullopt;
+        // Decide a vertex that depends on the parity of the depth.
+        const auto verts = is_->task.outputs.vertex_ids();
+        for (topo::VertexId v : verts) {
+            if (is_->task.outputs.color(v) == node.owner &&
+                (node.depth % 2 == 0) ==
+                    (is_->subdivision.carrier(v).size() == 1)) {
+                return v;
+            }
+        }
+        return std::nullopt;
+    }
+    std::string name() const override { return "flip-flop"; }
+
+private:
+    const tasks::AffineTask* is_;
+};
+
+TEST(Verifier, UnstableDecisionDetected) {
+    const tasks::AffineTask is = tasks::immediate_snapshot_task(1);
+    ViewArena arena;
+    const std::vector<iis::Run> runs = {
+        iis::Run::forever(2, OrderedPartition::sequential({0, 1}))};
+    const FlipFlopProtocol protocol(is);
+    const auto report = verify_inputless(is.task, protocol, runs, 4, arena);
+    EXPECT_FALSE(report.solved);
+    bool found_change = false;
+    for (const std::string& v : report.violations) {
+        if (v.find("changed decision") != std::string::npos ||
+            v.find("un-decided") != std::string::npos) {
+            found_change = true;
+        }
+    }
+    EXPECT_TRUE(found_change) << report.summary();
+}
+
+TEST(Verifier, RejectsTasksWithInputs) {
+    const tasks::Task consensus = tasks::consensus_task(2, 2);
+    ViewArena arena;
+    const SilentProtocol silent;
+    EXPECT_THROW(verify_inputless(consensus, silent, {}, 2, arena),
+                 precondition_error);
+}
+
+TEST(Verifier, TableProtocolConflictDetection) {
+    TableProtocol table("t");
+    EXPECT_TRUE(table.insert(0, 5));
+    EXPECT_TRUE(table.insert(0, 5));   // same entry: fine
+    EXPECT_FALSE(table.insert(0, 6));  // conflicting entry
+    EXPECT_EQ(table.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gact::protocol

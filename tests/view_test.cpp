@@ -1,0 +1,92 @@
+#include "iis/view.h"
+
+#include <gtest/gtest.h>
+
+namespace gact::iis {
+namespace {
+
+TEST(ViewArena, InterningDeduplicates) {
+    ViewArena arena;
+    const ViewId a = arena.make_initial(0);
+    const ViewId b = arena.make_initial(0);
+    EXPECT_EQ(a, b);
+    const ViewId c = arena.make_initial(1);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(arena.size(), 2u);
+}
+
+TEST(ViewArena, InputsDistinguishInitialViews) {
+    ViewArena arena;
+    const ViewId a = arena.make_initial(0, topo::VertexId{7});
+    const ViewId b = arena.make_initial(0, topo::VertexId{8});
+    const ViewId c = arena.make_initial(0);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+}
+
+TEST(ViewArena, MakeViewValidatesOwnership) {
+    ViewArena arena;
+    const ViewId v1 = arena.make_initial(1);
+    // Process 0 cannot form a view that does not include its own.
+    EXPECT_THROW(arena.make_view(0, {v1}), precondition_error);
+    EXPECT_THROW(arena.make_view(0, {}), precondition_error);
+}
+
+TEST(ViewArena, MakeViewValidatesDepths) {
+    ViewArena arena;
+    const ViewId v0 = arena.make_initial(0);
+    const ViewId v1 = arena.make_initial(1);
+    const ViewId deep = arena.make_view(0, {v0, v1});
+    EXPECT_THROW(arena.make_view(0, {v0, deep}), precondition_error);
+}
+
+TEST(ViewArena, DepthTracking) {
+    ViewArena arena;
+    const ViewId v0 = arena.make_initial(0);
+    const ViewId v1 = arena.make_view(0, {v0});
+    const ViewId v2 = arena.make_view(0, {v1});
+    EXPECT_EQ(arena.node(v0).depth, 0);
+    EXPECT_EQ(arena.node(v1).depth, 1);
+    EXPECT_EQ(arena.node(v2).depth, 2);
+}
+
+TEST(ViewArena, SameBlockViewsShareStructure) {
+    // Two processes in the same concurrency class see the same set of
+    // previous views; their nodes differ only by owner.
+    ViewArena arena;
+    const ViewId a0 = arena.make_initial(0);
+    const ViewId b0 = arena.make_initial(1);
+    const ViewId a1 = arena.make_view(0, {a0, b0});
+    const ViewId b1 = arena.make_view(1, {a0, b0});
+    EXPECT_NE(a1, b1);
+    EXPECT_EQ(arena.node(a1).seen, arena.node(b1).seen);
+}
+
+TEST(ViewArena, ProcessesInIsTransitive) {
+    ViewArena arena;
+    const ViewId a0 = arena.make_initial(0);
+    const ViewId b0 = arena.make_initial(1);
+    const ViewId c0 = arena.make_initial(2);
+    // p1 sees p2 at round 1; p0 sees p1 (but not p2 directly) at round 2.
+    const ViewId b1 = arena.make_view(1, {b0, c0});
+    const ViewId a1 = arena.make_view(0, {a0});
+    const ViewId a2 = arena.make_view(0, {a1, b1});
+    EXPECT_EQ(arena.processes_in(a2), ProcessSet::of({0, 1, 2}));
+    EXPECT_EQ(arena.processes_in(a1), ProcessSet::of({0}));
+}
+
+TEST(ViewArena, ToStringRoundTripsStructure) {
+    ViewArena arena;
+    const ViewId a0 = arena.make_initial(0, topo::VertexId{3});
+    EXPECT_EQ(arena.to_string(a0), "p0@0<in:3>");
+    const ViewId a1 = arena.make_view(0, {a0});
+    EXPECT_EQ(arena.to_string(a1), "p0@1{p0@0<in:3>}");
+}
+
+TEST(ViewArena, UnknownIdThrows) {
+    ViewArena arena;
+    EXPECT_THROW(arena.node(42), precondition_error);
+}
+
+}  // namespace
+}  // namespace gact::iis
