@@ -5,16 +5,23 @@
 // degeneracy of Section 7: GACT collapses to ACT in the wait-free case),
 // while the total-order task and 2-process consensus exhaust every depth.
 // Benchmarks the search per task and depth.
+//
+// Usage: bench_act_wait_free [max_depth] [gbench args...] — caps every
+// task's search depth (default 3, the historical per-task maxima).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <iostream>
 
+#include "bench_size.h"
 #include "core/act_solver.h"
 #include "tasks/standard_tasks.h"
 
 namespace {
 
 using namespace gact;
+
+int g_max_depth = 3;
 
 void report_task(const tasks::Task& task, int max_k) {
     const core::ActResult r = core::solve_act(task, max_k);
@@ -34,12 +41,16 @@ void report_task(const tasks::Task& task, int max_k) {
 void print_report() {
     std::cout << "=== E7: wait-free solvability via ACT (Corollary 7.1) "
                  "===\n";
-    report_task(tasks::immediate_snapshot_task(1).task, 2);
-    report_task(tasks::immediate_snapshot_task(2).task, 2);
-    report_task(tasks::t_resilience_task(1, 1).task, 3);  // Chr^2, t = n
-    report_task(tasks::total_order_task(1).task, 3);
-    report_task(tasks::consensus_task(2, 2), 3);
-    report_task(tasks::k_set_agreement_task(2, 2, 2), 1);
+    report_task(tasks::immediate_snapshot_task(1).task,
+                std::min(2, g_max_depth));
+    report_task(tasks::immediate_snapshot_task(2).task,
+                std::min(2, g_max_depth));
+    report_task(tasks::t_resilience_task(1, 1).task,
+                std::min(3, g_max_depth));  // Chr^2, t = n
+    report_task(tasks::total_order_task(1).task, std::min(3, g_max_depth));
+    report_task(tasks::consensus_task(2, 2), std::min(3, g_max_depth));
+    report_task(tasks::k_set_agreement_task(2, 2, 2),
+                std::min(1, g_max_depth));
     std::cout << std::endl;
 }
 
@@ -74,6 +85,8 @@ BENCHMARK(BM_ActTotalOrderExhaustion)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_max_depth =
+        static_cast<int>(gact::bench::consume_size_arg(argc, argv, 3));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

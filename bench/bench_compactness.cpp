@@ -4,17 +4,23 @@
 // runs, the diagonal argument extracts a subsequence agreeing on longer
 // and longer prefixes, so pairwise distances drop as 1/(1+k). Benchmarks
 // the run metric and the extraction.
+//
+// Usage: bench_compactness [family_size] [gbench args...] — size of the
+// random run family in the report (default 2000).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <random>
 
+#include "bench_size.h"
 #include "iis/compactness.h"
 #include "iis/run_enumeration.h"
 
 namespace {
 
 using namespace gact;
+
+std::size_t g_family_size = 2000;
 
 std::vector<iis::Run> random_family(std::size_t count) {
     std::mt19937 rng(2024);
@@ -31,7 +37,7 @@ std::vector<iis::Run> random_family(std::size_t count) {
 
 void print_report() {
     std::cout << "=== E6: compactness of the run space (Lemma 5.1) ===\n";
-    const std::vector<iis::Run> family = random_family(2000);
+    const std::vector<iis::Run> family = random_family(g_family_size);
     std::cout << "family of " << family.size()
               << " random stabilized runs (3 processes)\n";
     const iis::DiagonalExtraction extraction =
@@ -90,6 +96,8 @@ BENCHMARK(BM_MinimalRun);
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_family_size = static_cast<std::size_t>(
+        gact::bench::consume_size_arg(argc, argv, 2000));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

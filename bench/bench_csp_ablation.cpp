@@ -1,24 +1,36 @@
 // E12 (ablation) — design choices of the chromatic-map solver.
 //
-// DESIGN.md calls out two solver decisions: (i) decomposing the free
-// vertices into independent components (the three corner strips of the
-// L_1 collar), and (ii) ordering each vertex's candidates by geometric
-// distance to the radial projection. This bench quantifies both against
-// the Proposition 9.2 instance: without the geometric guidance the search
-// degrades sharply, and the full-problem search without decomposition is
-// reported for reference through the solver's backtrack counter.
+// The solver exposes its search strategy through SolverConfig: the seed's
+// plain backtracker (SolverConfig::naive()) against forward checking with
+// MRV/degree variable ordering (SolverConfig::fast()), and a portfolio
+// race on top. This bench pits the engines against the Proposition 9.2
+// instance — the chromatic simplicial approximation K(T) -> L_t for
+// n = 2, t = 1 — across the two orthogonal problem ablations the seed
+// measured: identity fixing of R_0 and radial-projection candidate
+// guidance. It reports old-vs-new backtrack counts and wall time per
+// cell.
+//
+// Usage: bench_csp_ablation [extra_stages] [gbench args...]
+// `extra_stages` (default 2) is the number of stabilization stages past
+// Chr^2; CI smoke-runs pass 1, so the default instance (the source of
+// the ROADMAP backtrack numbers) only runs when invoked by hand.
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
+#include <chrono>
 #include <iostream>
 
+#include "bench_size.h"
 #include "core/lt_pipeline.h"
 
 namespace {
 
 using namespace gact;
 using core::ChromaticMapProblem;
+using core::LtGuidance;
+using core::SolverConfig;
 using core::TerminatingSubdivision;
+
+std::size_t g_extra_stages = 2;
 
 struct Instance {
     tasks::AffineTask task = tasks::t_resilience_task(2, 1);
@@ -31,7 +43,7 @@ struct Instance {
                                 const topo::Simplex&) { return false; };
         tsub.advance(nothing);
         tsub.advance(nothing);
-        for (int i = 0; i < 2; ++i) {
+        for (std::size_t i = 0; i < g_extra_stages; ++i) {
             tsub.advance([](const topo::SubdividedComplex& cx,
                             const topo::Simplex& s) {
                 return core::lt_stable_rule(2, 1, cx, s);
@@ -40,40 +52,9 @@ struct Instance {
     }
 
     ChromaticMapProblem problem(bool fix_identity, bool guide) const {
-        ChromaticMapProblem p;
-        p.domain = &tsub.stable_complex();
-        p.codomain = &task.task.outputs;
-        p.allowed = [this](const topo::Simplex& sigma)
-            -> const topo::SimplicialComplex& {
-            return task.task.delta.at(tsub.stable_carrier(sigma));
-        };
-        if (fix_identity) {
-            for (topo::VertexId v : tsub.stable_complex().vertex_ids()) {
-                const auto lv = task.subdivision.find_vertex(
-                    tsub.stable_position(v), tsub.stable_complex().color(v));
-                if (lv.has_value() && task.l_complex.contains_vertex(*lv)) {
-                    p.fixed[v] = *lv;
-                }
-            }
-        }
-        if (guide) {
-            p.candidate_order = [this](topo::VertexId v) {
-                const topo::Color color = tsub.stable_complex().color(v);
-                const topo::BaryPoint target = core::radial_projection_l1(
-                    task, tsub.stable_position(v));
-                std::vector<std::pair<Rational, topo::VertexId>> scored;
-                for (topo::VertexId w : task.task.outputs.vertex_ids()) {
-                    if (task.task.outputs.color(w) != color) continue;
-                    scored.emplace_back(
-                        target.l1_distance(task.subdivision.position(w)), w);
-                }
-                std::sort(scored.begin(), scored.end());
-                std::vector<topo::VertexId> order;
-                for (const auto& [d, w] : scored) order.push_back(w);
-                return order;
-            };
-        }
-        return p;
+        return core::lt_approximation_problem(
+            task, tsub, fix_identity,
+            guide ? LtGuidance::kRadial : LtGuidance::kNone);
     }
 };
 
@@ -82,9 +63,37 @@ const Instance& instance() {
     return i;
 }
 
+struct Cell {
+    bool found = false;
+    std::size_t backtracks = 0;
+    bool exhausted = false;
+    double millis = 0.0;
+};
+
+Cell run_cell(const ChromaticMapProblem& problem, const SolverConfig& config) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = core::solve_chromatic_map(problem, config);
+    const auto end = std::chrono::steady_clock::now();
+    Cell cell;
+    cell.found = result.map.has_value();
+    cell.backtracks = result.backtracks;
+    cell.exhausted = result.exhausted;
+    cell.millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return cell;
+}
+
+void print_cell(const char* engine, const Cell& c) {
+    std::cout << "    " << engine << ": "
+              << (c.found ? "found" : "NOT found") << ", " << c.backtracks
+              << " backtracks, " << c.millis << " ms"
+              << (c.exhausted || c.found ? "" : " (budget hit)") << "\n";
+}
+
 void print_report() {
-    std::cout << "=== E12 (ablation): chromatic-map solver design choices "
-                 "===\n";
+    std::cout << "=== E12 (ablation): chromatic-map solver engines on the "
+                 "L_t (n=2, t=1) approximation (extra_stages="
+              << g_extra_stages << ") ===\n";
     const Instance& inst = instance();
     struct Config {
         const char* name;
@@ -99,45 +108,89 @@ void print_report() {
     };
     for (const Config& c : configs) {
         const auto problem = inst.problem(c.fix, c.guide);
-        const auto result = core::solve_chromatic_map(problem, c.budget);
-        std::cout << c.name << ": "
-                  << (result.map ? "found" : "NOT found") << ", "
-                  << result.backtracks << " backtracks"
-                  << (result.exhausted ? "" : " (budget hit)") << "\n";
+        std::cout << c.name << ":\n";
+        const Cell naive =
+            run_cell(problem, SolverConfig::naive(c.budget));
+        print_cell("naive (seed backtracker)   ", naive);
+        const Cell fast = run_cell(problem, SolverConfig::fast(c.budget));
+        print_cell("forward-checking + MRV     ", fast);
+        const Cell portfolio =
+            run_cell(problem, SolverConfig::portfolio(2, c.budget));
+        print_cell("portfolio x2 (FC+MRV race) ", portfolio);
+        const bool loser_exhausted =
+            naive.found ? fast.exhausted : naive.exhausted;
+        if (naive.found != fast.found && loser_exhausted) {
+            // One engine proved the opposite of what the other found.
+            std::cout << "    old-vs-new: engines DISAGREE on "
+                         "satisfiability — solver bug\n";
+        } else if (naive.found != fast.found) {
+            const char* loser = naive.found ? "FC+MRV" : "naive";
+            const Cell& found_cell = naive.found ? naive : fast;
+            const Cell& lost_cell = naive.found ? fast : naive;
+            std::cout << "    old-vs-new: " << loser
+                      << " inconclusive at its budget (" << lost_cell.backtracks
+                      << " backtracks); the other engine found a witness at "
+                      << found_cell.backtracks << "\n";
+        } else {
+            std::cout << "    old-vs-new: " << naive.backtracks << " -> "
+                      << fast.backtracks << " backtracks ("
+                      << (fast.backtracks < naive.backtracks
+                              ? "strictly fewer"
+                              : fast.backtracks == naive.backtracks
+                                    ? "equal"
+                                    : "MORE — regression")
+                      << "), " << naive.millis << " -> " << fast.millis
+                      << " ms\n";
+        }
     }
     std::cout << std::endl;
 }
 
-void BM_SolverShipped(benchmark::State& state) {
+void BM_SolverNaive(benchmark::State& state) {
     const Instance& inst = instance();
     const auto problem = inst.problem(true, true);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::solve_chromatic_map(problem));
+        benchmark::DoNotOptimize(
+            core::solve_chromatic_map(problem, SolverConfig::naive()));
     }
 }
-BENCHMARK(BM_SolverShipped)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolverNaive)->Unit(benchmark::kMillisecond);
 
-void BM_SolverUnguided(benchmark::State& state) {
+void BM_SolverFast(benchmark::State& state) {
+    const Instance& inst = instance();
+    const auto problem = inst.problem(true, true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::solve_chromatic_map(problem, SolverConfig::fast()));
+    }
+}
+BENCHMARK(BM_SolverFast)->Unit(benchmark::kMillisecond);
+
+void BM_SolverFastUnguided(benchmark::State& state) {
     const Instance& inst = instance();
     const auto problem = inst.problem(true, false);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::solve_chromatic_map(problem, 2000000));
+        benchmark::DoNotOptimize(
+            core::solve_chromatic_map(problem, SolverConfig::fast(2000000)));
     }
 }
-BENCHMARK(BM_SolverUnguided)->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolverFastUnguided)->Iterations(3)->Unit(benchmark::kMillisecond);
 
-void BM_SolverNoFixing(benchmark::State& state) {
+void BM_SolverFastNoFixing(benchmark::State& state) {
     const Instance& inst = instance();
     const auto problem = inst.problem(false, true);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::solve_chromatic_map(problem, 2000000));
+        benchmark::DoNotOptimize(
+            core::solve_chromatic_map(problem, SolverConfig::fast(2000000)));
     }
 }
-BENCHMARK(BM_SolverNoFixing)->Iterations(3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SolverFastNoFixing)->Iterations(3)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_extra_stages = static_cast<std::size_t>(
+        gact::bench::consume_size_arg(argc, argv, 2));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

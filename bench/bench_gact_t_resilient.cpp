@@ -5,10 +5,14 @@
 // subdivision is admissible for the compact Res_1 families, delta
 // satisfies condition (b), the extracted protocol is conflict-free and
 // passes the Definition 4.1 verifier. Benchmarks every pipeline stage.
+// Usage: bench_gact_t_resilient [prefix_depth] [gbench args...] — depth
+// of the arbitrary-schedule prefix of the enumerated compact run families
+// (default 1).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "bench_size.h"
 #include "protocol/gact_protocol.h"
 #include "protocol/verifier.h"
 
@@ -16,14 +20,16 @@ namespace {
 
 using namespace gact;
 
+std::uint32_t g_prefix_depth = 1;
+
 struct Setup {
     core::LtPipeline pipeline = core::build_lt_pipeline(2, 1, 2);
     std::vector<iis::Run> runs;
 
     Setup() {
         const iis::TResilientModel res1(3, 1);
-        runs = iis::filter_by_model(iis::enumerate_stabilized_runs(3, 1),
-                                    res1);
+        runs = iis::filter_by_model(
+            iis::enumerate_stabilized_runs(3, g_prefix_depth), res1);
     }
 };
 
@@ -53,7 +59,7 @@ void print_report() {
     std::cout << "Definition 4.1: " << report.summary() << "\n";
     // Contrast with the wait-free model: WF contains runs that never land
     // (solo runs), so the same T is not admissible for all of WF.
-    const auto all_runs = iis::enumerate_stabilized_runs(3, 1);
+    const auto all_runs = iis::enumerate_stabilized_runs(3, g_prefix_depth);
     const auto wf_adm = core::check_admissibility(s.pipeline.tsub, all_runs, 8);
     std::cout << "contrast (WF family): admissible = " << wf_adm.admissible
               << " with " << wf_adm.failures.size()
@@ -115,6 +121,8 @@ BENCHMARK(BM_SingleRunLanding)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_prefix_depth = static_cast<std::uint32_t>(
+        gact::bench::consume_size_arg(argc, argv, 1));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

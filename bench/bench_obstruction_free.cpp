@@ -4,10 +4,13 @@
 // protocol passes Definition 4.1 on the minimal obstruction-free runs and
 // starves followers in the leader-ahead run. Benchmarks the commit-adopt
 // evaluator and the verification.
+// Usage: bench_obstruction_free [prefix_depth] [gbench args...] — depth
+// of the arbitrary-schedule prefix of the enumerated runs (default 2).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "bench_size.h"
 #include "iis/run_enumeration.h"
 #include "protocol/commit_adopt.h"
 #include "protocol/verifier.h"
@@ -15,6 +18,8 @@
 namespace {
 
 using namespace gact;
+
+std::uint32_t g_prefix_depth = 2;
 
 struct Setup {
     tasks::AffineTask lord = tasks::total_order_task(2);
@@ -24,7 +29,7 @@ struct Setup {
         const auto of1 = std::make_shared<iis::ObstructionFreeModel>(1);
         const iis::MinimalRunsModel of1_fast(of1);
         fast_runs = iis::filter_by_model(
-            iis::enumerate_stabilized_runs(3, 2), of1_fast);
+            iis::enumerate_stabilized_runs(3, g_prefix_depth), of1_fast);
     }
 };
 
@@ -93,6 +98,8 @@ BENCHMARK(BM_VerifyOfFast)->Iterations(3)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_prefix_depth = static_cast<std::uint32_t>(
+        gact::bench::consume_size_arg(argc, argv, 2));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

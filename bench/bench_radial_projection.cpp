@@ -5,18 +5,24 @@
 // collar rings onto the boundary of R_0, preserving the faces of s; the
 // CSP then finds delta guided by f. Benchmarks exact projections and the
 // approximation search.
+// Usage: bench_radial_projection [extra_stages] [gbench args...] —
+// stabilization stages past Chr^2 in the pipeline (default 2).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "bench_size.h"
 #include "core/lt_pipeline.h"
 
 namespace {
 
 using namespace gact;
 
+std::size_t g_extra_stages = 2;
+
 const core::LtPipeline& pipeline() {
-    static const core::LtPipeline p = core::build_lt_pipeline(2, 1, 2);
+    static const core::LtPipeline p =
+        core::build_lt_pipeline(2, 1, g_extra_stages);
     return p;
 }
 
@@ -85,6 +91,8 @@ BENCHMARK(BM_FullPipelineWithApproximation)
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_extra_stages = static_cast<std::size_t>(
+        gact::bench::consume_size_arg(argc, argv, 2));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -5,17 +5,22 @@
 // contributes per stage of the terminating subdivision for (n, t) = (2, 1),
 // and that all stable vertices avoid the forbidden skeleton. Benchmarks
 // stage advancement with the L_t stabilization rule.
+// Usage: bench_regions [stages] [gbench args...] — stabilization stages
+// past Chr^2 in the report (default 3).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <map>
 
+#include "bench_size.h"
 #include "core/lt_pipeline.h"
 
 namespace {
 
 using namespace gact;
 using core::TerminatingSubdivision;
+
+int g_stages = 3;
 
 TerminatingSubdivision build(int stages) {
     TerminatingSubdivision t(topo::ChromaticComplex::standard_simplex(2));
@@ -35,7 +40,7 @@ TerminatingSubdivision build(int stages) {
 void print_report() {
     std::cout << "=== E4: rings R_0, R_1, ... for (n,t) = (2,1) (Section 9.2 "
                  "figure) ===\n";
-    const TerminatingSubdivision t = build(3);
+    const TerminatingSubdivision t = build(g_stages);
     std::map<std::size_t, std::size_t> ring_count;
     for (const topo::Simplex& f : t.stable_facets()) {
         ++ring_count[core::ring_of_stable_facet(t, f)];
@@ -80,6 +85,7 @@ BENCHMARK(BM_RingClassification)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_stages = static_cast<int>(gact::bench::consume_size_arg(argc, argv, 3));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,41 @@
+// Shared helper for the benches' optional size argument.
+//
+// Every bench accepts an optional leading positive integer before the
+// google-benchmark flags: `bench_foo [size] [--benchmark_...]`. The
+// meaning (processes / stages / prefix depth / family size) is documented
+// per bench; the default is the bench's historical hard-coded value. CI
+// smoke-runs pass tiny sizes so every report stays fast.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gact::bench {
+
+/// If argv[1] is a bare non-negative integer, consume it and return its
+/// value; otherwise return `default_value`. A size-like argument that
+/// fails to parse cleanly (trailing junk, overflow) exits with a
+/// message rather than silently running the wrong size. Shifts the
+/// remaining arguments down so google-benchmark flag parsing is
+/// unaffected.
+inline long consume_size_arg(int& argc, char** argv, long default_value) {
+    if (argc > 1 && std::isdigit(static_cast<unsigned char>(argv[1][0]))) {
+        char* end = nullptr;
+        errno = 0;
+        const long value = std::strtol(argv[1], &end, 10);
+        if (errno == ERANGE || *end != '\0' || value < 0) {
+            std::fprintf(stderr, "invalid size argument '%s'\n", argv[1]);
+            std::exit(2);
+        }
+        // Shift through index argc so the argv[argc] == nullptr
+        // terminator moves down with the arguments.
+        for (int i = 1; i < argc; ++i) argv[i] = argv[i + 1];
+        --argc;
+        return value;
+    }
+    return default_value;
+}
+
+}  // namespace gact::bench

@@ -6,12 +6,15 @@
 // Chr s), for 2 and 3 processes, and chained instances realize IIS run
 // prefixes whose views coincide with the abstract semantics. Benchmarks
 // executor throughput.
+// Usage: bench_sm_iis [max_processes] [gbench args...] — largest process
+// count in the outcome-enumeration report (default 3).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 #include <random>
 #include <set>
 
+#include "bench_size.h"
 #include "sm/iis_executor.h"
 #include "topology/combinatorics.h"
 
@@ -19,9 +22,11 @@ namespace {
 
 using namespace gact;
 
+std::uint32_t g_max_processes = 3;
+
 void print_report() {
     std::cout << "=== E10: IIS from shared memory (Borowsky-Gafni) ===\n";
-    for (std::uint32_t n = 1; n <= 3; ++n) {
+    for (std::uint32_t n = 1; n <= g_max_processes; ++n) {
         std::vector<std::optional<sm::Word>> vals;
         for (ProcessId p = 0; p < n; ++p) vals.emplace_back(p);
         const auto outcomes =
@@ -90,6 +95,8 @@ BENCHMARK(BM_ChainedIisSteps);
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_max_processes = static_cast<std::uint32_t>(
+        gact::bench::consume_size_arg(argc, argv, 3));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -6,10 +6,13 @@
 // simplex (rational arithmetic), subdivisions stay contractible, and
 // boundaries are spheres. Benchmarks subdivision, exactness verification,
 // and homology.
+// Usage: bench_subdivision [max_n] [gbench args...] — largest simplex
+// dimension in the facet-count report (default 3).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "bench_size.h"
 #include "topology/combinatorics.h"
 #include "topology/homology.h"
 #include "topology/subdivision.h"
@@ -20,10 +23,12 @@ using namespace gact;
 using topo::ChromaticComplex;
 using topo::SubdividedComplex;
 
+int g_max_n = 3;
+
 void print_report() {
     std::cout << "=== E11: chromatic subdivision combinatorics (Sections "
                  "3.1-3.2) ===\n";
-    for (int n = 1; n <= 3; ++n) {
+    for (int n = 1; n <= g_max_n; ++n) {
         const int max_k = n <= 2 ? 3 : 2;
         SubdividedComplex chr =
             SubdividedComplex::identity(ChromaticComplex::standard_simplex(n));
@@ -102,6 +107,7 @@ BENCHMARK(BM_BarycentricStep)->Arg(2)->Arg(3)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_max_n = static_cast<int>(gact::bench::consume_size_arg(argc, argv, 3));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

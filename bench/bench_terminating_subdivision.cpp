@@ -5,10 +5,13 @@
 // terminated yields 11 facets instead of 13, the terminated edge stays
 // whole, and the subdivision is geometrically exact. Benchmarks full and
 // partial subdivision steps and terminating-subdivision stage advances.
+// Usage: bench_terminating_subdivision [n] [gbench args...] — dimension
+// of the base simplex in the report (default 2).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "bench_size.h"
 #include "core/terminating_subdivision.h"
 
 namespace {
@@ -18,16 +21,19 @@ using topo::ChromaticComplex;
 using topo::Simplex;
 using topo::SubdividedComplex;
 
+int g_n = 2;
+
 void print_report() {
     std::cout << "=== E2: partial chromatic subdivision (Section 6.1 figure) "
                  "===\n";
-    const ChromaticComplex s = ChromaticComplex::standard_simplex(2);
+    const ChromaticComplex s = ChromaticComplex::standard_simplex(g_n);
     const SubdividedComplex id = SubdividedComplex::identity(s);
     const SubdividedComplex full = id.chromatic_subdivision();
     std::cout << "Chr(triangle): " << full.complex().facets().size()
               << " facets\n";
-    for (topo::VertexId a = 0; a <= 2; ++a) {
-        for (topo::VertexId b = a + 1; b <= 2; ++b) {
+    const auto max_v = static_cast<topo::VertexId>(g_n);
+    for (topo::VertexId a = 0; a <= max_v; ++a) {
+        for (topo::VertexId b = a + 1; b <= max_v; ++b) {
             const Simplex edge{a, b};
             const SubdividedComplex part =
                 id.chromatic_subdivision_with_termination(
@@ -93,6 +99,7 @@ BENCHMARK(BM_TerminatingSubdivisionStages)
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_n = static_cast<int>(gact::bench::consume_size_arg(argc, argv, 2));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -4,18 +4,23 @@
 // Regenerates the figure's data: for each n, the number of sigma_alpha
 // simplices extracted from Chr^2 s, their uniqueness, and the placement
 // of each vertex on the face flag. Benchmarks the construction.
+// Usage: bench_total_order [max_n] [gbench args...] — largest n in the
+// facet-count report (default 3).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
+#include "bench_size.h"
 #include "tasks/standard_tasks.h"
 #include "topology/combinatorics.h"
 
 namespace {
 
+int g_max_n = 3;
+
 void print_report() {
     std::cout << "=== E1: total-order task L_ord (Section 4.2 figure) ===\n";
-    for (int n = 1; n <= 3; ++n) {
+    for (int n = 1; n <= g_max_n; ++n) {
         const gact::tasks::AffineTask lord = gact::tasks::total_order_task(n);
         std::size_t expected = 1;
         for (std::size_t i = 2; i <= static_cast<std::size_t>(n) + 1; ++i) {
@@ -59,6 +64,7 @@ BENCHMARK(BM_SigmaAlphaLookup)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+    g_max_n = static_cast<int>(gact::bench::consume_size_arg(argc, argv, 3));
     print_report();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

@@ -20,6 +20,12 @@ ChromaticMapProblem act_problem(const tasks::Task& task,
 
 ActResult solve_act(const tasks::Task& task, int max_k,
                     std::size_t max_backtracks_per_depth) {
+    return solve_act(task, max_k,
+                     SolverConfig::fast(max_backtracks_per_depth));
+}
+
+ActResult solve_act(const tasks::Task& task, int max_k,
+                    const SolverConfig& config) {
     require(task.validate().empty(), "solve_act: invalid task");
     ActResult out;
     out.exhausted_all_depths = true;
@@ -29,7 +35,7 @@ ActResult solve_act(const tasks::Task& task, int max_k,
         if (k > 0) chr = chr.chromatic_subdivision();
         const ChromaticMapProblem problem = act_problem(task, chr);
         const ChromaticMapResult result =
-            solve_chromatic_map(problem, max_backtracks_per_depth);
+            solve_chromatic_map(problem, config);
         out.backtracks_per_depth.push_back(result.backtracks);
         if (!result.exhausted) out.exhausted_all_depths = false;
         if (result.map) {

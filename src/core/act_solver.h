@@ -26,7 +26,14 @@ struct ActResult {
     bool exhausted_all_depths = false;   // searches below max_k all complete
 };
 
-/// Search depths k = 0..max_k for a Corollary 7.1 witness.
+/// Search depths k = 0..max_k for a Corollary 7.1 witness. `config`
+/// selects the CSP engine; its max_backtracks bounds each depth's search
+/// separately.
+ActResult solve_act(const tasks::Task& task, int max_k,
+                    const SolverConfig& config);
+
+/// Convenience overload: the default engine with the given per-depth
+/// backtrack budget.
 ActResult solve_act(const tasks::Task& task, int max_k,
                     std::size_t max_backtracks_per_depth = 2000000);
 

@@ -1,17 +1,159 @@
 #include "core/chromatic_csp.h"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <random>
+#include <thread>
 #include <unordered_set>
 
+#include "topology/adjacency_index.h"
 #include "util/require.h"
 
 namespace gact::core {
 
 namespace {
 
-struct Searcher {
+// ---------------------------------------------------------------------------
+// Shared problem preprocessing: assignment order and initial domains.
+// ---------------------------------------------------------------------------
+
+/// The initial candidate list for one domain vertex: the fixed value, or
+/// the caller's candidate order, or all color-matching codomain vertices;
+/// always filtered by the vertex's own constraint complex.
+std::vector<VertexId> initial_domain(const ChromaticMapProblem& problem,
+                                     VertexId v) {
+    std::vector<VertexId> candidates;
+    const auto fit = problem.fixed.find(v);
+    if (fit != problem.fixed.end()) {
+        candidates = {fit->second};
+    } else if (problem.candidate_order) {
+        candidates = problem.candidate_order(v);
+    } else {
+        const topo::Color c = problem.domain->color(v);
+        for (VertexId w : problem.codomain->vertex_ids()) {
+            if (problem.codomain->color(w) == c) candidates.push_back(w);
+        }
+    }
+    const SimplicialComplex& allowed = problem.allowed(Simplex{v});
+    std::vector<VertexId> filtered;
+    for (VertexId w : candidates) {
+        // Candidate values must be vertices of the codomain: the naive
+        // engine rejects strays through the 0-simplex constraints, but
+        // the FC engine's adjacency index only carries dimension >= 1,
+        // so filter here for both.
+        if (problem.codomain->contains_vertex(w) &&
+            allowed.contains(Simplex{w})) {
+            filtered.push_back(w);
+        }
+    }
+    return filtered;
+}
+
+/// Initial candidate lists for every domain vertex, computed once per
+/// solve: the candidate_order closures can be expensive (exact rational
+/// geometry in the L_t pipeline), and portfolio threads all start from
+/// the same base order.
+using DomainMap = std::unordered_map<VertexId, std::vector<VertexId>>;
+
+DomainMap all_initial_domains(const ChromaticMapProblem& problem) {
+    DomainMap domains;
+    for (VertexId v : problem.domain->vertex_ids()) {
+        domains.emplace(v, initial_domain(problem, v));
+    }
+    return domains;
+}
+
+/// Free-vertex connected components (free-free adjacency): independent
+/// subproblems given the fixed assignments, solved separately to avoid
+/// cross-component thrashing. Also produces, per component, the static
+/// maximum-cardinality order (always the vertex adjacent to the most
+/// already-ordered vertices, so contradictions surface immediately).
+struct Decomposition {
+    std::vector<VertexId> fixed_order;
+    std::vector<std::vector<VertexId>> component_orders;
+};
+
+Decomposition decompose(const ChromaticMapProblem& problem,
+                        const topo::AdjacencyIndex& index) {
+    Decomposition out;
+    const std::vector<VertexId> vertices = problem.domain->vertex_ids();
+
+    for (const auto& [v, w] : problem.fixed) {
+        (void)w;
+        require(problem.domain->contains_vertex(v),
+                "solve_chromatic_map: fixed vertex not in domain");
+        out.fixed_order.push_back(v);
+    }
+    std::sort(out.fixed_order.begin(), out.fixed_order.end());
+
+    std::unordered_map<VertexId, std::size_t> component;
+    std::size_t num_components = 0;
+    for (VertexId v : vertices) {
+        if (problem.fixed.count(v) != 0 || component.count(v) != 0) continue;
+        std::vector<VertexId> stack{v};
+        component[v] = num_components;
+        while (!stack.empty()) {
+            const VertexId u = stack.back();
+            stack.pop_back();
+            for (VertexId w : index.neighbors(u)) {
+                if (problem.fixed.count(w) == 0 && component.count(w) == 0) {
+                    component[w] = num_components;
+                    stack.push_back(w);
+                }
+            }
+        }
+        ++num_components;
+    }
+
+    out.component_orders.resize(num_components);
+    std::unordered_map<VertexId, std::size_t> ordered_neighbors;
+    std::unordered_set<VertexId> placed;
+    const auto place = [&](VertexId v) {
+        placed.insert(v);
+        for (VertexId u : index.neighbors(v)) ++ordered_neighbors[u];
+    };
+    for (VertexId v : out.fixed_order) place(v);
+    for (std::size_t c = 0; c < num_components; ++c) {
+        std::vector<VertexId> members;
+        for (VertexId v : vertices) {
+            const auto it = component.find(v);
+            if (it != component.end() && it->second == c) {
+                members.push_back(v);
+            }
+        }
+        for (std::size_t step = 0; step < members.size(); ++step) {
+            VertexId best = 0;
+            std::size_t best_score = 0;
+            bool found = false;
+            for (VertexId v : members) {
+                if (placed.count(v) != 0) continue;
+                const std::size_t score = ordered_neighbors[v];
+                if (!found || score > best_score ||
+                    (score == best_score && v < best)) {
+                    best = v;
+                    best_score = score;
+                    found = true;
+                }
+            }
+            out.component_orders[c].push_back(best);
+            place(best);
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Naive engine: the seed's plain chronological backtracker, kept verbatim
+// as the SolverConfig::naive() baseline.
+// ---------------------------------------------------------------------------
+
+struct NaiveSearcher {
+    explicit NaiveSearcher(const ChromaticMapProblem& p) : problem(p) {}
+
     const ChromaticMapProblem& problem;
+    const std::atomic<bool>* stop = nullptr;
     std::vector<VertexId> order;                 // assignment order
     std::vector<std::vector<VertexId>> domains;  // candidates per position
     std::unordered_map<VertexId, VertexId> assignment;
@@ -20,7 +162,7 @@ struct Searcher {
     // fully assigned.
     std::unordered_map<VertexId, std::vector<Simplex>> constraints_by_last;
     std::size_t backtracks = 0;
-    std::size_t max_backtracks;
+    std::size_t max_backtracks = 0;
     bool exhausted = true;
 
     bool constraint_holds(const Simplex& sigma) {
@@ -33,6 +175,10 @@ struct Searcher {
     }
 
     bool assign(std::size_t idx) {
+        if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+            exhausted = false;
+            return false;
+        }
         if (idx == order.size()) return true;
         const VertexId v = order[idx];
         for (VertexId w : domains[idx]) {
@@ -58,21 +204,20 @@ struct Searcher {
     }
 };
 
-}  // namespace
-
-namespace {
-
 /// Solve the subproblem induced by the fixed vertices plus one connected
-/// component of free vertices. `component_order` lists the component's
-/// free vertices in assignment order; fixed vertices head the order with
-/// singleton domains. On success, the component's assignments are merged
-/// into `solution`.
-bool solve_component(const ChromaticMapProblem& problem,
-                     const std::vector<VertexId>& fixed_order,
-                     const std::vector<VertexId>& component_order,
-                     std::size_t max_backtracks, ChromaticMapResult& result,
-                     std::unordered_map<VertexId, VertexId>& solution) {
-    Searcher s{problem, {}, {}, {}, {}, 0, max_backtracks, true};
+/// component of free vertices with the naive engine. On success, the
+/// component's assignments are merged into `solution`.
+bool naive_solve_component(const ChromaticMapProblem& problem,
+                           const DomainMap& base_domains,
+                           const std::vector<VertexId>& fixed_order,
+                           const std::vector<VertexId>& component_order,
+                           std::size_t max_backtracks,
+                           const std::atomic<bool>* stop,
+                           ChromaticMapResult& result,
+                           std::unordered_map<VertexId, VertexId>& solution) {
+    NaiveSearcher s(problem);
+    s.stop = stop;
+    s.max_backtracks = max_backtracks;
     std::unordered_set<VertexId> in_scope;
     for (VertexId v : fixed_order) {
         s.order.push_back(v);
@@ -102,25 +247,7 @@ bool solve_component(const ChromaticMapProblem& problem,
 
     s.domains.resize(s.order.size());
     for (std::size_t i = 0; i < s.order.size(); ++i) {
-        const VertexId v = s.order[i];
-        const auto fit = problem.fixed.find(v);
-        std::vector<VertexId> candidates;
-        if (fit != problem.fixed.end()) {
-            candidates = {fit->second};
-        } else if (problem.candidate_order) {
-            candidates = problem.candidate_order(v);
-        } else {
-            const topo::Color c = problem.domain->color(v);
-            for (VertexId w : problem.codomain->vertex_ids()) {
-                if (problem.codomain->color(w) == c) candidates.push_back(w);
-            }
-        }
-        const SimplicialComplex& allowed = problem.allowed(Simplex{v});
-        std::vector<VertexId> filtered;
-        for (VertexId w : candidates) {
-            if (allowed.contains(Simplex{w})) filtered.push_back(w);
-        }
-        s.domains[i] = std::move(filtered);
+        s.domains[i] = base_domains.at(s.order[i]);
     }
 
     const bool found = s.assign(0);
@@ -133,113 +260,371 @@ bool solve_component(const ChromaticMapProblem& problem,
     return found;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Forward-checking engine with configurable variable/value ordering.
+// ---------------------------------------------------------------------------
 
-ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
-                                       std::size_t max_backtracks) {
-    require(problem.domain != nullptr && problem.codomain != nullptr,
-            "solve_chromatic_map: missing complexes");
-    require(static_cast<bool>(problem.allowed),
-            "solve_chromatic_map: missing constraint function");
+struct FcSearcher {
+    FcSearcher(const ChromaticMapProblem& p, const topo::AdjacencyIndex& ix,
+               const SolverConfig& c)
+        : problem(p), index(ix), config(c) {}
 
-    const std::vector<VertexId> vertices = problem.domain->vertex_ids();
-    std::unordered_map<VertexId, std::vector<VertexId>> adjacency;
-    for (const Simplex& sigma :
-         problem.domain->complex().simplices_of_dimension(1)) {
-        adjacency[sigma.vertices()[0]].push_back(sigma.vertices()[1]);
-        adjacency[sigma.vertices()[1]].push_back(sigma.vertices()[0]);
+    const ChromaticMapProblem& problem;
+    const topo::AdjacencyIndex& index;
+    const SolverConfig& config;
+    const std::atomic<bool>* stop = nullptr;
+
+    struct Var {
+        VertexId v = 0;
+        std::vector<VertexId> values;  // initial order, never reordered
+        std::vector<char> active;      // live-domain flags, trail-restored
+        std::size_t active_count = 0;
+        bool assigned = false;
+        bool is_fixed = false;
+    };
+    std::vector<Var> vars;  // fixed vertices first, then the component's
+                            // free vertices in static order
+    std::unordered_map<VertexId, std::size_t> var_index;
+    std::unordered_map<VertexId, VertexId> assignment;
+    // Undo log of domain prunings: (variable index, value index).
+    std::vector<std::pair<std::size_t, std::size_t>> trail;
+    std::size_t backtracks = 0;
+    bool exhausted = true;
+
+    bool stopped() const {
+        return stop != nullptr && stop->load(std::memory_order_relaxed);
     }
 
-    std::vector<VertexId> fixed_order;
-    for (const auto& [v, w] : problem.fixed) {
-        require(problem.domain->contains_vertex(v),
-                "solve_chromatic_map: fixed vertex not in domain");
-        fixed_order.push_back(v);
+    bool constraint_holds(const Simplex& sigma) const {
+        std::vector<VertexId> image;
+        image.reserve(sigma.size());
+        for (VertexId v : sigma.vertices()) image.push_back(assignment.at(v));
+        const Simplex img(std::move(image));
+        if (!problem.codomain->contains(img)) return false;
+        return problem.allowed(sigma).contains(img);
     }
-    std::sort(fixed_order.begin(), fixed_order.end());
 
-    // Connected components of free vertices (free-free adjacency): the
-    // components are independent subproblems given the fixed assignments,
-    // so solving them separately avoids cross-component thrashing.
-    std::unordered_map<VertexId, std::size_t> component;
-    std::size_t num_components = 0;
-    for (VertexId v : vertices) {
-        if (problem.fixed.count(v) != 0 || component.count(v) != 0) continue;
-        std::vector<VertexId> stack{v};
-        component[v] = num_components;
-        while (!stack.empty()) {
-            const VertexId u = stack.back();
-            stack.pop_back();
-            for (VertexId w : adjacency[u]) {
-                if (problem.fixed.count(w) == 0 && component.count(w) == 0) {
-                    component[w] = num_components;
-                    stack.push_back(w);
-                }
-            }
+    void prune(std::size_t var_idx, std::size_t value_idx) {
+        vars[var_idx].active[value_idx] = 0;
+        --vars[var_idx].active_count;
+        trail.emplace_back(var_idx, value_idx);
+    }
+
+    void undo_to(std::size_t mark) {
+        while (trail.size() > mark) {
+            const auto [var_idx, value_idx] = trail.back();
+            trail.pop_back();
+            vars[var_idx].active[value_idx] = 1;
+            ++vars[var_idx].active_count;
         }
-        ++num_components;
     }
 
-    // Within each component, maximum-cardinality order: always the vertex
-    // adjacent to the most already-ordered vertices, so contradictions
-    // surface immediately.
-    std::vector<std::vector<VertexId>> component_orders(num_components);
-    {
-        std::unordered_map<VertexId, std::size_t> ordered_neighbors;
-        std::unordered_set<VertexId> placed;
-        const auto place = [&](VertexId v) {
-            placed.insert(v);
-            for (VertexId u : adjacency[v]) ++ordered_neighbors[u];
-        };
-        for (VertexId v : fixed_order) place(v);
-        for (std::size_t c = 0; c < num_components; ++c) {
-            std::vector<VertexId> members;
-            for (VertexId v : vertices) {
-                const auto it = component.find(v);
-                if (it != component.end() && it->second == c) {
-                    members.push_back(v);
+    /// Assign v := w and propagate: completed constraints are checked, and
+    /// with forward checking on, every in-scope constraint one vertex
+    /// short of completion filters that vertex's live domain. Returns
+    /// false on a violated constraint or a domain wipeout (the caller must
+    /// undo_to its own trail mark either way).
+    bool try_assign(std::size_t var_idx, VertexId w) {
+        Var& var = vars[var_idx];
+        var.assigned = true;
+        assignment[var.v] = w;
+        for (const Simplex* sigma_ptr : index.incident_simplices(var.v)) {
+            const Simplex& sigma = *sigma_ptr;
+            VertexId unassigned_vertex = 0;
+            std::size_t num_unassigned = 0;
+            bool in_scope = true;
+            for (VertexId u : sigma.vertices()) {
+                const auto it = var_index.find(u);
+                if (it == var_index.end()) {
+                    in_scope = false;
+                    break;
+                }
+                if (!vars[it->second].assigned) {
+                    unassigned_vertex = u;
+                    if (++num_unassigned > 1) break;
                 }
             }
-            for (std::size_t step = 0; step < members.size(); ++step) {
-                VertexId best = 0;
-                std::size_t best_score = 0;
-                bool found = false;
-                for (VertexId v : members) {
-                    if (placed.count(v) != 0) continue;
-                    const std::size_t score = ordered_neighbors[v];
-                    if (!found || score > best_score ||
-                        (score == best_score && v < best)) {
-                        best = v;
-                        best_score = score;
-                        found = true;
+            if (!in_scope) continue;
+            if (num_unassigned == 0) {
+                if (!constraint_holds(sigma)) return false;
+            } else if (num_unassigned == 1 && config.forward_checking) {
+                const std::size_t u_idx = var_index.at(unassigned_vertex);
+                Var& uvar = vars[u_idx];
+                // The constraint complex and the assigned part of the
+                // image are fixed across the candidate loop; allowed()
+                // can be expensive (carrier computation), so hoist it.
+                const SimplicialComplex& allowed = problem.allowed(sigma);
+                std::vector<VertexId> image;
+                image.reserve(sigma.size());
+                std::size_t u_slot = 0;
+                for (std::size_t j = 0; j < sigma.vertices().size(); ++j) {
+                    const VertexId u = sigma.vertices()[j];
+                    if (u == unassigned_vertex) {
+                        u_slot = j;
+                        image.push_back(0);
+                    } else {
+                        image.push_back(assignment.at(u));
                     }
                 }
-                component_orders[c].push_back(best);
-                place(best);
+                for (std::size_t i = 0; i < uvar.values.size(); ++i) {
+                    if (!uvar.active[i]) continue;
+                    image[u_slot] = uvar.values[i];
+                    const Simplex img{std::vector<VertexId>(image)};
+                    if (!problem.codomain->contains(img) ||
+                        !allowed.contains(img)) {
+                        prune(u_idx, i);
+                    }
+                }
+                if (uvar.active_count == 0) return false;
             }
+        }
+        return true;
+    }
+
+    void unassign(std::size_t var_idx) {
+        vars[var_idx].assigned = false;
+        assignment.erase(vars[var_idx].v);
+    }
+
+    /// The next branching variable: first unassigned in static order, or
+    /// the MRV/degree/id minimum. Returns vars.size() when all assigned.
+    std::size_t pick_variable() const {
+        if (config.variable_order == VariableOrder::kStatic) {
+            for (std::size_t i = 0; i < vars.size(); ++i) {
+                if (!vars[i].assigned) return i;
+            }
+            return vars.size();
+        }
+        std::size_t best = vars.size();
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+            const Var& var = vars[i];
+            if (var.assigned) continue;
+            if (best == vars.size()) {
+                best = i;
+                continue;
+            }
+            const Var& b = vars[best];
+            if (var.active_count != b.active_count) {
+                if (var.active_count < b.active_count) best = i;
+            } else if (index.degree(var.v) != index.degree(b.v)) {
+                if (index.degree(var.v) > index.degree(b.v)) best = i;
+            } else if (var.v < b.v) {
+                best = i;
+            }
+        }
+        return best;
+    }
+
+    bool search() {
+        if (stopped()) {
+            exhausted = false;
+            return false;
+        }
+        const std::size_t var_idx = pick_variable();
+        if (var_idx == vars.size()) return true;
+        Var& var = vars[var_idx];
+        for (std::size_t i = 0; i < var.values.size(); ++i) {
+            if (!var.active[i]) continue;
+            const std::size_t mark = trail.size();
+            if (try_assign(var_idx, var.values[i]) && search()) return true;
+            undo_to(mark);
+            unassign(var_idx);
+            if (++backtracks > config.max_backtracks || stopped()) {
+                exhausted = false;
+                return false;
+            }
+        }
+        return false;
+    }
+};
+
+bool fc_solve_component(const ChromaticMapProblem& problem,
+                        const topo::AdjacencyIndex& index,
+                        const DomainMap& base_domains,
+                        const SolverConfig& config,
+                        const std::vector<VertexId>& fixed_order,
+                        const std::vector<VertexId>& component_order,
+                        std::uint64_t shuffle_salt,
+                        const std::atomic<bool>* stop,
+                        ChromaticMapResult& result,
+                        std::unordered_map<VertexId, VertexId>& solution) {
+    FcSearcher s(problem, index, config);
+    s.stop = stop;
+    for (VertexId v : fixed_order) {
+        s.var_index[v] = s.vars.size();
+        s.vars.push_back({v, {}, {}, 0, false, true});
+    }
+    for (VertexId v : component_order) {
+        s.var_index[v] = s.vars.size();
+        s.vars.push_back({v, {}, {}, 0, false, false});
+    }
+
+    std::mt19937_64 rng(config.seed ^ shuffle_salt);
+    for (FcSearcher::Var& var : s.vars) {
+        var.values = base_domains.at(var.v);
+        if (config.value_order == ValueOrder::kShuffled && !var.is_fixed) {
+            std::shuffle(var.values.begin(), var.values.end(), rng);
+        }
+        var.active.assign(var.values.size(), 1);
+        var.active_count = var.values.size();
+    }
+
+    // Root propagation of the fixed assignments: they are not search
+    // decisions, so a conflict here proves unsatisfiability outright.
+    bool fixed_ok = true;
+    for (VertexId v : fixed_order) {
+        const std::size_t idx = s.var_index.at(v);
+        if (s.vars[idx].values.empty() ||
+            !s.try_assign(idx, s.vars[idx].values.front())) {
+            fixed_ok = false;
+            break;
         }
     }
 
+    const bool found = fixed_ok && s.search();
+    result.backtracks += s.backtracks;
+    if (!s.exhausted) result.exhausted = false;
+    if (found) {
+        for (VertexId v : component_order) solution[v] = s.assignment.at(v);
+        for (VertexId v : fixed_order) solution[v] = s.assignment.at(v);
+    }
+    return found;
+}
+
+// ---------------------------------------------------------------------------
+// Single-threaded driver: decomposition + engine dispatch.
+// ---------------------------------------------------------------------------
+
+/// Does this configuration select the seed backtracker verbatim?
+bool is_naive_engine(const SolverConfig& config) {
+    return config.variable_order == VariableOrder::kStatic &&
+           !config.forward_checking &&
+           config.value_order == ValueOrder::kGiven;
+}
+
+ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
+                                const topo::AdjacencyIndex& index,
+                                const Decomposition& dec,
+                                const DomainMap& base_domains,
+                                const SolverConfig& config,
+                                std::uint64_t shuffle_salt,
+                                const std::atomic<bool>* stop) {
     ChromaticMapResult result;
     result.exhausted = true;
     std::unordered_map<VertexId, VertexId> solution;
 
+    const bool naive_engine = is_naive_engine(config);
+
+    const auto solve_component =
+        [&](const std::vector<VertexId>& component_order) {
+            if (naive_engine) {
+                return naive_solve_component(problem, base_domains,
+                                             dec.fixed_order, component_order,
+                                             config.max_backtracks, stop,
+                                             result, solution);
+            }
+            return fc_solve_component(problem, index, base_domains, config,
+                                      dec.fixed_order, component_order,
+                                      shuffle_salt, stop, result, solution);
+        };
+
     // The fixed-only subproblem validates the pre-assignment itself.
-    if (!solve_component(problem, fixed_order, {}, max_backtracks, result,
-                         solution)) {
-        return result;
-    }
-    for (std::size_t c = 0; c < num_components; ++c) {
-        if (!solve_component(problem, fixed_order, component_orders[c],
-                             max_backtracks, result, solution)) {
-            return result;
-        }
+    if (!solve_component({})) return result;
+    for (const std::vector<VertexId>& order : dec.component_orders) {
+        if (!solve_component(order)) return result;
     }
 
     result.map = SimplicialMap(std::move(solution));
-    const std::string err = check_chromatic_map(problem, *result.map);
-    ensure(err.empty(), "solve_chromatic_map: solver bug: " + err);
     return result;
+}
+
+}  // namespace
+
+ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
+                                       const SolverConfig& config) {
+    require(problem.domain != nullptr && problem.codomain != nullptr,
+            "solve_chromatic_map: missing complexes");
+    require(static_cast<bool>(problem.allowed),
+            "solve_chromatic_map: missing constraint function");
+    require(config.num_threads >= 1,
+            "solve_chromatic_map: num_threads must be >= 1");
+
+    // The per-vertex simplex lists exist for forward checking; a purely
+    // naive run (note portfolio threads > 0 always shuffle, hence use the
+    // FC engine) only needs the neighbor sets for decomposition.
+    const bool need_simplex_index =
+        !is_naive_engine(config) || config.num_threads > 1;
+    const topo::AdjacencyIndex index(problem.domain->complex(),
+                                     need_simplex_index);
+    const Decomposition dec = decompose(problem, index);
+    const DomainMap base_domains = all_initial_domains(problem);
+
+    ChromaticMapResult result;
+    if (config.num_threads == 1) {
+        result = solve_single(problem, index, dec, base_domains, config, 0,
+                              nullptr);
+    } else {
+        // Portfolio race: thread 0 keeps the configured value order, the
+        // others search with per-thread shuffles. A thread that either
+        // finds a witness or exhausts the search space has settled the
+        // problem, so it stops everyone else.
+        std::atomic<bool> stop{false};
+        std::mutex mutex;
+        std::optional<ChromaticMapResult> winner;
+        std::vector<ChromaticMapResult> locals(config.num_threads);
+        std::vector<std::exception_ptr> errors(config.num_threads);
+        std::vector<std::thread> threads;
+        threads.reserve(config.num_threads);
+        for (unsigned i = 0; i < config.num_threads; ++i) {
+            threads.emplace_back([&, i] {
+                try {
+                    SolverConfig local = config;
+                    local.num_threads = 1;
+                    if (i > 0) local.value_order = ValueOrder::kShuffled;
+                    locals[i] =
+                        solve_single(problem, index, dec, base_domains, local,
+                                     0x9e3779b97f4a7c15ULL * i, &stop);
+                    if (locals[i].map.has_value()) {
+                        const std::lock_guard<std::mutex> lock(mutex);
+                        if (!winner.has_value()) winner = locals[i];
+                    }
+                    if (locals[i].map.has_value() || locals[i].exhausted) {
+                        stop.store(true, std::memory_order_relaxed);
+                    }
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                    stop.store(true, std::memory_order_relaxed);
+                }
+            });
+        }
+        for (std::thread& t : threads) t.join();
+        for (const std::exception_ptr& e : errors) {
+            if (e) std::rethrow_exception(e);
+        }
+        if (winner.has_value()) {
+            result = *winner;
+        } else {
+            // Any single thread covers the whole search space, so one
+            // completed (exhausted) thread proves unsatisfiability even
+            // if the others were stopped or ran out of budget.
+            result.exhausted = false;
+            for (const ChromaticMapResult& r : locals) {
+                result.backtracks += r.backtracks;
+                if (r.exhausted) result.exhausted = true;
+            }
+        }
+    }
+
+    if (result.map.has_value()) {
+        const std::string err = check_chromatic_map(problem, *result.map);
+        ensure(err.empty(), "solve_chromatic_map: solver bug: " + err);
+    }
+    return result;
+}
+
+ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
+                                       std::size_t max_backtracks) {
+    return solve_chromatic_map(problem, SolverConfig::naive(max_backtracks));
 }
 
 std::string check_chromatic_map(const ChromaticMapProblem& problem,

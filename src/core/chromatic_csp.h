@@ -1,4 +1,5 @@
-// A backtracking solver for chromatic, carrier-preserving simplicial maps.
+// A configurable search engine for chromatic, carrier-preserving
+// simplicial maps.
 //
 // Both directions of the paper's machinery need witnesses of the form
 // "a chromatic simplicial map from A to B such that the image of every
@@ -9,12 +10,23 @@
 //    9.1: delta : K(T') -> O approximating a continuous map f, found here
 //    by ordering each vertex's candidates by distance to f(vertex).
 //
-// The solver is a plain constraint search: variables are the vertices of
-// A, domains are color-matching vertices of B allowed by the vertex's
-// constraint complex, and every simplex of A whose vertices are all
-// assigned must map to a simplex of its constraint complex.
+// The search is a constraint satisfaction problem: variables are the
+// vertices of A, domains are color-matching vertices of B allowed by the
+// vertex's constraint complex, and every simplex of A whose vertices are
+// all assigned must map to a simplex of its constraint complex.
+//
+// Two engines are provided, selected by SolverConfig:
+//  * kStatic order without forward checking is the plain backtracker the
+//    library shipped with (the "naive" baseline of bench_csp_ablation);
+//  * kMrvDegree with forward checking prunes per-vertex domains through a
+//    precomputed vertex/simplex adjacency index (topology/adjacency_index)
+//    and always branches on the most constrained vertex.
+// Independently, `num_threads > 1` races a portfolio of searches with
+// diversified value orders; the first witness wins via an atomic stop
+// flag.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 
@@ -35,7 +47,8 @@ struct ChromaticMapProblem {
 
     /// The constraint complex for each simplex of the domain (the image
     /// must be one of its simplices). Must be monotone under faces for the
-    /// search to be meaningful (carrier maps are).
+    /// search to be meaningful (carrier maps are). With num_threads > 1
+    /// this is called concurrently and must be thread-safe for reads.
     std::function<const SimplicialComplex&(const Simplex&)> allowed;
 
     /// Pre-assigned vertices (may be empty).
@@ -43,21 +56,97 @@ struct ChromaticMapProblem {
 
     /// Optional candidate ordering: given a domain vertex, an ordered list
     /// of codomain vertices to try (already color-matching). When absent,
-    /// all color-matching vertices allowed at the vertex are tried.
+    /// all color-matching vertices allowed at the vertex are tried. With
+    /// num_threads > 1 this is called concurrently and must be
+    /// thread-safe.
     std::function<std::vector<VertexId>(VertexId)> candidate_order;
+};
+
+/// How the next branching variable is chosen.
+enum class VariableOrder {
+    /// Fixed vertices first, then per component a static
+    /// maximum-cardinality order (most already-ordered neighbors first).
+    /// This is the seed backtracker's order.
+    kStatic,
+    /// Dynamic minimum-remaining-values: branch on the free vertex with
+    /// the smallest live domain; ties broken by larger 1-skeleton degree,
+    /// then smaller vertex id.
+    kMrvDegree,
+};
+
+/// How each variable's candidate list is ordered.
+enum class ValueOrder {
+    /// As given: `candidate_order` when present, else codomain vertex-id
+    /// order restricted to matching colors.
+    kGiven,
+    /// Deterministic shuffle of the given order from `SolverConfig::seed`
+    /// (portfolio threads perturb the seed per thread).
+    kShuffled,
+};
+
+/// Tunable knobs of the search engine.
+struct SolverConfig {
+    VariableOrder variable_order = VariableOrder::kMrvDegree;
+    ValueOrder value_order = ValueOrder::kGiven;
+    /// Prune unassigned neighbors' domains after every assignment
+    /// (requires no extra setup; uses topo::AdjacencyIndex internally).
+    bool forward_checking = true;
+    /// Backtrack budget per engine run (per thread in portfolio mode).
+    std::size_t max_backtracks = 1000000;
+    /// 1 = single-threaded. > 1 races that many searches with value
+    /// orders diversified per thread; the first witness wins and stops
+    /// the rest through an atomic flag.
+    unsigned num_threads = 1;
+    /// Base seed for ValueOrder::kShuffled and portfolio diversification.
+    std::uint64_t seed = 0;
+
+    /// The seed backtracker: static order, no pruning.
+    static SolverConfig naive(std::size_t max_backtracks = 1000000) {
+        SolverConfig c;
+        c.variable_order = VariableOrder::kStatic;
+        c.forward_checking = false;
+        c.max_backtracks = max_backtracks;
+        return c;
+    }
+
+    /// Forward checking + MRV/degree (the default).
+    static SolverConfig fast(std::size_t max_backtracks = 1000000) {
+        SolverConfig c;
+        c.max_backtracks = max_backtracks;
+        return c;
+    }
+
+    /// `threads` diversified searches racing, forward checking on.
+    static SolverConfig portfolio(unsigned threads,
+                                  std::size_t max_backtracks = 1000000,
+                                  std::uint64_t seed = 0) {
+        SolverConfig c;
+        c.max_backtracks = max_backtracks;
+        c.num_threads = threads;
+        c.seed = seed;
+        return c;
+    }
 };
 
 /// Result of the search.
 struct ChromaticMapResult {
     std::optional<SimplicialMap> map;
-    /// Number of backtracking steps performed.
+    /// Number of backtracking steps performed. In portfolio mode: the
+    /// winning thread's count when a witness was found, else the total
+    /// across threads.
     std::size_t backtracks = 0;
     /// True when the search space was exhausted (so no map exists under
-    /// the given constraints); false when the backtrack budget ran out.
+    /// the given constraints); false when the backtrack budget ran out or
+    /// a portfolio race was stopped early.
     bool exhausted = false;
 };
 
-/// Search for a satisfying map. `max_backtracks` bounds the search.
+/// Search for a satisfying map with the given engine configuration.
+ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
+                                       const SolverConfig& config);
+
+/// Compatibility entry point: the seed backtracker
+/// (SolverConfig::naive(max_backtracks)).
 ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
                                        std::size_t max_backtracks = 1000000);
 

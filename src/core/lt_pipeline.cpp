@@ -177,7 +177,59 @@ BaryPoint radial_projection_l1(const tasks::AffineTask& lt,
     return *best;
 }
 
-LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages) {
+ChromaticMapProblem lt_approximation_problem(const tasks::AffineTask& task,
+                                             const TerminatingSubdivision& tsub,
+                                             bool fix_identity,
+                                             LtGuidance guidance) {
+    const ChromaticComplex& k_complex = tsub.stable_complex();
+    ChromaticMapProblem problem;
+    problem.domain = &k_complex;
+    problem.codomain = &task.task.outputs;
+    const tasks::Task& inner = task.task;
+    problem.allowed = [&inner, &tsub](const Simplex& sigma)
+        -> const SimplicialComplex& {
+        return inner.delta.at(tsub.stable_carrier(sigma));
+    };
+
+    if (fix_identity) {
+        // Identity on the stable vertices that are vertices of L itself
+        // (the R_0 part of K(T)).
+        for (VertexId v : k_complex.vertex_ids()) {
+            const auto lv = task.subdivision.find_vertex(
+                tsub.stable_position(v), k_complex.color(v));
+            if (lv.has_value() && task.l_complex.contains_vertex(*lv)) {
+                problem.fixed[v] = *lv;
+            }
+        }
+    }
+
+    if (guidance != LtGuidance::kNone) {
+        // Candidate order: L vertices of the right color, nearest (to the
+        // radial projection of the vertex when requested, else to the
+        // vertex itself) first.
+        const bool radial = guidance == LtGuidance::kRadial;
+        problem.candidate_order = [&task, &tsub, radial](VertexId v) {
+            const topo::Color color = tsub.stable_complex().color(v);
+            BaryPoint target = tsub.stable_position(v);
+            if (radial) target = radial_projection_l1(task, target);
+            std::vector<std::pair<Rational, VertexId>> scored;
+            for (VertexId w : task.task.outputs.vertex_ids()) {
+                if (task.task.outputs.color(w) != color) continue;
+                scored.emplace_back(
+                    target.l1_distance(task.subdivision.position(w)), w);
+            }
+            std::sort(scored.begin(), scored.end());
+            std::vector<VertexId> order;
+            order.reserve(scored.size());
+            for (const auto& [dist, w] : scored) order.push_back(w);
+            return order;
+        };
+    }
+    return problem;
+}
+
+LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages,
+                             const SolverConfig& config) {
     LtPipeline out;
     out.task = tasks::t_resilience_task(n, t);
 
@@ -197,54 +249,15 @@ LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages) {
     }
 
     // delta: chromatic carrier-preserving approximation K(T) -> L_t.
-    const ChromaticComplex& k_complex = out.tsub.stable_complex();
-    require(!k_complex.is_empty(),
+    require(!out.tsub.stable_complex().is_empty(),
             "build_lt_pipeline: no stable simplices; raise extra_stages");
 
-    ChromaticMapProblem problem;
-    problem.domain = &k_complex;
-    problem.codomain = &out.task.task.outputs;
-    const tasks::Task& task = out.task.task;
-    const TerminatingSubdivision& tsub = out.tsub;
-    problem.allowed = [&task, &tsub](const Simplex& sigma)
-        -> const SimplicialComplex& {
-        return task.delta.at(tsub.stable_carrier(sigma));
-    };
-
-    // Identity on the stable vertices that are vertices of L itself (the
-    // R_0 part of K(T)).
-    for (VertexId v : k_complex.vertex_ids()) {
-        const auto lv = out.task.subdivision.find_vertex(
-            tsub.stable_position(v), k_complex.color(v));
-        if (lv.has_value() && out.task.l_complex.contains_vertex(*lv)) {
-            problem.fixed[v] = *lv;
-        }
-    }
-
-    // Candidate order: L vertices of the right color, nearest (to the
-    // radial projection of the vertex when available, else to the vertex
-    // itself) first.
-    const tasks::AffineTask& lt = out.task;
     const bool have_radial = (n == 2 && t == 1);
-    problem.candidate_order = [&k_complex, &lt, &tsub,
-                               have_radial](VertexId v) {
-        const topo::Color color = k_complex.color(v);
-        BaryPoint target = tsub.stable_position(v);
-        if (have_radial) target = radial_projection_l1(lt, target);
-        std::vector<std::pair<Rational, VertexId>> scored;
-        for (VertexId w : lt.task.outputs.vertex_ids()) {
-            if (lt.task.outputs.color(w) != color) continue;
-            scored.emplace_back(
-                target.l1_distance(lt.subdivision.position(w)), w);
-        }
-        std::sort(scored.begin(), scored.end());
-        std::vector<VertexId> order;
-        order.reserve(scored.size());
-        for (const auto& [dist, w] : scored) order.push_back(w);
-        return order;
-    };
+    const ChromaticMapProblem problem = lt_approximation_problem(
+        out.task, out.tsub, /*fix_identity=*/true,
+        have_radial ? LtGuidance::kRadial : LtGuidance::kNearest);
 
-    const ChromaticMapResult result = solve_chromatic_map(problem);
+    const ChromaticMapResult result = solve_chromatic_map(problem, config);
     out.csp_backtracks = result.backtracks;
     require(result.map.has_value(),
             "build_lt_pipeline: no chromatic approximation found; "

@@ -40,7 +40,27 @@ struct LtPipeline {
 /// Build T and delta for L_t on n+1 processes, materializing
 /// 2 + extra_stages subdivision stages. Throws if the approximation CSP
 /// fails (Theorem 8.4 rules this out for the cases the library targets).
-LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages);
+/// `config` selects the CSP engine for the approximation step.
+LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages,
+                             const SolverConfig& config = SolverConfig::fast());
+
+/// How lt_approximation_problem orders each vertex's candidates.
+enum class LtGuidance {
+    kNone,     ///< no candidate ordering (solver default order)
+    kNearest,  ///< nearest L vertex to the domain vertex itself
+    kRadial,   ///< nearest to the radial projection (n = 2, t = 1 only)
+};
+
+/// The Proposition 9.1 approximation CSP for a materialized terminating
+/// subdivision: domain K(T), codomain the task's outputs, carrier
+/// constraints from Delta, optional identity fixing on the stable
+/// vertices lying in L, and optional geometric candidate guidance. The
+/// returned problem's closures reference `task` and `tsub`, which must
+/// outlive it.
+ChromaticMapProblem lt_approximation_problem(const tasks::AffineTask& task,
+                                             const TerminatingSubdivision& tsub,
+                                             bool fix_identity,
+                                             LtGuidance guidance);
 
 /// The stabilization rule of the pipeline: from depth 2 on, a simplex is
 /// stable when every vertex carrier has dimension >= n - t.

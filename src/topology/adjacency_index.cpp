@@ -1,0 +1,51 @@
+#include "topology/adjacency_index.h"
+
+#include <algorithm>
+
+namespace gact::topo {
+
+AdjacencyIndex::AdjacencyIndex(const SimplicialComplex& complex,
+                               bool index_simplices) {
+    if (index_simplices) {
+        // Reserve exactly so the pointers handed out below stay stable.
+        std::size_t count = 0;
+        for (const Simplex& sigma : complex.simplices()) {
+            if (sigma.dimension() >= 1) ++count;
+        }
+        simplices_.reserve(count);
+    }
+    for (const Simplex& sigma : complex.simplices()) {
+        if (sigma.dimension() < 1) continue;
+        if (index_simplices) {
+            simplices_.push_back(sigma);
+            for (VertexId v : sigma.vertices()) {
+                incident_[v].push_back(&simplices_.back());
+            }
+        }
+        if (sigma.dimension() == 1) {
+            const VertexId a = sigma.vertices()[0];
+            const VertexId b = sigma.vertices()[1];
+            neighbors_[a].push_back(b);
+            neighbors_[b].push_back(a);
+        }
+    }
+    for (auto& [v, nbrs] : neighbors_) {
+        std::sort(nbrs.begin(), nbrs.end());
+        nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    }
+}
+
+const std::vector<const Simplex*>& AdjacencyIndex::incident_simplices(
+    VertexId v) const {
+    static const std::vector<const Simplex*> kEmpty;
+    const auto it = incident_.find(v);
+    return it == incident_.end() ? kEmpty : it->second;
+}
+
+const std::vector<VertexId>& AdjacencyIndex::neighbors(VertexId v) const {
+    static const std::vector<VertexId> kEmpty;
+    const auto it = neighbors_.find(v);
+    return it == neighbors_.end() ? kEmpty : it->second;
+}
+
+}  // namespace gact::topo

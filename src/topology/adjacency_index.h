@@ -1,0 +1,56 @@
+// Precomputed vertex/simplex incidence for a simplicial complex.
+//
+// The chromatic-CSP solver (core/chromatic_csp.h) needs, for every
+// domain vertex, the simplices it belongs to (the constraints mentioning
+// the variable) and its 1-skeleton neighbors (for degree tie-breaking in
+// variable ordering). Recomputing these per search node is quadratic in
+// the complex; this index builds them once per solve.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "topology/simplicial_complex.h"
+
+namespace gact::topo {
+
+/// Immutable incidence index over one complex. The complex must outlive
+/// nothing: every indexed simplex is stored (once) by value, so the
+/// index stays valid if the complex is later mutated (but then no longer
+/// reflects it). Per-vertex incidence lists hold pointers into that
+/// shared storage to avoid duplicating each k-simplex k+1 times.
+class AdjacencyIndex {
+public:
+    AdjacencyIndex() = default;
+
+    /// Index every simplex of dimension >= 1 by each of its vertices, and
+    /// derive 1-skeleton neighbor sets. With `index_simplices` false only
+    /// the (cheap) neighbor sets are built — enough for component
+    /// decomposition and degree queries, not for forward checking.
+    explicit AdjacencyIndex(const SimplicialComplex& complex,
+                            bool index_simplices = true);
+
+    // Non-copyable/movable-by-default would dangle incident_ pointers
+    // into simplices_; the solver only ever passes the index by
+    // reference, so forbid copies and moves outright.
+    AdjacencyIndex(const AdjacencyIndex&) = delete;
+    AdjacencyIndex& operator=(const AdjacencyIndex&) = delete;
+
+    /// Simplices of dimension >= 1 containing `v` (unordered). Empty for
+    /// unknown or isolated vertices. The pointed-to simplices live as
+    /// long as the index.
+    const std::vector<const Simplex*>& incident_simplices(VertexId v) const;
+
+    /// Sorted distinct vertices sharing a 1-simplex with `v`.
+    const std::vector<VertexId>& neighbors(VertexId v) const;
+
+    /// Number of 1-skeleton neighbors of `v`.
+    std::size_t degree(VertexId v) const { return neighbors(v).size(); }
+
+private:
+    std::vector<Simplex> simplices_;  // one copy per indexed simplex
+    std::unordered_map<VertexId, std::vector<const Simplex*>> incident_;
+    std::unordered_map<VertexId, std::vector<VertexId>> neighbors_;
+};
+
+}  // namespace gact::topo

@@ -155,5 +155,228 @@ TEST(ChromaticCsp, MissingInputsRejected) {
     EXPECT_THROW(solve_chromatic_map(problem), precondition_error);
 }
 
+// --- SolverConfig engines -------------------------------------------------
+
+/// Every problem shape exercised above, rebuilt for engine comparison.
+/// The vectors/complexes referenced by the returned problems live in the
+/// fixture members.
+class SolverEquivalence : public ::testing::Test {
+protected:
+    SolverEquivalence()
+        : simplex_(topo::ChromaticComplex::standard_simplex(2)),
+          chr_(topo::SubdividedComplex::identity(simplex_)
+                   .chromatic_subdivision()),
+          path_(ChromaticComplex(
+              SimplicialComplex::from_facets({Simplex{0, 1}, Simplex{1, 2}}),
+              {{0, 0}, {1, 1}, {2, 0}})),
+          two_edges_(ChromaticComplex(
+              SimplicialComplex::from_facets(
+                  {Simplex{10, 11}, Simplex{20, 21}}),
+              {{10, 0}, {11, 1}, {20, 0}, {21, 1}})) {
+        for (const Simplex& sigma : simplex_.complex().simplices()) {
+            closure_.set(sigma, SimplicialComplex::from_facets({sigma}));
+        }
+    }
+
+    /// Both engines must agree on satisfiability, and the
+    /// forward-checking/MRV engine must never backtrack more than the
+    /// naive one.
+    void expect_equivalent(const ChromaticMapProblem& problem,
+                           std::size_t budget = 1000000) {
+        const auto naive =
+            solve_chromatic_map(problem, SolverConfig::naive(budget));
+        const auto fast =
+            solve_chromatic_map(problem, SolverConfig::fast(budget));
+        ASSERT_TRUE(naive.exhausted || naive.map.has_value())
+            << "naive engine hit its budget; raise it for this problem";
+        ASSERT_TRUE(fast.exhausted || fast.map.has_value())
+            << "fast engine hit its budget; raise it for this problem";
+        EXPECT_EQ(naive.map.has_value(), fast.map.has_value());
+        EXPECT_LE(fast.backtracks, naive.backtracks);
+        if (fast.map.has_value()) {
+            EXPECT_EQ(check_chromatic_map(problem, *fast.map), "");
+        }
+    }
+
+    ChromaticComplex simplex_;
+    topo::SubdividedComplex chr_;
+    ChromaticComplex path_;
+    ChromaticComplex two_edges_;
+    CarrierMap closure_;
+};
+
+TEST_F(SolverEquivalence, IdentityOnStandardSimplex) {
+    ChromaticMapProblem problem;
+    problem.domain = &simplex_;
+    problem.codomain = &simplex_;
+    problem.allowed = allow_all(simplex_);
+    expect_equivalent(problem);
+}
+
+TEST_F(SolverEquivalence, RetractionOfChr) {
+    ChromaticMapProblem problem;
+    problem.domain = &chr_.complex();
+    problem.codomain = &simplex_;
+    problem.allowed = [this](const Simplex& sigma)
+        -> const SimplicialComplex& {
+        return closure_.at(chr_.carrier_of(sigma));
+    };
+    expect_equivalent(problem);
+}
+
+TEST_F(SolverEquivalence, DisconnectedTargetUnsatisfiable) {
+    ChromaticMapProblem problem;
+    problem.domain = &path_;
+    problem.codomain = &two_edges_;
+    problem.allowed = allow_all(two_edges_);
+    problem.fixed = {{0, 10}, {2, 20}};
+    expect_equivalent(problem);
+}
+
+TEST_F(SolverEquivalence, SatisfiableWithConsistentFixing) {
+    ChromaticMapProblem problem;
+    problem.domain = &path_;
+    problem.codomain = &two_edges_;
+    problem.allowed = allow_all(two_edges_);
+    problem.fixed = {{0, 10}, {2, 10}};
+    expect_equivalent(problem);
+}
+
+TEST_F(SolverEquivalence, CandidateOrderProblem) {
+    SimplicialComplex pt = SimplicialComplex::from_facets({Simplex{0}});
+    ChromaticComplex domain(pt, {{0, 0}});
+    SimplicialComplex two_pts =
+        SimplicialComplex::from_facets({Simplex{10}, Simplex{20}});
+    ChromaticComplex codomain(two_pts, {{10, 0}, {20, 0}});
+    ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &codomain;
+    problem.allowed = allow_all(codomain);
+    problem.candidate_order = [](topo::VertexId) {
+        return std::vector<topo::VertexId>{20, 10};
+    };
+    expect_equivalent(problem);
+    // The first candidate must win in both engines.
+    const auto fast = solve_chromatic_map(problem, SolverConfig::fast());
+    ASSERT_TRUE(fast.map.has_value());
+    EXPECT_EQ(fast.map->apply(topo::VertexId{0}), 20u);
+}
+
+TEST(ChromaticCspConfig, FastEngineFoldsSquareOntoPath) {
+    SimplicialComplex square = SimplicialComplex::from_facets(
+        {Simplex{0, 1}, Simplex{1, 2}, Simplex{2, 3}, Simplex{0, 3}});
+    ChromaticComplex domain(square, {{0, 0}, {1, 1}, {2, 0}, {3, 1}});
+    // Codomain: a path 10-11-12 with colors 0,1,0; folding the square
+    // onto one edge is a valid chromatic map.
+    SimplicialComplex path =
+        SimplicialComplex::from_facets({Simplex{10, 11}, Simplex{11, 12}});
+    ChromaticComplex codomain(path, {{10, 0}, {11, 1}, {12, 0}});
+    ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &codomain;
+    problem.allowed = [&codomain](const Simplex&) -> const SimplicialComplex& {
+        return codomain.complex();
+    };
+    const auto result = solve_chromatic_map(problem, SolverConfig::fast());
+    ASSERT_TRUE(result.map.has_value());
+    EXPECT_EQ(check_chromatic_map(problem, *result.map), "");
+}
+
+TEST(ChromaticCspConfig, PortfolioFindsWitnessAndValidates) {
+    const ChromaticComplex s = topo::ChromaticComplex::standard_simplex(2);
+    const topo::SubdividedComplex chr =
+        topo::SubdividedComplex::identity(s).chromatic_subdivision();
+    CarrierMap closure;
+    for (const Simplex& sigma : s.complex().simplices()) {
+        closure.set(sigma, SimplicialComplex::from_facets({sigma}));
+    }
+    ChromaticMapProblem problem;
+    problem.domain = &chr.complex();
+    problem.codomain = &s;
+    problem.allowed = [&closure, &chr](const Simplex& sigma)
+        -> const SimplicialComplex& {
+        return closure.at(chr.carrier_of(sigma));
+    };
+    const auto result =
+        solve_chromatic_map(problem, SolverConfig::portfolio(3));
+    ASSERT_TRUE(result.map.has_value());
+    EXPECT_EQ(check_chromatic_map(problem, *result.map), "");
+}
+
+TEST(ChromaticCspConfig, PortfolioAgreesOnUnsatisfiable) {
+    SimplicialComplex path =
+        SimplicialComplex::from_facets({Simplex{0, 1}, Simplex{1, 2}});
+    ChromaticComplex domain(path, {{0, 0}, {1, 1}, {2, 0}});
+    SimplicialComplex two =
+        SimplicialComplex::from_facets({Simplex{10, 11}, Simplex{20, 21}});
+    ChromaticComplex codomain(two, {{10, 0}, {11, 1}, {20, 0}, {21, 1}});
+    ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &codomain;
+    problem.allowed = [&codomain](const Simplex&) -> const SimplicialComplex& {
+        return codomain.complex();
+    };
+    problem.fixed = {{0, 10}, {2, 20}};
+    const auto result =
+        solve_chromatic_map(problem, SolverConfig::portfolio(2));
+    EXPECT_FALSE(result.map.has_value());
+    EXPECT_TRUE(result.exhausted);
+}
+
+TEST(ChromaticCspConfig, StrayCandidatesRejectedByBothEngines) {
+    // A candidate_order naming a vertex that is not in the codomain must
+    // make the problem unsatisfiable in every engine — the FC engine has
+    // no 0-dimensional constraints, so this is pre-filtered in the
+    // domains (regression: it used to trip the internal solver-bug
+    // check instead of reporting unsat).
+    SimplicialComplex pt = SimplicialComplex::from_facets({Simplex{0}});
+    ChromaticComplex domain(pt, {{0, 0}});
+    SimplicialComplex target = SimplicialComplex::from_facets({Simplex{10}});
+    ChromaticComplex codomain(target, {{10, 0}});
+    // An "allowed" complex wider than the codomain, so the stray vertex
+    // sneaks past the per-vertex constraint filter.
+    SimplicialComplex wide =
+        SimplicialComplex::from_facets({Simplex{10}, Simplex{99}});
+    ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &codomain;
+    problem.allowed = [&wide](const Simplex&) -> const SimplicialComplex& {
+        return wide;
+    };
+    problem.candidate_order = [](topo::VertexId) {
+        return std::vector<topo::VertexId>{99};  // not a codomain vertex
+    };
+    for (const SolverConfig& config :
+         {SolverConfig::naive(), SolverConfig::fast()}) {
+        const auto result = solve_chromatic_map(problem, config);
+        EXPECT_FALSE(result.map.has_value());
+        EXPECT_TRUE(result.exhausted);
+    }
+}
+
+TEST(ChromaticCspConfig, ShuffledValueOrderIsDeterministicPerSeed) {
+    SimplicialComplex pt = SimplicialComplex::from_facets({Simplex{0}});
+    ChromaticComplex domain(pt, {{0, 0}});
+    SimplicialComplex pts = SimplicialComplex::from_facets(
+        {Simplex{10}, Simplex{20}, Simplex{30}, Simplex{40}});
+    ChromaticComplex codomain(pts,
+                              {{10, 0}, {20, 0}, {30, 0}, {40, 0}});
+    ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &codomain;
+    problem.allowed = [&codomain](const Simplex&) -> const SimplicialComplex& {
+        return codomain.complex();
+    };
+    SolverConfig config = SolverConfig::fast();
+    config.value_order = ValueOrder::kShuffled;
+    config.seed = 7;
+    const auto first = solve_chromatic_map(problem, config);
+    const auto second = solve_chromatic_map(problem, config);
+    ASSERT_TRUE(first.map.has_value());
+    ASSERT_TRUE(second.map.has_value());
+    EXPECT_EQ(first.map->apply(topo::VertexId{0}),
+              second.map->apply(topo::VertexId{0}));
+}
+
 }  // namespace
 }  // namespace gact::core

@@ -1,6 +1,8 @@
 // Edge cases and small-dimension degeneracies across the library.
 #include <gtest/gtest.h>
 
+#include <compare>
+
 #include "core/act_solver.h"
 #include "core/lt_pipeline.h"
 #include "iis/projection.h"
@@ -16,6 +18,25 @@ using topo::ChromaticComplex;
 using topo::Simplex;
 using topo::SimplicialComplex;
 using topo::SubdividedComplex;
+
+// ---------- build-regression pins ----------
+
+// The seed failed to build under any pre-C++20 standard: Simplex,
+// ProcessSet and BaryPoint use defaulted operator==, and Rational uses
+// std::strong_ordering. Pin the standard and the operators so a build
+// configured below C++20 (the original bring-up failure) cannot come
+// back silently.
+static_assert(__cplusplus >= 202002L,
+              "gact requires C++20 (defaulted comparisons, <=>)");
+
+TEST(BuildRegressions, DefaultedComparisonsWork) {
+    EXPECT_TRUE(Simplex({0, 1}) == Simplex({1, 0}));
+    EXPECT_FALSE(Simplex({0, 1}) == Simplex({0, 2}));
+    EXPECT_TRUE(ProcessSet::of({0, 2}) == ProcessSet::of({2, 0}));
+    const std::strong_ordering order = Rational(1, 2) <=> Rational(2, 3);
+    EXPECT_TRUE(order == std::strong_ordering::less);
+    EXPECT_LT(Rational(1, 2), Rational(2, 3));
+}
 
 // ---------- degenerate dimensions ----------
 

@@ -73,5 +73,74 @@ TEST(RunEnumeration, RejectsTooManyProcesses) {
     EXPECT_THROW(enumerate_stabilized_runs(6, 1), precondition_error);
 }
 
+// --- Property tests -------------------------------------------------------
+
+TEST(RunEnumerationProperty, EnumeratedRunsAreUnique) {
+    for (std::uint32_t depth = 0; depth <= 2; ++depth) {
+        const auto runs = enumerate_stabilized_runs(3, depth);
+        std::set<std::string> seen;
+        for (const iis::Run& r : runs) {
+            EXPECT_TRUE(seen.insert(r.to_string()).second)
+                << "duplicate at depth " << depth << ": " << r.to_string();
+        }
+    }
+}
+
+TEST(RunEnumerationProperty, EnumeratedRunsHaveDecreasingSupport) {
+    const auto runs = enumerate_stabilized_runs(3, 2);
+    for (const iis::Run& r : runs) {
+        // Supports must be weakly decreasing along the prefix plus one
+        // cycle unrolling (after that the run is periodic).
+        const std::size_t horizon = r.prefix().size() + r.cycle().size();
+        for (std::size_t k = 0; k + 1 < horizon; ++k) {
+            EXPECT_TRUE(r.round(k).support().contains_all(
+                r.round(k + 1).support()))
+                << r.to_string() << " grows support at round " << k + 1;
+        }
+    }
+}
+
+TEST(RunEnumerationProperty, FilterByModelIsClosedAndExact) {
+    const auto runs = enumerate_stabilized_runs(3, 1);
+    const TResilientModel res1(3, 1);
+    const auto filtered = filter_by_model(runs, res1);
+
+    // Closure: the filtered family is a sub-multiset of the enumeration
+    // and filtering again is the identity.
+    std::set<std::string> enumerated;
+    for (const iis::Run& r : runs) enumerated.insert(r.to_string());
+    std::set<std::string> kept;
+    for (const iis::Run& r : filtered) {
+        EXPECT_TRUE(enumerated.count(r.to_string()) == 1)
+            << "filter invented a run: " << r.to_string();
+        kept.insert(r.to_string());
+    }
+    const auto refiltered = filter_by_model(filtered, res1);
+    EXPECT_EQ(refiltered.size(), filtered.size());
+
+    // Exactness: membership in the filtered family is exactly model
+    // membership.
+    for (const iis::Run& r : runs) {
+        EXPECT_EQ(res1.contains(r), kept.count(r.to_string()) == 1)
+            << r.to_string();
+    }
+    for (const iis::Run& r : filtered) {
+        EXPECT_TRUE(res1.contains(r)) << r.to_string();
+    }
+}
+
+TEST(RunEnumerationProperty, RandomRunInModelIsDeterministicAndLands) {
+    const TResilientModel res1(3, 1);
+    std::mt19937 rng_a(1234);
+    std::mt19937 rng_b(1234);
+    for (int i = 0; i < 50; ++i) {
+        const iis::Run a = random_run_in_model(rng_a, res1, 3, 2);
+        const iis::Run b = random_run_in_model(rng_b, res1, 3, 2);
+        // Same seed, same draw sequence: no flaky rejection sampling.
+        EXPECT_EQ(a.to_string(), b.to_string());
+        EXPECT_TRUE(res1.contains(a)) << a.to_string();
+    }
+}
+
 }  // namespace
 }  // namespace gact::iis
