@@ -1,21 +1,23 @@
-// E7 — Corollary 7.1 (ACT): the wait-free solvability decision.
+// E7 — Corollary 7.1 (ACT): the wait-free solvability decision, through
+// the unified engine.
 //
-// Regenerates the corollary's verdicts across the paper's tasks: the IS
-// task is solvable at depth 1, the full Chr^2 task at depth 2 (the t = n
-// degeneracy of Section 7: GACT collapses to ACT in the wait-free case),
-// while the total-order task and 2-process consensus exhaust every depth.
+// Regenerates the corollary's verdicts across the paper's tasks by
+// solving the registry's wait-free scenarios: the IS task is solvable at
+// depth 1, the full Chr^2 task at depth 2 (the t = n degeneracy of
+// Section 7: GACT collapses to ACT in the wait-free case), while the
+// total-order task and 2-process consensus exhaust every depth.
 // Benchmarks the search per task and depth.
 //
 // Usage: bench_act_wait_free [max_depth] [gbench args...] — caps every
-// task's search depth (default 3, the historical per-task maxima).
+// scenario's search depth (default 3, the historical per-task maxima).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <iostream>
 
 #include "bench_size.h"
-#include "core/act_solver.h"
-#include "tasks/standard_tasks.h"
+#include "engine/engine.h"
+#include "engine/scenario_registry.h"
 
 namespace {
 
@@ -23,15 +25,28 @@ using namespace gact;
 
 int g_max_depth = 3;
 
-void report_task(const tasks::Task& task, int max_k) {
-    const core::ActResult r = core::solve_act(task, max_k);
-    std::cout << task.name << ": ";
-    if (r.solvable) {
+const engine::Engine& eng() {
+    static const engine::Engine e;
+    return e;
+}
+
+engine::Scenario capped(const char* name) {
+    engine::Scenario s =
+        *engine::ScenarioRegistry::standard().find(name);
+    s.options.max_depth = std::min(s.options.max_depth, g_max_depth);
+    return s;
+}
+
+void report_scenario(const engine::Scenario& scenario) {
+    const engine::SolveReport r = eng().solve(scenario);
+    std::cout << scenario.task.name << ": ";
+    if (r.solvable()) {
         std::cout << "solvable at depth " << r.witness_depth;
     } else {
-        std::cout << "no witness up to depth " << max_k
-                  << (r.exhausted_all_depths ? " (search exhausted)"
-                                             : " (budget hit)");
+        std::cout << "no witness up to depth " << scenario.options.max_depth
+                  << (r.verdict == engine::Verdict::kUnsolvableAtDepth
+                          ? " (search exhausted)"
+                          : " (budget hit)");
     }
     std::cout << "; backtracks per depth:";
     for (std::size_t b : r.backtracks_per_depth) std::cout << " " << b;
@@ -41,43 +56,38 @@ void report_task(const tasks::Task& task, int max_k) {
 void print_report() {
     std::cout << "=== E7: wait-free solvability via ACT (Corollary 7.1) "
                  "===\n";
-    report_task(tasks::immediate_snapshot_task(1).task,
-                std::min(2, g_max_depth));
-    report_task(tasks::immediate_snapshot_task(2).task,
-                std::min(2, g_max_depth));
-    report_task(tasks::t_resilience_task(1, 1).task,
-                std::min(3, g_max_depth));  // Chr^2, t = n
-    report_task(tasks::total_order_task(1).task, std::min(3, g_max_depth));
-    report_task(tasks::consensus_task(2, 2), std::min(3, g_max_depth));
-    report_task(tasks::k_set_agreement_task(2, 2, 2),
-                std::min(1, g_max_depth));
+    for (const char* name : {"is-1-wf", "is-2-wf", "chr2-2p-wf",
+                             "lord-2p-wf", "consensus-2-wf",
+                             "ksa-2p-k2-wf"}) {
+        report_scenario(capped(name));
+    }
     std::cout << std::endl;
 }
 
 void BM_ActImmediateSnapshot(benchmark::State& state) {
-    const tasks::AffineTask is =
-        tasks::immediate_snapshot_task(static_cast<int>(state.range(0)));
+    const engine::Scenario scenario =
+        capped(state.range(0) == 1 ? "is-1-wf" : "is-2-wf");
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::solve_act(is.task, 2));
+        benchmark::DoNotOptimize(eng().solve(scenario));
     }
 }
 BENCHMARK(BM_ActImmediateSnapshot)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ActConsensusExhaustion(benchmark::State& state) {
-    const tasks::Task consensus = tasks::consensus_task(2, 2);
-    const int depth = static_cast<int>(state.range(0));
+    engine::Scenario scenario = capped("consensus-2-wf");
+    scenario.options.max_depth = static_cast<int>(state.range(0));
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::solve_act(consensus, depth));
+        benchmark::DoNotOptimize(eng().solve(scenario));
     }
 }
 BENCHMARK(BM_ActConsensusExhaustion)->Arg(1)->Arg(2)->Arg(3)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ActTotalOrderExhaustion(benchmark::State& state) {
-    const tasks::AffineTask lord = tasks::total_order_task(1);
+    const engine::Scenario scenario = capped("lord-2p-wf");
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::solve_act(lord.task, 3));
+        benchmark::DoNotOptimize(eng().solve(scenario));
     }
 }
 BENCHMARK(BM_ActTotalOrderExhaustion)->Unit(benchmark::kMillisecond);

@@ -131,6 +131,18 @@ void print_report() {
                       << " inconclusive at its budget (" << lost_cell.backtracks
                       << " backtracks); the other engine found a witness at "
                       << found_cell.backtracks << "\n";
+        } else if (!naive.found && !naive.exhausted && !fast.exhausted) {
+            // Neither engine settled the instance: budget-truncated
+            // backtrack counts measure the budget, not the engines.
+            std::cout << "    old-vs-new: both inconclusive (budgets "
+                         "exhausted without a witness or a refutation); "
+                         "backtrack counts not comparable\n";
+        } else if (!naive.found && naive.exhausted != fast.exhausted) {
+            const char* settled = naive.exhausted ? "naive" : "FC+MRV";
+            const char* hit = naive.exhausted ? "FC+MRV" : "naive";
+            std::cout << "    old-vs-new: " << settled
+                      << " proved unsatisfiability; " << hit
+                      << " budgeted out (counts not comparable)\n";
         } else {
             std::cout << "    old-vs-new: " << naive.backtracks << " -> "
                       << fast.backtracks << " backtracks ("

@@ -3,16 +3,19 @@
 //
 // Regenerates the figure's data: f is the identity on R_0 and pushes the
 // collar rings onto the boundary of R_0, preserving the faces of s; the
-// CSP then finds delta guided by f. Benchmarks exact projections and the
+// CSP then finds delta guided by f. The construction runs through the
+// engine's general route with the L_t stable rule as a strategy instance
+// (engine/general_route.h). Benchmarks exact projections and the
 // approximation search.
 // Usage: bench_radial_projection [extra_stages] [gbench args...] —
-// stabilization stages past Chr^2 in the pipeline (default 2).
+// stabilization stages past Chr^2 (default 2).
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "bench_size.h"
-#include "core/lt_pipeline.h"
+#include "engine/general_route.h"
+#include "tasks/standard_tasks.h"
 
 namespace {
 
@@ -20,21 +23,32 @@ using namespace gact;
 
 std::size_t g_extra_stages = 2;
 
-const core::LtPipeline& pipeline() {
-    static const core::LtPipeline p =
-        core::build_lt_pipeline(2, 1, g_extra_stages);
-    return p;
+struct Figure {
+    tasks::AffineTask task = tasks::t_resilience_task(2, 1);
+    engine::GeneralWitness witness;
+
+    Figure() {
+        witness = engine::build_general_witness(
+            task, engine::LtStableRule(2, 1), 2 + g_extra_stages,
+            /*fix_identity=*/true, core::LtGuidance::kRadial,
+            core::SolverConfig::fast());
+    }
+};
+
+const Figure& figure() {
+    static const Figure f;
+    return f;
 }
 
 void print_report() {
     std::cout << "=== E5: radial projection + chromatic approximation "
                  "(Section 9.2) ===\n";
-    const core::LtPipeline& p = pipeline();
+    const Figure& f = figure();
     std::size_t fixed = 0;
     std::size_t moved = 0;
-    for (topo::VertexId v : p.tsub.stable_complex().vertex_ids()) {
-        const topo::BaryPoint& x = p.tsub.stable_position(v);
-        const topo::BaryPoint fx = core::radial_projection_l1(p.task, x);
+    for (topo::VertexId v : f.witness.tsub.stable_complex().vertex_ids()) {
+        const topo::BaryPoint& x = f.witness.tsub.stable_position(v);
+        const topo::BaryPoint fx = core::radial_projection_l1(f.task, x);
         if (fx == x) {
             ++fixed;
         } else {
@@ -44,44 +58,47 @@ void print_report() {
     std::cout << "K(T) vertices: " << fixed << " fixed by f (R_0), " << moved
               << " projected onto the R_0 boundary\n";
     std::cout << "boundary edges of |L_1|: "
-              << core::l_boundary_edges(p.task).size() << "\n";
-    std::cout << "delta: found with " << p.csp_backtracks
+              << core::l_boundary_edges(f.task).size() << "\n";
+    std::cout << "delta: found with " << f.witness.backtracks
               << " CSP backtracks, "
-              << p.tsub.stable_complex().vertex_ids().size()
+              << f.witness.tsub.stable_complex().vertex_ids().size()
               << " stable vertices mapped\n"
               << std::endl;
 }
 
 void BM_RadialProjection(benchmark::State& state) {
-    const core::LtPipeline& p = pipeline();
+    const Figure& f = figure();
     // Project a ring-1 vertex (one that actually moves).
     topo::BaryPoint x = topo::BaryPoint::vertex(0);
-    for (topo::VertexId v : p.tsub.stable_complex().vertex_ids()) {
-        const topo::BaryPoint& q = p.tsub.stable_position(v);
-        if (!core::point_in_l(p.task, q)) {
+    for (topo::VertexId v : f.witness.tsub.stable_complex().vertex_ids()) {
+        const topo::BaryPoint& q = f.witness.tsub.stable_position(v);
+        if (!core::point_in_l(f.task, q)) {
             x = q;
             break;
         }
     }
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::radial_projection_l1(p.task, x));
+        benchmark::DoNotOptimize(core::radial_projection_l1(f.task, x));
     }
 }
 BENCHMARK(BM_RadialProjection);
 
 void BM_PointInL(benchmark::State& state) {
-    const core::LtPipeline& p = pipeline();
+    const Figure& f = figure();
     const topo::BaryPoint center =
         topo::BaryPoint::barycenter(topo::Simplex{0, 1, 2});
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::point_in_l(p.task, center));
+        benchmark::DoNotOptimize(core::point_in_l(f.task, center));
     }
 }
 BENCHMARK(BM_PointInL);
 
 void BM_FullPipelineWithApproximation(benchmark::State& state) {
+    const Figure& f = figure();
     for (auto _ : state) {
-        benchmark::DoNotOptimize(core::build_lt_pipeline(2, 1, 2));
+        benchmark::DoNotOptimize(engine::build_general_witness(
+            f.task, engine::LtStableRule(2, 1), 4, true,
+            core::LtGuidance::kRadial, core::SolverConfig::fast()));
     }
 }
 BENCHMARK(BM_FullPipelineWithApproximation)

@@ -8,7 +8,7 @@
 // solvable here, by adopting the leader's value.
 #include <iostream>
 
-#include "core/act_solver.h"
+#include "engine/engine.h"
 #include "iis/run_enumeration.h"
 #include "protocol/verifier.h"
 #include "tasks/standard_tasks.h"
@@ -55,10 +55,15 @@ int main() {
                  "==\n\n";
     const tasks::Task consensus = tasks::consensus_task(3, 2);
 
-    std::cout << "[1] wait-free, consensus is unsolvable (ACT search):\n";
-    const core::ActResult act = core::solve_act(consensus, 2);
+    std::cout << "[1] wait-free, consensus is unsolvable (engine, ACT "
+                 "route):\n";
+    engine::EngineOptions options;
+    options.max_depth = 2;
+    const auto act = engine::Engine{}.solve(engine::Scenario::wait_free(
+        "consensus-3-wf", consensus, options));
     std::cout << "    depths 0..2: "
-              << (act.solvable ? "witness found?!" : "exhausted, no witness")
+              << (act.solvable() ? "witness found?!"
+                                 : "exhausted, no witness")
               << "\n\n";
 
     std::cout << "[2] the leader model: process 0 heads round 1 alone.\n";

@@ -2,11 +2,13 @@
 //
 // Builds the chromatic subdivisions at the heart of the paper, runs an
 // IIS execution, computes the paper's run invariants (participants,
-// minimal run, fast set), and decides a task's wait-free solvability with
-// the ACT solver.
+// minimal run, fast set), and decides solvability questions through the
+// unified engine: one Scenario in, one SolveReport out, for any
+// (Task, Model) pair.
 #include <iostream>
 
-#include "core/act_solver.h"
+#include "engine/engine.h"
+#include "engine/scenario_registry.h"
 #include "iis/affine_projection.h"
 #include "iis/projection.h"
 #include "iis/run.h"
@@ -54,18 +56,24 @@ int main() {
               << iis::affine_projection(run).to_string()
               << " (exact; the paper's Section 5 limit point)\n\n";
 
-    std::cout << "== 4. Wait-free solvability via ACT (Corollary 7.1) ==\n";
-    const tasks::AffineTask is_task = tasks::immediate_snapshot_task(2);
-    const core::ActResult act = core::solve_act(is_task.task, 2);
-    std::cout << is_task.task.name << ": "
-              << (act.solvable ? "solvable" : "not solvable");
-    if (act.solvable) std::cout << " at depth " << act.witness_depth;
-    std::cout << "\n";
+    std::cout << "== 4. Solvability via the engine (one entry point for "
+                 "any (Task, Model) pair) ==\n";
+    const engine::Engine engine;
+    const auto& registry = engine::ScenarioRegistry::standard();
 
-    const tasks::Task consensus = tasks::consensus_task(2, 2);
-    const core::ActResult flp = core::solve_act(consensus, 2);
-    std::cout << consensus.name << ": "
-              << (flp.solvable ? "solvable" : "no witness up to depth 2")
-              << " (FLP)\n";
+    // A named registry scenario: wait-free immediate snapshot, routed to
+    // the Corollary 7.1 search.
+    const auto is_report = engine.solve(*registry.find("is-2-wf"));
+    std::cout << is_report.summary() << "\n";
+
+    // FLP, as a scenario built inline.
+    const auto flp = engine.solve(engine::Scenario::wait_free(
+        "consensus-2-wf-inline", tasks::consensus_task(2, 2)));
+    std::cout << flp.summary() << " (FLP)\n";
+
+    // The same entry point answers general-model questions — here the
+    // paper's headline: L_1 is solvable 1-resiliently (Proposition 9.2).
+    const auto lt = engine.solve(*registry.find("lt-2-1-res1"));
+    std::cout << lt.summary() << "\n";
     return 0;
 }

@@ -2,16 +2,21 @@
 // the task L_1 is solvable 1-resiliently by three processes, established
 // by the GACT machinery and then *executed*:
 //
-//   regions R_0, R_1, ...  ->  terminating subdivision T  ->  radial
-//   projection f  ->  chromatic approximation delta  ->  admissibility
-//   check  ->  protocol extraction  ->  Definition 4.1 verification.
+//   engine scenario (task L_1, model Res_1)  ->  terminating subdivision
+//   T  ->  radial projection f  ->  chromatic approximation delta  ->
+//   admissibility check  ->  protocol extraction  ->  Definition 4.1
+//   verification.
 //
-// The paper contrasts this construction with the "very involved"
-// operational solution of [Gafni 1998]; every stage below is a few lines
-// against the library.
+// The first five stages are one Engine::solve on the registry's flagship
+// scenario; the report's artifacts (T, delta, the compact Res_1 run
+// family) feed protocol extraction directly. The paper contrasts this
+// construction with the "very involved" operational solution of
+// [Gafni 1998]; every stage below is a few lines against the library.
 #include <iostream>
 #include <map>
 
+#include "engine/engine.h"
+#include "engine/scenario_registry.h"
 #include "protocol/gact_protocol.h"
 #include "protocol/verifier.h"
 
@@ -20,44 +25,43 @@ int main() {
 
     std::cout << "== L_1 in Res_1, via GACT (Proposition 9.2) ==\n\n";
 
-    std::cout << "[1] building the terminating subdivision and delta...\n";
-    const core::LtPipeline pipeline = core::build_lt_pipeline(2, 1, 2);
-    std::cout << "    L_1 facets: " << pipeline.task.l_complex.facets().size()
-              << "\n";
+    std::cout << "[1] solving the (L_1, Res_1) scenario...\n";
+    const engine::Scenario scenario =
+        *engine::ScenarioRegistry::standard().find("lt-2-1-res1");
+    const engine::SolveReport report = engine::Engine{}.solve(scenario);
+    std::cout << "    " << report.summary() << "\n";
+    std::cout << "    L_1 facets: "
+              << scenario.affine->l_complex.facets().size() << "\n";
     std::map<std::size_t, std::size_t> rings;
-    for (const auto& f : pipeline.tsub.stable_facets()) {
-        ++rings[core::ring_of_stable_facet(pipeline.tsub, f)];
+    for (const auto& f : report.tsub->stable_facets()) {
+        ++rings[core::ring_of_stable_facet(*report.tsub, f)];
     }
     for (const auto& [ring, count] : rings) {
         std::cout << "    ring R_" << ring << ": " << count
                   << " stable facets\n";
     }
-    std::cout << "    delta found with " << pipeline.csp_backtracks
+    std::cout << "    delta found with " << report.total_backtracks
               << " backtracks; carrier conditions verified\n\n";
 
     std::cout << "[2] admissibility for Res_1 (Theorem 6.1 (a))...\n";
-    const iis::TResilientModel res1(3, 1);
-    const auto runs = iis::filter_by_model(
-        iis::enumerate_stabilized_runs(3, 1), res1);
-    const auto admissibility =
-        core::check_admissibility(pipeline.tsub, runs, 8);
-    std::cout << "    " << admissibility.runs_checked
+    std::cout << "    " << report.admissibility->runs_checked
               << " compact Res_1 runs; all land by round "
-              << admissibility.max_landing_round << ": "
-              << (admissibility.admissible ? "admissible" : "NOT admissible")
+              << report.admissibility->max_landing_round << ": "
+              << (report.admissibility->admissible ? "admissible"
+                                                   : "NOT admissible")
               << "\n\n";
 
     std::cout << "[3] extracting the protocol (Theorem 6.1 \"<=\")...\n";
     iis::ViewArena arena;
     const auto build = protocol::build_gact_protocol(
-        pipeline.tsub, pipeline.delta, runs, 8, arena);
+        *report.tsub, *report.witness, report.model_runs, 8, arena);
     std::cout << "    " << build.protocol.size() << " view->output entries, "
               << build.conflicts << " conflicts\n\n";
 
     std::cout << "[4] verifying Definition 4.1 on every run...\n";
-    const auto report = protocol::verify_inputless(
-        pipeline.task.task, build.protocol, runs, 8, arena);
-    std::cout << "    " << report.summary() << "\n\n";
+    const auto verification = protocol::verify_inputless(
+        scenario.task, build.protocol, report.model_runs, 8, arena);
+    std::cout << "    " << verification.summary() << "\n\n";
 
     std::cout << "[5] one run in detail:\n";
     const iis::Run behind = iis::Run::forever(
@@ -65,17 +69,18 @@ int main() {
         iis::OrderedPartition({ProcessSet::of({0, 1}), ProcessSet::of({2})}));
     std::cout << "    run " << behind.to_string() << " (fast = "
               << behind.fast().to_string() << ", p2 forever behind)\n";
-    const auto landing = core::find_landing(pipeline.tsub, behind, 8);
+    const auto landing = core::find_landing(*report.tsub, behind, 8);
     std::cout << "    lands at round " << landing->round
               << " in stable facet of ring R_"
-              << core::ring_of_stable_facet(pipeline.tsub,
+              << core::ring_of_stable_facet(*report.tsub,
                                             landing->stable_facet)
               << "\n";
     for (ProcessId p = 0; p < 3; ++p) {
         const auto out =
             build.protocol.output(behind.view(p, 8, arena), arena);
         std::cout << "    p" << p << " decides "
-                  << (out ? pipeline.task.subdivision.position(*out).to_string()
+                  << (out ? scenario.affine->subdivision.position(*out)
+                                .to_string()
                           : std::string("(nothing)"))
                   << "\n";
     }

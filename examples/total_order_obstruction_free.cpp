@@ -7,7 +7,8 @@
 //     commit-adopt.
 #include <iostream>
 
-#include "core/act_solver.h"
+#include "engine/engine.h"
+#include "engine/scenario_registry.h"
 #include "iis/run_enumeration.h"
 #include "protocol/commit_adopt.h"
 #include "protocol/verifier.h"
@@ -20,11 +21,13 @@ int main() {
     std::cout << "L_ord on 3 processes: " << lord2.l_complex.facets().size()
               << " simplices sigma_alpha (= 3!)\n\n";
 
-    std::cout << "[1] wait-free? ACT search on the 2-process version:\n";
-    const tasks::AffineTask lord1 = tasks::total_order_task(1);
-    const core::ActResult act = core::solve_act(lord1.task, 3);
+    std::cout << "[1] wait-free? the engine on the registry's 2-process "
+                 "scenario:\n";
+    const auto act = engine::Engine{}.solve(
+        *engine::ScenarioRegistry::standard().find("lord-2p-wf"));
     std::cout << "    depths 0..3 exhausted: "
-              << (act.exhausted_all_depths && !act.solvable ? "yes" : "no")
+              << (act.verdict == engine::Verdict::kUnsolvableAtDepth ? "yes"
+                                                                     : "no")
               << " -> not wait-free solvable\n\n";
 
     iis::ViewArena arena;

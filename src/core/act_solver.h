@@ -29,6 +29,11 @@ struct ActResult {
 /// Search depths k = 0..max_k for a Corollary 7.1 witness. `config`
 /// selects the CSP engine; its max_backtracks bounds each depth's search
 /// separately.
+///
+/// Deprecated as a public entry point: prefer
+/// engine::Engine::solve(engine::Scenario::wait_free(...)), which wraps
+/// this search with the unified verdict/report surface. Kept as the
+/// wait-free route's implementation and for compatibility.
 ActResult solve_act(const tasks::Task& task, int max_k,
                     const SolverConfig& config);
 

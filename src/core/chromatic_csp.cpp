@@ -65,6 +65,21 @@ DomainMap all_initial_domains(const ChromaticMapProblem& problem) {
     return domains;
 }
 
+/// The leaf constraint test shared by both engines: the image of a fully
+/// assigned simplex must be a simplex of the codomain lying inside
+/// sigma's constraint complex.
+bool image_constraint_holds(
+    const ChromaticMapProblem& problem,
+    const std::unordered_map<VertexId, VertexId>& assignment,
+    const Simplex& sigma) {
+    std::vector<VertexId> image;
+    image.reserve(sigma.size());
+    for (VertexId v : sigma.vertices()) image.push_back(assignment.at(v));
+    const Simplex img(std::move(image));
+    if (!problem.codomain->contains(img)) return false;
+    return problem.allowed(sigma).contains(img);
+}
+
 /// Free-vertex connected components (free-free adjacency): independent
 /// subproblems given the fixed assignments, solved separately to avoid
 /// cross-component thrashing. Also produces, per component, the static
@@ -165,13 +180,8 @@ struct NaiveSearcher {
     std::size_t max_backtracks = 0;
     bool exhausted = true;
 
-    bool constraint_holds(const Simplex& sigma) {
-        std::vector<VertexId> image;
-        image.reserve(sigma.size());
-        for (VertexId v : sigma.vertices()) image.push_back(assignment.at(v));
-        const Simplex img(std::move(image));
-        if (!problem.codomain->contains(img)) return false;
-        return problem.allowed(sigma).contains(img);
+    bool constraint_holds(const Simplex& sigma) const {
+        return image_constraint_holds(problem, assignment, sigma);
     }
 
     bool assign(std::size_t idx) {
@@ -296,12 +306,7 @@ struct FcSearcher {
     }
 
     bool constraint_holds(const Simplex& sigma) const {
-        std::vector<VertexId> image;
-        image.reserve(sigma.size());
-        for (VertexId v : sigma.vertices()) image.push_back(assignment.at(v));
-        const Simplex img(std::move(image));
-        if (!problem.codomain->contains(img)) return false;
-        return problem.allowed(sigma).contains(img);
+        return image_constraint_holds(problem, assignment, sigma);
     }
 
     void prune(std::size_t var_idx, std::size_t value_idx) {
@@ -438,9 +443,58 @@ struct FcSearcher {
     }
 };
 
+/// Root propagation of the fixed assignments, done once per solve: they
+/// are not search decisions, so a conflict here proves unsatisfiability
+/// outright, and the pruning they induce on the free domains is the same
+/// for every free-vertex component and every portfolio thread — the FC
+/// engine used to redo it (components x threads) times. Returns the
+/// pruned per-vertex domains, or nullopt on a root conflict.
+std::optional<DomainMap> propagate_fixed_snapshot(
+    const ChromaticMapProblem& problem, const topo::AdjacencyIndex& index,
+    const std::vector<VertexId>& fixed_order, const DomainMap& base_domains,
+    const SolverConfig& config) {
+    if (fixed_order.empty()) return base_domains;
+
+    SolverConfig propagation_config = config;
+    propagation_config.forward_checking = true;
+    FcSearcher s(problem, index, propagation_config);
+    for (VertexId v : fixed_order) {
+        s.var_index[v] = s.vars.size();
+        s.vars.push_back({v, {}, {}, 0, false, true});
+    }
+    for (VertexId v : problem.domain->vertex_ids()) {
+        if (problem.fixed.count(v) != 0) continue;
+        s.var_index[v] = s.vars.size();
+        s.vars.push_back({v, {}, {}, 0, false, false});
+    }
+    for (FcSearcher::Var& var : s.vars) {
+        var.values = base_domains.at(var.v);
+        var.active.assign(var.values.size(), 1);
+        var.active_count = var.values.size();
+    }
+    for (VertexId v : fixed_order) {
+        const std::size_t idx = s.var_index.at(v);
+        if (s.vars[idx].values.empty() ||
+            !s.try_assign(idx, s.vars[idx].values.front())) {
+            return std::nullopt;
+        }
+    }
+    DomainMap pruned;
+    pruned.reserve(s.vars.size());
+    for (const FcSearcher::Var& var : s.vars) {
+        std::vector<VertexId> live;
+        live.reserve(var.active_count);
+        for (std::size_t i = 0; i < var.values.size(); ++i) {
+            if (var.active[i]) live.push_back(var.values[i]);
+        }
+        pruned.emplace(var.v, std::move(live));
+    }
+    return pruned;
+}
+
 bool fc_solve_component(const ChromaticMapProblem& problem,
                         const topo::AdjacencyIndex& index,
-                        const DomainMap& base_domains,
+                        const DomainMap& propagated_domains,
                         const SolverConfig& config,
                         const std::vector<VertexId>& fixed_order,
                         const std::vector<VertexId>& component_order,
@@ -461,7 +515,7 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
 
     std::mt19937_64 rng(config.seed ^ shuffle_salt);
     for (FcSearcher::Var& var : s.vars) {
-        var.values = base_domains.at(var.v);
+        var.values = propagated_domains.at(var.v);
         if (config.value_order == ValueOrder::kShuffled && !var.is_fixed) {
             std::shuffle(var.values.begin(), var.values.end(), rng);
         }
@@ -469,19 +523,16 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
         var.active_count = var.values.size();
     }
 
-    // Root propagation of the fixed assignments: they are not search
-    // decisions, so a conflict here proves unsatisfiability outright.
-    bool fixed_ok = true;
+    // The fixed assignments were validated and propagated into
+    // `propagated_domains` once, up front (propagate_fixed_snapshot), so
+    // just install them.
     for (VertexId v : fixed_order) {
-        const std::size_t idx = s.var_index.at(v);
-        if (s.vars[idx].values.empty() ||
-            !s.try_assign(idx, s.vars[idx].values.front())) {
-            fixed_ok = false;
-            break;
-        }
+        FcSearcher::Var& var = s.vars[s.var_index.at(v)];
+        var.assigned = true;
+        s.assignment[v] = var.values.front();
     }
 
-    const bool found = fixed_ok && s.search();
+    const bool found = s.search();
     result.backtracks += s.backtracks;
     if (!s.exhausted) result.exhausted = false;
     if (found) {
@@ -506,6 +557,7 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
                                 const topo::AdjacencyIndex& index,
                                 const Decomposition& dec,
                                 const DomainMap& base_domains,
+                                const DomainMap& propagated_domains,
                                 const SolverConfig& config,
                                 std::uint64_t shuffle_salt,
                                 const std::atomic<bool>* stop) {
@@ -518,13 +570,16 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
     const auto solve_component =
         [&](const std::vector<VertexId>& component_order) {
             if (naive_engine) {
+                // The seed baseline, preserved verbatim: raw domains,
+                // fixed vertices re-validated through the ordinary
+                // constraint checks.
                 return naive_solve_component(problem, base_domains,
                                              dec.fixed_order, component_order,
                                              config.max_backtracks, stop,
                                              result, solution);
             }
-            return fc_solve_component(problem, index, base_domains, config,
-                                      dec.fixed_order, component_order,
+            return fc_solve_component(problem, index, propagated_domains,
+                                      config, dec.fixed_order, component_order,
                                       shuffle_salt, stop, result, solution);
         };
 
@@ -559,10 +614,29 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
     const Decomposition dec = decompose(problem, index);
     const DomainMap base_domains = all_initial_domains(problem);
 
+    // Fixed-vertex root propagation, once per solve (FC engines only; the
+    // naive baseline keeps the raw domains).
+    DomainMap propagated_domains;
+    const bool fc_engine_used =
+        !is_naive_engine(config) || config.num_threads > 1;
+    if (fc_engine_used) {
+        auto snapshot = propagate_fixed_snapshot(problem, index,
+                                                 dec.fixed_order,
+                                                 base_domains, config);
+        if (!snapshot.has_value()) {
+            // A conflict among the fixed assignments alone proves
+            // unsatisfiability outright (they are not search decisions).
+            ChromaticMapResult result;
+            result.exhausted = true;
+            return result;
+        }
+        propagated_domains = std::move(*snapshot);
+    }
+
     ChromaticMapResult result;
     if (config.num_threads == 1) {
-        result = solve_single(problem, index, dec, base_domains, config, 0,
-                              nullptr);
+        result = solve_single(problem, index, dec, base_domains,
+                              propagated_domains, config, 0, nullptr);
     } else {
         // Portfolio race: thread 0 keeps the configured value order, the
         // others search with per-thread shuffles. A thread that either
@@ -582,7 +656,8 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
                     local.num_threads = 1;
                     if (i > 0) local.value_order = ValueOrder::kShuffled;
                     locals[i] =
-                        solve_single(problem, index, dec, base_domains, local,
+                        solve_single(problem, index, dec, base_domains,
+                                     propagated_domains, local,
                                      0x9e3779b97f4a7c15ULL * i, &stop);
                     if (locals[i].map.has_value()) {
                         const std::lock_guard<std::mutex> lock(mutex);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "engine/general_route.h"
 #include "util/require.h"
 
 namespace gact::core {
@@ -230,39 +231,29 @@ ChromaticMapProblem lt_approximation_problem(const tasks::AffineTask& task,
 
 LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages,
                              const SolverConfig& config) {
+    // Thin compatibility shim: the construction itself lives in the
+    // engine's general route (engine/general_route.h), where
+    // lt_stable_rule is one StableRule instance among others. The L_t
+    // convention "C_0 = s, C_1 = Chr s, C_2 = Chr^2 s, then the rule"
+    // maps to 2 + extra_stages uniform advances because the rule is inert
+    // below depth 2.
     LtPipeline out;
     out.task = tasks::t_resilience_task(n, t);
 
-    // Stages: C_0 = s, C_1 = Chr s, C_2 = Chr^2 s (nothing stable), then
-    // the stabilization rule takes over.
-    out.tsub = TerminatingSubdivision(
-        topo::ChromaticComplex::standard_simplex(n));
-    const auto nothing = [](const SubdividedComplex&, const Simplex&) {
-        return false;
-    };
-    out.tsub.advance(nothing);
-    out.tsub.advance(nothing);
-    for (std::size_t i = 0; i < extra_stages; ++i) {
-        out.tsub.advance([n, t](const SubdividedComplex& cx, const Simplex& s) {
-            return lt_stable_rule(n, t, cx, s);
-        });
-    }
-
-    // delta: chromatic carrier-preserving approximation K(T) -> L_t.
-    require(!out.tsub.stable_complex().is_empty(),
-            "build_lt_pipeline: no stable simplices; raise extra_stages");
-
     const bool have_radial = (n == 2 && t == 1);
-    const ChromaticMapProblem problem = lt_approximation_problem(
-        out.task, out.tsub, /*fix_identity=*/true,
-        have_radial ? LtGuidance::kRadial : LtGuidance::kNearest);
+    engine::GeneralWitness witness = engine::build_general_witness(
+        out.task, engine::LtStableRule(n, t), 2 + extra_stages,
+        /*fix_identity=*/true,
+        have_radial ? LtGuidance::kRadial : LtGuidance::kNearest, config);
 
-    const ChromaticMapResult result = solve_chromatic_map(problem, config);
-    out.csp_backtracks = result.backtracks;
-    require(result.map.has_value(),
+    require(!witness.tsub.stable_complex().is_empty(),
+            "build_lt_pipeline: no stable simplices; raise extra_stages");
+    require(witness.delta.has_value(),
             "build_lt_pipeline: no chromatic approximation found; "
             "a finer stable refinement is needed");
-    out.delta = *result.map;
+    out.tsub = std::move(witness.tsub);
+    out.delta = *witness.delta;
+    out.csp_backtracks = witness.backtracks;
     return out;
 }
 

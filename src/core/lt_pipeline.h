@@ -41,6 +41,11 @@ struct LtPipeline {
 /// 2 + extra_stages subdivision stages. Throws if the approximation CSP
 /// fails (Theorem 8.4 rules this out for the cases the library targets).
 /// `config` selects the CSP engine for the approximation step.
+///
+/// Deprecated as a public entry point: a thin shim over the engine's
+/// general route (engine/general_route.h) with the L_t stable rule.
+/// Prefer engine::Engine::solve on a general Scenario, which adds the
+/// run-family admissibility stage and the unified report.
 LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages,
                              const SolverConfig& config = SolverConfig::fast());
 

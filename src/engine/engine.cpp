@@ -1,0 +1,232 @@
+#include "engine/engine.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "engine/general_route.h"
+#include "engine/stage_clock.h"
+#include "iis/run_enumeration.h"
+#include "util/require.h"
+
+namespace gact::engine {
+
+namespace {
+
+SolveReport solve_wait_free(const Scenario& scenario) {
+    SolveReport report;
+    report.scenario = scenario.name;
+
+    const auto start = stage_clock_now();
+    const core::ActResult act = core::solve_act(
+        scenario.task, scenario.options.max_depth, scenario.options.solver);
+    report.timings.push_back({"act-search", millis_since(start)});
+
+    report.backtracks_per_depth = act.backtracks_per_depth;
+    report.total_backtracks =
+        std::accumulate(act.backtracks_per_depth.begin(),
+                        act.backtracks_per_depth.end(), std::size_t{0});
+    if (act.solvable) {
+        report.verdict = Verdict::kSolvable;
+        report.witness = act.eta;
+        report.witness_depth = act.witness_depth;
+        report.wf_domain = act.domain;
+        report.detail = "Corollary 7.1 witness eta : Chr^" +
+                        std::to_string(act.witness_depth) + " I -> O";
+    } else if (act.exhausted_all_depths) {
+        report.verdict = Verdict::kUnsolvableAtDepth;
+        report.detail = "depths 0.." +
+                        std::to_string(scenario.options.max_depth) +
+                        " exhausted without a witness";
+    } else {
+        report.verdict = Verdict::kBudgetExhausted;
+        report.detail = "backtrack budget hit before depth " +
+                        std::to_string(scenario.options.max_depth) +
+                        " settled";
+    }
+    return report;
+}
+
+SolveReport solve_general(const Scenario& scenario) {
+    SolveReport report;
+    report.scenario = scenario.name;
+    if (!scenario.affine.has_value() ||
+        scenario.options.stable_rule == nullptr) {
+        report.verdict = Verdict::kUnsupported;
+        report.detail = "model " + scenario.model->name() +
+                        " needs affine geometry and a StableRule (the "
+                        "general route is the Section 9 construction)";
+        return report;
+    }
+
+    // kRadial is exact rational geometry for the n = 2 base only; other
+    // process counts fall back to kNearest (see EngineOptions::guidance
+    // for the contract on non-L_1 3-process geometries).
+    core::LtGuidance guidance = scenario.options.guidance;
+    if (guidance == core::LtGuidance::kRadial &&
+        scenario.task.num_processes != 3) {
+        guidance = core::LtGuidance::kNearest;
+    }
+
+    // Stages 1-2: terminating subdivision + simplicial approximation.
+    GeneralWitness witness = build_general_witness(
+        *scenario.affine, *scenario.options.stable_rule,
+        scenario.options.subdivision_stages, scenario.options.fix_identity,
+        guidance, scenario.options.solver);
+    report.timings.push_back(
+        {"terminating-subdivision", witness.subdivision_millis});
+    report.timings.push_back(
+        {"simplicial-approximation", witness.approximation_millis});
+    report.total_backtracks = witness.backtracks;
+    report.witness_depth =
+        static_cast<int>(scenario.options.subdivision_stages);
+    report.tsub = std::make_shared<const core::TerminatingSubdivision>(
+        std::move(witness.tsub));
+
+    if (report.tsub->stable_complex().is_empty()) {
+        report.verdict = Verdict::kBudgetExhausted;
+        report.detail = "no stable simplices after " +
+                        std::to_string(scenario.options.subdivision_stages) +
+                        " stages of " +
+                        scenario.options.stable_rule->name() +
+                        "; raise subdivision_stages";
+        return report;
+    }
+    if (!witness.delta.has_value()) {
+        if (witness.exhausted) {
+            report.verdict = Verdict::kUnsolvableAtDepth;
+            report.detail =
+                "no chromatic approximation K(T) -> L exists for this "
+                "subdivision (search exhausted); a finer T might carry one";
+        } else {
+            report.verdict = Verdict::kBudgetExhausted;
+            report.detail =
+                "approximation search hit its backtrack budget";
+        }
+        return report;
+    }
+    report.witness = witness.delta;
+
+    // Stage 3: the model's compact run family M_D.
+    auto start = stage_clock_now();
+    report.model_runs = iis::filter_by_model(
+        iis::enumerate_stabilized_runs(scenario.task.num_processes,
+                                       scenario.options.run_prefix_depth),
+        *scenario.model);
+    report.timings.push_back({"run-enumeration", millis_since(start)});
+    if (report.model_runs.empty()) {
+        report.verdict = Verdict::kBudgetExhausted;
+        report.detail = "no compact runs of " + scenario.model->name() +
+                        " at prefix depth " +
+                        std::to_string(scenario.options.run_prefix_depth) +
+                        "; raise run_prefix_depth";
+        return report;
+    }
+
+    // Stage 4: admissibility (Theorem 6.1, condition (a)).
+    start = stage_clock_now();
+    report.admissibility = core::check_admissibility(
+        *report.tsub, report.model_runs, scenario.options.max_landing_round);
+    report.timings.push_back({"admissibility", millis_since(start)});
+
+    if (report.admissibility->admissible) {
+        report.verdict = Verdict::kSolvable;
+        report.detail =
+            "delta : K(T) -> L found and T admissible for " +
+            scenario.model->name() + " (" +
+            std::to_string(report.admissibility->runs_checked) +
+            " compact runs land by round " +
+            std::to_string(report.admissibility->max_landing_round) + ")";
+    } else {
+        report.verdict = Verdict::kUnsolvableAtDepth;
+        report.detail =
+            "T is not admissible for " + scenario.model->name() + ": " +
+            std::to_string(report.admissibility->failures.size()) +
+            " runs fail to land by round " +
+            std::to_string(scenario.options.max_landing_round) +
+            "; this subdivision carries no witness";
+    }
+    return report;
+}
+
+}  // namespace
+
+const char* to_string(Verdict v) {
+    switch (v) {
+        case Verdict::kSolvable:
+            return "solvable";
+        case Verdict::kUnsolvableAtDepth:
+            return "unsolvable-to-depth";
+        case Verdict::kBudgetExhausted:
+            return "budget-exhausted";
+        case Verdict::kUnsupported:
+            return "unsupported";
+    }
+    return "?";
+}
+
+std::string SolveReport::summary() const {
+    std::string out = scenario + ": " + to_string(verdict);
+    if (verdict == Verdict::kSolvable && witness_depth >= 0) {
+        out += " at depth " + std::to_string(witness_depth);
+    }
+    out += ", " + std::to_string(total_backtracks) + " backtracks";
+    double total_ms = 0.0;
+    for (const StageTiming& t : timings) total_ms += t.millis;
+    out += ", " + std::to_string(static_cast<long long>(total_ms)) + " ms";
+    if (!detail.empty()) out += " — " + detail;
+    return out;
+}
+
+SolveReport Engine::solve(const Scenario& scenario) const {
+    require(!scenario.name.empty(), "Engine::solve: unnamed scenario");
+    if (scenario.is_wait_free()) return solve_wait_free(scenario);
+    return solve_general(scenario);
+}
+
+std::vector<SolveReport> Engine::solve_batch(
+    const std::vector<Scenario>& scenarios, unsigned num_threads) const {
+    require(num_threads >= 1, "Engine::solve_batch: num_threads must be >= 1");
+    std::vector<SolveReport> reports(scenarios.size());
+    if (num_threads == 1 || scenarios.size() <= 1) {
+        for (std::size_t i = 0; i < scenarios.size(); ++i) {
+            reports[i] = solve(scenarios[i]);
+        }
+        return reports;
+    }
+
+    // Self-scheduling shard pool: workers pull the next unsolved scenario
+    // off an atomic index, so long solves (an L_t pipeline) overlap short
+    // ones instead of serializing behind a static partition. A worker
+    // error trips the portfolio-style atomic stop and is rethrown after
+    // the join.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(num_threads, scenarios.size()));
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            try {
+                while (!stop.load(std::memory_order_relaxed)) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= scenarios.size()) break;
+                    reports[i] = solve(scenarios[i]);
+                }
+            } catch (...) {
+                errors[w] = std::current_exception();
+                stop.store(true, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+    }
+    return reports;
+}
+
+}  // namespace gact::engine

@@ -1,0 +1,112 @@
+// The unified solvability engine: one entry point for any (Task, Model)
+// pair.
+//
+// Engine::solve dispatches a Scenario by its model:
+//  * wait-free models route to the Corollary 7.1 search (core/act_solver):
+//    depths k = 0..max_depth of Chr^k I are tried for a chromatic
+//    carrier-preserving witness eta;
+//  * every other model routes through the Theorem 6.1 "<=" construction
+//    (engine/general_route): a terminating subdivision driven by the
+//    scenario's StableRule, the Proposition 9.1 simplicial approximation
+//    delta : K(T) -> L, and admissibility of T against the model's
+//    enumerated compact run families.
+// Either way the caller gets a SolveReport: a three-way verdict, the
+// witness artifacts needed by downstream protocol extraction, and
+// per-stage timings/backtracks. Engine::solve_batch shards many scenarios
+// across a self-scheduling thread pool so whole portfolios of (task,
+// model) questions run in flight.
+#pragma once
+
+#include <vector>
+
+#include "core/act_solver.h"
+#include "engine/scenario.h"
+
+namespace gact::engine {
+
+/// The three-way outcome of a bounded solvability search (plus a guard
+/// for pairs outside the engine's routes).
+enum class Verdict {
+    /// A verified witness was found: the task is solvable in the model.
+    kSolvable,
+    /// Every explored depth was searched to exhaustion without a witness.
+    /// Wait-free: no Corollary 7.1 map up to max_depth (full
+    /// unsolvability needs the k -> infinity limit). General: the
+    /// materialized subdivision provably carries no witness — a deeper or
+    /// differently-stabilized T might.
+    kUnsolvableAtDepth,
+    /// Inconclusive: a backtrack budget or the landing horizon ran out
+    /// before the search settled.
+    kBudgetExhausted,
+    /// The (task, model) pair is outside the engine's routes: a
+    /// non-wait-free model needs affine geometry and a StableRule.
+    kUnsupported,
+};
+
+const char* to_string(Verdict v);
+
+/// Wall time of one pipeline stage.
+struct StageTiming {
+    std::string stage;
+    double millis = 0.0;
+};
+
+/// Everything Engine::solve learned about a scenario.
+struct SolveReport {
+    std::string scenario;
+    Verdict verdict = Verdict::kUnsupported;
+    /// One-line human-readable explanation of the verdict.
+    std::string detail;
+
+    /// The witness map: eta : Chr^k I -> O (wait-free route) or
+    /// delta : K(T) -> L (general route).
+    std::optional<core::SimplicialMap> witness;
+    /// Wait-free: the k of the witness (or -1). General: the number of
+    /// subdivision stages materialized.
+    int witness_depth = -1;
+
+    // Wait-free route artifacts.
+    /// Chr^k I at the witness depth, when solvable.
+    std::optional<topo::SubdividedComplex> wf_domain;
+    /// Backtracks per depth k = 0.. (wait-free route only).
+    std::vector<std::size_t> backtracks_per_depth;
+
+    // General route artifacts (shared so batch reports stay cheap to
+    // copy; all are immutable once the report is built).
+    std::shared_ptr<const core::TerminatingSubdivision> tsub;
+    /// The model's compact run family used for admissibility — reusable
+    /// by protocol extraction (protocol/gact_protocol.h).
+    std::vector<iis::Run> model_runs;
+    std::optional<core::AdmissibilityReport> admissibility;
+
+    /// Total CSP backtracks across all searches of the solve.
+    std::size_t total_backtracks = 0;
+    /// Per-stage wall times, in pipeline order.
+    std::vector<StageTiming> timings;
+
+    bool solvable() const { return verdict == Verdict::kSolvable; }
+    /// One-line report summary for CLIs and benches.
+    std::string summary() const;
+};
+
+/// The engine facade. Stateless: scenarios carry their own budgets, so
+/// one Engine serves any mix of them (and solve is safe to call
+/// concurrently).
+class Engine {
+public:
+    /// Solve one scenario; never throws for unsupported pairs (see
+    /// Verdict::kUnsupported) but propagates precondition violations of
+    /// malformed tasks.
+    SolveReport solve(const Scenario& scenario) const;
+
+    /// Solve many scenarios, sharded across `num_threads` workers by a
+    /// self-scheduling atomic work index (the portfolio's atomic-stop
+    /// machinery: the first worker error stops the pool and is
+    /// rethrown). Reports come back in input order and are identical to
+    /// sequential solves regardless of shard order.
+    std::vector<SolveReport> solve_batch(
+        const std::vector<Scenario>& scenarios,
+        unsigned num_threads = 1) const;
+};
+
+}  // namespace gact::engine

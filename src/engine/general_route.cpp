@@ -1,0 +1,37 @@
+#include "engine/general_route.h"
+
+#include "engine/stage_clock.h"
+
+namespace gact::engine {
+
+GeneralWitness build_general_witness(const tasks::AffineTask& task,
+                                     const StableRule& rule,
+                                     std::size_t stages, bool fix_identity,
+                                     core::LtGuidance guidance,
+                                     const core::SolverConfig& solver) {
+    GeneralWitness out;
+    auto start = stage_clock_now();
+    out.tsub = core::TerminatingSubdivision(task.task.inputs);
+    for (std::size_t i = 0; i < stages; ++i) {
+        out.tsub.advance([&rule](const core::SubdividedComplex& cx,
+                                 const topo::Simplex& s) {
+            return rule.stable(cx, s);
+        });
+    }
+    out.subdivision_millis = millis_since(start);
+    if (out.tsub.stable_complex().is_empty()) return out;
+
+    start = stage_clock_now();
+    const core::ChromaticMapProblem problem =
+        core::lt_approximation_problem(task, out.tsub, fix_identity,
+                                       guidance);
+    const core::ChromaticMapResult result =
+        core::solve_chromatic_map(problem, solver);
+    out.approximation_millis = millis_since(start);
+    out.backtracks = result.backtracks;
+    out.exhausted = result.exhausted;
+    if (result.map.has_value()) out.delta = *result.map;
+    return out;
+}
+
+}  // namespace gact::engine

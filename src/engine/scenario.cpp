@@ -1,0 +1,38 @@
+#include "engine/scenario.h"
+
+#include "util/require.h"
+
+namespace gact::engine {
+
+Scenario Scenario::wait_free(std::string name, tasks::Task task,
+                             EngineOptions options) {
+    Scenario s;
+    s.name = std::move(name);
+    s.task = std::move(task);
+    s.model = std::make_shared<iis::WaitFreeModel>();
+    s.options = std::move(options);
+    return s;
+}
+
+Scenario Scenario::general(std::string name, tasks::AffineTask affine,
+                           std::shared_ptr<const iis::Model> model,
+                           std::shared_ptr<const StableRule> rule,
+                           EngineOptions options) {
+    require(model != nullptr, "Scenario::general: missing model");
+    require(rule != nullptr, "Scenario::general: missing stable rule");
+    Scenario s;
+    s.name = std::move(name);
+    s.task = affine.task;
+    s.affine = std::move(affine);
+    s.model = std::move(model);
+    s.options = std::move(options);
+    s.options.stable_rule = std::move(rule);
+    return s;
+}
+
+bool Scenario::is_wait_free() const {
+    return model == nullptr ||
+           dynamic_cast<const iis::WaitFreeModel*>(model.get()) != nullptr;
+}
+
+}  // namespace gact::engine

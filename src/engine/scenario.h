@@ -1,0 +1,99 @@
+// Scenarios: the unified (Task, Model) problem statement of GACT.
+//
+// Theorem 6.1 parameterizes solvability of a task T by an arbitrary
+// sub-IIS model M. A Scenario packages one such pair together with the
+// search budgets, so every entry point of the library — the examples, the
+// benches, the CLI driver, and Engine::solve_batch — consumes the same
+// value type instead of hand-rolling its own driver per model.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/chromatic_csp.h"
+#include "core/lt_pipeline.h"
+#include "engine/stable_rule.h"
+#include "iis/models.h"
+#include "tasks/affine_task.h"
+
+namespace gact::engine {
+
+/// Per-scenario search budgets and strategy knobs. The defaults are the
+/// historical values of the rewritten callers.
+struct EngineOptions {
+    /// Wait-free route: Corollary 7.1 search depths k = 0..max_depth.
+    int max_depth = 3;
+
+    /// CSP engine for every witness search (both routes).
+    core::SolverConfig solver = core::SolverConfig::fast();
+
+    /// General route: stabilization strategy for the terminating
+    /// subdivision. Required for non-wait-free models on affine tasks.
+    std::shared_ptr<const StableRule> stable_rule;
+
+    /// General route: total TerminatingSubdivision::advance() steps. The
+    /// L_t pipeline's 2 + extra_stages convention maps here directly
+    /// (lt_stable_rule is inert below depth 2).
+    std::size_t subdivision_stages = 4;
+
+    /// General route: pre-assign delta as the identity on the stable
+    /// vertices lying in L (the R_0 part of K(T)).
+    bool fix_identity = true;
+
+    /// General route: candidate ordering for the approximation CSP.
+    /// kRadial is the exact radial projection of the L_t (n = 2, t = 1)
+    /// geometry: it automatically falls back to kNearest when the task is
+    /// not on 3 processes, but on a *different* 3-process geometry the
+    /// projection's preconditions may not hold and Engine::solve will
+    /// propagate the precondition_error — request kNearest for custom
+    /// affine tasks.
+    core::LtGuidance guidance = core::LtGuidance::kNearest;
+
+    /// General route: depth of the arbitrary-schedule prefix of the
+    /// enumerated compact run families M_D (iis/run_enumeration.h).
+    std::uint32_t run_prefix_depth = 1;
+
+    /// General route: admissibility landing horizon (Theorem 6.1 (a)).
+    std::size_t max_landing_round = 8;
+};
+
+/// One solvability question: does `model` solve `task`?
+struct Scenario {
+    std::string name;
+    std::string description;
+
+    /// The task T = (I, O, Delta).
+    tasks::Task task;
+
+    /// Geometry when T is affine (Section 4.2): required by the general
+    /// route (terminating subdivision + simplicial approximation), unused
+    /// by the wait-free route. When set, `task` equals `affine->task`.
+    std::optional<tasks::AffineTask> affine;
+
+    /// The sub-IIS model M. Null means wait-free (all runs).
+    std::shared_ptr<const iis::Model> model;
+
+    EngineOptions options;
+
+    /// Excluded from the quick registry sets (minutes-scale builds, e.g.
+    /// L_t at n = 3); runnable by name from the CLI.
+    bool heavy = false;
+
+    /// A wait-free scenario: Corollary 7.1 search on `task`.
+    static Scenario wait_free(std::string name, tasks::Task task,
+                              EngineOptions options = {});
+
+    /// A general-model scenario on an affine task; `rule` drives the
+    /// terminating subdivision.
+    static Scenario general(std::string name, tasks::AffineTask affine,
+                            std::shared_ptr<const iis::Model> model,
+                            std::shared_ptr<const StableRule> rule,
+                            EngineOptions options = {});
+
+    /// Does the scenario's model mean wait-free (route selector)? True
+    /// for a null model and for iis::WaitFreeModel.
+    bool is_wait_free() const;
+};
+
+}  // namespace gact::engine

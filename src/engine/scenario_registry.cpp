@@ -1,0 +1,197 @@
+#include "engine/scenario_registry.h"
+
+#include "tasks/standard_tasks.h"
+#include "util/require.h"
+
+namespace gact::engine {
+
+namespace {
+
+EngineOptions wait_free_options(int max_depth) {
+    EngineOptions o;
+    o.max_depth = max_depth;
+    return o;
+}
+
+/// The L_t flagship options: 2 + 2 subdivision stages, identity fixing,
+/// radial guidance (exact for n = 2), compact families at prefix depth 1.
+EngineOptions lt_options() {
+    EngineOptions o;
+    o.subdivision_stages = 4;
+    o.guidance = core::LtGuidance::kRadial;
+    return o;
+}
+
+/// Options for the degenerate K(T) = Chr^depth subdivisions: everything
+/// is identity-fixed, so candidate guidance would be wasted work.
+EngineOptions uniform_options(std::size_t stages) {
+    EngineOptions o;
+    o.subdivision_stages = stages;
+    o.guidance = core::LtGuidance::kNone;
+    return o;
+}
+
+ScenarioRegistry build_standard() {
+    ScenarioRegistry r;
+
+    // --- Wait-free scenarios (Corollary 7.1 route) ---
+    r.add("consensus-2-wf",
+          "binary consensus, 2 processes, wait-free — FLP: every depth "
+          "exhausts",
+          false, [] {
+              return Scenario::wait_free("", tasks::consensus_task(2, 2),
+                                         wait_free_options(3));
+          });
+    r.add("is-1-wf",
+          "one-round immediate snapshot, 2 processes — solvable at depth 1",
+          false, [] {
+              return Scenario::wait_free(
+                  "", tasks::immediate_snapshot_task(1).task,
+                  wait_free_options(2));
+          });
+    r.add("is-2-wf",
+          "one-round immediate snapshot, 3 processes — solvable at depth 1",
+          false, [] {
+              return Scenario::wait_free(
+                  "", tasks::immediate_snapshot_task(2).task,
+                  wait_free_options(2));
+          });
+    r.add("ksa-2p-k2-wf",
+          "2-set agreement, 2 processes, 2 values — trivial at depth 0",
+          false, [] {
+              return Scenario::wait_free(
+                  "", tasks::k_set_agreement_task(2, 2, 2),
+                  wait_free_options(1));
+          });
+    r.add("lord-2p-wf",
+          "total-order task, 2 processes — consensus-hard, every depth "
+          "exhausts",
+          false, [] {
+              return Scenario::wait_free("",
+                                         tasks::total_order_task(1).task,
+                                         wait_free_options(3));
+          });
+    r.add("chr2-2p-wf",
+          "L_t at t = n (all of Chr^2 s), 2 processes — solvable at depth "
+          "2, the Section 7 ACT degeneracy",
+          false, [] {
+              return Scenario::wait_free("",
+                                         tasks::t_resilience_task(1, 1).task,
+                                         wait_free_options(3));
+          });
+
+    // --- General-model scenarios (Theorem 6.1 route) ---
+    r.add("lt-2-1-res1",
+          "the headline Proposition 9.2: L_1 solvable 1-resiliently by 3 "
+          "processes",
+          false, [] {
+              return Scenario::general(
+                  "", tasks::t_resilience_task(2, 1),
+                  std::make_shared<iis::TResilientModel>(3, 1),
+                  std::make_shared<LtStableRule>(2, 1), lt_options());
+          });
+    r.add("lt-2-1-adv",
+          "L_1 under the adversary A = {slow sets of size <= 1} — the "
+          "adversary presentation of Res_1 (Example 2.4)",
+          false, [] {
+              return Scenario::general(
+                  "", tasks::t_resilience_task(2, 1),
+                  std::make_shared<iis::AdversaryModel>(
+                      "M_adv(|slow|<=1)",
+                      std::vector<ProcessSet>{
+                          ProcessSet::of({}), ProcessSet::of({0}),
+                          ProcessSet::of({1}), ProcessSet::of({2})}),
+                  std::make_shared<LtStableRule>(2, 1), lt_options());
+          });
+    r.add("is-2-of1",
+          "immediate snapshot under OF_1: K(T) = Chr s, every "
+          "obstruction-free run lands at round 1",
+          false, [] {
+              return Scenario::general(
+                  "", tasks::immediate_snapshot_task(2),
+                  std::make_shared<iis::ObstructionFreeModel>(1),
+                  std::make_shared<UniformDepthRule>(1),
+                  uniform_options(2));
+          });
+    r.add("approx-2-of2",
+          "2-round approximate agreement (L = Chr^2 s) under OF_2: "
+          "uniform termination at depth 2",
+          false, [] {
+              return Scenario::general(
+                  "", tasks::t_resilience_task(2, 2),
+                  std::make_shared<iis::ObstructionFreeModel>(2),
+                  std::make_shared<UniformDepthRule>(2),
+                  uniform_options(3));
+          });
+    r.add("ksa-3p-k2-res1",
+          "2-set agreement, 3 processes, under Res_1 — outside the "
+          "engine's routes (no affine geometry): reported unsupported",
+          false, [] {
+              Scenario s = Scenario::wait_free(
+                  "", tasks::k_set_agreement_task(3, 2, 2),
+                  wait_free_options(1));
+              s.model = std::make_shared<iis::TResilientModel>(3, 1);
+              return s;
+          });
+
+    // --- Heavy scenarios: runnable by name, excluded from quick sets ---
+    r.add("lt-3-2-res2",
+          "L_2 for 4 processes under Res_2 — the n = 3 pipeline frontier "
+          "(minutes-scale subdivision build)",
+          true, [] {
+              EngineOptions o;
+              o.subdivision_stages = 4;
+              o.guidance = core::LtGuidance::kNearest;
+              return Scenario::general(
+                  "", tasks::t_resilience_task(3, 2),
+                  std::make_shared<iis::TResilientModel>(4, 2),
+                  std::make_shared<LtStableRule>(3, 2), o);
+          });
+
+    return r;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::standard() {
+    static const ScenarioRegistry registry = build_standard();
+    return registry;
+}
+
+void ScenarioRegistry::add(std::string name, std::string description,
+                           bool heavy, std::function<Scenario()> make) {
+    require(static_cast<bool>(make), "ScenarioRegistry::add: null factory");
+    for (const ScenarioSpec& spec : specs_) {
+        require(spec.name != name,
+                "ScenarioRegistry::add: duplicate scenario " + name);
+    }
+    specs_.push_back(ScenarioSpec{std::move(name), std::move(description),
+                                  heavy, std::move(make)});
+}
+
+std::optional<Scenario> ScenarioRegistry::find(const std::string& name) const {
+    for (const ScenarioSpec& spec : specs_) {
+        if (spec.name != name) continue;
+        Scenario s = spec.make();
+        s.name = spec.name;
+        s.description = spec.description;
+        s.heavy = spec.heavy;
+        return s;
+    }
+    return std::nullopt;
+}
+
+std::vector<Scenario> ScenarioRegistry::quick() const {
+    std::vector<Scenario> out;
+    for (const ScenarioSpec& spec : specs_) {
+        if (spec.heavy) continue;
+        Scenario s = spec.make();
+        s.name = spec.name;
+        s.description = spec.description;
+        s.heavy = spec.heavy;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+}  // namespace gact::engine

@@ -1,0 +1,51 @@
+// The registry of named standard scenarios — the single source the
+// examples, benches, and the engine CLI consume.
+//
+// Each entry is a lazy factory: listing the registry costs nothing, and a
+// scenario's complexes (some are minutes-scale builds, e.g. L_t at n = 3)
+// are only materialized when the scenario is actually requested. The
+// non-heavy ("quick") set spans every model family of the paper's
+// examples: wait-free, Res_t, OF_k, and an adversary model.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "engine/scenario.h"
+
+namespace gact::engine {
+
+/// A registered scenario: metadata plus the factory that builds it.
+struct ScenarioSpec {
+    std::string name;
+    std::string description;
+    bool heavy = false;
+    std::function<Scenario()> make;
+};
+
+class ScenarioRegistry {
+public:
+    /// The library's standard scenarios (built once, immutable).
+    static const ScenarioRegistry& standard();
+
+    /// All specs, cheap to enumerate (nothing materialized).
+    const std::vector<ScenarioSpec>& specs() const noexcept {
+        return specs_;
+    }
+
+    /// Materialize the named scenario; nullopt if unknown.
+    std::optional<Scenario> find(const std::string& name) const;
+
+    /// Materialize every non-heavy scenario, in registration order.
+    std::vector<Scenario> quick() const;
+
+    /// Register a scenario. The factory's name/description/heavy fields
+    /// are overwritten with the spec's, so factories only build content.
+    void add(std::string name, std::string description, bool heavy,
+             std::function<Scenario()> make);
+
+private:
+    std::vector<ScenarioSpec> specs_;
+};
+
+}  // namespace gact::engine

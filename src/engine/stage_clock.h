@@ -1,0 +1,20 @@
+// Shared wall-clock helper for the engine's per-stage timings.
+#pragma once
+
+#include <chrono>
+
+namespace gact::engine {
+
+using StageClockPoint = std::chrono::steady_clock::time_point;
+
+inline StageClockPoint stage_clock_now() {
+    return std::chrono::steady_clock::now();
+}
+
+inline double millis_since(StageClockPoint start) {
+    return std::chrono::duration<double, std::milli>(stage_clock_now() -
+                                                     start)
+        .count();
+}
+
+}  // namespace gact::engine
