@@ -2,13 +2,27 @@
 //
 // The solver exposes its search strategy through SolverConfig: the seed's
 // plain backtracker (SolverConfig::naive()) against forward checking with
-// MRV/degree variable ordering (SolverConfig::fast()), and a portfolio
-// race on top. This bench pits the engines against the Proposition 9.2
-// instance — the chromatic simplicial approximation K(T) -> L_t for
-// n = 2, t = 1 — across the two orthogonal problem ablations the seed
-// measured: identity fixing of R_0 and radial-projection candidate
-// guidance. It reports old-vs-new backtrack counts and wall time per
-// cell.
+// MRV/degree variable ordering, the incremental layers on top of FC —
+// the constraint-evaluation cache (core/eval_cache.h) and nogood
+// learning (core/nogood_store.h) — and a portfolio race. This bench pits
+// the engine ladder against the Proposition 9.2 instance — the chromatic
+// simplicial approximation K(T) -> L_t for n = 2, t = 1 — across the two
+// orthogonal problem ablations the seed measured: identity fixing of R_0
+// and radial-projection candidate guidance.
+//
+// Per problem cell it prints one row per engine:
+//   naive            — the seed backtracker (baseline);
+//   FC               — forward checking + MRV, caches and nogoods OFF
+//                      (the PR-2 engine, kept as the wall-time baseline
+//                      for the incremental layers);
+//   FC+cache         — plus the evaluation cache;
+//   FC+cache+nogoods — plus nogood learning (SolverConfig::fast(), the
+//                      shipped default);
+//   portfolio x2     — two diversified FC+cache+nogoods searches racing.
+// Rows report found/exhausted, backtracks, nogood prunings/recordings,
+// cache hit rates, and wall time; the summary lines compare naive vs the
+// shipped engine (backtracks) and FC vs FC+cache+nogoods (wall time —
+// the ROADMAP "FC wall-time gap" number).
 //
 // Usage: bench_csp_ablation [extra_stages] [gbench args...]
 // `extra_stages` (default 2) is the number of stabilization stages past
@@ -68,6 +82,10 @@ struct Cell {
     std::size_t backtracks = 0;
     bool exhausted = false;
     double millis = 0.0;
+    std::size_t nogood_prunings = 0;
+    std::size_t nogoods_recorded = 0;
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
 };
 
 Cell run_cell(const ChromaticMapProblem& problem, const SolverConfig& config) {
@@ -80,14 +98,42 @@ Cell run_cell(const ChromaticMapProblem& problem, const SolverConfig& config) {
     cell.exhausted = result.exhausted;
     cell.millis =
         std::chrono::duration<double, std::milli>(end - start).count();
+    cell.nogood_prunings = result.nogood_prunings;
+    cell.nogoods_recorded = result.nogoods_recorded;
+    cell.cache_hits = result.eval_cache_hits;
+    cell.cache_misses = result.eval_cache_misses;
     return cell;
 }
 
 void print_cell(const char* engine, const Cell& c) {
     std::cout << "    " << engine << ": "
               << (c.found ? "found" : "NOT found") << ", " << c.backtracks
-              << " backtracks, " << c.millis << " ms"
-              << (c.exhausted || c.found ? "" : " (budget hit)") << "\n";
+              << " backtracks, " << c.millis << " ms";
+    if (c.nogoods_recorded != 0 || c.nogood_prunings != 0) {
+        std::cout << ", nogoods " << c.nogoods_recorded << " recorded / "
+                  << c.nogood_prunings << " prunings";
+    }
+    if (c.cache_hits + c.cache_misses != 0) {
+        const double rate = 100.0 * static_cast<double>(c.cache_hits) /
+                            static_cast<double>(c.cache_hits + c.cache_misses);
+        std::cout << ", cache " << static_cast<int>(rate) << "% hits";
+    }
+    std::cout << (c.exhausted || c.found ? "" : " (budget hit)") << "\n";
+}
+
+/// The engine ladder of one problem cell (see the header comment).
+SolverConfig fc_plain_config(std::size_t budget) {
+    SolverConfig c = SolverConfig::fast(budget);
+    c.eval_cache = false;
+    c.nogood_learning = false;
+    c.allowed_lru_capacity = 0;
+    return c;
+}
+
+SolverConfig fc_cache_config(std::size_t budget) {
+    SolverConfig c = SolverConfig::fast(budget);
+    c.nogood_learning = false;
+    return c;
 }
 
 void print_report() {
@@ -112,11 +158,38 @@ void print_report() {
         const Cell naive =
             run_cell(problem, SolverConfig::naive(c.budget));
         print_cell("naive (seed backtracker)   ", naive);
+        const Cell fc_plain = run_cell(problem, fc_plain_config(c.budget));
+        print_cell("FC (PR-2 engine, no cache) ", fc_plain);
+        const Cell fc_cache = run_cell(problem, fc_cache_config(c.budget));
+        print_cell("FC+cache                   ", fc_cache);
         const Cell fast = run_cell(problem, SolverConfig::fast(c.budget));
-        print_cell("forward-checking + MRV     ", fast);
+        print_cell("FC+cache+nogoods (shipped) ", fast);
         const Cell portfolio =
             run_cell(problem, SolverConfig::portfolio(2, c.budget));
-        print_cell("portfolio x2 (FC+MRV race) ", portfolio);
+        print_cell("portfolio x2 (shipped race)", portfolio);
+
+        // The incremental layers must not change what is found, only how
+        // fast; a divergence is a solver bug ONLY when the not-found
+        // side proved unsatisfiability (exhausted) — a budget-limited
+        // plain FC losing to the nogood engine is legitimate pruning.
+        const auto settled_disagree = [&fc_plain](const Cell& layered) {
+            return layered.found != fc_plain.found &&
+                   (layered.found ? fc_plain.exhausted : layered.exhausted);
+        };
+        if (settled_disagree(fc_cache) || settled_disagree(fast)) {
+            std::cout << "    cache-vs-plain: engines DISAGREE on "
+                         "satisfiability — solver bug\n";
+        } else if (fc_cache.found != fc_plain.found ||
+                   fast.found != fc_plain.found) {
+            std::cout << "    cache-vs-plain: plain FC inconclusive at its "
+                         "budget; the layered engine settled the instance "
+                         "(wall times not comparable)\n";
+        } else if (fc_plain.millis > 0.0 && fast.millis > 0.0) {
+            std::cout << "    FC wall time: " << fc_plain.millis << " -> "
+                      << fc_cache.millis << " ms (cache) -> " << fast.millis
+                      << " ms (cache+nogoods), speedup x"
+                      << (fc_plain.millis / fast.millis) << "\n";
+        }
         const bool loser_exhausted =
             naive.found ? fast.exhausted : naive.exhausted;
         if (naive.found != fast.found && loser_exhausted) {
@@ -177,6 +250,16 @@ void BM_SolverFast(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_SolverFast)->Unit(benchmark::kMillisecond);
+
+void BM_SolverFcPlain(benchmark::State& state) {
+    const Instance& inst = instance();
+    const auto problem = inst.problem(true, true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::solve_chromatic_map(problem, fc_plain_config(1000000)));
+    }
+}
+BENCHMARK(BM_SolverFcPlain)->Unit(benchmark::kMillisecond);
 
 void BM_SolverFastUnguided(benchmark::State& state) {
     const Instance& inst = instance();

@@ -5,35 +5,40 @@
 namespace gact::core {
 
 ChromaticMapProblem act_problem(const tasks::Task& task,
-                                const topo::SubdividedComplex& chr_k) {
+                                const topo::SubdividedComplex& chr_k,
+                                AllowedComplexLru* lru) {
     ChromaticMapProblem problem;
     problem.domain = &chr_k.complex();
     problem.codomain = &task.outputs;
     // eta(sigma) must lie in Delta(carrier(sigma)); carriers are exact
-    // (coordinate supports), so this is precisely Corollary 7.1.
-    problem.allowed = [&task, &chr_k](const Simplex& sigma)
+    // (coordinate supports), so this is precisely Corollary 7.1. The
+    // carrier -> complex association is shared through the LRU when one
+    // is supplied (carriers are base-complex simplices, so entries stay
+    // valid across subdivision depths).
+    problem.allowed = [&task, &chr_k, lru](const Simplex& sigma)
         -> const SimplicialComplex& {
-        return task.delta.at(chr_k.carrier_of(sigma));
+        const Simplex carrier = chr_k.carrier_of(sigma);
+        if (lru == nullptr) return task.delta.at(carrier);
+        return lru->get(carrier,
+                        [&]() { return &task.delta.at(carrier); });
     };
     return problem;
 }
 
-ActResult solve_act(const tasks::Task& task, int max_k,
-                    std::size_t max_backtracks_per_depth) {
-    return solve_act(task, max_k,
-                     SolverConfig::fast(max_backtracks_per_depth));
-}
-
-ActResult solve_act(const tasks::Task& task, int max_k,
-                    const SolverConfig& config) {
-    require(task.validate().empty(), "solve_act: invalid task");
+ActResult run_act_search(const tasks::Task& task, int max_k,
+                         const SolverConfig& config) {
+    require(task.validate().empty(), "run_act_search: invalid task");
     ActResult out;
     out.exhausted_all_depths = true;
+    // One carrier-keyed LRU across every depth of the search.
+    AllowedComplexLru lru(config.allowed_lru_capacity);
+    AllowedComplexLru* lru_ptr =
+        config.allowed_lru_capacity > 0 ? &lru : nullptr;
     topo::SubdividedComplex chr =
         topo::SubdividedComplex::identity(task.inputs);
     for (int k = 0; k <= max_k; ++k) {
         if (k > 0) chr = chr.chromatic_subdivision();
-        const ChromaticMapProblem problem = act_problem(task, chr);
+        const ChromaticMapProblem problem = act_problem(task, chr, lru_ptr);
         const ChromaticMapResult result =
             solve_chromatic_map(problem, config);
         out.backtracks_per_depth.push_back(result.backtracks);
@@ -48,5 +53,23 @@ ActResult solve_act(const tasks::Task& task, int max_k,
     }
     return out;
 }
+
+// The deprecated shims forward verbatim; suppress the self-referential
+// deprecation warnings their definitions would otherwise emit.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+ActResult solve_act(const tasks::Task& task, int max_k,
+                    std::size_t max_backtracks_per_depth) {
+    return run_act_search(task, max_k,
+                          SolverConfig::fast(max_backtracks_per_depth));
+}
+
+ActResult solve_act(const tasks::Task& task, int max_k,
+                    const SolverConfig& config) {
+    return run_act_search(task, max_k, config);
+}
+
+#pragma GCC diagnostic pop
 
 }  // namespace gact::core

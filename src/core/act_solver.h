@@ -11,12 +11,13 @@
 #pragma once
 
 #include "core/chromatic_csp.h"
+#include "core/eval_cache.h"
 #include "tasks/task.h"
 #include "topology/subdivision.h"
 
 namespace gact::core {
 
-/// Result of the bounded ACT search.
+/// @brief Result of the bounded ACT search.
 struct ActResult {
     bool solvable = false;
     int witness_depth = -1;              // the k of the witness map
@@ -26,25 +27,47 @@ struct ActResult {
     bool exhausted_all_depths = false;   // searches below max_k all complete
 };
 
-/// Search depths k = 0..max_k for a Corollary 7.1 witness. `config`
-/// selects the CSP engine; its max_backtracks bounds each depth's search
-/// separately.
+/// @brief Search depths k = 0..max_k for a Corollary 7.1 witness.
+/// `config` selects the CSP engine; its max_backtracks bounds each
+/// depth's search separately.
 ///
-/// Deprecated as a public entry point: prefer
-/// engine::Engine::solve(engine::Scenario::wait_free(...)), which wraps
-/// this search with the unified verdict/report surface. Kept as the
-/// wait-free route's implementation and for compatibility.
+/// This is the wait-free route's implementation, called by
+/// engine::Engine::solve. The constraint complexes Delta(carrier(sigma))
+/// are shared across depths through one carrier-keyed LRU
+/// (core/eval_cache.h): per-depth vertex ids change from Chr^k I to
+/// Chr^{k+1} I, but carriers live in the base complex, so deeper
+/// searches start with the association warm.
+ActResult run_act_search(const tasks::Task& task, int max_k,
+                         const SolverConfig& config);
+
+/// @brief Deprecated pre-engine entry point; forwards to
+/// run_act_search.
+[[deprecated(
+    "use gact::engine::Engine (engine/engine.h) for the unified "
+    "verdict/report surface, or core::run_act_search for the raw "
+    "search")]]
 ActResult solve_act(const tasks::Task& task, int max_k,
                     const SolverConfig& config);
 
-/// Convenience overload: the default engine with the given per-depth
-/// backtrack budget.
+/// @brief Deprecated convenience overload of the pre-engine entry
+/// point; forwards to run_act_search with the default engine and the
+/// given per-depth backtrack budget.
+[[deprecated(
+    "use gact::engine::Engine (engine/engine.h) for the unified "
+    "verdict/report surface, or core::run_act_search for the raw "
+    "search")]]
 ActResult solve_act(const tasks::Task& task, int max_k,
                     std::size_t max_backtracks_per_depth = 2000000);
 
-/// Build the Corollary 7.1 constraint problem at a fixed depth (exposed
-/// for tests and benchmarks).
+/// @brief Build the Corollary 7.1 constraint problem at a fixed depth
+/// (exposed for tests and benchmarks).
+///
+/// When `lru` is non-null, the problem's allowed() closure routes
+/// carrier lookups through it; the LRU must then outlive the problem.
+/// @note The returned problem's closures also reference `task` and
+/// `chr_k`, which must outlive it.
 ChromaticMapProblem act_problem(const tasks::Task& task,
-                                const topo::SubdividedComplex& chr_k);
+                                const topo::SubdividedComplex& chr_k,
+                                AllowedComplexLru* lru = nullptr);
 
 }  // namespace gact::core

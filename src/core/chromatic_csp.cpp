@@ -8,6 +8,8 @@
 #include <thread>
 #include <unordered_set>
 
+#include "core/eval_cache.h"
+#include "core/nogood_store.h"
 #include "topology/adjacency_index.h"
 #include "util/require.h"
 
@@ -283,36 +285,151 @@ struct FcSearcher {
     const topo::AdjacencyIndex& index;
     const SolverConfig& config;
     const std::atomic<bool>* stop = nullptr;
+    // Optional incremental layers, owned by the per-thread driver
+    // (solve_single): memoized constraint evaluation and learned
+    // conflicts. Both null in the root-propagation searcher.
+    EvalCache* cache = nullptr;
+    NogoodStore* nogoods = nullptr;
 
     struct Var {
         VertexId v = 0;
+        VertexId value = 0;            // current value, valid iff assigned
+        std::uint32_t degree = 0;      // 1-skeleton degree (MRV tie-break)
         std::vector<VertexId> values;  // initial order, never reordered
         std::vector<char> active;      // live-domain flags, trail-restored
+        // The constraint that pruned values[i] (null while active). Read
+        // only for inactive values, whose pruning frames are still on
+        // the stack — so the constraint's other vertices are still
+        // assigned to the values that caused the conflict.
+        std::vector<const Simplex*> pruned_by;
         std::size_t active_count = 0;
         bool assigned = false;
         bool is_fixed = false;
     };
+    static constexpr std::uint32_t kNoVar = 0xffffffffu;
     std::vector<Var> vars;  // fixed vertices first, then the component's
                             // free vertices in static order
     std::unordered_map<VertexId, std::size_t> var_index;
+    // Dense mirror of var_index for the hot constraint scans (vertex ids
+    // are bounded by the domain complex); kNoVar for out-of-scope ids.
+    std::vector<std::uint32_t> var_of_vertex;
     std::unordered_map<VertexId, VertexId> assignment;
     // Undo log of domain prunings: (variable index, value index).
     std::vector<std::pair<std::size_t, std::size_t>> trail;
     std::size_t backtracks = 0;
+    std::size_t nogood_prunings = 0;
     bool exhausted = true;
+    std::vector<VertexId> image_scratch;  // reused across evaluations
+
+    // The unassigned vars, maintained by swap-removal so the MRV scan
+    // touches only live candidates instead of every variable per node.
+    std::vector<std::uint32_t> unassigned;
+    std::vector<std::uint32_t> unassigned_pos;  // index into `unassigned`
+
+    /// Build var_of_vertex and the unassigned list; call once after
+    /// `vars` is fully populated and pre-assignments are installed.
+    void finalize_vars() {
+        VertexId max_v = 0;
+        for (const Var& var : vars) max_v = std::max(max_v, var.v);
+        var_of_vertex.assign(static_cast<std::size_t>(max_v) + 1, kNoVar);
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+            var_of_vertex[vars[i].v] = static_cast<std::uint32_t>(i);
+        }
+        unassigned.clear();
+        unassigned_pos.assign(vars.size(), kNoVar);
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+            vars[i].degree =
+                static_cast<std::uint32_t>(index.degree(vars[i].v));
+            if (!vars[i].assigned) {
+                unassigned_pos[i] =
+                    static_cast<std::uint32_t>(unassigned.size());
+                unassigned.push_back(static_cast<std::uint32_t>(i));
+            }
+        }
+    }
+
+    void mark_assigned(std::size_t var_idx) {
+        const std::uint32_t pos = unassigned_pos[var_idx];
+        const std::uint32_t last = unassigned.back();
+        unassigned[pos] = last;
+        unassigned_pos[last] = pos;
+        unassigned.pop_back();
+        unassigned_pos[var_idx] = kNoVar;
+    }
+
+    void mark_unassigned(std::size_t var_idx) {
+        unassigned_pos[var_idx] =
+            static_cast<std::uint32_t>(unassigned.size());
+        unassigned.push_back(static_cast<std::uint32_t>(var_idx));
+    }
+
+    std::uint32_t var_at(VertexId u) const {
+        return u < var_of_vertex.size() ? var_of_vertex[u] : kNoVar;
+    }
 
     bool stopped() const {
         return stop != nullptr && stop->load(std::memory_order_relaxed);
     }
 
-    bool constraint_holds(const Simplex& sigma) const {
-        return image_constraint_holds(problem, assignment, sigma);
+    /// Leaf constraint check for a fully assigned indexed simplex, via
+    /// the evaluation memo when enabled.
+    bool constraint_holds(const Simplex* sigma_ptr) {
+        const Simplex& sigma = *sigma_ptr;
+        if (cache == nullptr) {
+            return image_constraint_holds(problem, assignment, sigma);
+        }
+        image_scratch.clear();
+        for (VertexId v : sigma.vertices()) {
+            image_scratch.push_back(vars[var_of_vertex[v]].value);
+        }
+        return cache->image_allowed(problem, index.id_of(sigma_ptr), sigma,
+                                    image_scratch);
     }
 
-    void prune(std::size_t var_idx, std::size_t value_idx) {
+    void prune(std::size_t var_idx, std::size_t value_idx,
+               const Simplex* cause) {
         vars[var_idx].active[value_idx] = 0;
+        vars[var_idx].pruned_by[value_idx] = cause;
         --vars[var_idx].active_count;
         trail.emplace_back(var_idx, value_idx);
+    }
+
+    /// Record the conflict set of a fully-assigned constraint violation:
+    /// the simplex's own assignments (fixed vertices excluded — their
+    /// values are per-solve constants, so they can never differ when the
+    /// nogood fires).
+    void record_violation(const Simplex& sigma) {
+        if (nogoods == nullptr) return;
+        std::vector<NogoodLiteral> literals;
+        literals.reserve(sigma.size());
+        for (VertexId u : sigma.vertices()) {
+            const Var& uvar = vars[var_of_vertex[u]];
+            if (uvar.is_fixed) continue;
+            literals.push_back({u, uvar.value});
+        }
+        nogoods->record(std::move(literals));
+    }
+
+    /// Record the conflict set of a domain wipeout of `u_idx`: for every
+    /// pruned value, the assignments of its pruning constraint's other
+    /// vertices. Under exactly these assignments every value of the
+    /// (root-propagated, branch-independent) domain is excluded, so the
+    /// set is a sound nogood regardless of assignment order.
+    void record_wipeout(std::size_t u_idx) {
+        if (nogoods == nullptr) return;
+        const Var& u = vars[u_idx];
+        std::vector<NogoodLiteral> literals;
+        for (std::size_t i = 0; i < u.values.size(); ++i) {
+            if (u.active[i]) continue;
+            const Simplex* sigma = u.pruned_by[i];
+            if (sigma == nullptr) return;  // cause lost; skip recording
+            for (VertexId w : sigma->vertices()) {
+                const Var& wvar = vars[var_of_vertex[w]];
+                if (w == u.v || wvar.is_fixed) continue;
+                literals.push_back({w, wvar.value});
+            }
+        }
+        nogoods->record(std::move(literals));
     }
 
     void undo_to(std::size_t mark) {
@@ -332,55 +449,84 @@ struct FcSearcher {
     bool try_assign(std::size_t var_idx, VertexId w) {
         Var& var = vars[var_idx];
         var.assigned = true;
-        assignment[var.v] = w;
+        var.value = w;
+        mark_assigned(var_idx);
+        // The map mirror exists only for the uncached leaf path
+        // (image_constraint_holds); everything else reads the dense
+        // tables.
+        if (cache == nullptr) assignment[var.v] = w;
         for (const Simplex* sigma_ptr : index.incident_simplices(var.v)) {
             const Simplex& sigma = *sigma_ptr;
+            std::uint32_t unassigned_idx = kNoVar;
             VertexId unassigned_vertex = 0;
             std::size_t num_unassigned = 0;
             bool in_scope = true;
             for (VertexId u : sigma.vertices()) {
-                const auto it = var_index.find(u);
-                if (it == var_index.end()) {
+                const std::uint32_t ui = var_at(u);
+                if (ui == kNoVar) {
                     in_scope = false;
                     break;
                 }
-                if (!vars[it->second].assigned) {
+                if (!vars[ui].assigned) {
                     unassigned_vertex = u;
+                    unassigned_idx = ui;
                     if (++num_unassigned > 1) break;
                 }
             }
             if (!in_scope) continue;
             if (num_unassigned == 0) {
-                if (!constraint_holds(sigma)) return false;
+                if (!constraint_holds(sigma_ptr)) {
+                    record_violation(sigma);
+                    return false;
+                }
             } else if (num_unassigned == 1 && config.forward_checking) {
-                const std::size_t u_idx = var_index.at(unassigned_vertex);
+                const std::size_t u_idx = unassigned_idx;
                 Var& uvar = vars[u_idx];
                 // The constraint complex and the assigned part of the
-                // image are fixed across the candidate loop; allowed()
-                // can be expensive (carrier computation), so hoist it.
-                const SimplicialComplex& allowed = problem.allowed(sigma);
-                std::vector<VertexId> image;
-                image.reserve(sigma.size());
+                // image are fixed across the candidate loop; build the
+                // image once with a hole at the unassigned slot.
+                std::vector<VertexId>& image = image_scratch;
+                image.clear();
                 std::size_t u_slot = 0;
                 for (std::size_t j = 0; j < sigma.vertices().size(); ++j) {
                     const VertexId u = sigma.vertices()[j];
                     if (u == unassigned_vertex) {
                         u_slot = j;
-                        image.push_back(0);
+                        image.push_back(EvalCache::kHole);
                     } else {
-                        image.push_back(assignment.at(u));
+                        image.push_back(vars[var_of_vertex[u]].value);
                     }
                 }
-                for (std::size_t i = 0; i < uvar.values.size(); ++i) {
-                    if (!uvar.active[i]) continue;
-                    image[u_slot] = uvar.values[i];
-                    const Simplex img{std::vector<VertexId>(image)};
-                    if (!problem.codomain->contains(img) ||
-                        !allowed.contains(img)) {
-                        prune(u_idx, i);
+                if (cache != nullptr) {
+                    // One memoized lookup filters the whole candidate
+                    // list: the mask is keyed by the neighborhood-image
+                    // fingerprint (cid + assigned values + hole).
+                    const std::vector<std::uint64_t>& mask =
+                        cache->allowed_mask(problem, index.id_of(sigma_ptr),
+                                            sigma, image, u_slot,
+                                            uvar.values);
+                    for (std::size_t i = 0; i < uvar.values.size(); ++i) {
+                        if (!uvar.active[i]) continue;
+                        if ((mask[i / 64] >> (i % 64) & 1) == 0) {
+                            prune(u_idx, i, sigma_ptr);
+                        }
+                    }
+                } else {
+                    const SimplicialComplex& allowed = problem.allowed(sigma);
+                    for (std::size_t i = 0; i < uvar.values.size(); ++i) {
+                        if (!uvar.active[i]) continue;
+                        image[u_slot] = uvar.values[i];
+                        const Simplex img{std::vector<VertexId>(image)};
+                        if (!problem.codomain->contains(img) ||
+                            !allowed.contains(img)) {
+                            prune(u_idx, i, sigma_ptr);
+                        }
                     }
                 }
-                if (uvar.active_count == 0) return false;
+                if (uvar.active_count == 0) {
+                    record_wipeout(u_idx);
+                    return false;
+                }
             }
         }
         return true;
@@ -388,11 +534,23 @@ struct FcSearcher {
 
     void unassign(std::size_t var_idx) {
         vars[var_idx].assigned = false;
-        assignment.erase(vars[var_idx].v);
+        mark_unassigned(var_idx);
+        if (cache == nullptr) assignment.erase(vars[var_idx].v);
+    }
+
+    /// Dense assignment view for the nogood store.
+    bool value_of(VertexId u, VertexId& out) const {
+        const std::uint32_t ui = var_at(u);
+        if (ui == kNoVar || !vars[ui].assigned) return false;
+        out = vars[ui].value;
+        return true;
     }
 
     /// The next branching variable: first unassigned in static order, or
-    /// the MRV/degree/id minimum. Returns vars.size() when all assigned.
+    /// the MRV/degree/id minimum over the live unassigned list (the
+    /// criterion is a total order, so the list's arbitrary order picks
+    /// the same variable a full scan would). Returns vars.size() when
+    /// all assigned.
     std::size_t pick_variable() const {
         if (config.variable_order == VariableOrder::kStatic) {
             for (std::size_t i = 0; i < vars.size(); ++i) {
@@ -401,9 +559,8 @@ struct FcSearcher {
             return vars.size();
         }
         std::size_t best = vars.size();
-        for (std::size_t i = 0; i < vars.size(); ++i) {
+        for (const std::uint32_t i : unassigned) {
             const Var& var = vars[i];
-            if (var.assigned) continue;
             if (best == vars.size()) {
                 best = i;
                 continue;
@@ -411,8 +568,8 @@ struct FcSearcher {
             const Var& b = vars[best];
             if (var.active_count != b.active_count) {
                 if (var.active_count < b.active_count) best = i;
-            } else if (index.degree(var.v) != index.degree(b.v)) {
-                if (index.degree(var.v) > index.degree(b.v)) best = i;
+            } else if (var.degree != b.degree) {
+                if (var.degree > b.degree) best = i;
             } else if (var.v < b.v) {
                 best = i;
             }
@@ -430,6 +587,18 @@ struct FcSearcher {
         Var& var = vars[var_idx];
         for (std::size_t i = 0; i < var.values.size(); ++i) {
             if (!var.active[i]) continue;
+            if (nogoods != nullptr && !nogoods->empty() &&
+                nogoods->blocked(var.v, var.values[i],
+                                 [this](VertexId u, VertexId& out) {
+                                     return value_of(u, out);
+                                 })) {
+                // This assignment would recreate a recorded conflict:
+                // skip it without redoing the propagation that proved it
+                // (not counted as a backtrack — prunings are reported
+                // separately so ablation counts stay comparable).
+                ++nogood_prunings;
+                continue;
+            }
             const std::size_t mark = trail.size();
             if (try_assign(var_idx, var.values[i]) && search()) return true;
             undo_to(mark);
@@ -460,18 +629,20 @@ std::optional<DomainMap> propagate_fixed_snapshot(
     FcSearcher s(problem, index, propagation_config);
     for (VertexId v : fixed_order) {
         s.var_index[v] = s.vars.size();
-        s.vars.push_back({v, {}, {}, 0, false, true});
+        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, true});
     }
     for (VertexId v : problem.domain->vertex_ids()) {
         if (problem.fixed.count(v) != 0) continue;
         s.var_index[v] = s.vars.size();
-        s.vars.push_back({v, {}, {}, 0, false, false});
+        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, false});
     }
     for (FcSearcher::Var& var : s.vars) {
         var.values = base_domains.at(var.v);
         var.active.assign(var.values.size(), 1);
+        var.pruned_by.assign(var.values.size(), nullptr);
         var.active_count = var.values.size();
     }
+    s.finalize_vars();
     for (VertexId v : fixed_order) {
         const std::size_t idx = s.var_index.at(v);
         if (s.vars[idx].values.empty() ||
@@ -500,17 +671,20 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
                         const std::vector<VertexId>& component_order,
                         std::uint64_t shuffle_salt,
                         const std::atomic<bool>* stop,
+                        EvalCache* cache, NogoodStore* nogoods,
                         ChromaticMapResult& result,
                         std::unordered_map<VertexId, VertexId>& solution) {
     FcSearcher s(problem, index, config);
     s.stop = stop;
+    s.cache = cache;
+    s.nogoods = nogoods;
     for (VertexId v : fixed_order) {
         s.var_index[v] = s.vars.size();
-        s.vars.push_back({v, {}, {}, 0, false, true});
+        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, true});
     }
     for (VertexId v : component_order) {
         s.var_index[v] = s.vars.size();
-        s.vars.push_back({v, {}, {}, 0, false, false});
+        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, false});
     }
 
     std::mt19937_64 rng(config.seed ^ shuffle_salt);
@@ -520,24 +694,33 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
             std::shuffle(var.values.begin(), var.values.end(), rng);
         }
         var.active.assign(var.values.size(), 1);
+        var.pruned_by.assign(var.values.size(), nullptr);
         var.active_count = var.values.size();
     }
 
     // The fixed assignments were validated and propagated into
     // `propagated_domains` once, up front (propagate_fixed_snapshot), so
-    // just install them.
+    // just install them (before finalize_vars, which snapshots the
+    // unassigned list from the assigned flags).
     for (VertexId v : fixed_order) {
         FcSearcher::Var& var = s.vars[s.var_index.at(v)];
         var.assigned = true;
+        var.value = var.values.front();
         s.assignment[v] = var.values.front();
     }
+    s.finalize_vars();
 
     const bool found = s.search();
     result.backtracks += s.backtracks;
+    result.nogood_prunings += s.nogood_prunings;
     if (!s.exhausted) result.exhausted = false;
     if (found) {
-        for (VertexId v : component_order) solution[v] = s.assignment.at(v);
-        for (VertexId v : fixed_order) solution[v] = s.assignment.at(v);
+        for (VertexId v : component_order) {
+            solution[v] = s.vars[s.var_index.at(v)].value;
+        }
+        for (VertexId v : fixed_order) {
+            solution[v] = s.vars[s.var_index.at(v)].value;
+        }
     }
     return found;
 }
@@ -567,6 +750,21 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
 
     const bool naive_engine = is_naive_engine(config);
 
+    // The incremental layers are per-thread (no locking) and shared
+    // across the thread's components: constraint ids are global to the
+    // domain complex, and nogoods from one component mention variables
+    // disjoint from every other component's, so sharing is sound.
+    std::optional<EvalCache> cache;
+    if (!naive_engine && config.eval_cache) {
+        cache.emplace(index.indexed_simplex_count(),
+                      config.eval_cache_capacity);
+    }
+    std::optional<NogoodStore> nogoods;
+    if (!naive_engine && config.nogood_learning &&
+        config.nogood_capacity > 0) {
+        nogoods.emplace(config.nogood_capacity);
+    }
+
     const auto solve_component =
         [&](const std::vector<VertexId>& component_order) {
             if (naive_engine) {
@@ -580,16 +778,30 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
             }
             return fc_solve_component(problem, index, propagated_domains,
                                       config, dec.fixed_order, component_order,
-                                      shuffle_salt, stop, result, solution);
+                                      shuffle_salt, stop,
+                                      cache.has_value() ? &*cache : nullptr,
+                                      nogoods.has_value() ? &*nogoods : nullptr,
+                                      result, solution);
         };
 
     // The fixed-only subproblem validates the pre-assignment itself.
-    if (!solve_component({})) return result;
-    for (const std::vector<VertexId>& order : dec.component_orders) {
-        if (!solve_component(order)) return result;
+    bool found = solve_component({});
+    if (found) {
+        for (const std::vector<VertexId>& order : dec.component_orders) {
+            if (!solve_component(order)) {
+                found = false;
+                break;
+            }
+        }
     }
 
-    result.map = SimplicialMap(std::move(solution));
+    if (cache.has_value()) {
+        result.eval_cache_hits = cache->stats().hits();
+        result.eval_cache_misses = cache->stats().misses();
+    }
+    if (nogoods.has_value()) result.nogoods_recorded = nogoods->size();
+
+    if (found) result.map = SimplicialMap(std::move(solution));
     return result;
 }
 
@@ -685,6 +897,10 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
             result.exhausted = false;
             for (const ChromaticMapResult& r : locals) {
                 result.backtracks += r.backtracks;
+                result.nogood_prunings += r.nogood_prunings;
+                result.nogoods_recorded += r.nogoods_recorded;
+                result.eval_cache_hits += r.eval_cache_hits;
+                result.eval_cache_misses += r.eval_cache_misses;
                 if (r.exhausted) result.exhausted = true;
             }
         }

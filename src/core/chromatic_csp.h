@@ -24,6 +24,15 @@
 // Independently, `num_threads > 1` races a portfolio of searches with
 // diversified value orders; the first witness wins via an atomic stop
 // flag.
+//
+// The FC engine's per-node work is flattened by two incremental layers,
+// both on by default and both provably verdict/witness-preserving:
+//  * an evaluation cache (core/eval_cache.h) memoizing allowed()
+//    complexes and full image evaluations, keyed by dense constraint ids
+//    from the adjacency index;
+//  * nogood learning (core/nogood_store.h) recording each proven
+//    conflict's minimal assignment set and pruning branches that would
+//    recreate it.
 #pragma once
 
 #include <cstdint>
@@ -40,25 +49,38 @@ using topo::SimplicialComplex;
 using topo::SimplicialMap;
 using topo::VertexId;
 
-/// Problem statement; see header comment.
+/// @brief Problem statement of one chromatic-map search; see the header
+/// comment for the two paper instances it encodes.
 struct ChromaticMapProblem {
+    /// @brief The complex being mapped (A). Not owned; must outlive the
+    /// problem.
     const ChromaticComplex* domain = nullptr;
+    /// @brief The complex mapped into (B). Not owned; must outlive the
+    /// problem.
     const ChromaticComplex* codomain = nullptr;
 
-    /// The constraint complex for each simplex of the domain (the image
-    /// must be one of its simplices). Must be monotone under faces for the
-    /// search to be meaningful (carrier maps are). With num_threads > 1
-    /// this is called concurrently and must be thread-safe for reads.
+    /// @brief The constraint complex for each simplex of the domain (the
+    /// image must be one of its simplices).
+    ///
+    /// @note Carrier preservation lives here: for the paper's instances
+    /// `allowed(sigma)` is Delta(carrier(sigma)), and the search is only
+    /// meaningful when the function is monotone under faces (carrier
+    /// maps are, by condition (ii) of Section 3.2).
+    /// @note Must be pure and stable within one solve: the solver's
+    /// memoization layers (core/eval_cache.h) cache both the returned
+    /// reference and evaluation results against it. With num_threads > 1
+    /// it is called concurrently and must be thread-safe for reads.
     std::function<const SimplicialComplex&(const Simplex&)> allowed;
 
-    /// Pre-assigned vertices (may be empty).
+    /// @brief Pre-assigned vertices (may be empty).
     std::unordered_map<VertexId, VertexId> fixed;
 
-    /// Optional candidate ordering: given a domain vertex, an ordered list
-    /// of codomain vertices to try (already color-matching). When absent,
-    /// all color-matching vertices allowed at the vertex are tried. With
-    /// num_threads > 1 this is called concurrently and must be
-    /// thread-safe.
+    /// @brief Optional candidate ordering: given a domain vertex, an
+    /// ordered list of codomain vertices to try (already
+    /// color-matching). When absent, all color-matching vertices allowed
+    /// at the vertex are tried.
+    /// @note With num_threads > 1 this is called concurrently and must
+    /// be thread-safe.
     std::function<std::vector<VertexId>(VertexId)> candidate_order;
 };
 
@@ -84,39 +106,74 @@ enum class ValueOrder {
     kShuffled,
 };
 
-/// Tunable knobs of the search engine.
+/// @brief Tunable knobs of the search engine.
 struct SolverConfig {
+    /// @brief Branching-variable strategy (see VariableOrder).
     VariableOrder variable_order = VariableOrder::kMrvDegree;
+    /// @brief Candidate-value ordering (see ValueOrder).
     ValueOrder value_order = ValueOrder::kGiven;
-    /// Prune unassigned neighbors' domains after every assignment
+    /// @brief Prune unassigned neighbors' domains after every assignment
     /// (requires no extra setup; uses topo::AdjacencyIndex internally).
     bool forward_checking = true;
-    /// Backtrack budget per engine run (per thread in portfolio mode).
+    /// @brief Backtrack budget per engine run (per thread in portfolio
+    /// mode).
     std::size_t max_backtracks = 1000000;
-    /// 1 = single-threaded. > 1 races that many searches with value
-    /// orders diversified per thread; the first witness wins and stops
-    /// the rest through an atomic flag.
+    /// @brief 1 = single-threaded. > 1 races that many searches with
+    /// value orders diversified per thread; the first witness wins and
+    /// stops the rest through an atomic flag.
     unsigned num_threads = 1;
-    /// Base seed for ValueOrder::kShuffled and portfolio diversification.
+    /// @brief Base seed for ValueOrder::kShuffled and portfolio
+    /// diversification.
     std::uint64_t seed = 0;
 
-    /// The seed backtracker: static order, no pruning.
+    /// @brief Memoize constraint-complex lookups and full image
+    /// evaluations during the search (core/eval_cache.h). FC engine
+    /// only; the naive baseline always runs uncached.
+    /// @note Pure memoization: verdicts and witnesses are identical with
+    /// the cache on or off (asserted by tests/solver_cache_test.cpp).
+    bool eval_cache = true;
+    /// @brief Entry cap of the per-thread image-evaluation memo (each
+    /// entry is one (constraint, image fingerprint) -> verdict/mask
+    /// result; the cap bounds the memo's memory per solver thread).
+    std::size_t eval_cache_capacity = 1 << 18;
+
+    /// @brief Learn nogoods from wipeouts/violations and prune future
+    /// branches against them (core/nogood_store.h). FC engine only.
+    /// @note Sound pruning only: verdicts and witnesses are identical
+    /// with learning on or off; backtrack counts shrink.
+    bool nogood_learning = true;
+    /// @brief Max nogoods retained per search thread; recording stops at
+    /// the cap (0 disables the store outright).
+    std::size_t nogood_capacity = 4096;
+
+    /// @brief Capacity of the carrier -> constraint-complex LRU used by
+    /// the *problem builders* (act_problem / lt_approximation_problem),
+    /// not by the CSP core itself: it persists across subdivision depths
+    /// where per-depth vertex ids do not. 0 disables it.
+    std::size_t allowed_lru_capacity = 256;
+
+    /// @brief The seed backtracker: static order, no pruning, no caches.
     static SolverConfig naive(std::size_t max_backtracks = 1000000) {
         SolverConfig c;
         c.variable_order = VariableOrder::kStatic;
         c.forward_checking = false;
         c.max_backtracks = max_backtracks;
+        c.eval_cache = false;
+        c.nogood_learning = false;
+        c.allowed_lru_capacity = 0;
         return c;
     }
 
-    /// Forward checking + MRV/degree (the default).
+    /// @brief Forward checking + MRV/degree with all memoization layers
+    /// on (the default).
     static SolverConfig fast(std::size_t max_backtracks = 1000000) {
         SolverConfig c;
         c.max_backtracks = max_backtracks;
         return c;
     }
 
-    /// `threads` diversified searches racing, forward checking on.
+    /// @brief `threads` diversified searches racing, forward checking
+    /// and the memoization layers on.
     static SolverConfig portfolio(unsigned threads,
                                   std::size_t max_backtracks = 1000000,
                                   std::uint64_t seed = 0) {
@@ -128,31 +185,49 @@ struct SolverConfig {
     }
 };
 
-/// Result of the search.
+/// @brief Result of the search.
 struct ChromaticMapResult {
+    /// @brief The witness map, when one was found.
     std::optional<SimplicialMap> map;
-    /// Number of backtracking steps performed. In portfolio mode: the
-    /// winning thread's count when a witness was found, else the total
-    /// across threads.
+    /// @brief Number of backtracking steps performed. In portfolio mode:
+    /// the winning thread's count when a witness was found, else the
+    /// total across threads.
     std::size_t backtracks = 0;
-    /// True when the search space was exhausted (so no map exists under
-    /// the given constraints); false when the backtrack budget ran out or
-    /// a portfolio race was stopped early.
+    /// @brief True when the search space was exhausted (so no map exists
+    /// under the given constraints); false when the backtrack budget ran
+    /// out or a portfolio race was stopped early.
     bool exhausted = false;
+
+    /// @brief Branches skipped because they would have completed a
+    /// recorded nogood (not counted as backtracks).
+    std::size_t nogood_prunings = 0;
+    /// @brief Nogoods recorded by the search (capped by
+    /// SolverConfig::nogood_capacity).
+    std::size_t nogoods_recorded = 0;
+    /// @brief Constraint-evaluation cache hits (allowed() + image memos
+    /// combined); 0 when the cache is off.
+    std::size_t eval_cache_hits = 0;
+    /// @brief Constraint-evaluation cache misses (including insertions
+    /// rejected at capacity).
+    std::size_t eval_cache_misses = 0;
 };
 
-/// Search for a satisfying map with the given engine configuration.
+/// @brief Search for a satisfying map with the given engine
+/// configuration.
 ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
                                        const SolverConfig& config);
 
-/// Compatibility entry point: the seed backtracker
+/// @brief Compatibility entry point: the seed backtracker
 /// (SolverConfig::naive(max_backtracks)).
 ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
                                        std::size_t max_backtracks = 1000000);
 
-/// Verify that `map` is a chromatic simplicial map from problem.domain to
-/// problem.codomain with every simplex image inside its constraint
-/// complex. Returns a diagnostic or "" if valid.
+/// @brief Verify that `map` is a chromatic simplicial map from
+/// problem.domain to problem.codomain with every simplex image inside
+/// its constraint complex. Returns a diagnostic or "" if valid.
+/// @note This is the independent post-check every solve runs on its own
+/// witness, which is also what guarantees the memoization layers cannot
+/// smuggle an invalid map out of the solver.
 std::string check_chromatic_map(const ChromaticMapProblem& problem,
                                 const SimplicialMap& map);
 

@@ -181,15 +181,19 @@ BaryPoint radial_projection_l1(const tasks::AffineTask& lt,
 ChromaticMapProblem lt_approximation_problem(const tasks::AffineTask& task,
                                              const TerminatingSubdivision& tsub,
                                              bool fix_identity,
-                                             LtGuidance guidance) {
+                                             LtGuidance guidance,
+                                             AllowedComplexLru* lru) {
     const ChromaticComplex& k_complex = tsub.stable_complex();
     ChromaticMapProblem problem;
     problem.domain = &k_complex;
     problem.codomain = &task.task.outputs;
     const tasks::Task& inner = task.task;
-    problem.allowed = [&inner, &tsub](const Simplex& sigma)
+    problem.allowed = [&inner, &tsub, lru](const Simplex& sigma)
         -> const SimplicialComplex& {
-        return inner.delta.at(tsub.stable_carrier(sigma));
+        const Simplex carrier = tsub.stable_carrier(sigma);
+        if (lru == nullptr) return inner.delta.at(carrier);
+        return lru->get(carrier,
+                        [&]() { return &inner.delta.at(carrier); });
     };
 
     if (fix_identity) {
@@ -229,6 +233,10 @@ ChromaticMapProblem lt_approximation_problem(const tasks::AffineTask& task,
     return problem;
 }
 
+// Deprecated shim; defining it should not warn about itself.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages,
                              const SolverConfig& config) {
     // Thin compatibility shim: the construction itself lives in the
@@ -256,6 +264,8 @@ LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages,
     out.csp_backtracks = witness.backtracks;
     return out;
 }
+
+#pragma GCC diagnostic pop
 
 std::optional<Landing> find_landing(const TerminatingSubdivision& tsub,
                                     const iis::Run& run,

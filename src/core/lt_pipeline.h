@@ -22,6 +22,7 @@
 #pragma once
 
 #include "core/chromatic_csp.h"
+#include "core/eval_cache.h"
 #include "core/terminating_subdivision.h"
 #include "iis/projection.h"
 #include "iis/run_enumeration.h"
@@ -42,10 +43,15 @@ struct LtPipeline {
 /// fails (Theorem 8.4 rules this out for the cases the library targets).
 /// `config` selects the CSP engine for the approximation step.
 ///
-/// Deprecated as a public entry point: a thin shim over the engine's
-/// general route (engine/general_route.h) with the L_t stable rule.
-/// Prefer engine::Engine::solve on a general Scenario, which adds the
-/// run-family admissibility stage and the unified report.
+/// Deprecated: a thin shim over the engine's general route
+/// (engine/general_route.h) with the L_t stable rule. Prefer
+/// engine::Engine::solve on a general Scenario, which adds the
+/// run-family admissibility stage and the unified report; use
+/// engine::build_general_witness directly when only the construction is
+/// needed.
+[[deprecated(
+    "use gact::engine::Engine (engine/engine.h) on a general Scenario, "
+    "or engine::build_general_witness for the raw construction")]]
 LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages,
                              const SolverConfig& config = SolverConfig::fast());
 
@@ -61,11 +67,14 @@ enum class LtGuidance {
 /// constraints from Delta, optional identity fixing on the stable
 /// vertices lying in L, and optional geometric candidate guidance. The
 /// returned problem's closures reference `task` and `tsub`, which must
-/// outlive it.
+/// outlive it — and `lru`, when non-null: carrier lookups
+/// (tsub.stable_carrier + the Delta walk) are then memoized through it
+/// (core/eval_cache.h).
 ChromaticMapProblem lt_approximation_problem(const tasks::AffineTask& task,
                                              const TerminatingSubdivision& tsub,
                                              bool fix_identity,
-                                             LtGuidance guidance);
+                                             LtGuidance guidance,
+                                             AllowedComplexLru* lru = nullptr);
 
 /// The stabilization rule of the pipeline: from depth 2 on, a simplex is
 /// stable when every vertex carrier has dimension >= n - t.

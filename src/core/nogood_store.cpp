@@ -1,0 +1,45 @@
+#include "core/nogood_store.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace gact::core {
+
+namespace {
+
+std::size_t nogood_hash(const std::vector<NogoodLiteral>& literals) {
+    std::size_t seed = literals.size();
+    for (const NogoodLiteral& l : literals) {
+        gact::hash_combine(seed, l.var);
+        gact::hash_combine(seed, l.value);
+    }
+    return seed;
+}
+
+}  // namespace
+
+NogoodStore::NogoodStore(std::size_t capacity) : capacity_(capacity) {}
+
+bool NogoodStore::record(std::vector<NogoodLiteral> literals) {
+    if (literals.empty() || capacity_ == 0) return false;
+    if (nogoods_.size() >= capacity_) {
+        ++rejected_at_capacity_;
+        return false;
+    }
+    std::sort(literals.begin(), literals.end());
+    literals.erase(std::unique(literals.begin(), literals.end()),
+                   literals.end());
+    // Hash-only dedup: a collision drops a genuinely new nogood, which
+    // is always sound (the store only ever prunes, never decides).
+    if (!seen_hashes_.insert(nogood_hash(literals)).second) return false;
+
+    const auto id = static_cast<std::uint32_t>(nogoods_.size());
+    for (const NogoodLiteral& l : literals) {
+        watch_[literal_key(l.var, l.value)].push_back(id);
+    }
+    nogoods_.push_back(std::move(literals));
+    return true;
+}
+
+}  // namespace gact::core

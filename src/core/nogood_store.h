@@ -1,0 +1,144 @@
+// Nogood recording for the forward-checking chromatic-CSP engine.
+//
+// A nogood is a set of assignments {v_1 := w_1, .., v_k := w_k} that is
+// provably contradictory: the solver has established that no satisfying
+// map extends it. The FC engine records one at each conflict it proves,
+// in its minimal observable form:
+//  * domain wipeout — when forward checking empties an unassigned
+//    vertex's domain, the nogood is the set of currently-assigned
+//    (vertex, value) pairs that caused each pruning (tracked per pruned
+//    value, so decisions that pruned nothing stay out of the nogood);
+//  * constraint violation — when a fully assigned simplex maps outside
+//    its constraint complex, the nogood is the conflicting tuple itself
+//    (its non-fixed vertices' assignments).
+// Before trying v := w, the engine asks the store whether that
+// assignment would complete a recorded nogood under the current partial
+// assignment; if so, the branch is pruned without redoing the search
+// work that proved the conflict the first time.
+//
+// Soundness: a recorded conflict depends only on the per-solve constants
+// (the constraint complexes and the root-propagated domains) and the
+// recorded assignments — never on assignment order — so pruning against
+// the store never removes a satisfying branch. Verdicts and witnesses
+// are bit-identical with the store on or off; only backtrack counts and
+// wall time change (tests/solver_cache_test.cpp asserts this across the
+// scenario registry).
+//
+// The store is bounded: recording stops at the configured capacity
+// (SolverConfig::nogood_capacity) so pathological searches cannot grow
+// it without bound. Lookup is via a watch index that maps every literal
+// to the nogoods containing it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "topology/simplex.h"
+
+namespace gact::core {
+
+/// One assignment `var := value` inside a nogood.
+struct NogoodLiteral {
+    topo::VertexId var = 0;
+    topo::VertexId value = 0;
+
+    bool operator==(const NogoodLiteral& o) const noexcept {
+        return var == o.var && value == o.value;
+    }
+    bool operator<(const NogoodLiteral& o) const noexcept {
+        return var != o.var ? var < o.var : value < o.value;
+    }
+};
+
+/// A bounded, deduplicated store of nogoods with per-literal lookup.
+/// Single-threaded: each solver thread owns its own store (portfolio
+/// threads do not share learned conflicts).
+class NogoodStore {
+public:
+    /// `capacity` == 0 disables the store (record() drops everything).
+    explicit NogoodStore(std::size_t capacity);
+
+    /// Record a conflicting assignment set. Literals are canonicalized
+    /// (sorted, deduplicated); empty sets, duplicates of stored
+    /// nogoods, and records past the capacity are dropped. Returns true
+    /// iff the nogood was newly stored.
+    bool record(std::vector<NogoodLiteral> literals);
+
+    /// Would assigning `var := value` complete a stored nogood, given
+    /// the current partial assignment? `value_of(u, out)` must return
+    /// true and set `out` iff vertex `u` is currently assigned. True
+    /// means the extended assignment is provably unsatisfiable and the
+    /// value can be skipped. Templated so the solver's dense value
+    /// tables plug in without indirection; the watch index keeps the
+    /// common no-match case to one hash probe.
+    template <typename ValueOf>
+    bool blocked(topo::VertexId var, topo::VertexId value,
+                 const ValueOf& value_of) const {
+        const auto it = watch_.find(literal_key(var, value));
+        if (it == watch_.end()) return false;
+        for (const std::uint32_t id : it->second) {
+            bool complete = true;
+            for (const NogoodLiteral& l : nogoods_[id]) {
+                if (l.var == var) {
+                    // The literal being assigned; a same-var literal
+                    // with a different value can never be satisfied
+                    // alongside it.
+                    if (l.value != value) {
+                        complete = false;
+                        break;
+                    }
+                    continue;
+                }
+                topo::VertexId assigned_value = 0;
+                if (!value_of(l.var, assigned_value) ||
+                    assigned_value != l.value) {
+                    complete = false;
+                    break;
+                }
+            }
+            if (complete) return true;
+        }
+        return false;
+    }
+
+    /// Convenience overload over an assignment map (tests, cold paths).
+    bool blocked(
+        topo::VertexId var, topo::VertexId value,
+        const std::unordered_map<topo::VertexId, topo::VertexId>& assignment)
+        const {
+        return blocked(var, value,
+                       [&assignment](topo::VertexId u, topo::VertexId& out) {
+                           const auto it = assignment.find(u);
+                           if (it == assignment.end()) return false;
+                           out = it->second;
+                           return true;
+                       });
+    }
+
+    bool empty() const noexcept { return nogoods_.empty(); }
+    std::size_t size() const noexcept { return nogoods_.size(); }
+    std::size_t capacity() const noexcept { return capacity_; }
+    /// Records dropped because the store was full.
+    std::size_t rejected_at_capacity() const noexcept {
+        return rejected_at_capacity_;
+    }
+
+private:
+    static std::uint64_t literal_key(topo::VertexId var,
+                                     topo::VertexId value) noexcept {
+        return (static_cast<std::uint64_t>(var) << 32) | value;
+    }
+
+    std::size_t capacity_ = 0;
+    std::vector<std::vector<NogoodLiteral>> nogoods_;
+    /// literal -> indices of nogoods containing it (every literal is
+    /// indexed, so blocked() sees a nogood whichever literal completes
+    /// it last).
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> watch_;
+    std::unordered_set<std::size_t> seen_hashes_;
+    std::size_t rejected_at_capacity_ = 0;
+};
+
+}  // namespace gact::core

@@ -18,7 +18,7 @@ SolveReport solve_wait_free(const Scenario& scenario) {
     report.scenario = scenario.name;
 
     const auto start = stage_clock_now();
-    const core::ActResult act = core::solve_act(
+    const core::ActResult act = core::run_act_search(
         scenario.task, scenario.options.max_depth, scenario.options.solver);
     report.timings.push_back({"act-search", millis_since(start)});
 

@@ -24,8 +24,8 @@
 
 namespace gact::engine {
 
-/// The three-way outcome of a bounded solvability search (plus a guard
-/// for pairs outside the engine's routes).
+/// @brief The three-way outcome of a bounded solvability search (plus a
+/// guard for pairs outside the engine's routes).
 enum class Verdict {
     /// A verified witness was found: the task is solvable in the model.
     kSolvable,
@@ -43,23 +43,32 @@ enum class Verdict {
     kUnsupported,
 };
 
+/// @brief Stable lowercase name of a verdict (for CLIs and benches).
 const char* to_string(Verdict v);
 
-/// Wall time of one pipeline stage.
+/// @brief Wall time of one pipeline stage.
 struct StageTiming {
-    std::string stage;
-    double millis = 0.0;
+    std::string stage;   ///< stage name, e.g. "act-search"
+    double millis = 0.0; ///< wall time in milliseconds
 };
 
-/// Everything Engine::solve learned about a scenario.
+/// @brief Everything Engine::solve learned about a scenario.
+///
+/// @note The general-route artifacts (`tsub`, `model_runs`,
+/// `admissibility`) are exactly the inputs downstream protocol
+/// extraction (protocol/gact_protocol.h) consumes; a solvable report is
+/// a self-contained constructive proof.
 struct SolveReport {
     std::string scenario;
     Verdict verdict = Verdict::kUnsupported;
     /// One-line human-readable explanation of the verdict.
     std::string detail;
 
-    /// The witness map: eta : Chr^k I -> O (wait-free route) or
+    /// @brief The witness map: eta : Chr^k I -> O (wait-free route) or
     /// delta : K(T) -> L (general route).
+    /// @note Carrier preservation is guaranteed, not incidental: the
+    /// solver re-verifies every witness against its constraint
+    /// complexes (check_chromatic_map) before it reaches this field.
     std::optional<core::SimplicialMap> witness;
     /// Wait-free: the k of the witness (or -1). General: the number of
     /// subdivision stages materialized.
@@ -89,17 +98,19 @@ struct SolveReport {
     std::string summary() const;
 };
 
-/// The engine facade. Stateless: scenarios carry their own budgets, so
-/// one Engine serves any mix of them (and solve is safe to call
-/// concurrently).
+/// @brief The engine facade.
+///
+/// @note Stateless: scenarios carry their own budgets, so one Engine
+/// serves any mix of them, and solve() is safe to call concurrently
+/// (per-solve caches are created per call, never shared).
 class Engine {
 public:
-    /// Solve one scenario; never throws for unsupported pairs (see
-    /// Verdict::kUnsupported) but propagates precondition violations of
-    /// malformed tasks.
+    /// @brief Solve one scenario; never throws for unsupported pairs
+    /// (see Verdict::kUnsupported) but propagates precondition
+    /// violations of malformed tasks.
     SolveReport solve(const Scenario& scenario) const;
 
-    /// Solve many scenarios, sharded across `num_threads` workers by a
+    /// @brief Solve many scenarios, sharded across `num_threads` workers by a
     /// self-scheduling atomic work index (the portfolio's atomic-stop
     /// machinery: the first worker error stops the pool and is
     /// rethrown). Reports come back in input order and are identical to

@@ -19,13 +19,18 @@
 
 namespace gact::engine {
 
-/// Per-scenario search budgets and strategy knobs. The defaults are the
-/// historical values of the rewritten callers.
+/// @brief Per-scenario search budgets and strategy knobs. The defaults
+/// are the historical values of the rewritten callers.
 struct EngineOptions {
-    /// Wait-free route: Corollary 7.1 search depths k = 0..max_depth.
+    /// @brief Wait-free route: Corollary 7.1 search depths
+    /// k = 0..max_depth.
     int max_depth = 3;
 
-    /// CSP engine for every witness search (both routes).
+    /// @brief CSP engine for every witness search (both routes).
+    /// @note The solver's incremental layers (evaluation cache, nogood
+    /// learning, carrier LRU — see core/eval_cache.h and
+    /// core/nogood_store.h) are configured here too; they are on by
+    /// default and provably verdict/witness-preserving.
     core::SolverConfig solver = core::SolverConfig::fast();
 
     /// General route: stabilization strategy for the terminating
@@ -58,41 +63,43 @@ struct EngineOptions {
     std::size_t max_landing_round = 8;
 };
 
-/// One solvability question: does `model` solve `task`?
+/// @brief One solvability question: does `model` solve `task`?
 struct Scenario {
     std::string name;
     std::string description;
 
-    /// The task T = (I, O, Delta).
+    /// @brief The task T = (I, O, Delta).
     tasks::Task task;
 
-    /// Geometry when T is affine (Section 4.2): required by the general
-    /// route (terminating subdivision + simplicial approximation), unused
-    /// by the wait-free route. When set, `task` equals `affine->task`.
+    /// @brief Geometry when T is affine (Section 4.2): required by the
+    /// general route (terminating subdivision + simplicial
+    /// approximation), unused by the wait-free route.
+    /// @note Invariant: when set, `task` equals `affine->task` — the
+    /// factories maintain this; hand-built scenarios must too.
     std::optional<tasks::AffineTask> affine;
 
-    /// The sub-IIS model M. Null means wait-free (all runs).
+    /// @brief The sub-IIS model M. Null means wait-free (all runs).
     std::shared_ptr<const iis::Model> model;
 
     EngineOptions options;
 
-    /// Excluded from the quick registry sets (minutes-scale builds, e.g.
+    /// @brief Excluded from the quick registry sets (minutes-scale builds, e.g.
     /// L_t at n = 3); runnable by name from the CLI.
     bool heavy = false;
 
-    /// A wait-free scenario: Corollary 7.1 search on `task`.
+    /// @brief A wait-free scenario: Corollary 7.1 search on `task`.
     static Scenario wait_free(std::string name, tasks::Task task,
                               EngineOptions options = {});
 
-    /// A general-model scenario on an affine task; `rule` drives the
-    /// terminating subdivision.
+    /// @brief A general-model scenario on an affine task; `rule` drives
+    /// the terminating subdivision.
     static Scenario general(std::string name, tasks::AffineTask affine,
                             std::shared_ptr<const iis::Model> model,
                             std::shared_ptr<const StableRule> rule,
                             EngineOptions options = {});
 
-    /// Does the scenario's model mean wait-free (route selector)? True
-    /// for a null model and for iis::WaitFreeModel.
+    /// @brief Does the scenario's model mean wait-free (route
+    /// selector)? True for a null model and for iis::WaitFreeModel.
     bool is_wait_free() const;
 };
 

@@ -41,6 +41,21 @@ public:
     /// long as the index.
     const std::vector<const Simplex*>& incident_simplices(VertexId v) const;
 
+    /// Number of indexed simplices (dimension >= 1); the dense id space
+    /// of `id_of`. 0 when built with `index_simplices` false.
+    std::size_t indexed_simplex_count() const noexcept {
+        return simplices_.size();
+    }
+
+    /// Dense id in [0, indexed_simplex_count()) of a pointer obtained
+    /// from incident_simplices(). Constraint caches (core/eval_cache.h)
+    /// key their per-constraint tables on it, turning simplex hashing
+    /// into an array index. Valid only for pointers handed out by this
+    /// index (they point into one contiguous array).
+    std::size_t id_of(const Simplex* s) const noexcept {
+        return static_cast<std::size_t>(s - simplices_.data());
+    }
+
     /// Sorted distinct vertices sharing a 1-simplex with `v`.
     const std::vector<VertexId>& neighbors(VertexId v) const;
 

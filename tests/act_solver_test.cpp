@@ -7,9 +7,15 @@
 namespace gact::core {
 namespace {
 
+/// The historical solve_act defaults (deprecated shim), spelled through
+/// the primary entry point.
+ActResult search_wait_free(const tasks::Task& task, int max_k) {
+    return run_act_search(task, max_k, SolverConfig::fast(2000000));
+}
+
 TEST(ActSolver, ImmediateSnapshotTaskSolvableAtDepthOne) {
     const tasks::AffineTask is = tasks::immediate_snapshot_task(2);
-    const ActResult result = solve_act(is.task, 2);
+    const ActResult result = search_wait_free(is.task, 2);
     ASSERT_TRUE(result.solvable);
     EXPECT_EQ(result.witness_depth, 1);
     // The identity on Chr s is a witness; whatever the search found must
@@ -22,7 +28,7 @@ TEST(ActSolver, ChrSquaredTaskSolvableAtDepthTwo) {
     // L_n for t = n is all of Chr^2 s: wait-free solvable at k = 2 (and
     // not before: corners of s are not adjacent in Chr or Chr^2).
     const tasks::AffineTask ln = tasks::t_resilience_task(1, 1);
-    const ActResult result = solve_act(ln.task, 3);
+    const ActResult result = search_wait_free(ln.task, 3);
     ASSERT_TRUE(result.solvable);
     EXPECT_EQ(result.witness_depth, 2);
 }
@@ -31,7 +37,7 @@ TEST(ActSolver, TotalOrderNotWaitFreeSolvable) {
     // L_ord embeds leader election: no chromatic carrier-preserving map
     // from any Chr^k of the edge onto the two disjoint end edges.
     const tasks::AffineTask lord = tasks::total_order_task(1);
-    const ActResult result = solve_act(lord.task, 3);
+    const ActResult result = search_wait_free(lord.task, 3);
     EXPECT_FALSE(result.solvable);
     EXPECT_TRUE(result.exhausted_all_depths);
 }
@@ -39,7 +45,7 @@ TEST(ActSolver, TotalOrderNotWaitFreeSolvable) {
 TEST(ActSolver, BinaryConsensusTwoProcessesUnsolvable) {
     // FLP for two processes: every depth exhausts without a witness.
     const tasks::Task consensus = tasks::consensus_task(2, 2);
-    const ActResult result = solve_act(consensus, 3);
+    const ActResult result = search_wait_free(consensus, 3);
     EXPECT_FALSE(result.solvable);
     EXPECT_TRUE(result.exhausted_all_depths);
     EXPECT_EQ(result.backtracks_per_depth.size(), 4u);
@@ -48,7 +54,7 @@ TEST(ActSolver, BinaryConsensusTwoProcessesUnsolvable) {
 TEST(ActSolver, SoloConsensusTrivial) {
     // One process decides its own input at depth 0.
     const tasks::Task consensus = tasks::consensus_task(1, 3);
-    const ActResult result = solve_act(consensus, 1);
+    const ActResult result = search_wait_free(consensus, 1);
     ASSERT_TRUE(result.solvable);
     EXPECT_EQ(result.witness_depth, 0);
     // The witness is the identity on the input vertices.
@@ -60,14 +66,14 @@ TEST(ActSolver, SoloConsensusTrivial) {
 TEST(ActSolver, TrivialSetAgreementSolvableAtDepthZero) {
     // (n+1)-set agreement: deciding your own input is a witness at k = 0.
     const tasks::Task trivial = tasks::k_set_agreement_task(2, 3, 2);
-    const ActResult result = solve_act(trivial, 1);
+    const ActResult result = search_wait_free(trivial, 1);
     ASSERT_TRUE(result.solvable);
     EXPECT_EQ(result.witness_depth, 0);
 }
 
 TEST(ActSolver, WitnessIsACorollary71Map) {
     const tasks::AffineTask is = tasks::immediate_snapshot_task(1);
-    const ActResult result = solve_act(is.task, 2);
+    const ActResult result = search_wait_free(is.task, 2);
     ASSERT_TRUE(result.solvable);
     const ChromaticMapProblem problem = act_problem(is.task, result.domain);
     EXPECT_EQ(check_chromatic_map(problem, *result.eta), "");
@@ -76,8 +82,25 @@ TEST(ActSolver, WitnessIsACorollary71Map) {
 TEST(ActSolver, InvalidTaskRejected) {
     tasks::Task broken = tasks::consensus_task(2, 2);
     broken.outputs = topo::ChromaticComplex::standard_simplex(0);
-    EXPECT_THROW(solve_act(broken, 1), precondition_error);
+    EXPECT_THROW(search_wait_free(broken, 1), precondition_error);
 }
+
+// The deprecated shim must stay behaviorally identical to the primary
+// entry point while it exists.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ActSolver, DeprecatedShimMatchesPrimaryEntryPoint) {
+    const tasks::AffineTask is = tasks::immediate_snapshot_task(2);
+    const ActResult via_shim = solve_act(is.task, 2);
+    const ActResult primary =
+        run_act_search(is.task, 2, SolverConfig::fast(2000000));
+    EXPECT_EQ(via_shim.solvable, primary.solvable);
+    EXPECT_EQ(via_shim.witness_depth, primary.witness_depth);
+    EXPECT_EQ(via_shim.backtracks_per_depth, primary.backtracks_per_depth);
+    ASSERT_TRUE(via_shim.eta.has_value());
+    EXPECT_EQ(via_shim.eta->vertex_map(), primary.eta->vertex_map());
+}
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace gact::core

@@ -6,6 +6,11 @@
 #include "iis/projection.h"
 #include "iis/run_enumeration.h"
 
+// This suite intentionally exercises the deprecated build_lt_pipeline
+// shim (its contract is still covered while it exists).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+
 namespace gact::iis {
 namespace {
 

@@ -5,6 +5,10 @@
 
 #include "core/act_solver.h"
 #include "core/lt_pipeline.h"
+
+// Some edge cases intentionally exercise the deprecated
+// build_lt_pipeline shim.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 #include "iis/projection.h"
 #include "iis/run_enumeration.h"
 #include "tasks/standard_tasks.h"
@@ -49,7 +53,8 @@ TEST(EdgeCases, ZeroDimensionalWorld) {
     chr.verify_subdivision_exactness();
 
     const tasks::AffineTask is = tasks::immediate_snapshot_task(0);
-    const core::ActResult act = core::solve_act(is.task, 1);
+    const core::ActResult act =
+        core::run_act_search(is.task, 1, core::SolverConfig::fast());
     EXPECT_TRUE(act.solvable);
     EXPECT_EQ(act.witness_depth, 0);  // Chr^0 already maps (identity)
 }
@@ -162,7 +167,8 @@ TEST(EdgeCases, ViewPositionsOnSubFace) {
 
 TEST(EdgeCases, ActDepthZeroOnly) {
     const tasks::Task trivial = tasks::k_set_agreement_task(2, 2, 2);
-    const core::ActResult act = core::solve_act(trivial, 0);
+    const core::ActResult act =
+        core::run_act_search(trivial, 0, core::SolverConfig::fast());
     EXPECT_TRUE(act.solvable);
     EXPECT_EQ(act.witness_depth, 0);
     EXPECT_EQ(act.backtracks_per_depth.size(), 1u);

@@ -8,6 +8,11 @@
 #include "tasks/standard_tasks.h"
 #include "topology/subdivision.h"
 
+// This suite intentionally exercises the deprecated build_lt_pipeline
+// shim (its contract is still covered while it exists).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+
 namespace gact::topo {
 namespace {
 

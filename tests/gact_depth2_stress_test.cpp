@@ -13,6 +13,11 @@
 #include "protocol/gact_protocol.h"
 #include "protocol/verifier.h"
 
+// This suite intentionally exercises the deprecated build_lt_pipeline
+// shim (its contract is still covered while it exists).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+
 namespace gact::protocol {
 namespace {
 

@@ -9,6 +9,11 @@
 
 #include "protocol/verifier.h"
 
+// This suite intentionally exercises the deprecated build_lt_pipeline
+// shim (its contract is still covered while it exists).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+
 namespace gact::protocol {
 namespace {
 

@@ -4,6 +4,11 @@
 
 #include <map>
 
+// This suite intentionally exercises the deprecated build_lt_pipeline
+// shim (its contract is still covered while it exists).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+
 namespace gact::core {
 namespace {
 

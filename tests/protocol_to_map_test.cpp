@@ -8,6 +8,11 @@
 #include "protocol/simple_protocols.h"
 #include "tasks/standard_tasks.h"
 
+// This suite intentionally exercises the deprecated build_lt_pipeline
+// shim (its contract is still covered while it exists).
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+
 namespace gact::core {
 namespace {
 

@@ -1,0 +1,187 @@
+// The memoization layers must be invisible except in wall time: for
+// every scenario in the standard registry, solving with the evaluation
+// cache and/or nogood learning toggled must produce the identical
+// SolveReport verdict and witness as the plain PR-2 forward-checking
+// engine. Plus unit coverage for the bounded NogoodStore and the
+// EvalCache/AllowedComplexLru capacity behavior.
+#include <gtest/gtest.h>
+
+#include "core/act_solver.h"
+#include "core/eval_cache.h"
+#include "core/nogood_store.h"
+#include "engine/engine.h"
+#include "engine/scenario_registry.h"
+#include "tasks/standard_tasks.h"
+
+namespace gact {
+namespace {
+
+using core::NogoodLiteral;
+using core::NogoodStore;
+
+// --- property: cache/nogood toggles never change verdicts or witnesses --
+
+core::SolverConfig with_layers(bool eval_cache, bool nogoods) {
+    core::SolverConfig c = core::SolverConfig::fast();
+    c.eval_cache = eval_cache;
+    c.nogood_learning = nogoods;
+    if (!eval_cache) c.allowed_lru_capacity = 0;
+    return c;
+}
+
+void expect_equivalent(const engine::SolveReport& plain,
+                       const engine::SolveReport& layered,
+                       const std::string& label) {
+    EXPECT_EQ(plain.verdict, layered.verdict) << label;
+    ASSERT_EQ(plain.witness.has_value(), layered.witness.has_value())
+        << label;
+    if (plain.witness.has_value()) {
+        EXPECT_EQ(plain.witness->vertex_map(), layered.witness->vertex_map())
+            << label;
+    }
+    EXPECT_EQ(plain.witness_depth, layered.witness_depth) << label;
+    ASSERT_EQ(plain.admissibility.has_value(),
+              layered.admissibility.has_value())
+        << label;
+    if (plain.admissibility.has_value()) {
+        EXPECT_EQ(plain.admissibility->admissible,
+                  layered.admissibility->admissible)
+            << label;
+    }
+}
+
+TEST(SolverCacheProperty, LayersPreserveEveryRegistryVerdictAndWitness) {
+    const engine::Engine eng;
+    for (const auto& spec : engine::ScenarioRegistry::standard().specs()) {
+        if (spec.heavy) continue;  // minutes-scale builds; covered by CI benches
+        engine::Scenario scenario = spec.make();
+        scenario.name = spec.name;
+
+        scenario.options.solver = with_layers(false, false);
+        const engine::SolveReport plain = eng.solve(scenario);
+
+        scenario.options.solver = with_layers(true, false);
+        expect_equivalent(plain, eng.solve(scenario),
+                          spec.name + " [cache]");
+
+        scenario.options.solver = with_layers(true, true);
+        expect_equivalent(plain, eng.solve(scenario),
+                          spec.name + " [cache+nogoods]");
+
+        scenario.options.solver = with_layers(false, true);
+        expect_equivalent(plain, eng.solve(scenario),
+                          spec.name + " [nogoods]");
+    }
+}
+
+TEST(SolverCacheProperty, LayersPreserveTheActSearchBacktrackProfile) {
+    // With nogoods off, the cache must not even change the search shape:
+    // backtrack counts per depth are bit-identical.
+    const tasks::AffineTask ln = tasks::t_resilience_task(1, 1);
+    const core::ActResult plain =
+        core::run_act_search(ln.task, 3, with_layers(false, false));
+    const core::ActResult cached =
+        core::run_act_search(ln.task, 3, with_layers(true, false));
+    EXPECT_EQ(plain.solvable, cached.solvable);
+    EXPECT_EQ(plain.witness_depth, cached.witness_depth);
+    EXPECT_EQ(plain.backtracks_per_depth, cached.backtracks_per_depth);
+    ASSERT_TRUE(plain.eta.has_value());
+    EXPECT_EQ(plain.eta->vertex_map(), cached.eta->vertex_map());
+}
+
+// --- NogoodStore unit coverage ------------------------------------------
+
+TEST(NogoodStore, RecordsAndBlocksCompletedNogoods) {
+    NogoodStore store(16);
+    ASSERT_TRUE(store.record({{1, 10}, {2, 20}}));
+    EXPECT_EQ(store.size(), 1u);
+
+    std::unordered_map<topo::VertexId, topo::VertexId> assignment;
+    // Nothing else assigned: assigning 1 := 10 alone is not blocked.
+    EXPECT_FALSE(store.blocked(1, 10, assignment));
+    // With 2 := 20 in place, 1 := 10 would complete the nogood.
+    assignment[2] = 20;
+    EXPECT_TRUE(store.blocked(1, 10, assignment));
+    // A different value for vertex 1 is fine.
+    EXPECT_FALSE(store.blocked(1, 11, assignment));
+    // And so is the same value under a different neighborhood.
+    assignment[2] = 21;
+    EXPECT_FALSE(store.blocked(1, 10, assignment));
+}
+
+TEST(NogoodStore, UnitNogoodBlocksUnconditionally) {
+    NogoodStore store(4);
+    ASSERT_TRUE(store.record({{7, 3}}));
+    const std::unordered_map<topo::VertexId, topo::VertexId> empty;
+    EXPECT_TRUE(store.blocked(7, 3, empty));
+    EXPECT_FALSE(store.blocked(7, 4, empty));
+}
+
+TEST(NogoodStore, CapsAtConfiguredSize) {
+    NogoodStore store(3);
+    EXPECT_EQ(store.capacity(), 3u);
+    for (topo::VertexId i = 0; i < 10; ++i) {
+        store.record({{i, i}, {i + 100, i}});
+    }
+    EXPECT_EQ(store.size(), 3u);
+    EXPECT_EQ(store.rejected_at_capacity(), 7u);
+    // Stored nogoods keep working at capacity.
+    std::unordered_map<topo::VertexId, topo::VertexId> assignment{{100, 0}};
+    EXPECT_TRUE(store.blocked(0, 0, assignment));
+}
+
+TEST(NogoodStore, DropsEmptyAndDuplicateRecords) {
+    NogoodStore store(8);
+    EXPECT_FALSE(store.record({}));
+    EXPECT_TRUE(store.record({{2, 5}, {1, 4}}));
+    // Same set in another order is the same canonical nogood.
+    EXPECT_FALSE(store.record({{1, 4}, {2, 5}}));
+    EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(NogoodStore, ZeroCapacityDisablesRecording) {
+    NogoodStore store(0);
+    EXPECT_FALSE(store.record({{1, 1}}));
+    EXPECT_EQ(store.size(), 0u);
+}
+
+// --- EvalCache / AllowedComplexLru capacity behavior --------------------
+
+TEST(AllowedComplexLru, EvictsLeastRecentlyUsed) {
+    core::AllowedComplexLru lru(2);
+    topo::SimplicialComplex a, b, c;
+    std::size_t builds = 0;
+    const auto miss_of = [&](const topo::SimplicialComplex& cx) {
+        return [&builds, &cx]() {
+            ++builds;
+            return &cx;
+        };
+    };
+    lru.get(topo::Simplex{0}, miss_of(a));
+    lru.get(topo::Simplex{1}, miss_of(b));
+    lru.get(topo::Simplex{0}, miss_of(a));  // hit; 1 becomes LRU
+    lru.get(topo::Simplex{2}, miss_of(c));  // evicts 1
+    EXPECT_EQ(builds, 3u);
+    EXPECT_EQ(lru.size(), 2u);
+    lru.get(topo::Simplex{1}, miss_of(b));  // re-miss after eviction
+    EXPECT_EQ(builds, 4u);
+    EXPECT_EQ(lru.hits(), 1u);
+    EXPECT_EQ(lru.misses(), 4u);
+}
+
+TEST(AllowedComplexLru, ZeroCapacityAlwaysMisses) {
+    core::AllowedComplexLru lru(0);
+    topo::SimplicialComplex a;
+    std::size_t builds = 0;
+    for (int i = 0; i < 3; ++i) {
+        lru.get(topo::Simplex{0}, [&]() {
+            ++builds;
+            return &a;
+        });
+    }
+    EXPECT_EQ(builds, 3u);
+    EXPECT_EQ(lru.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gact

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repo markdown links.
+
+Scans every tracked *.md file for [text](target) links, resolves
+relative targets against the containing file, and exits non-zero if any
+target does not exist. External links (http/https/mailto) and pure
+anchors are skipped; a '#fragment' suffix on a file target is stripped
+before the existence check (fragments themselves are not validated).
+
+Usage: python3 tools/check_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_DIRS = {".git", "build", "build-asan", "_deps"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                broken.append(
+                    f"{os.path.relpath(path, root)}: broken link "
+                    f"'{match.group(1)}' (resolved to "
+                    f"{os.path.relpath(resolved, root)})")
+    for line in broken:
+        print(line)
+    print(f"checked {checked} intra-repo links, {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
