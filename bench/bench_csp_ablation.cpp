@@ -16,13 +16,18 @@
 //                      (the PR-2 engine, kept as the wall-time baseline
 //                      for the incremental layers);
 //   FC+cache         — plus the evaluation cache;
-//   FC+cache+nogoods — plus nogood learning (SolverConfig::fast(), the
-//                      shipped default);
-//   portfolio x2     — two diversified FC+cache+nogoods searches racing.
-// Rows report found/exhausted, backtracks, nogood prunings/recordings,
-// cache hit rates, and wall time; the summary lines compare naive vs the
-// shipped engine (backtracks) and FC vs FC+cache+nogoods (wall time —
-// the ROADMAP "FC wall-time gap" number).
+//   FC+cache+nogoods — plus nogood learning (the PR-3 shipped engine);
+//   +backjump        — plus conflict-directed backjumping
+//                      (SolverConfig::fast(), the shipped default);
+//   warm re-solve    — the shipped engine re-solving with a
+//                      SharedNogoodPool its own cold run populated
+//                      (cross-solve nogood reuse);
+//   portfolio x2     — two diversified shipped searches racing.
+// Rows report found/exhausted, backtracks, backjumps, nogood
+// prunings/recordings, pool seeding, cache hit rates, and wall time; the
+// summary lines compare naive vs the shipped engine (backtracks), FC vs
+// the layered engines (wall time), backjump-off vs -on (backtracks —
+// strictly fewer is the PR-4 acceptance bar), and cold vs warm (reuse).
 //
 // Usage: bench_csp_ablation [extra_stages] [gbench args...]
 // `extra_stages` (default 2) is the number of stabilization stages past
@@ -65,10 +70,11 @@ struct Instance {
         }
     }
 
-    ChromaticMapProblem problem(bool fix_identity, bool guide) const {
+    ChromaticMapProblem problem(bool fix_identity, bool guide,
+                                core::SharedNogoodPool* pool = nullptr) const {
         return core::lt_approximation_problem(
             task, tsub, fix_identity,
-            guide ? LtGuidance::kRadial : LtGuidance::kNone);
+            guide ? LtGuidance::kRadial : LtGuidance::kNone, nullptr, pool);
     }
 };
 
@@ -82,8 +88,10 @@ struct Cell {
     std::size_t backtracks = 0;
     bool exhausted = false;
     double millis = 0.0;
+    std::size_t backjumps = 0;
     std::size_t nogood_prunings = 0;
     std::size_t nogoods_recorded = 0;
+    std::size_t pool_seeded = 0;
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;
 };
@@ -98,8 +106,10 @@ Cell run_cell(const ChromaticMapProblem& problem, const SolverConfig& config) {
     cell.exhausted = result.exhausted;
     cell.millis =
         std::chrono::duration<double, std::milli>(end - start).count();
+    cell.backjumps = result.backjumps;
     cell.nogood_prunings = result.nogood_prunings;
     cell.nogoods_recorded = result.nogoods_recorded;
+    cell.pool_seeded = result.pool_seeded;
     cell.cache_hits = result.eval_cache_hits;
     cell.cache_misses = result.eval_cache_misses;
     return cell;
@@ -109,9 +119,13 @@ void print_cell(const char* engine, const Cell& c) {
     std::cout << "    " << engine << ": "
               << (c.found ? "found" : "NOT found") << ", " << c.backtracks
               << " backtracks, " << c.millis << " ms";
+    if (c.backjumps != 0) std::cout << ", " << c.backjumps << " backjumps";
     if (c.nogoods_recorded != 0 || c.nogood_prunings != 0) {
         std::cout << ", nogoods " << c.nogoods_recorded << " recorded / "
                   << c.nogood_prunings << " prunings";
+    }
+    if (c.pool_seeded != 0) {
+        std::cout << ", pool " << c.pool_seeded << " seeded";
     }
     if (c.cache_hits + c.cache_misses != 0) {
         const double rate = 100.0 * static_cast<double>(c.cache_hits) /
@@ -126,6 +140,7 @@ SolverConfig fc_plain_config(std::size_t budget) {
     SolverConfig c = SolverConfig::fast(budget);
     c.eval_cache = false;
     c.nogood_learning = false;
+    c.backjumping = false;
     c.allowed_lru_capacity = 0;
     return c;
 }
@@ -133,6 +148,13 @@ SolverConfig fc_plain_config(std::size_t budget) {
 SolverConfig fc_cache_config(std::size_t budget) {
     SolverConfig c = SolverConfig::fast(budget);
     c.nogood_learning = false;
+    c.backjumping = false;
+    return c;
+}
+
+SolverConfig fc_nogoods_config(std::size_t budget) {
+    SolverConfig c = SolverConfig::fast(budget);
+    c.backjumping = false;
     return c;
 }
 
@@ -162,8 +184,19 @@ void print_report() {
         print_cell("FC (PR-2 engine, no cache) ", fc_plain);
         const Cell fc_cache = run_cell(problem, fc_cache_config(c.budget));
         print_cell("FC+cache                   ", fc_cache);
+        const Cell fc_nogoods =
+            run_cell(problem, fc_nogoods_config(c.budget));
+        print_cell("FC+cache+nogoods (PR-3)    ", fc_nogoods);
         const Cell fast = run_cell(problem, SolverConfig::fast(c.budget));
-        print_cell("FC+cache+nogoods (shipped) ", fast);
+        print_cell("FC+cache+nogoods+backjump  ", fast);
+        // Cross-solve reuse: the shipped engine against a pool its own
+        // cold run populated (the cold run repeats the `fast` cell, plus
+        // publishing).
+        core::SharedNogoodPool pool;
+        const auto pooled_problem = inst.problem(c.fix, c.guide, &pool);
+        const Cell cold = run_cell(pooled_problem, SolverConfig::fast(c.budget));
+        const Cell warm = run_cell(pooled_problem, SolverConfig::fast(c.budget));
+        print_cell("warm re-solve (shared pool)", warm);
         const Cell portfolio =
             run_cell(problem, SolverConfig::portfolio(2, c.budget));
         print_cell("portfolio x2 (shipped race)", portfolio);
@@ -176,7 +209,8 @@ void print_report() {
             return layered.found != fc_plain.found &&
                    (layered.found ? fc_plain.exhausted : layered.exhausted);
         };
-        if (settled_disagree(fc_cache) || settled_disagree(fast)) {
+        if (settled_disagree(fc_cache) || settled_disagree(fc_nogoods) ||
+            settled_disagree(fast) || settled_disagree(warm)) {
             std::cout << "    cache-vs-plain: engines DISAGREE on "
                          "satisfiability — solver bug\n";
         } else if (fc_cache.found != fc_plain.found ||
@@ -186,9 +220,30 @@ void print_report() {
                          "(wall times not comparable)\n";
         } else if (fc_plain.millis > 0.0 && fast.millis > 0.0) {
             std::cout << "    FC wall time: " << fc_plain.millis << " -> "
-                      << fc_cache.millis << " ms (cache) -> " << fast.millis
-                      << " ms (cache+nogoods), speedup x"
+                      << fc_cache.millis << " ms (cache) -> "
+                      << fc_nogoods.millis << " ms (cache+nogoods) -> "
+                      << fast.millis << " ms (+backjump), speedup x"
                       << (fc_plain.millis / fast.millis) << "\n";
+        }
+        // The two PR-4 summary lines: backjumping (vs the PR-3 engine on
+        // the same problem) and cross-solve reuse (cold vs warm against
+        // one pool).
+        if (fast.found == fc_nogoods.found &&
+            fast.exhausted == fc_nogoods.exhausted) {
+            std::cout << "    backjumping: " << fc_nogoods.backtracks
+                      << " -> " << fast.backtracks << " backtracks ("
+                      << (fast.backtracks < fc_nogoods.backtracks
+                              ? "strictly fewer"
+                              : fast.backtracks == fc_nogoods.backtracks
+                                    ? "equal"
+                                    : "MORE — regression")
+                      << "), " << fast.backjumps << " jumps\n";
+        }
+        if (cold.found == warm.found && cold.exhausted == warm.exhausted) {
+            std::cout << "    nogood reuse: cold " << cold.backtracks
+                      << " -> warm " << warm.backtracks << " backtracks ("
+                      << warm.pool_seeded << " nogoods seeded from the "
+                      << "pool)\n";
         }
         const bool loser_exhausted =
             naive.found ? fast.exhausted : naive.exhausted;

@@ -4,14 +4,20 @@
 //   example_engine_cli                 # run the quick registry, batched
 //   example_engine_cli --list          # list scenarios (nothing built)
 //   example_engine_cli --threads 4     # shard width (default 2)
+//   example_engine_cli --no-pool       # disable cross-solve nogood reuse
 //   example_engine_cli lt-2-1-res1 consensus-2-wf   # run by name
 //
 // Every solvability question the other examples answer by hand is one
 // registry name here: the Scenario carries the task, the model, and the
 // budgets; the SolveReport carries the verdict, the witness, and the
-// per-stage timings.
+// per-stage timings. By default one SharedNogoodPool is wired into every
+// selected scenario, so scenarios posing the same CSP (e.g. lt-2-1-res1
+// and lt-2-1-adv, which differ only in their model) and repeated runs
+// within the process share learned conflicts — verdicts and witnesses
+// are unaffected, only the search effort shrinks.
 #include <cstring>
 #include <iostream>
+#include <memory>
 
 #include "engine/engine.h"
 #include "engine/scenario_registry.h"
@@ -42,10 +48,15 @@ int main(int argc, char** argv) {
     const engine::ScenarioRegistry& registry =
         engine::ScenarioRegistry::standard();
     unsigned threads = 2;
+    bool use_pool = true;
     std::vector<engine::Scenario> scenarios;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--list") == 0) return list_scenarios();
+        if (std::strcmp(argv[i], "--no-pool") == 0) {
+            use_pool = false;
+            continue;
+        }
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
             threads = static_cast<unsigned>(std::atoi(argv[++i]));
             if (threads == 0) threads = 1;
@@ -60,6 +71,13 @@ int main(int argc, char** argv) {
         scenarios.push_back(*scenario);
     }
     if (scenarios.empty()) scenarios = registry.quick();
+
+    // One pool for the whole run: scoping by problem identity keeps
+    // unrelated scenarios apart, and nogood reuse is verdict-preserving.
+    if (use_pool) {
+        const auto pool = std::make_shared<core::SharedNogoodPool>();
+        for (engine::Scenario& s : scenarios) s.options.nogood_pool = pool;
+    }
 
     std::cout << "== gact engine: " << scenarios.size() << " scenario"
               << (scenarios.size() == 1 ? "" : "s") << " on " << threads

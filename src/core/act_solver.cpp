@@ -6,10 +6,24 @@ namespace gact::core {
 
 ChromaticMapProblem act_problem(const tasks::Task& task,
                                 const topo::SubdividedComplex& chr_k,
-                                AllowedComplexLru* lru) {
+                                AllowedComplexLru* lru,
+                                SharedNogoodPool* nogood_pool) {
     ChromaticMapProblem problem;
     problem.domain = &chr_k.complex();
     problem.codomain = &task.outputs;
+    if (nogood_pool != nullptr) {
+        // Cross-solve learning scope: one (task, depth) pair is one
+        // constraint problem (see run_act_search's soundness note).
+        // Variables travel as stable (position, color) keys so the
+        // per-depth vertex ids never leak into the pool.
+        problem.nogood_pool = nogood_pool;
+        problem.nogood_scope =
+            task.name + "|wf-depth=" + std::to_string(chr_k.depth());
+        problem.pool_var_key = [&chr_k, nogood_pool](VertexId v) {
+            return nogood_pool->intern(chr_k.position(v),
+                                       chr_k.complex().color(v));
+        };
+    }
     // eta(sigma) must lie in Delta(carrier(sigma)); carriers are exact
     // (coordinate supports), so this is precisely Corollary 7.1. The
     // carrier -> complex association is shared through the LRU when one
@@ -26,7 +40,8 @@ ChromaticMapProblem act_problem(const tasks::Task& task,
 }
 
 ActResult run_act_search(const tasks::Task& task, int max_k,
-                         const SolverConfig& config) {
+                         const SolverConfig& config,
+                         SharedNogoodPool* nogood_pool) {
     require(task.validate().empty(), "run_act_search: invalid task");
     ActResult out;
     out.exhausted_all_depths = true;
@@ -38,7 +53,8 @@ ActResult run_act_search(const tasks::Task& task, int max_k,
         topo::SubdividedComplex::identity(task.inputs);
     for (int k = 0; k <= max_k; ++k) {
         if (k > 0) chr = chr.chromatic_subdivision();
-        const ChromaticMapProblem problem = act_problem(task, chr, lru_ptr);
+        const ChromaticMapProblem problem =
+            act_problem(task, chr, lru_ptr, nogood_pool);
         const ChromaticMapResult result =
             solve_chromatic_map(problem, config);
         out.backtracks_per_depth.push_back(result.backtracks);

@@ -37,8 +37,18 @@ struct ActResult {
 /// (core/eval_cache.h): per-depth vertex ids change from Chr^k I to
 /// Chr^{k+1} I, but carriers live in the base complex, so deeper
 /// searches start with the association warm.
+///
+/// When `nogood_pool` is non-null, every depth's solve additionally
+/// seeds its nogood stores (one per portfolio thread) from the pool and
+/// publishes what it learns, under a scope derived from the task name
+/// and the depth. Scoping per depth is what keeps reuse sound: a
+/// conflict proven against the Chr^k constraint structure says nothing
+/// about Chr^{k+1} (deeper subdivisions admit strictly more maps), so
+/// only re-solves of the same (task, depth) problem — repeated engine
+/// runs, bench re-runs, equivalence sweeps — share learning.
 ActResult run_act_search(const tasks::Task& task, int max_k,
-                         const SolverConfig& config);
+                         const SolverConfig& config,
+                         SharedNogoodPool* nogood_pool = nullptr);
 
 /// @brief Deprecated pre-engine entry point; forwards to
 /// run_act_search.
@@ -64,10 +74,15 @@ ActResult solve_act(const tasks::Task& task, int max_k,
 ///
 /// When `lru` is non-null, the problem's allowed() closure routes
 /// carrier lookups through it; the LRU must then outlive the problem.
+/// When `nogood_pool` is non-null, the problem carries the cross-solve
+/// learning hooks (scope = task name + depth; literal variables
+/// translated through the pool's stable (position, color) keys).
 /// @note The returned problem's closures also reference `task` and
-/// `chr_k`, which must outlive it.
+/// `chr_k`, which must outlive it — and `lru` / `nogood_pool` when
+/// supplied.
 ChromaticMapProblem act_problem(const tasks::Task& task,
                                 const topo::SubdividedComplex& chr_k,
-                                AllowedComplexLru* lru = nullptr);
+                                AllowedComplexLru* lru = nullptr,
+                                SharedNogoodPool* nogood_pool = nullptr);
 
 }  // namespace gact::core

@@ -291,6 +291,12 @@ struct FcSearcher {
     EvalCache* cache = nullptr;
     NogoodStore* nogoods = nullptr;
 
+    /// Outcome of one search() call: a witness below this node, a proven
+    /// conflict (conflict_var_ names the variable whose conflict set
+    /// describes it when backjumping is on), or an abort (budget / stop
+    /// flag — not a proof, so no conflict set).
+    enum class Status { kFound, kConflict, kAbort };
+
     struct Var {
         VertexId v = 0;
         VertexId value = 0;            // current value, valid iff assigned
@@ -318,8 +324,21 @@ struct FcSearcher {
     std::vector<std::pair<std::size_t, std::size_t>> trail;
     std::size_t backtracks = 0;
     std::size_t nogood_prunings = 0;
+    std::size_t backjumps = 0;
     bool exhausted = true;
     std::vector<VertexId> image_scratch;  // reused across evaluations
+
+    // Conflict-directed backjumping state (config.backjumping): one
+    // conflict set per variable, as a bitset over var indices. conf(v)
+    // accumulates, while v is the active decision, every variable whose
+    // assignment contributed to a failure of one of v's values; when v's
+    // values are exhausted, conf(v) is the proven conflict of the whole
+    // level, and ancestors absent from it are jumped over. Fixed
+    // variables are per-solve constants and never enter a conflict set.
+    std::size_t conflict_words = 0;
+    std::vector<std::vector<std::uint64_t>> conflict_;  // per variable
+    std::vector<std::uint64_t> assign_conflict_;  // try_assign's failure
+    std::size_t conflict_var_ = 0;  // owner of the active conflict set
 
     // The unassigned vars, maintained by swap-removal so the MRV scan
     // touches only live candidates instead of every variable per node.
@@ -345,6 +364,105 @@ struct FcSearcher {
                     static_cast<std::uint32_t>(unassigned.size());
                 unassigned.push_back(static_cast<std::uint32_t>(i));
             }
+        }
+        if (config.backjumping) {
+            conflict_words = (vars.size() + 63) / 64;
+            conflict_.assign(vars.size(),
+                             std::vector<std::uint64_t>(conflict_words, 0));
+            assign_conflict_.assign(conflict_words, 0);
+        }
+    }
+
+    // --- conflict-set plumbing (backjumping only) ----------------------
+
+    void conflict_add(std::vector<std::uint64_t>& set,
+                      std::size_t var_idx) const {
+        if (vars[var_idx].is_fixed) return;
+        set[var_idx >> 6] |= std::uint64_t{1} << (var_idx & 63);
+    }
+
+    bool conflict_contains(const std::vector<std::uint64_t>& set,
+                           std::size_t var_idx) const {
+        return (set[var_idx >> 6] >> (var_idx & 63) & 1) != 0;
+    }
+
+    /// into |= from \ {excluded}.
+    void conflict_merge(std::vector<std::uint64_t>& into,
+                        const std::vector<std::uint64_t>& from,
+                        std::size_t excluded) const {
+        for (std::size_t w = 0; w < conflict_words; ++w) into[w] |= from[w];
+        into[excluded >> 6] &= ~(std::uint64_t{1} << (excluded & 63));
+    }
+
+    /// The assigned variables of a pruning/violated constraint, minus
+    /// the two local actors (the decision being enumerated and, for
+    /// wipeouts, the wiped variable itself).
+    void conflict_add_constraint(std::vector<std::uint64_t>& set,
+                                 const Simplex& sigma, std::size_t skip_a,
+                                 std::size_t skip_b) const {
+        for (VertexId u : sigma.vertices()) {
+            const std::size_t ui = var_of_vertex[u];
+            if (ui == skip_a || ui == skip_b) continue;
+            conflict_add(set, ui);
+        }
+    }
+
+    /// Conservative fallback when a pruning cause is unavailable: blame
+    /// every assigned decision, which degrades that one conflict to
+    /// chronological behavior without losing soundness.
+    void conflict_add_all_assigned(std::vector<std::uint64_t>& set,
+                                   std::size_t skip_a,
+                                   std::size_t skip_b) const {
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+            if (!vars[i].assigned || i == skip_a || i == skip_b) continue;
+            conflict_add(set, i);
+        }
+    }
+
+    /// Fill assign_conflict_ with the cause of a violated constraint.
+    void conflict_from_violation(const Simplex& sigma,
+                                 std::size_t cur_idx) {
+        std::fill(assign_conflict_.begin(), assign_conflict_.end(), 0);
+        conflict_add_constraint(assign_conflict_, sigma, cur_idx, cur_idx);
+    }
+
+    /// Learn an exhausted level's conflict set as a nogood: every value
+    /// of the level's variable failed under exactly the assignments the
+    /// set names, and a satisfying map must assign the variable, so the
+    /// named assignments are jointly contradictory — the CDCL-style
+    /// "learned clause" on top of the wipeout/violation records.
+    void record_conflict_set(const std::vector<std::uint64_t>& set) {
+        if (nogoods == nullptr) return;
+        std::vector<NogoodLiteral> literals;
+        for (std::size_t w = 0; w < conflict_words; ++w) {
+            std::uint64_t bits = set[w];
+            while (bits != 0) {
+                const std::size_t u_idx =
+                    (w << 6) + static_cast<std::size_t>(
+                                   __builtin_ctzll(bits));
+                bits &= bits - 1;
+                const Var& u = vars[u_idx];
+                literals.push_back({u.v, u.value});
+            }
+        }
+        nogoods->record(std::move(literals));
+    }
+
+    /// Fill assign_conflict_ with the cause of a domain wipeout of
+    /// `u_idx`: the assignments behind every pruned value (the same
+    /// provenance record_wipeout turns into a nogood).
+    void conflict_from_wipeout(std::size_t u_idx, std::size_t cur_idx) {
+        std::fill(assign_conflict_.begin(), assign_conflict_.end(), 0);
+        const Var& u = vars[u_idx];
+        for (std::size_t i = 0; i < u.values.size(); ++i) {
+            if (u.active[i]) continue;
+            const Simplex* sigma = u.pruned_by[i];
+            if (sigma == nullptr) {
+                conflict_add_all_assigned(assign_conflict_, u_idx, cur_idx);
+                return;
+            }
+            conflict_add_constraint(assign_conflict_, *sigma, u_idx,
+                                    cur_idx);
         }
     }
 
@@ -477,6 +595,9 @@ struct FcSearcher {
             if (num_unassigned == 0) {
                 if (!constraint_holds(sigma_ptr)) {
                     record_violation(sigma);
+                    if (config.backjumping) {
+                        conflict_from_violation(sigma, var_idx);
+                    }
                     return false;
                 }
             } else if (num_unassigned == 1 && config.forward_checking) {
@@ -525,6 +646,9 @@ struct FcSearcher {
                 }
                 if (uvar.active_count == 0) {
                     record_wipeout(u_idx);
+                    if (config.backjumping) {
+                        conflict_from_wipeout(u_idx, var_idx);
+                    }
                     return false;
                 }
             }
@@ -577,38 +701,98 @@ struct FcSearcher {
         return best;
     }
 
-    bool search() {
+    Status search() {
         if (stopped()) {
             exhausted = false;
-            return false;
+            return Status::kAbort;
         }
         const std::size_t var_idx = pick_variable();
-        if (var_idx == vars.size()) return true;
+        if (var_idx == vars.size()) return Status::kFound;
         Var& var = vars[var_idx];
+        const bool cbj = config.backjumping;
+        std::vector<std::uint64_t>* conf = nullptr;
+        if (cbj) {
+            conf = &conflict_[var_idx];
+            std::fill(conf->begin(), conf->end(), 0);
+        }
         for (std::size_t i = 0; i < var.values.size(); ++i) {
-            if (!var.active[i]) continue;
-            if (nogoods != nullptr && !nogoods->empty() &&
-                nogoods->blocked(var.v, var.values[i],
-                                 [this](VertexId u, VertexId& out) {
-                                     return value_of(u, out);
-                                 })) {
-                // This assignment would recreate a recorded conflict:
-                // skip it without redoing the propagation that proved it
-                // (not counted as a backtrack — prunings are reported
-                // separately so ablation counts stay comparable).
-                ++nogood_prunings;
+            if (!var.active[i]) {
+                // The value is unavailable because an ancestor's
+                // constraint pruned it; that ancestor could restore it,
+                // so it belongs in this level's conflict set.
+                if (cbj) {
+                    const Simplex* cause = var.pruned_by[i];
+                    if (cause == nullptr) {
+                        conflict_add_all_assigned(*conf, var_idx, var_idx);
+                    } else {
+                        conflict_add_constraint(*conf, *cause, var_idx,
+                                                var_idx);
+                    }
+                }
                 continue;
             }
+            if (nogoods != nullptr && !nogoods->empty()) {
+                const std::vector<NogoodLiteral>* blocking =
+                    nogoods->blocking_nogood(
+                        var.v, var.values[i],
+                        [this](VertexId u, VertexId& out) {
+                            return value_of(u, out);
+                        });
+                if (blocking != nullptr) {
+                    // This assignment would recreate a recorded
+                    // conflict: skip it without redoing the propagation
+                    // that proved it (not counted as a backtrack —
+                    // prunings are reported separately so ablation
+                    // counts stay comparable). The nogood's other
+                    // literals name the decisions responsible.
+                    ++nogood_prunings;
+                    if (cbj) {
+                        for (const NogoodLiteral& l : *blocking) {
+                            if (l.var == var.v) continue;
+                            conflict_add(*conf, var_of_vertex[l.var]);
+                        }
+                    }
+                    continue;
+                }
+            }
             const std::size_t mark = trail.size();
-            if (try_assign(var_idx, var.values[i]) && search()) return true;
+            if (try_assign(var_idx, var.values[i])) {
+                const Status st = search();
+                if (st == Status::kFound) return st;
+                if (st == Status::kAbort) {
+                    undo_to(mark);
+                    unassign(var_idx);
+                    return st;
+                }
+                // A proven conflict below. If this decision is not in
+                // its conflict set, no other value of this variable can
+                // resolve it: pop the level without re-enumerating
+                // (the backjump), propagating the same conflict.
+                if (cbj &&
+                    !conflict_contains(conflict_[conflict_var_], var_idx)) {
+                    undo_to(mark);
+                    unassign(var_idx);
+                    ++backjumps;
+                    return Status::kConflict;
+                }
+                if (cbj) {
+                    conflict_merge(*conf, conflict_[conflict_var_], var_idx);
+                }
+            } else if (cbj) {
+                // try_assign failed directly; it left the cause in
+                // assign_conflict_.
+                conflict_merge(*conf, assign_conflict_, var_idx);
+            }
             undo_to(mark);
             unassign(var_idx);
             if (++backtracks > config.max_backtracks || stopped()) {
                 exhausted = false;
-                return false;
+                return Status::kAbort;
             }
         }
-        return false;
+        if (cbj && exhausted) record_conflict_set(*conf);
+        conflict_var_ = var_idx;
+        return Status::kConflict;
     }
 };
 
@@ -710,9 +894,10 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
     }
     s.finalize_vars();
 
-    const bool found = s.search();
+    const bool found = s.search() == FcSearcher::Status::kFound;
     result.backtracks += s.backtracks;
     result.nogood_prunings += s.nogood_prunings;
+    result.backjumps += s.backjumps;
     if (!s.exhausted) result.exhausted = false;
     if (found) {
         for (VertexId v : component_order) {
@@ -759,10 +944,69 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
         cache.emplace(index.indexed_simplex_count(),
                       config.eval_cache_capacity);
     }
+    // Cross-solve reuse: when the problem builder wired a SharedNogoodPool,
+    // import every pool nogood whose variables all translate into the
+    // current domain (via the builder's stable (position, color) keys),
+    // and publish this solve's newly learned nogoods on the way out. The
+    // store is sized so seeded entries do not consume the learning
+    // budget. Reused nogoods only prune, so seeding changes backtrack
+    // counts, never verdicts or witnesses.
+    const bool use_pool = !naive_engine && config.nogood_learning &&
+                          config.nogood_capacity > 0 &&
+                          problem.nogood_pool != nullptr &&
+                          !problem.nogood_scope.empty() &&
+                          static_cast<bool>(problem.pool_var_key);
+    // One vertex -> pool-key table per solve, built lazily (each
+    // pool_var_key call takes the pool's mutex for an exact-rational map
+    // probe — worth paying once, not per literal) and shared by the seed
+    // and publish translations below. Untouched when the scope is empty
+    // and nothing gets learned.
+    std::optional<std::unordered_map<VertexId, SharedNogoodPool::VarKeyId>>
+        key_of_vertex;
+    const auto pool_keys = [&]() -> const auto& {
+        if (!key_of_vertex.has_value()) {
+            key_of_vertex.emplace();
+            key_of_vertex->reserve(problem.domain->vertex_ids().size());
+            for (VertexId v : problem.domain->vertex_ids()) {
+                key_of_vertex->emplace(v, problem.pool_var_key(v));
+            }
+        }
+        return *key_of_vertex;
+    };
     std::optional<NogoodStore> nogoods;
+    std::size_t seeded = 0;
     if (!naive_engine && config.nogood_learning &&
         config.nogood_capacity > 0) {
-        nogoods.emplace(config.nogood_capacity);
+        std::vector<std::vector<NogoodLiteral>> seeds;
+        // An empty scope has nothing to import: skip the key translation
+        // outright on the cold first solve.
+        if (use_pool &&
+            problem.nogood_pool->size(problem.nogood_scope) > 0) {
+            std::unordered_map<SharedNogoodPool::VarKeyId, VertexId>
+                vertex_of_key;
+            vertex_of_key.reserve(pool_keys().size());
+            for (const auto& [v, key] : pool_keys()) {
+                vertex_of_key.emplace(key, v);
+            }
+            problem.nogood_pool->for_each(
+                problem.nogood_scope,
+                [&](const std::vector<SharedNogoodPool::PortableLiteral>&
+                        portable) {
+                    std::vector<NogoodLiteral> literals;
+                    literals.reserve(portable.size());
+                    for (const SharedNogoodPool::PortableLiteral& l :
+                         portable) {
+                        const auto it = vertex_of_key.find(l.var_key);
+                        if (it == vertex_of_key.end()) return;  // untranslatable
+                        literals.push_back({it->second, l.value});
+                    }
+                    seeds.push_back(std::move(literals));
+                });
+        }
+        nogoods.emplace(config.nogood_capacity + seeds.size());
+        for (std::vector<NogoodLiteral>& s : seeds) {
+            if (nogoods->record(std::move(s))) ++seeded;
+        }
     }
 
     const auto solve_component =
@@ -799,7 +1043,26 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
         result.eval_cache_hits = cache->stats().hits();
         result.eval_cache_misses = cache->stats().misses();
     }
-    if (nogoods.has_value()) result.nogoods_recorded = nogoods->size();
+    if (nogoods.has_value()) {
+        // Seeded entries sit at the front of the append-only store;
+        // everything after them was learned by this solve.
+        result.nogoods_recorded = nogoods->size() - seeded;
+        result.pool_seeded = seeded;
+        if (use_pool) {
+            const auto& all = nogoods->all();
+            for (std::size_t i = seeded; i < all.size(); ++i) {
+                std::vector<SharedNogoodPool::PortableLiteral> portable;
+                portable.reserve(all[i].size());
+                for (const NogoodLiteral& l : all[i]) {
+                    portable.push_back({pool_keys().at(l.var), l.value});
+                }
+                if (problem.nogood_pool->publish(problem.nogood_scope,
+                                                 std::move(portable))) {
+                    ++result.pool_published;
+                }
+            }
+        }
+    }
 
     if (found) result.map = SimplicialMap(std::move(solution));
     return result;
@@ -854,9 +1117,23 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
         // others search with per-thread shuffles. A thread that either
         // finds a witness or exhausts the search space has settled the
         // problem, so it stops everyone else.
+        //
+        // Counter audit: the reported result is exactly the settling
+        // thread's ChromaticMapResult, claimed once under the mutex —
+        // never a sum that mixes a settled thread's counters with the
+        // partially-updated counters of threads the stop flag
+        // interrupted mid-search (such sums double-count work against
+        // the settled search and vary with thread count and timing).
+        // The relaxed stop-flag ordering is safe: the flag is advisory
+        // (losing threads only ever do extra work), each `locals[i]` is
+        // written by its own thread before the join and read after it,
+        // and the claimed result is published under the mutex. Only when
+        // *no* thread settles (every budget ran out) are counters
+        // summed: there is no coherent single-thread story, and the sum
+        // is explicitly "total budgeted effort spent".
         std::atomic<bool> stop{false};
         std::mutex mutex;
-        std::optional<ChromaticMapResult> winner;
+        std::optional<ChromaticMapResult> settled;
         std::vector<ChromaticMapResult> locals(config.num_threads);
         std::vector<std::exception_ptr> errors(config.num_threads);
         std::vector<std::thread> threads;
@@ -871,11 +1148,11 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
                         solve_single(problem, index, dec, base_domains,
                                      propagated_domains, local,
                                      0x9e3779b97f4a7c15ULL * i, &stop);
-                    if (locals[i].map.has_value()) {
-                        const std::lock_guard<std::mutex> lock(mutex);
-                        if (!winner.has_value()) winner = locals[i];
-                    }
                     if (locals[i].map.has_value() || locals[i].exhausted) {
+                        {
+                            const std::lock_guard<std::mutex> lock(mutex);
+                            if (!settled.has_value()) settled = locals[i];
+                        }
                         stop.store(true, std::memory_order_relaxed);
                     }
                 } catch (...) {
@@ -888,20 +1165,26 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
         for (const std::exception_ptr& e : errors) {
             if (e) std::rethrow_exception(e);
         }
-        if (winner.has_value()) {
-            result = *winner;
+        if (settled.has_value()) {
+            // A witness, or a proven exhaustion: either way one thread
+            // covered the decisive search space, and its counters are
+            // the coherent account of it. (A witness and a no-witness
+            // exhaustion cannot both happen: exhaustion means the full
+            // space was searched without finding the witness the other
+            // thread claims, which check_chromatic_map would expose as
+            // a solver bug.)
+            result = *settled;
         } else {
-            // Any single thread covers the whole search space, so one
-            // completed (exhausted) thread proves unsatisfiability even
-            // if the others were stopped or ran out of budget.
             result.exhausted = false;
             for (const ChromaticMapResult& r : locals) {
                 result.backtracks += r.backtracks;
                 result.nogood_prunings += r.nogood_prunings;
                 result.nogoods_recorded += r.nogoods_recorded;
+                result.backjumps += r.backjumps;
                 result.eval_cache_hits += r.eval_cache_hits;
                 result.eval_cache_misses += r.eval_cache_misses;
-                if (r.exhausted) result.exhausted = true;
+                result.pool_seeded += r.pool_seeded;
+                result.pool_published += r.pool_published;
             }
         }
     }

@@ -25,20 +25,30 @@
 // diversified value orders; the first witness wins via an atomic stop
 // flag.
 //
-// The FC engine's per-node work is flattened by two incremental layers,
-// both on by default and both provably verdict/witness-preserving:
+// The FC engine's per-node work is flattened by three incremental
+// layers, all on by default and all provably verdict/witness-preserving:
 //  * an evaluation cache (core/eval_cache.h) memoizing allowed()
 //    complexes and full image evaluations, keyed by dense constraint ids
 //    from the adjacency index;
 //  * nogood learning (core/nogood_store.h) recording each proven
 //    conflict's minimal assignment set and pruning branches that would
-//    recreate it.
+//    recreate it;
+//  * conflict-directed backjumping (SolverConfig::backjumping): the same
+//    minimal conflict sets tell the engine which decision actually
+//    caused a dead end, and the search returns straight to the deepest
+//    decision in the set instead of backtracking chronologically
+//    through decisions the conflict provably does not involve.
+// Learned conflicts can additionally outlive one solve through a
+// SharedNogoodPool wired onto the problem by its builder (see
+// ChromaticMapProblem::nogood_pool and core/nogood_store.h).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 
+#include "core/nogood_store.h"
 #include "topology/simplicial_map.h"
 
 namespace gact::core {
@@ -82,6 +92,25 @@ struct ChromaticMapProblem {
     /// @note With num_threads > 1 this is called concurrently and must
     /// be thread-safe.
     std::function<std::vector<VertexId>(VertexId)> candidate_order;
+
+    /// @brief Optional cross-solve learning pool (core/nogood_store.h).
+    /// When set together with `nogood_scope` and `pool_var_key`, every
+    /// solver thread seeds its nogood store from the pool's scope before
+    /// searching and publishes its newly learned nogoods afterwards.
+    /// Installed by the problem builders, never by the solver: the
+    /// builder owns the soundness contract that every solve sharing the
+    /// scope poses the same constraint problem. Not owned; must outlive
+    /// the problem. Thread-safe.
+    SharedNogoodPool* nogood_pool = nullptr;
+    /// @brief The pool namespace this problem publishes into and seeds
+    /// from; see SharedNogoodPool for the identity contract. Empty
+    /// disables pooling.
+    std::string nogood_scope;
+    /// @brief Translation of a domain vertex to its pool key (interned
+    /// stable (position, color) id), so literals survive per-depth
+    /// vertex re-indexing. Must be pure; called concurrently with
+    /// num_threads > 1.
+    std::function<SharedNogoodPool::VarKeyId(VertexId)> pool_var_key;
 };
 
 /// How the next branching variable is chosen.
@@ -146,6 +175,19 @@ struct SolverConfig {
     /// the cap (0 disables the store outright).
     std::size_t nogood_capacity = 4096;
 
+    /// @brief Conflict-directed backjumping (FC engine only): on a dead
+    /// end, return straight to the deepest decision in the conflict set
+    /// — assembled from the same per-value pruning-constraint provenance
+    /// the nogood store records — instead of chronologically re-trying
+    /// decisions the conflict provably does not involve.
+    /// @note The jump only ever skips subtrees that contain no witness
+    /// (every skipped decision is absent from the conflict set, so
+    /// re-assigning it cannot resolve the conflict), and it visits the
+    /// surviving nodes in the same order as chronological backtracking:
+    /// verdicts and witnesses are bit-identical with the knob on or off
+    /// (asserted across the registry by tests/solver_cache_test.cpp).
+    bool backjumping = true;
+
     /// @brief Capacity of the carrier -> constraint-complex LRU used by
     /// the *problem builders* (act_problem / lt_approximation_problem),
     /// not by the CSP core itself: it persists across subdivision depths
@@ -160,6 +202,7 @@ struct SolverConfig {
         c.max_backtracks = max_backtracks;
         c.eval_cache = false;
         c.nogood_learning = false;
+        c.backjumping = false;
         c.allowed_lru_capacity = 0;
         return c;
     }
@@ -189,9 +232,12 @@ struct SolverConfig {
 struct ChromaticMapResult {
     /// @brief The witness map, when one was found.
     std::optional<SimplicialMap> map;
-    /// @brief Number of backtracking steps performed. In portfolio mode:
-    /// the winning thread's count when a witness was found, else the
-    /// total across threads.
+    /// @brief Number of backtracking steps performed. In portfolio mode
+    /// all counters report the settling thread (the first to find a
+    /// witness or exhaust the space) — one coherent search's account,
+    /// never a sum mixing in losing threads' partial work; only when no
+    /// thread settles (every budget ran out) are counters summed across
+    /// threads as "total budgeted effort".
     std::size_t backtracks = 0;
     /// @brief True when the search space was exhausted (so no map exists
     /// under the given constraints); false when the backtrack budget ran
@@ -204,6 +250,16 @@ struct ChromaticMapResult {
     /// @brief Nogoods recorded by the search (capped by
     /// SolverConfig::nogood_capacity).
     std::size_t nogoods_recorded = 0;
+    /// @brief Dead ends resolved by a non-chronological jump: decision
+    /// levels popped without re-enumerating their remaining values
+    /// because the conflict set did not involve them
+    /// (SolverConfig::backjumping).
+    std::size_t backjumps = 0;
+    /// @brief Nogoods imported from the problem's SharedNogoodPool at
+    /// the start of the search (0 when no pool is wired).
+    std::size_t pool_seeded = 0;
+    /// @brief Newly learned nogoods published back to the pool.
+    std::size_t pool_published = 0;
     /// @brief Constraint-evaluation cache hits (allowed() + image memos
     /// combined); 0 when the cache is off.
     std::size_t eval_cache_hits = 0;

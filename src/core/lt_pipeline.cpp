@@ -182,11 +182,31 @@ ChromaticMapProblem lt_approximation_problem(const tasks::AffineTask& task,
                                              const TerminatingSubdivision& tsub,
                                              bool fix_identity,
                                              LtGuidance guidance,
-                                             AllowedComplexLru* lru) {
+                                             AllowedComplexLru* lru,
+                                             SharedNogoodPool* nogood_pool,
+                                             const std::string& nogood_scope_tag) {
     const ChromaticComplex& k_complex = tsub.stable_complex();
     ChromaticMapProblem problem;
     problem.domain = &k_complex;
     problem.codomain = &task.task.outputs;
+    if (nogood_pool != nullptr) {
+        // Cross-solve learning scope: every parameter that shapes the
+        // CSP is in the name — including the caller's tag for the rule
+        // that drove the subdivision — so two solves share a scope
+        // exactly when they pose the same problem (the model is
+        // deliberately absent — it only enters at the admissibility
+        // stage, after the CSP).
+        problem.nogood_pool = nogood_pool;
+        problem.nogood_scope =
+            task.task.name + "|gen|rule=" + nogood_scope_tag +
+            "|stages=" + std::to_string(tsub.stages()) +
+            "|fix=" + (fix_identity ? "1" : "0") +
+            "|guide=" + std::to_string(static_cast<int>(guidance));
+        problem.pool_var_key = [&tsub, nogood_pool](VertexId v) {
+            return nogood_pool->intern(
+                tsub.stable_position(v), tsub.stable_complex().color(v));
+        };
+    }
     const tasks::Task& inner = task.task;
     problem.allowed = [&inner, &tsub, lru](const Simplex& sigma)
         -> const SimplicialComplex& {

@@ -70,11 +70,24 @@ enum class LtGuidance {
 /// outlive it — and `lru`, when non-null: carrier lookups
 /// (tsub.stable_carrier + the Delta walk) are then memoized through it
 /// (core/eval_cache.h).
-ChromaticMapProblem lt_approximation_problem(const tasks::AffineTask& task,
-                                             const TerminatingSubdivision& tsub,
-                                             bool fix_identity,
-                                             LtGuidance guidance,
-                                             AllowedComplexLru* lru = nullptr);
+///
+/// When `nogood_pool` is non-null, the problem carries the cross-solve
+/// learning hooks (core/nogood_store.h): the scope names the task plus
+/// every problem-shaping parameter (stages, identity fixing, guidance,
+/// and `nogood_scope_tag` — the caller's name for whatever else shaped
+/// `tsub`, e.g. the StableRule that drove it), so re-solves of the same
+/// construction — including scenarios that differ only in their
+/// *model*, which never enters the CSP — share learned conflicts;
+/// literal variables travel as the pool's stable (position, color)
+/// keys, which K(T)'s global registry makes exact. Callers who
+/// materialized `tsub` by any means other than task + stages MUST
+/// encode that in the tag: two different stabilization rules over the
+/// same task pose different CSPs and must not share a scope.
+ChromaticMapProblem lt_approximation_problem(
+    const tasks::AffineTask& task, const TerminatingSubdivision& tsub,
+    bool fix_identity, LtGuidance guidance, AllowedComplexLru* lru = nullptr,
+    SharedNogoodPool* nogood_pool = nullptr,
+    const std::string& nogood_scope_tag = "");
 
 /// The stabilization rule of the pipeline: from depth 2 on, a simplex is
 /// stable when every vertex carrier has dimension >= n - t.

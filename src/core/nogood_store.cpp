@@ -17,29 +17,135 @@ std::size_t nogood_hash(const std::vector<NogoodLiteral>& literals) {
     return seed;
 }
 
+std::size_t portable_hash(
+    const std::vector<SharedNogoodPool::PortableLiteral>& literals) {
+    std::size_t seed = literals.size();
+    for (const SharedNogoodPool::PortableLiteral& l : literals) {
+        gact::hash_combine(seed, l.var_key);
+        gact::hash_combine(seed, l.value);
+    }
+    return seed;
+}
+
 }  // namespace
 
 NogoodStore::NogoodStore(std::size_t capacity) : capacity_(capacity) {}
 
+NogoodStore::NogoodStore(std::size_t capacity, Hasher hasher)
+    : capacity_(capacity), hasher_(std::move(hasher)) {}
+
 bool NogoodStore::record(std::vector<NogoodLiteral> literals) {
     if (literals.empty() || capacity_ == 0) return false;
+    std::sort(literals.begin(), literals.end());
+    literals.erase(std::unique(literals.begin(), literals.end()),
+                   literals.end());
+    // Dedup inside the hash bucket by comparing the canonical literal
+    // vectors: hash equality is a hint, never the verdict. (The previous
+    // hash-only dedup silently dropped a genuinely new nogood on every
+    // collision — sound, since the store only prunes, but an invisible
+    // learning loss that corrupted the recorded/pruning statistics.)
+    // Dedup runs before the capacity gate so a re-derived conflict at a
+    // full store counts as the duplicate it is, not as learning loss —
+    // and the probe is a find(), never operator[], so rejected records
+    // leave no empty bucket behind (the capacity bound must bound the
+    // whole store, including its index).
+    const std::size_t h =
+        hasher_ ? hasher_(literals) : nogood_hash(literals);
+    const auto bucket_it = by_hash_.find(h);
+    if (bucket_it != by_hash_.end()) {
+        for (const std::uint32_t id : bucket_it->second) {
+            if (nogoods_[id] == literals) {
+                ++rejected_as_duplicate_;
+                return false;
+            }
+        }
+    }
     if (nogoods_.size() >= capacity_) {
         ++rejected_at_capacity_;
         return false;
     }
-    std::sort(literals.begin(), literals.end());
-    literals.erase(std::unique(literals.begin(), literals.end()),
-                   literals.end());
-    // Hash-only dedup: a collision drops a genuinely new nogood, which
-    // is always sound (the store only ever prunes, never decides).
-    if (!seen_hashes_.insert(nogood_hash(literals)).second) return false;
 
     const auto id = static_cast<std::uint32_t>(nogoods_.size());
+    by_hash_[h].push_back(id);
     for (const NogoodLiteral& l : literals) {
         watch_[literal_key(l.var, l.value)].push_back(id);
     }
     nogoods_.push_back(std::move(literals));
     return true;
+}
+
+SharedNogoodPool::SharedNogoodPool(std::size_t capacity_per_scope)
+    : capacity_(capacity_per_scope) {}
+
+SharedNogoodPool::VarKeyId SharedNogoodPool::intern(
+    const topo::BaryPoint& position, topo::Color color) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto key = std::make_pair(position, color);
+    const auto it = key_index_.find(key);
+    if (it != key_index_.end()) return it->second;
+    const auto id = static_cast<VarKeyId>(key_index_.size());
+    key_index_.emplace(key, id);
+    return id;
+}
+
+bool SharedNogoodPool::publish(const std::string& scope,
+                               std::vector<PortableLiteral> literals) {
+    if (literals.empty() || capacity_ == 0) return false;
+    std::sort(literals.begin(), literals.end());
+    literals.erase(std::unique(literals.begin(), literals.end()),
+                   literals.end());
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Scope& s = scopes_[scope];
+    const std::size_t h = portable_hash(literals);
+    const auto bucket_it = s.by_hash.find(h);
+    if (bucket_it != s.by_hash.end()) {
+        for (const std::uint32_t id : bucket_it->second) {
+            if (s.nogoods[id] == literals) {
+                ++rejected_as_duplicate_;
+                return false;
+            }
+        }
+    }
+    if (s.nogoods.size() >= capacity_) {
+        ++rejected_at_capacity_;
+        return false;
+    }
+    s.by_hash[h].push_back(static_cast<std::uint32_t>(s.nogoods.size()));
+    s.nogoods.push_back(std::move(literals));
+    ++published_;
+    return true;
+}
+
+void SharedNogoodPool::for_each(
+    const std::string& scope,
+    const std::function<void(const std::vector<PortableLiteral>&)>& fn)
+    const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = scopes_.find(scope);
+    if (it == scopes_.end()) return;
+    for (const std::vector<PortableLiteral>& n : it->second.nogoods) fn(n);
+}
+
+std::size_t SharedNogoodPool::size(const std::string& scope) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = scopes_.find(scope);
+    return it == scopes_.end() ? 0 : it->second.nogoods.size();
+}
+
+std::size_t SharedNogoodPool::published() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return published_;
+}
+
+std::size_t SharedNogoodPool::rejected_as_duplicate() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_as_duplicate_;
+}
+
+std::size_t SharedNogoodPool::rejected_at_capacity() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_at_capacity_;
 }
 
 }  // namespace gact::core

@@ -1,4 +1,5 @@
-// Nogood recording for the forward-checking chromatic-CSP engine.
+// Nogood recording for the forward-checking chromatic-CSP engine, plus
+// the cross-solve pool that lets learned conflicts outlive one solve.
 //
 // A nogood is a set of assignments {v_1 := w_1, .., v_k := w_k} that is
 // provably contradictory: the solver has established that no satisfying
@@ -14,7 +15,9 @@
 // Before trying v := w, the engine asks the store whether that
 // assignment would complete a recorded nogood under the current partial
 // assignment; if so, the branch is pruned without redoing the search
-// work that proved the conflict the first time.
+// work that proved the conflict the first time. The same minimal
+// conflict sets drive the engine's conflict-directed backjumping (see
+// chromatic_csp.h, SolverConfig::backjumping).
 //
 // Soundness: a recorded conflict depends only on the per-solve constants
 // (the constraint complexes and the root-propagated domains) and the
@@ -27,14 +30,21 @@
 // The store is bounded: recording stops at the configured capacity
 // (SolverConfig::nogood_capacity) so pathological searches cannot grow
 // it without bound. Lookup is via a watch index that maps every literal
-// to the nogoods containing it.
+// to the nogoods containing it. Deduplication compares canonicalized
+// literal vectors inside per-hash buckets — hash equality alone is never
+// trusted (a collision used to silently drop a genuinely new nogood).
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "topology/chromatic_complex.h"
+#include "topology/geometry.h"
 #include "topology/simplex.h"
 
 namespace gact::core {
@@ -53,12 +63,18 @@ struct NogoodLiteral {
 };
 
 /// A bounded, deduplicated store of nogoods with per-literal lookup.
-/// Single-threaded: each solver thread owns its own store (portfolio
-/// threads do not share learned conflicts).
+/// Single-threaded: each solver thread owns its own store (cross-thread
+/// and cross-solve sharing go through SharedNogoodPool).
 class NogoodStore {
 public:
+    using Hasher = std::function<std::size_t(const std::vector<NogoodLiteral>&)>;
+
     /// `capacity` == 0 disables the store (record() drops everything).
     explicit NogoodStore(std::size_t capacity);
+
+    /// Test-only: inject a custom hasher (e.g. a constant, to force every
+    /// record into one collision bucket). Dedup must survive any hasher.
+    NogoodStore(std::size_t capacity, Hasher hasher);
 
     /// Record a conflicting assignment set. Literals are canonicalized
     /// (sorted, deduplicated); empty sets, duplicates of stored
@@ -67,17 +83,21 @@ public:
     bool record(std::vector<NogoodLiteral> literals);
 
     /// Would assigning `var := value` complete a stored nogood, given
-    /// the current partial assignment? `value_of(u, out)` must return
-    /// true and set `out` iff vertex `u` is currently assigned. True
-    /// means the extended assignment is provably unsatisfiable and the
-    /// value can be skipped. Templated so the solver's dense value
-    /// tables plug in without indirection; the watch index keeps the
-    /// common no-match case to one hash probe.
+    /// the current partial assignment? Returns the completed nogood's
+    /// literal vector (stable until the next record()), or nullptr.
+    /// `value_of(u, out)` must return true and set `out` iff vertex `u`
+    /// is currently assigned. A non-null result means the extended
+    /// assignment is provably unsatisfiable and the value can be
+    /// skipped; the literals name the assignments responsible (the
+    /// conflict set backjumping consumes). Templated so the solver's
+    /// dense value tables plug in without indirection; the watch index
+    /// keeps the common no-match case to one hash probe.
     template <typename ValueOf>
-    bool blocked(topo::VertexId var, topo::VertexId value,
-                 const ValueOf& value_of) const {
+    const std::vector<NogoodLiteral>* blocking_nogood(
+        topo::VertexId var, topo::VertexId value,
+        const ValueOf& value_of) const {
         const auto it = watch_.find(literal_key(var, value));
-        if (it == watch_.end()) return false;
+        if (it == watch_.end()) return nullptr;
         for (const std::uint32_t id : it->second) {
             bool complete = true;
             for (const NogoodLiteral& l : nogoods_[id]) {
@@ -98,9 +118,16 @@ public:
                     break;
                 }
             }
-            if (complete) return true;
+            if (complete) return &nogoods_[id];
         }
-        return false;
+        return nullptr;
+    }
+
+    /// Boolean view of blocking_nogood().
+    template <typename ValueOf>
+    bool blocked(topo::VertexId var, topo::VertexId value,
+                 const ValueOf& value_of) const {
+        return blocking_nogood(var, value, value_of) != nullptr;
     }
 
     /// Convenience overload over an assignment map (tests, cold paths).
@@ -124,6 +151,16 @@ public:
     std::size_t rejected_at_capacity() const noexcept {
         return rejected_at_capacity_;
     }
+    /// Records dropped as exact duplicates of a stored nogood (literal
+    /// vectors compared, not hashes).
+    std::size_t rejected_as_duplicate() const noexcept {
+        return rejected_as_duplicate_;
+    }
+
+    /// All stored nogoods, in record order (for cross-solve publishing).
+    const std::vector<std::vector<NogoodLiteral>>& all() const noexcept {
+        return nogoods_;
+    }
 
 private:
     static std::uint64_t literal_key(topo::VertexId var,
@@ -132,12 +169,113 @@ private:
     }
 
     std::size_t capacity_ = 0;
+    Hasher hasher_;  // null = the default literal-vector hash
     std::vector<std::vector<NogoodLiteral>> nogoods_;
     /// literal -> indices of nogoods containing it (every literal is
-    /// indexed, so blocked() sees a nogood whichever literal completes
-    /// it last).
+    /// indexed, so blocking_nogood() sees a nogood whichever literal
+    /// completes it last).
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> watch_;
-    std::unordered_set<std::size_t> seen_hashes_;
+    /// hash -> indices of stored nogoods with that hash. Dedup compares
+    /// the canonicalized literal vectors inside the bucket: two distinct
+    /// nogoods may collide, and both must be kept.
+    std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash_;
+    std::size_t rejected_at_capacity_ = 0;
+    std::size_t rejected_as_duplicate_ = 0;
+};
+
+/// A thread-safe pool of learned nogoods shared *across* solves — across
+/// subdivision depths, across portfolio threads' sequential solves, and
+/// across repeated solves of the same construction (e.g. two registry
+/// scenarios differing only in their model).
+///
+/// Portability across vertex re-indexing: per-solve vertex ids change
+/// from one subdivision depth to the next, but the *geometry* of a
+/// vertex — its exact rational position in the base complex plus its
+/// color — does not (the same carrier-keyed idea as AllowedComplexLru).
+/// The pool therefore stores literals with the variable translated to an
+/// interned (position, color) key id; the problem builders
+/// (core/act_solver.h, core/lt_pipeline.h) install the translation
+/// closure on ChromaticMapProblem, and the solver maps key ids back to
+/// the current solve's vertex ids when seeding. A nogood whose variables
+/// do not all exist in the current domain is simply not imported.
+/// Output-side values are raw codomain vertex ids: every solve sharing a
+/// scope maps into the same output complex, whose ids are stable.
+///
+/// Soundness contract — this is the part the caller owns: nogoods are
+/// namespaced by a `scope` string, and every solve publishing into or
+/// seeding from one scope must pose THE SAME constraint problem (same
+/// domain-complex geometry, same codomain, same constraint complexes,
+/// same fixed assignments). The builders derive the scope from the task
+/// name plus every problem-shaping parameter (depth / stages / identity
+/// fixing / guidance), so distinct problems never share a scope unless
+/// two distinct tasks are given the same name. Scopes are compared as
+/// strings — never by hash — for exactly the reason NogoodStore's dedup
+/// was rewritten.
+///
+/// Reused nogoods are pruning-only, so seeding can change backtrack
+/// counts but never a verdict or a witness
+/// (tests/solver_cache_test.cpp asserts this across the registry).
+class SharedNogoodPool {
+public:
+    using VarKeyId = std::uint32_t;
+
+    struct PortableLiteral {
+        VarKeyId var_key = 0;
+        topo::VertexId value = 0;
+
+        bool operator==(const PortableLiteral& o) const noexcept {
+            return var_key == o.var_key && value == o.value;
+        }
+        bool operator<(const PortableLiteral& o) const noexcept {
+            return var_key != o.var_key ? var_key < o.var_key
+                                        : value < o.value;
+        }
+    };
+
+    /// `capacity` caps the nogoods retained per scope (0 disables the
+    /// pool: publish() drops everything and for_each() visits nothing).
+    explicit SharedNogoodPool(std::size_t capacity_per_scope = 1 << 16);
+
+    /// The stable dense id of a (position, color) vertex key, interning
+    /// it on first sight. Ids are process-stable for the lifetime of the
+    /// pool, so portable literals stay comparable across solves.
+    VarKeyId intern(const topo::BaryPoint& position, topo::Color color);
+
+    /// Publish one learned nogood under `scope`. Literals are
+    /// canonicalized; duplicates (compared literal-by-literal inside
+    /// hash buckets) and records past the per-scope capacity are
+    /// dropped. Returns true iff newly stored.
+    bool publish(const std::string& scope,
+                 std::vector<PortableLiteral> literals);
+
+    /// Visit every nogood stored under `scope` (snapshot semantics: the
+    /// visit runs under the pool lock; keep `fn` cheap).
+    void for_each(const std::string& scope,
+                  const std::function<void(
+                      const std::vector<PortableLiteral>&)>& fn) const;
+
+    std::size_t size(const std::string& scope) const;
+    std::size_t capacity_per_scope() const noexcept { return capacity_; }
+    /// Total nogoods accepted across all scopes.
+    std::size_t published() const;
+    /// Publishes dropped as duplicates of an already-pooled nogood.
+    std::size_t rejected_as_duplicate() const;
+    /// Publishes dropped because their scope was full — observable, like
+    /// every other learning-loss path in this header.
+    std::size_t rejected_at_capacity() const;
+
+private:
+    struct Scope {
+        std::vector<std::vector<PortableLiteral>> nogoods;
+        std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t capacity_ = 0;
+    std::map<std::pair<topo::BaryPoint, topo::Color>, VarKeyId> key_index_;
+    std::map<std::string, Scope> scopes_;
+    std::size_t published_ = 0;
+    std::size_t rejected_as_duplicate_ = 0;
     std::size_t rejected_at_capacity_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "core/terminating_subdivision.h"
 
+#include "util/parallel.h"
 #include "util/require.h"
 
 namespace gact::core {
@@ -27,7 +28,8 @@ VertexId TerminatingSubdivision::global_id(
 
 void TerminatingSubdivision::advance(
     const std::function<bool(const SubdividedComplex&, const Simplex&)>&
-        stabilize) {
+        stabilize,
+    unsigned num_threads) {
     require(!stages_.empty(),
             "TerminatingSubdivision: advance on an empty placeholder");
     Stage& current = stages_.back();
@@ -35,11 +37,22 @@ void TerminatingSubdivision::advance(
 
     // Collect Sigma_k: previously stable simplices persist; new ones come
     // from the predicate. Closure under faces is enforced by construction
-    // (SimplicialComplex::add_simplex adds all faces).
-    for (const Simplex& f : cx.complex().facets()) {
-        for (const Simplex& s : f.faces()) {
-            if (current.stable.contains(s)) continue;
-            if (stabilize(cx, s)) current.stable.add_simplex(s);
+    // (SimplicialComplex::add_simplex adds all faces). The predicate scan
+    // is per-facet work over immutable state, so it shards; the selected
+    // faces are merged in facet order, and since the stable set is a
+    // *set*, the merged result is identical to the sequential scan's.
+    const std::vector<Simplex> facets = cx.complex().facets();
+    std::vector<std::vector<Simplex>> selected(facets.size());
+    gact::parallel_for_index(
+        facets.size(), num_threads, [&](std::size_t fi) {
+            for (const Simplex& s : facets[fi].faces()) {
+                if (current.stable.contains(s)) continue;
+                if (stabilize(cx, s)) selected[fi].push_back(s);
+            }
+        });
+    for (const std::vector<Simplex>& faces : selected) {
+        for (const Simplex& s : faces) {
+            if (!current.stable.contains(s)) current.stable.add_simplex(s);
         }
     }
 
@@ -62,7 +75,8 @@ void TerminatingSubdivision::advance(
     const SimplicialComplex& sigma = current.stable;
     Stage next;
     next.complex = cx.chromatic_subdivision_with_termination(
-        [&sigma](const Simplex& t) { return sigma.contains(t); });
+        [&sigma](const Simplex& t) { return sigma.contains(t); },
+        num_threads);
 
     // Sigma_k persists in C_{k+1}: terminated simplices survive with new
     // vertex ids (matched by position + color).

@@ -40,8 +40,17 @@ public:
     /// the current complex selected by `stabilize` (must be closed under
     /// faces together with the already-stable simplices), then build the
     /// next complex by partial chromatic subdivision.
+    ///
+    /// `num_threads > 1` shards the stage into per-facet work units on a
+    /// self-scheduling pool: the stabilization scan and the subdivision
+    /// build (see SubdividedComplex::chromatic_subdivision_with_termination)
+    /// run in parallel, with results merged in facet order — the stage
+    /// produced is bit-identical to the single-threaded one. `stabilize`
+    /// must then be a pure predicate safe for concurrent calls (every
+    /// StableRule is).
     void advance(const std::function<bool(const SubdividedComplex&,
-                                          const Simplex&)>& stabilize);
+                                          const Simplex&)>& stabilize,
+                 unsigned num_threads = 1);
 
     /// Number of stages built (C_0 .. C_{stages()-1}).
     std::size_t stages() const noexcept { return stages_.size(); }

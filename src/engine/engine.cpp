@@ -1,12 +1,11 @@
 #include "engine/engine.h"
 
-#include <atomic>
 #include <numeric>
-#include <thread>
 
 #include "engine/general_route.h"
 #include "engine/stage_clock.h"
 #include "iis/run_enumeration.h"
+#include "util/parallel.h"
 #include "util/require.h"
 
 namespace gact::engine {
@@ -19,7 +18,8 @@ SolveReport solve_wait_free(const Scenario& scenario) {
 
     const auto start = stage_clock_now();
     const core::ActResult act = core::run_act_search(
-        scenario.task, scenario.options.max_depth, scenario.options.solver);
+        scenario.task, scenario.options.max_depth, scenario.options.solver,
+        scenario.options.nogood_pool.get());
     report.timings.push_back({"act-search", millis_since(start)});
 
     report.backtracks_per_depth = act.backtracks_per_depth;
@@ -59,20 +59,31 @@ SolveReport solve_general(const Scenario& scenario) {
         return report;
     }
 
-    // kRadial is exact rational geometry for the n = 2 base only; other
-    // process counts fall back to kNearest (see EngineOptions::guidance
-    // for the contract on non-L_1 3-process geometries).
+    // kRadial is exact rational geometry for the n = 2 base only
+    // (radial_projection_l1 requires it); on any other base the engine
+    // downgrades to the default candidate order and says so, instead of
+    // letting the projection's precondition abort the solve mid-search.
+    // Candidate order only shapes the search, never its verdict, so the
+    // downgrade is safe. (See EngineOptions::guidance for the residual
+    // contract on non-L_1 3-process geometries.)
     core::LtGuidance guidance = scenario.options.guidance;
     if (guidance == core::LtGuidance::kRadial &&
-        scenario.task.num_processes != 3) {
+        scenario.affine->subdivision.base().dimension() != 2) {
         guidance = core::LtGuidance::kNearest;
+        report.warnings.push_back(
+            "radial-projection guidance requested on an n = " +
+            std::to_string(
+                scenario.affine->subdivision.base().dimension()) +
+            " base; the exact projection covers n = 2 only — downgraded "
+            "to nearest-vertex candidate order");
     }
 
     // Stages 1-2: terminating subdivision + simplicial approximation.
     GeneralWitness witness = build_general_witness(
         *scenario.affine, *scenario.options.stable_rule,
         scenario.options.subdivision_stages, scenario.options.fix_identity,
-        guidance, scenario.options.solver);
+        guidance, scenario.options.solver, scenario.options.shard_threads,
+        scenario.options.nogood_pool.get());
     report.timings.push_back(
         {"terminating-subdivision", witness.subdivision_millis});
     report.timings.push_back(
@@ -175,6 +186,7 @@ std::string SolveReport::summary() const {
     for (const StageTiming& t : timings) total_ms += t.millis;
     out += ", " + std::to_string(static_cast<long long>(total_ms)) + " ms";
     if (!detail.empty()) out += " — " + detail;
+    for (const std::string& w : warnings) out += " [warning: " + w + "]";
     return out;
 }
 
@@ -195,37 +207,15 @@ std::vector<SolveReport> Engine::solve_batch(
         return reports;
     }
 
-    // Self-scheduling shard pool: workers pull the next unsolved scenario
-    // off an atomic index, so long solves (an L_t pipeline) overlap short
-    // ones instead of serializing behind a static partition. A worker
-    // error trips the portfolio-style atomic stop and is rethrown after
-    // the join.
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> stop{false};
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(num_threads, scenarios.size()));
-    std::vector<std::exception_ptr> errors(workers);
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&, w] {
-            try {
-                while (!stop.load(std::memory_order_relaxed)) {
-                    const std::size_t i =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= scenarios.size()) break;
-                    reports[i] = solve(scenarios[i]);
-                }
-            } catch (...) {
-                errors[w] = std::current_exception();
-                stop.store(true, std::memory_order_relaxed);
-            }
-        });
-    }
-    for (std::thread& t : pool) t.join();
-    for (const std::exception_ptr& e : errors) {
-        if (e) std::rethrow_exception(e);
-    }
+    // Self-scheduling shard pool (util/parallel.h): workers pull the
+    // next unsolved scenario off an atomic index, so long solves (an L_t
+    // pipeline) overlap short ones instead of serializing behind a
+    // static partition; the first worker error stops the pool and is
+    // rethrown after the join.
+    gact::parallel_for_index(scenarios.size(), num_threads,
+                             [&](std::size_t i) {
+                                 reports[i] = solve(scenarios[i]);
+                             });
     return reports;
 }
 

@@ -63,6 +63,10 @@ struct SolveReport {
     Verdict verdict = Verdict::kUnsupported;
     /// One-line human-readable explanation of the verdict.
     std::string detail;
+    /// Non-fatal adjustments the engine made to keep the solve running
+    /// (e.g. downgrading kRadial guidance on a base the exact projection
+    /// does not cover). Empty on a clean run.
+    std::vector<std::string> warnings;
 
     /// @brief The witness map: eta : Chr^k I -> O (wait-free route) or
     /// delta : K(T) -> L (general route).

@@ -8,15 +8,17 @@ GeneralWitness build_general_witness(const tasks::AffineTask& task,
                                      const StableRule& rule,
                                      std::size_t stages, bool fix_identity,
                                      core::LtGuidance guidance,
-                                     const core::SolverConfig& solver) {
+                                     const core::SolverConfig& solver,
+                                     unsigned shard_threads,
+                                     core::SharedNogoodPool* nogood_pool) {
     GeneralWitness out;
     auto start = stage_clock_now();
     out.tsub = core::TerminatingSubdivision(task.task.inputs);
     for (std::size_t i = 0; i < stages; ++i) {
-        out.tsub.advance([&rule](const core::SubdividedComplex& cx,
-                                 const topo::Simplex& s) {
-            return rule.stable(cx, s);
-        });
+        out.tsub.advance(
+            [&rule](const core::SubdividedComplex& cx,
+                    const topo::Simplex& s) { return rule.stable(cx, s); },
+            shard_threads);
     }
     out.subdivision_millis = millis_since(start);
     if (out.tsub.stable_complex().is_empty()) return out;
@@ -28,7 +30,8 @@ GeneralWitness build_general_witness(const tasks::AffineTask& task,
     const core::ChromaticMapProblem problem =
         core::lt_approximation_problem(
             task, out.tsub, fix_identity, guidance,
-            solver.allowed_lru_capacity > 0 ? &lru : nullptr);
+            solver.allowed_lru_capacity > 0 ? &lru : nullptr, nogood_pool,
+            rule.name());
     const core::ChromaticMapResult result =
         core::solve_chromatic_map(problem, solver);
     out.approximation_millis = millis_since(start);

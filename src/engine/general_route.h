@@ -36,10 +36,24 @@ struct GeneralWitness {
 /// < 2), so build_lt_pipeline's 2 + extra_stages maps to stages here.
 /// If no simplex ever stabilizes, the returned witness has an empty
 /// stable complex and no delta (the CSP is not attempted).
+///
+/// `shard_threads > 1` splits the terminating-subdivision stage into
+/// per-facet work units on a self-scheduling thread pool (the
+/// stabilization scan and the per-parent-facet subdivision build of each
+/// advance; see topology/subdivision.h). The sharded build is
+/// bit-identical to the sequential one — work units are merged in facet
+/// order — so it changes wall clock only. The approximation stage is
+/// parallelized separately by `solver.num_threads` (portfolio race).
+///
+/// `nogood_pool`, when non-null, wires cross-solve conflict reuse into
+/// the approximation CSP (see core::lt_approximation_problem).
 GeneralWitness build_general_witness(const tasks::AffineTask& task,
                                      const StableRule& rule,
                                      std::size_t stages, bool fix_identity,
                                      core::LtGuidance guidance,
-                                     const core::SolverConfig& solver);
+                                     const core::SolverConfig& solver,
+                                     unsigned shard_threads = 1,
+                                     core::SharedNogoodPool* nogood_pool =
+                                         nullptr);
 
 }  // namespace gact::engine

@@ -48,12 +48,30 @@ struct EngineOptions {
 
     /// General route: candidate ordering for the approximation CSP.
     /// kRadial is the exact radial projection of the L_t (n = 2, t = 1)
-    /// geometry: it automatically falls back to kNearest when the task is
-    /// not on 3 processes, but on a *different* 3-process geometry the
-    /// projection's preconditions may not hold and Engine::solve will
-    /// propagate the precondition_error — request kNearest for custom
-    /// affine tasks.
+    /// geometry: on any other base dimension the engine downgrades the
+    /// request to the default ordering and records the downgrade in
+    /// SolveReport::warnings instead of aborting mid-solve. On a
+    /// *different* 3-process geometry the projection's preconditions may
+    /// still not hold and Engine::solve will propagate the
+    /// precondition_error — request kNearest for custom affine tasks.
     core::LtGuidance guidance = core::LtGuidance::kNearest;
+
+    /// @brief Cross-solve nogood reuse (core/nogood_store.h): when set,
+    /// every CSP the scenario runs seeds from and publishes to this pool
+    /// under a scope derived from the problem's identity, so repeated
+    /// solves of the same construction — re-runs, equivalence sweeps,
+    /// scenarios differing only in their model — skip conflicts already
+    /// proven. Share one pool across scenarios freely: scoping keeps
+    /// distinct problems apart. Null disables reuse. Verdict- and
+    /// witness-preserving (pruning only).
+    std::shared_ptr<core::SharedNogoodPool> nogood_pool;
+
+    /// @brief Intra-scenario sharding (general route): split each
+    /// terminating-subdivision stage into per-facet work units across
+    /// this many self-scheduling threads. Bit-identical to 1-thread
+    /// builds; wall clock only. (The approximation CSP parallelizes
+    /// separately via solver.num_threads.)
+    unsigned shard_threads = 1;
 
     /// General route: depth of the arbitrary-schedule prefix of the
     /// enumerated compact run families M_D (iis/run_enumeration.h).

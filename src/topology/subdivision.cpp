@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "topology/combinatorics.h"
+#include "util/parallel.h"
 
 namespace gact::topo {
 
@@ -14,84 +15,137 @@ SubdividedComplex SubdividedComplex::identity(const ChromaticComplex& base) {
     VertexId max_id = 0;
     for (VertexId v : verts) max_id = std::max(max_id, v);
     out.position_.resize(verts.empty() ? 0 : max_id + 1);
-    for (VertexId v : verts) out.position_[v] = BaryPoint::vertex(v);
+    for (VertexId v : verts) {
+        out.position_[v] = BaryPoint::vertex(v);
+        out.position_index_.emplace(
+            std::make_pair(out.position_[v], base.color(v)), v);
+    }
     out.depth_ = 0;
     return out;
 }
 
-SubdividedComplex SubdividedComplex::chromatic_subdivision() const {
-    return subdivide_impl([](const Simplex&) { return false; });
+SubdividedComplex SubdividedComplex::chromatic_subdivision(
+    unsigned num_threads) const {
+    return subdivide_impl([](const Simplex&) { return false; },
+                          num_threads);
 }
 
 SubdividedComplex SubdividedComplex::chromatic_subdivision_with_termination(
-    const std::function<bool(const Simplex&)>& terminated) const {
-    return subdivide_impl(terminated);
+    const std::function<bool(const Simplex&)>& terminated,
+    unsigned num_threads) const {
+    return subdivide_impl(terminated, num_threads);
 }
 
 SubdividedComplex SubdividedComplex::subdivide_impl(
-    const std::function<bool(const Simplex&)>& terminated) const {
+    const std::function<bool(const Simplex&)>& terminated,
+    unsigned num_threads) const {
     SubdividedComplex out;
     out.base_ = base_;
     out.depth_ = depth_ + 1;
 
+    using Key = std::pair<VertexId, Simplex>;
+
     // Key for a subdivision vertex: the pair (p, tau) with the collapse
     // rule of Section 6.1 applied: a terminated non-singleton tau collapses
     // the pair onto (p, {p}).
-    const auto canonical_key =
-        [&](VertexId p, const Simplex& tau) -> std::pair<VertexId, Simplex> {
+    const auto canonical_key = [&](VertexId p, const Simplex& tau) -> Key {
         if (tau.size() > 1 && terminated(tau)) return {p, Simplex{p}};
         return {p, tau};
     };
 
-    std::unordered_map<VertexId, Color> colors;
-    const auto intern = [&](VertexId p,
-                            const Simplex& tau) -> VertexId {
-        const auto key = canonical_key(p, tau);
-        const auto it = out.vertex_index_.find(key);
-        if (it != out.vertex_index_.end()) return it->second;
-        const VertexId id = static_cast<VertexId>(out.position_.size());
-        out.vertex_index_.emplace(key, id);
-
-        // Geometric position per Section 3.2; a singleton tau keeps the
-        // parent vertex's position.
-        const Simplex& t = key.second;
-        if (t.size() == 1) {
-            out.position_.push_back(position(p));
-        } else {
-            const auto k = static_cast<std::int64_t>(t.size());
-            std::vector<BaryPoint> pts;
-            std::vector<Rational> weights;
-            pts.push_back(position(p));
-            weights.emplace_back(1, 2 * k - 1);
-            for (VertexId q : t.vertices()) {
-                if (q == p) continue;
-                pts.push_back(position(q));
-                weights.emplace_back(2, 2 * k - 1);
-            }
-            out.position_.push_back(BaryPoint::combination(pts, weights));
+    // Phase 1 — generate the facets of the (partial) subdivision as
+    // canonical-key tuples, one work unit per parent facet: for every
+    // ordered partition of the parent's vertices, the simplex of pairs
+    // (v, prefix-union up to v's block), collapsed where terminated.
+    // Pure reads of immutable state, so the units shard across threads;
+    // the partition tables are precomputed once per facet size instead
+    // of per facet.
+    const std::vector<Simplex> parents = complex_.facets();
+    std::map<std::size_t, std::vector<OrderedIndexPartition>>
+        partitions_by_size;
+    for (const Simplex& parent : parents) {
+        const std::size_t n = parent.size();
+        if (partitions_by_size.find(n) == partitions_by_size.end()) {
+            partitions_by_size.emplace(n, ordered_partitions(n));
         }
-        out.provenance_.push_back(Provenance{p, t});
-        colors[id] = complex_.color(p);
-        return id;
-    };
-
-    // Generate the facets of the (partial) subdivision: for every parent
-    // facet and every ordered partition of its vertices, the simplex of
-    // pairs (v, prefix-union up to v's block), collapsed where terminated.
-    std::vector<Simplex> facets;
-    for (const Simplex& parent : complex_.facets()) {
-        const std::vector<VertexId>& pv = parent.vertices();
-        for (const OrderedIndexPartition& part : ordered_partitions(pv.size())) {
-            std::vector<VertexId> verts;
-            verts.reserve(pv.size());
+    }
+    std::vector<std::vector<std::vector<Key>>> generated(parents.size());
+    parallel_for_index(parents.size(), num_threads, [&](std::size_t pi) {
+        const std::vector<VertexId>& pv = parents[pi].vertices();
+        const std::vector<OrderedIndexPartition>& parts =
+            partitions_by_size.at(pv.size());
+        std::vector<std::vector<Key>>& facet_keys = generated[pi];
+        facet_keys.reserve(parts.size());
+        for (const OrderedIndexPartition& part : parts) {
+            std::vector<Key> keys;
+            keys.reserve(pv.size());
             Simplex prefix;
             for (const std::vector<std::size_t>& block : part) {
                 for (std::size_t i : block) prefix = prefix.with(pv[i]);
-                for (std::size_t i : block) verts.push_back(intern(pv[i], prefix));
+                for (std::size_t i : block) {
+                    keys.push_back(canonical_key(pv[i], prefix));
+                }
             }
+            facet_keys.push_back(std::move(keys));
+        }
+    });
+
+    // Phase 2 — intern the keys in (parent, partition, block) order:
+    // first-occurrence order, and with it every vertex id, matches the
+    // sequential build exactly whatever num_threads was. Geometry is
+    // deferred to phase 3 so the exact rational arithmetic also shards.
+    std::unordered_map<VertexId, Color> colors;
+    std::vector<Simplex> facets;
+    std::vector<const Key*> key_of;  // new vertex id -> its map key
+    const auto intern = [&](const Key& key) -> VertexId {
+        const auto it = out.vertex_index_.find(key);
+        if (it != out.vertex_index_.end()) return it->second;
+        const VertexId id = static_cast<VertexId>(key_of.size());
+        const auto inserted = out.vertex_index_.emplace(key, id).first;
+        key_of.push_back(&inserted->first);  // map nodes are stable
+        out.provenance_.push_back(Provenance{key.first, key.second});
+        colors[id] = complex_.color(key.first);
+        return id;
+    };
+    for (const std::vector<std::vector<Key>>& facet_keys : generated) {
+        for (const std::vector<Key>& keys : facet_keys) {
+            std::vector<VertexId> verts;
+            verts.reserve(keys.size());
+            for (const Key& key : keys) verts.push_back(intern(key));
             facets.emplace_back(std::move(verts));
         }
     }
+
+    // Phase 3 — exact positions per Section 3.2, one work unit per new
+    // vertex (a singleton tau keeps the parent vertex's position), then
+    // the (position, color) index, inserted in ascending id order so
+    // find_vertex keeps returning the smallest matching id.
+    out.position_.resize(key_of.size());
+    parallel_for_index(key_of.size(), num_threads, [&](std::size_t id) {
+        const auto& [p, t] = *key_of[id];
+        if (t.size() == 1) {
+            out.position_[id] = position(p);
+            return;
+        }
+        const auto k = static_cast<std::int64_t>(t.size());
+        std::vector<BaryPoint> pts;
+        std::vector<Rational> weights;
+        pts.push_back(position(p));
+        weights.emplace_back(1, 2 * k - 1);
+        for (VertexId q : t.vertices()) {
+            if (q == p) continue;
+            pts.push_back(position(q));
+            weights.emplace_back(2, 2 * k - 1);
+        }
+        out.position_[id] = BaryPoint::combination(pts, weights);
+    });
+    for (std::size_t id = 0; id < out.position_.size(); ++id) {
+        out.position_index_.emplace(
+            std::make_pair(out.position_[id],
+                           colors.at(static_cast<VertexId>(id))),
+            static_cast<VertexId>(id));
+    }
+
     std::sort(facets.begin(), facets.end());
     facets.erase(std::unique(facets.begin(), facets.end()), facets.end());
 
@@ -134,6 +188,8 @@ SubdividedComplex SubdividedComplex::barycentric_subdivision() const {
         out.vertex_index_.emplace(
             std::make_pair(sigma.vertices().front(), sigma), id);
         colors[id] = static_cast<Color>(sigma.dimension());
+        out.position_index_.emplace(
+            std::make_pair(out.position_.back(), colors[id]), id);
         return id;
     };
 
@@ -199,13 +255,9 @@ VertexId SubdividedComplex::vertex_for(VertexId parent_vertex,
 
 std::optional<VertexId> SubdividedComplex::find_vertex(
     const BaryPoint& position, Color color) const {
-    for (VertexId v = 0; v < position_.size(); ++v) {
-        if (position_[v] == position && complex_.contains_vertex(v) &&
-            complex_.color(v) == color) {
-            return v;
-        }
-    }
-    return std::nullopt;
+    const auto it = position_index_.find(std::make_pair(position, color));
+    if (it == position_index_.end()) return std::nullopt;
+    return it->second;
 }
 
 Simplex SubdividedComplex::facet_for_partition(

@@ -38,7 +38,9 @@ public:
     static SubdividedComplex identity(const ChromaticComplex& base);
 
     /// One standard chromatic subdivision step applied to this complex.
-    SubdividedComplex chromatic_subdivision() const;
+    /// `num_threads > 1` shards the build into per-parent-facet work
+    /// units (see chromatic_subdivision_with_termination).
+    SubdividedComplex chromatic_subdivision(unsigned num_threads = 1) const;
 
     /// One *partial* chromatic subdivision step (Section 6.1): simplices
     /// for which `terminated` returns true are not subdivided. A vertex
@@ -46,8 +48,18 @@ public:
     /// parent vertex p; facets are the images of the ordinary Chr facets
     /// under this collapse. `terminated` must be closed under faces on the
     /// simplices where it returns true (a subcomplex predicate).
+    ///
+    /// `num_threads > 1` shards the build across a self-scheduling pool
+    /// in per-parent-facet work units: facet-key generation and the
+    /// exact rational vertex geometry run in parallel, with vertex
+    /// interning merged in the sequential build's enumeration order —
+    /// the result (every vertex id, facet, position, provenance) is
+    /// bit-identical to the single-threaded build. `terminated` must
+    /// then be safe for concurrent calls (a pure predicate over an
+    /// immutable complex is).
     SubdividedComplex chromatic_subdivision_with_termination(
-        const std::function<bool(const Simplex&)>& terminated) const;
+        const std::function<bool(const Simplex&)>& terminated,
+        unsigned num_threads = 1) const;
 
     /// k iterated chromatic subdivisions of the base complex.
     static SubdividedComplex iterated_chromatic(const ChromaticComplex& base,
@@ -92,7 +104,11 @@ public:
     VertexId vertex_for(VertexId parent_vertex,
                         const Simplex& parent_simplex) const;
 
-    /// Looks up a vertex by exact position and color.
+    /// Looks up a vertex by exact position and color. O(log n) through
+    /// the maintained (position, color) index — the terminating
+    /// subdivision's stable-persistence pass calls this once per stable
+    /// vertex per stage, and the index is what keeps heavy stages (L_t
+    /// at n = 3) from going quadratic in the stage complex.
     std::optional<VertexId> find_vertex(const BaryPoint& position,
                                         Color color) const;
 
@@ -117,13 +133,18 @@ public:
 
 private:
     SubdividedComplex subdivide_impl(
-        const std::function<bool(const Simplex&)>& terminated) const;
+        const std::function<bool(const Simplex&)>& terminated,
+        unsigned num_threads) const;
 
     ChromaticComplex base_;
     ChromaticComplex complex_;
     std::vector<BaryPoint> position_;           // indexed by VertexId
     std::vector<Provenance> provenance_;        // indexed by VertexId
     std::map<std::pair<VertexId, Simplex>, VertexId> vertex_index_;
+    /// (position, color) -> smallest vertex id there; kept in lockstep
+    /// with position_ so find_vertex is a map probe, not a linear scan
+    /// with exact rational comparisons per candidate.
+    std::map<std::pair<BaryPoint, Color>, VertexId> position_index_;
     int depth_ = 0;
 };
 

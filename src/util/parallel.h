@@ -1,0 +1,61 @@
+// A self-scheduling parallel-for over an index range.
+//
+// The library's parallelism is all the same shape: N independent work
+// units, workers pulling the next unit off an atomic counter so long
+// units overlap short ones instead of serializing behind a static
+// partition (the Engine::solve_batch shard pool introduced the pattern;
+// the terminating-subdivision sharding reuses it per facet). This header
+// is that shape, once: deterministic results are the caller's business —
+// write into preallocated per-index slots and merge in index order.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace gact {
+
+/// Run `fn(i)` for every i in [0, n), sharded across `num_threads`
+/// workers by a self-scheduling atomic index. With num_threads <= 1 (or
+/// fewer than two units) the loop runs inline — byte-for-byte the
+/// sequential behavior, no threads spawned. `fn` must be safe to call
+/// concurrently on distinct indices; the first exception thrown by any
+/// worker stops the pool and is rethrown to the caller.
+template <typename Fn>
+void parallel_for_index(std::size_t n, unsigned num_threads, Fn&& fn) {
+    if (num_threads <= 1 || n < 2) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(num_threads, n));
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            try {
+                while (!stop.load(std::memory_order_relaxed)) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= n) break;
+                    fn(i);
+                }
+            } catch (...) {
+                errors[w] = std::current_exception();
+                stop.store(true, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors) {
+        if (e) std::rethrow_exception(e);
+    }
+}
+
+}  // namespace gact

@@ -136,6 +136,30 @@ TEST(Engine, NonAffineGeneralModelIsUnsupported) {
     EXPECT_NE(report.detail.find("Res_1"), std::string::npos);
 }
 
+TEST(Engine, RadialGuidanceDowngradesWithAWarningOffTheN2Base) {
+    // radial_projection_l1 is exact for the n = 2 base only; requesting
+    // kRadial on an n = 3 affine task must not abort the solve mid-way
+    // (the projection's require() used to fire from inside the candidate
+    // closure) — the engine downgrades to the default candidate order
+    // and records a warning in the report.
+    Scenario s = Scenario::general(
+        "is-3-of1-radial", tasks::immediate_snapshot_task(3),
+        std::make_shared<iis::ObstructionFreeModel>(1),
+        std::make_shared<UniformDepthRule>(1));
+    s.options.subdivision_stages = 2;
+    s.options.guidance = core::LtGuidance::kRadial;
+    const SolveReport report = engine().solve(s);
+    EXPECT_EQ(report.verdict, Verdict::kSolvable) << report.summary();
+    ASSERT_EQ(report.warnings.size(), 1u);
+    EXPECT_NE(report.warnings[0].find("radial"), std::string::npos);
+    EXPECT_NE(report.warnings[0].find("n = 3"), std::string::npos);
+    EXPECT_NE(report.summary().find("warning"), std::string::npos);
+
+    // On the n = 2 base the request is honored: no warning.
+    const SolveReport ok = engine().solve(registry_scenario("lt-2-1-res1"));
+    EXPECT_TRUE(ok.warnings.empty());
+}
+
 // --- (iii) solve_batch == sequential in any shard order -----------------
 
 TEST(Engine, BatchMatchesSequentialInAnyShardOrder) {

@@ -1,9 +1,12 @@
-// The memoization layers must be invisible except in wall time: for
-// every scenario in the standard registry, solving with the evaluation
-// cache and/or nogood learning toggled must produce the identical
-// SolveReport verdict and witness as the plain PR-2 forward-checking
-// engine. Plus unit coverage for the bounded NogoodStore and the
-// EvalCache/AllowedComplexLru capacity behavior.
+// The solver's incremental layers must be invisible except in wall
+// time: for every scenario in the standard registry, solving with the
+// evaluation cache, nogood learning, conflict-directed backjumping,
+// and/or the cross-solve SharedNogoodPool toggled must produce the
+// identical SolveReport verdict and witness as the plain PR-2
+// forward-checking engine. Plus unit coverage for the bounded
+// NogoodStore (including the hash-collision dedup regression), the
+// SharedNogoodPool, the EvalCache/AllowedComplexLru capacity behavior,
+// and the portfolio counter-merge audit.
 #include <gtest/gtest.h>
 
 #include "core/act_solver.h"
@@ -18,13 +21,16 @@ namespace {
 
 using core::NogoodLiteral;
 using core::NogoodStore;
+using core::SharedNogoodPool;
 
-// --- property: cache/nogood toggles never change verdicts or witnesses --
+// --- property: solver-layer toggles never change verdicts or witnesses --
 
-core::SolverConfig with_layers(bool eval_cache, bool nogoods) {
+core::SolverConfig with_layers(bool eval_cache, bool nogoods,
+                               bool backjumping = false) {
     core::SolverConfig c = core::SolverConfig::fast();
     c.eval_cache = eval_cache;
     c.nogood_learning = nogoods;
+    c.backjumping = backjumping;
     if (!eval_cache) c.allowed_lru_capacity = 0;
     return c;
 }
@@ -71,6 +77,115 @@ TEST(SolverCacheProperty, LayersPreserveEveryRegistryVerdictAndWitness) {
         scenario.options.solver = with_layers(false, true);
         expect_equivalent(plain, eng.solve(scenario),
                           spec.name + " [nogoods]");
+
+        // Conflict-directed backjumping, alone and with learning on (so
+        // exhausted-level conflict sets are recorded as nogoods too).
+        scenario.options.solver = with_layers(false, false, true);
+        expect_equivalent(plain, eng.solve(scenario),
+                          spec.name + " [backjump]");
+
+        scenario.options.solver = with_layers(true, true, true);
+        expect_equivalent(plain, eng.solve(scenario),
+                          spec.name + " [cache+nogoods+backjump]");
+    }
+}
+
+TEST(SolverCacheProperty, SharedPoolPreservesEveryRegistryVerdictAndWitness) {
+    // Cross-solve reuse is pruning-only: a scenario solved cold, then
+    // twice more against the pool its first solve populated, must report
+    // the identical verdict and witness every time — and all of it must
+    // match the pool-less plain solve.
+    const engine::Engine eng;
+    for (const auto& spec : engine::ScenarioRegistry::standard().specs()) {
+        if (spec.heavy) continue;
+        engine::Scenario scenario = spec.make();
+        scenario.name = spec.name;
+
+        scenario.options.solver = with_layers(false, false);
+        const engine::SolveReport plain = eng.solve(scenario);
+
+        scenario.options.nogood_pool =
+            std::make_shared<SharedNogoodPool>();
+        scenario.options.solver = core::SolverConfig::fast();
+        expect_equivalent(plain, eng.solve(scenario),
+                          spec.name + " [pool cold]");
+        expect_equivalent(plain, eng.solve(scenario),
+                          spec.name + " [pool warm 1]");
+        expect_equivalent(plain, eng.solve(scenario),
+                          spec.name + " [pool warm 2]");
+    }
+}
+
+// --- the portfolio counter-merge audit ----------------------------------
+
+/// A problem whose search is identical on every portfolio thread:
+/// singleton per-vertex domains (one color-matching codomain vertex
+/// each), so the per-thread value shuffle is the identity and every
+/// thread performs the exact same backtracks. The reported counters must
+/// then equal the single-thread run's for ANY thread count — the old
+/// merge summed losing threads' partially-updated counters into the
+/// settled total, making it grow with the thread count.
+TEST(PortfolioMerge, CountersAreThreadCountIndependentOnDeterministicRaces) {
+    using topo::ChromaticComplex;
+    using topo::Simplex;
+    using topo::SimplicialComplex;
+
+    // UNSAT: an edge must map to an edge, but the codomain's two
+    // color-matching vertices span none.
+    const ChromaticComplex domain(
+        SimplicialComplex::from_facets({Simplex{0, 1}}),
+        {{0, 0}, {1, 1}});
+    const ChromaticComplex no_edge(
+        SimplicialComplex::from_facets({Simplex{10}, Simplex{11}}),
+        {{10, 0}, {11, 1}});
+    core::ChromaticMapProblem unsat;
+    unsat.domain = &domain;
+    unsat.codomain = &no_edge;
+    unsat.allowed = [&no_edge](const Simplex&) -> const SimplicialComplex& {
+        return no_edge.complex();
+    };
+
+    // SAT: the same edge with the edge present — settles witness {0->10,
+    // 1->11} with zero backtracks on every thread.
+    const ChromaticComplex edge(
+        SimplicialComplex::from_facets({Simplex{10, 11}}),
+        {{10, 0}, {11, 1}});
+    core::ChromaticMapProblem sat;
+    sat.domain = &domain;
+    sat.codomain = &edge;
+    sat.allowed = [&edge](const Simplex&) -> const SimplicialComplex& {
+        return edge.complex();
+    };
+
+    const auto single_unsat =
+        core::solve_chromatic_map(unsat, core::SolverConfig::fast());
+    EXPECT_FALSE(single_unsat.map.has_value());
+    EXPECT_TRUE(single_unsat.exhausted);
+    EXPECT_GT(single_unsat.backtracks, 0u);
+
+    const auto single_sat =
+        core::solve_chromatic_map(sat, core::SolverConfig::fast());
+    ASSERT_TRUE(single_sat.map.has_value());
+    EXPECT_EQ(single_sat.backtracks, 0u);
+
+    for (unsigned threads : {2u, 4u}) {
+        const auto racy_unsat = core::solve_chromatic_map(
+            unsat, core::SolverConfig::portfolio(threads));
+        EXPECT_FALSE(racy_unsat.map.has_value());
+        EXPECT_TRUE(racy_unsat.exhausted);
+        EXPECT_EQ(racy_unsat.backtracks, single_unsat.backtracks)
+            << "x" << threads
+            << ": the merge must report the settling thread's coherent "
+               "count, not a sum over stopped threads";
+        EXPECT_EQ(racy_unsat.nogoods_recorded,
+                  single_unsat.nogoods_recorded)
+            << "x" << threads;
+
+        const auto racy_sat = core::solve_chromatic_map(
+            sat, core::SolverConfig::portfolio(threads));
+        ASSERT_TRUE(racy_sat.map.has_value());
+        EXPECT_EQ(racy_sat.map->vertex_map(), single_sat.map->vertex_map());
+        EXPECT_EQ(racy_sat.backtracks, 0u) << "x" << threads;
     }
 }
 
@@ -143,6 +258,90 @@ TEST(NogoodStore, ZeroCapacityDisablesRecording) {
     NogoodStore store(0);
     EXPECT_FALSE(store.record({{1, 1}}));
     EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(NogoodStore, HashCollisionMustNotDropADistinctNogood) {
+    // Regression: the store used to dedup by hash alone, so two distinct
+    // nogoods whose literal vectors collide were treated as duplicates
+    // and the second silently rejected — invisible learning loss. Force
+    // every record into one bucket with a constant hasher: dedup must
+    // survive on literal-vector comparison.
+    NogoodStore store(16, [](const std::vector<NogoodLiteral>&) {
+        return std::size_t{42};
+    });
+    EXPECT_TRUE(store.record({{1, 10}, {2, 20}}));
+    // A genuinely different nogood, same (forced) hash: must be kept.
+    EXPECT_TRUE(store.record({{3, 30}, {4, 40}}));
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.rejected_as_duplicate(), 0u);
+
+    // Both survive and both block.
+    std::unordered_map<topo::VertexId, topo::VertexId> assignment{{2, 20}};
+    EXPECT_TRUE(store.blocked(1, 10, assignment));
+    assignment = {{4, 40}};
+    EXPECT_TRUE(store.blocked(3, 30, assignment));
+
+    // True duplicates are still rejected, and now observably counted.
+    EXPECT_FALSE(store.record({{2, 20}, {1, 10}}));
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_EQ(store.rejected_as_duplicate(), 1u);
+}
+
+// --- SharedNogoodPool unit coverage -------------------------------------
+
+TEST(SharedNogoodPool, InternsStableKeysAndScopesNogoods) {
+    SharedNogoodPool pool(8);
+    const auto p0 = topo::BaryPoint::vertex(0);
+    const auto p1 = topo::BaryPoint::vertex(1);
+    const auto k0 = pool.intern(p0, 0);
+    const auto k1 = pool.intern(p1, 1);
+    EXPECT_NE(k0, k1);
+    EXPECT_EQ(pool.intern(p0, 0), k0);  // stable across calls
+    // Same position, different color: a different key.
+    EXPECT_NE(pool.intern(p0, 1), k0);
+
+    EXPECT_TRUE(pool.publish("task-a", {{k0, 10}, {k1, 11}}));
+    // Duplicate (any literal order) is rejected by comparison.
+    EXPECT_FALSE(pool.publish("task-a", {{k1, 11}, {k0, 10}}));
+    EXPECT_EQ(pool.rejected_as_duplicate(), 1u);
+    // The same literals under another scope are independent.
+    EXPECT_TRUE(pool.publish("task-b", {{k0, 10}, {k1, 11}}));
+    EXPECT_EQ(pool.size("task-a"), 1u);
+    EXPECT_EQ(pool.size("task-b"), 1u);
+    EXPECT_EQ(pool.size("task-c"), 0u);
+
+    std::size_t visited = 0;
+    pool.for_each("task-a", [&](const auto& literals) {
+        ++visited;
+        ASSERT_EQ(literals.size(), 2u);
+        EXPECT_EQ(literals[0].var_key, k0);
+        EXPECT_EQ(literals[0].value, 10u);
+    });
+    EXPECT_EQ(visited, 1u);
+}
+
+TEST(SharedNogoodPool, CapacityCapsEachScope) {
+    SharedNogoodPool pool(2);
+    const auto k = pool.intern(topo::BaryPoint::vertex(0), 0);
+    EXPECT_TRUE(pool.publish("s", {{k, 1}}));
+    EXPECT_TRUE(pool.publish("s", {{k, 2}}));
+    EXPECT_FALSE(pool.publish("s", {{k, 3}}));  // at capacity
+    EXPECT_EQ(pool.size("s"), 2u);
+    EXPECT_EQ(pool.rejected_at_capacity(), 1u);
+    // A duplicate at capacity still counts as the duplicate it is.
+    EXPECT_FALSE(pool.publish("s", {{k, 1}}));
+    EXPECT_EQ(pool.rejected_as_duplicate(), 1u);
+    EXPECT_EQ(pool.rejected_at_capacity(), 1u);
+    // Another scope has its own budget.
+    EXPECT_TRUE(pool.publish("t", {{k, 3}}));
+}
+
+TEST(SharedNogoodPool, ZeroCapacityDisablesThePool) {
+    SharedNogoodPool pool(0);
+    const auto k = pool.intern(topo::BaryPoint::vertex(0), 0);
+    EXPECT_FALSE(pool.publish("s", {{k, 1}}));
+    EXPECT_EQ(pool.size("s"), 0u);
+    EXPECT_EQ(pool.published(), 0u);
 }
 
 // --- EvalCache / AllowedComplexLru capacity behavior --------------------

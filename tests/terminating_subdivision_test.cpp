@@ -126,5 +126,56 @@ TEST(TerminatingSubdivision, EmptyPlaceholderRejectsAdvance) {
     EXPECT_THROW(t.advance(kNothing), precondition_error);
 }
 
+TEST(TerminatingSubdivision, ShardedAdvanceIsBitIdenticalToSequential) {
+    // Per-facet sharding is a wall-clock knob only: every stage complex,
+    // stable set, global id, and position must match the 1-thread build
+    // exactly (work units are merged in facet order).
+    const auto lt_rule = [](const SubdividedComplex& cx, const Simplex& s) {
+        if (cx.depth() < 2) return false;
+        for (VertexId v : s.vertices()) {
+            if (cx.carrier(v).dimension() < 1) return false;
+        }
+        return true;
+    };
+    TerminatingSubdivision seq(topo::ChromaticComplex::standard_simplex(2));
+    TerminatingSubdivision par(topo::ChromaticComplex::standard_simplex(2));
+    for (int i = 0; i < 4; ++i) {
+        seq.advance(lt_rule, 1);
+        par.advance(lt_rule, 4);
+    }
+    ASSERT_EQ(seq.stages(), par.stages());
+    for (std::size_t k = 0; k < seq.stages(); ++k) {
+        EXPECT_EQ(seq.complex_at(k).complex().complex(),
+                  par.complex_at(k).complex().complex())
+            << "stage " << k;
+        EXPECT_EQ(seq.stable_at(k), par.stable_at(k)) << "stage " << k;
+    }
+    EXPECT_EQ(seq.stable_complex().complex(), par.stable_complex().complex());
+    for (VertexId v : seq.stable_complex().vertex_ids()) {
+        EXPECT_EQ(seq.stable_position(v), par.stable_position(v));
+        EXPECT_EQ(seq.stable_complex().color(v),
+                  par.stable_complex().color(v));
+    }
+}
+
+TEST(TerminatingSubdivision, ShardedPlainSubdivisionMatchesSequential) {
+    const auto base = topo::ChromaticComplex::standard_simplex(2);
+    const auto seq = topo::SubdividedComplex::identity(base)
+                         .chromatic_subdivision(1)
+                         .chromatic_subdivision(1);
+    const auto par = topo::SubdividedComplex::identity(base)
+                         .chromatic_subdivision(3)
+                         .chromatic_subdivision(3);
+    EXPECT_EQ(seq.complex().complex(), par.complex().complex());
+    for (VertexId v : seq.complex().vertex_ids()) {
+        EXPECT_EQ(seq.position(v), par.position(v));
+        EXPECT_EQ(seq.complex().color(v), par.complex().color(v));
+        EXPECT_EQ(seq.provenance(v).parent_vertex,
+                  par.provenance(v).parent_vertex);
+        EXPECT_EQ(seq.provenance(v).parent_simplex,
+                  par.provenance(v).parent_simplex);
+    }
+}
+
 }  // namespace
 }  // namespace gact::core
