@@ -22,12 +22,21 @@
 //   warm re-solve    — the shipped engine re-solving with a
 //                      SharedNogoodPool its own cold run populated
 //                      (cross-solve nogood reuse);
-//   portfolio x2     — two diversified shipped searches racing.
+//   portfolio x2     — two diversified shipped searches racing (the
+//                      shipped race now trades nogoods mid-flight:
+//                      SolverConfig::live_exchange).
+// After the cells, a dedicated exchange-ablation section races the
+// free-R_0 *unguided* instance with the mid-flight exchange off vs on —
+// the one report instance whose race runs long enough for the trade to
+// reach the settling thread (see the section comment).
 // Rows report found/exhausted, backtracks, backjumps, nogood
-// prunings/recordings, pool seeding, cache hit rates, and wall time; the
-// summary lines compare naive vs the shipped engine (backtracks), FC vs
-// the layered engines (wall time), backjump-off vs -on (backtracks —
-// strictly fewer is the PR-4 acceptance bar), and cold vs warm (reuse).
+// prunings/recordings, pool seeding, exchange traffic, cache hit rates,
+// and wall time; the summary lines compare naive vs the shipped engine
+// (backtracks), FC vs the layered engines (wall time), backjump-off vs
+// -on (backtracks — strictly fewer is the PR-4 acceptance bar), cold vs
+// warm (reuse), and the portfolio with the exchange off vs on (the PR-5
+// mid-flight number; CI fails on a regression past the race-noise
+// slack).
 //
 // Usage: bench_csp_ablation [extra_stages] [gbench args...]
 // `extra_stages` (default 2) is the number of stabilization stages past
@@ -85,15 +94,9 @@ const Instance& instance() {
 
 struct Cell {
     bool found = false;
-    std::size_t backtracks = 0;
     bool exhausted = false;
     double millis = 0.0;
-    std::size_t backjumps = 0;
-    std::size_t nogood_prunings = 0;
-    std::size_t nogoods_recorded = 0;
-    std::size_t pool_seeded = 0;
-    std::size_t cache_hits = 0;
-    std::size_t cache_misses = 0;
+    core::SearchCounters counters;
 };
 
 Cell run_cell(const ChromaticMapProblem& problem, const SolverConfig& config) {
@@ -102,34 +105,34 @@ Cell run_cell(const ChromaticMapProblem& problem, const SolverConfig& config) {
     const auto end = std::chrono::steady_clock::now();
     Cell cell;
     cell.found = result.map.has_value();
-    cell.backtracks = result.backtracks;
     cell.exhausted = result.exhausted;
     cell.millis =
         std::chrono::duration<double, std::milli>(end - start).count();
-    cell.backjumps = result.backjumps;
-    cell.nogood_prunings = result.nogood_prunings;
-    cell.nogoods_recorded = result.nogoods_recorded;
-    cell.pool_seeded = result.pool_seeded;
-    cell.cache_hits = result.eval_cache_hits;
-    cell.cache_misses = result.eval_cache_misses;
+    cell.counters = result.counters;
     return cell;
 }
 
 void print_cell(const char* engine, const Cell& c) {
+    const core::SearchCounters& n = c.counters;
     std::cout << "    " << engine << ": "
-              << (c.found ? "found" : "NOT found") << ", " << c.backtracks
+              << (c.found ? "found" : "NOT found") << ", " << n.backtracks
               << " backtracks, " << c.millis << " ms";
-    if (c.backjumps != 0) std::cout << ", " << c.backjumps << " backjumps";
-    if (c.nogoods_recorded != 0 || c.nogood_prunings != 0) {
-        std::cout << ", nogoods " << c.nogoods_recorded << " recorded / "
-                  << c.nogood_prunings << " prunings";
+    if (n.backjumps != 0) std::cout << ", " << n.backjumps << " backjumps";
+    if (n.nogoods_recorded != 0 || n.nogood_prunings != 0) {
+        std::cout << ", nogoods " << n.nogoods_recorded << " recorded / "
+                  << n.nogood_prunings << " prunings";
     }
-    if (c.pool_seeded != 0) {
-        std::cout << ", pool " << c.pool_seeded << " seeded";
+    if (n.pool_seeded != 0) {
+        std::cout << ", pool " << n.pool_seeded << " seeded";
     }
-    if (c.cache_hits + c.cache_misses != 0) {
-        const double rate = 100.0 * static_cast<double>(c.cache_hits) /
-                            static_cast<double>(c.cache_hits + c.cache_misses);
+    if (n.exchange_published != 0 || n.exchange_imported != 0) {
+        std::cout << ", exchange " << n.exchange_published
+                  << " published / " << n.exchange_imported << " imported";
+    }
+    if (n.eval_cache_hits + n.eval_cache_misses != 0) {
+        const double rate =
+            100.0 * static_cast<double>(n.eval_cache_hits) /
+            static_cast<double>(n.eval_cache_hits + n.eval_cache_misses);
         std::cout << ", cache " << static_cast<int>(rate) << "% hits";
     }
     std::cout << (c.exhausted || c.found ? "" : " (budget hit)") << "\n";
@@ -230,20 +233,21 @@ void print_report() {
         // one pool).
         if (fast.found == fc_nogoods.found &&
             fast.exhausted == fc_nogoods.exhausted) {
-            std::cout << "    backjumping: " << fc_nogoods.backtracks
-                      << " -> " << fast.backtracks << " backtracks ("
-                      << (fast.backtracks < fc_nogoods.backtracks
-                              ? "strictly fewer"
-                              : fast.backtracks == fc_nogoods.backtracks
-                                    ? "equal"
-                                    : "MORE — regression")
-                      << "), " << fast.backjumps << " jumps\n";
+            const std::size_t off = fc_nogoods.counters.backtracks;
+            const std::size_t on = fast.counters.backtracks;
+            std::cout << "    backjumping: " << off << " -> " << on
+                      << " backtracks ("
+                      << (on < off ? "strictly fewer"
+                                   : on == off ? "equal"
+                                               : "MORE — regression")
+                      << "), " << fast.counters.backjumps << " jumps\n";
         }
         if (cold.found == warm.found && cold.exhausted == warm.exhausted) {
-            std::cout << "    nogood reuse: cold " << cold.backtracks
-                      << " -> warm " << warm.backtracks << " backtracks ("
-                      << warm.pool_seeded << " nogoods seeded from the "
-                      << "pool)\n";
+            std::cout << "    nogood reuse: cold "
+                      << cold.counters.backtracks << " -> warm "
+                      << warm.counters.backtracks << " backtracks ("
+                      << warm.counters.pool_seeded
+                      << " nogoods seeded from the " << "pool)\n";
         }
         const bool loser_exhausted =
             naive.found ? fast.exhausted : naive.exhausted;
@@ -256,9 +260,10 @@ void print_report() {
             const Cell& found_cell = naive.found ? naive : fast;
             const Cell& lost_cell = naive.found ? fast : naive;
             std::cout << "    old-vs-new: " << loser
-                      << " inconclusive at its budget (" << lost_cell.backtracks
+                      << " inconclusive at its budget ("
+                      << lost_cell.counters.backtracks
                       << " backtracks); the other engine found a witness at "
-                      << found_cell.backtracks << "\n";
+                      << found_cell.counters.backtracks << "\n";
         } else if (!naive.found && !naive.exhausted && !fast.exhausted) {
             // Neither engine settled the instance: budget-truncated
             // backtrack counts measure the budget, not the engines.
@@ -272,15 +277,59 @@ void print_report() {
                       << " proved unsatisfiability; " << hit
                       << " budgeted out (counts not comparable)\n";
         } else {
-            std::cout << "    old-vs-new: " << naive.backtracks << " -> "
-                      << fast.backtracks << " backtracks ("
-                      << (fast.backtracks < naive.backtracks
-                              ? "strictly fewer"
-                              : fast.backtracks == naive.backtracks
-                                    ? "equal"
-                                    : "MORE — regression")
+            const std::size_t old_bt = naive.counters.backtracks;
+            const std::size_t new_bt = fast.counters.backtracks;
+            std::cout << "    old-vs-new: " << old_bt << " -> " << new_bt
+                      << " backtracks ("
+                      << (new_bt < old_bt ? "strictly fewer"
+                                          : new_bt == old_bt
+                                                ? "equal"
+                                                : "MORE — regression")
                       << "), " << naive.millis << " -> " << fast.millis
                       << " ms\n";
+        }
+    }
+
+    // --- the mid-flight exchange ablation (PR 5) -----------------------
+    // Measured on the free-R_0 UNGUIDED problem, deliberately not one of
+    // the ladder cells above: it is the instance where the shipped
+    // engine still searches long enough (hundreds of backtracks) for
+    // the racing threads' mid-flight learning to reach the settling
+    // thread before it finishes — on the radial-guided cells the race
+    // settles too fast for any exchange to matter, which would make
+    // this comparison vacuous. Counters report the settling thread, so
+    // both numbers are one coherent search's account; they are racy by
+    // nature (imports interleave differently run to run), so the
+    // regression verdict allows race noise — only an exchange-on count
+    // beyond twice the exchange-off count plus a small floor prints the
+    // regression marker (which fails CI).
+    {
+        std::cout << "exchange ablation (free R_0, unguided candidates, "
+                     "x2 threads):\n";
+        const auto problem = inst.problem(false, false);
+        SolverConfig race_off = SolverConfig::portfolio(2, 8000000);
+        race_off.live_exchange = false;
+        const Cell off_cell = run_cell(problem, race_off);
+        print_cell("portfolio x2 (no exchange) ", off_cell);
+        const Cell on_cell =
+            run_cell(problem, SolverConfig::portfolio(2, 8000000));
+        print_cell("portfolio x2 +exchange     ", on_cell);
+        if (off_cell.found == on_cell.found &&
+            off_cell.exhausted == on_cell.exhausted) {
+            const std::size_t off = off_cell.counters.backtracks;
+            const std::size_t on = on_cell.counters.backtracks;
+            std::cout << "    exchange: x2 threads, off " << off
+                      << " -> on " << on << " backtracks ("
+                      << on_cell.counters.exchange_published
+                      << " published / "
+                      << on_cell.counters.exchange_imported << " imported"
+                      << (on > 2 * off + 128
+                              ? ") — MORE: exchange regression\n"
+                              : on < off ? ", reduced)\n"
+                                         : ", within race noise)\n");
+        } else {
+            std::cout << "    exchange: cells disagree on settling "
+                         "(budget artifacts); backtracks not comparable\n";
         }
     }
     std::cout << std::endl;

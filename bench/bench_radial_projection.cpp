@@ -59,7 +59,7 @@ void print_report() {
               << " projected onto the R_0 boundary\n";
     std::cout << "boundary edges of |L_1|: "
               << core::l_boundary_edges(f.task).size() << "\n";
-    std::cout << "delta: found with " << f.witness.backtracks
+    std::cout << "delta: found with " << f.witness.counters.backtracks
               << " CSP backtracks, "
               << f.witness.tsub.stable_complex().vertex_ids().size()
               << " stable vertices mapped\n"

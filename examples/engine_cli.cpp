@@ -5,6 +5,8 @@
 //   example_engine_cli --list          # list scenarios (nothing built)
 //   example_engine_cli --threads 4     # shard width (default 2)
 //   example_engine_cli --no-pool       # disable cross-solve nogood reuse
+//   example_engine_cli --pool-file learned.pool lt-2-1-res1
+//                                      # persist the pool across processes
 //   example_engine_cli lt-2-1-res1 consensus-2-wf   # run by name
 //
 // Every solvability question the other examples answer by hand is one
@@ -15,7 +17,20 @@
 // and lt-2-1-adv, which differ only in their model) and repeated runs
 // within the process share learned conflicts — verdicts and witnesses
 // are unaffected, only the search effort shrinks.
+//
+// --pool-file extends that sharing across PROCESSES: the pool is loaded
+// from the file before the run (a missing file is a cold start; a
+// corrupted or version-mismatched one is reported and ignored) and
+// saved back after, so a fresh invocation warm-starts on everything
+// earlier invocations learned — the second process reproduces the
+// bit-identical witness (compare the printed witness digests) at 0
+// backtracks. The load/save happens ONCE here, around the whole batch,
+// rather than per solve via EngineOptions::pool_file: the scenarios
+// share one pool, and concurrent per-solve saves of one file would
+// race.
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 
@@ -26,8 +41,30 @@ namespace {
 
 using namespace gact;
 
+/// Order-independent FNV-style digest of a witness's vertex map, so two
+/// processes can assert bit-identical witnesses by comparing one hex
+/// line (an unordered_map's iteration order is not stable across
+/// processes; XOR of per-pair hashes is).
+std::uint64_t witness_digest(const core::SimplicialMap& map) {
+    std::uint64_t digest = 0x9e3779b97f4a7c15ULL;
+    for (const auto& [v, w] : map.vertex_map()) {
+        std::size_t pair_hash = std::hash<std::uint64_t>{}(
+            (static_cast<std::uint64_t>(v) << 32) | w);
+        digest ^= 0x100000001b3ULL * (pair_hash | 1);
+    }
+    return digest;
+}
+
 void print_report(const engine::SolveReport& report) {
     std::cout << "  " << report.summary() << "\n";
+    if (report.witness.has_value()) {
+        char digest[32];
+        std::snprintf(digest, sizeof(digest), "%016llx",
+                      static_cast<unsigned long long>(
+                          witness_digest(*report.witness)));
+        std::cout << "      witness digest: " << digest << " ("
+                  << report.witness->size() << " vertices)\n";
+    }
     for (const engine::StageTiming& t : report.timings) {
         std::cout << "      " << t.stage << ": " << t.millis << " ms\n";
     }
@@ -49,12 +86,17 @@ int main(int argc, char** argv) {
         engine::ScenarioRegistry::standard();
     unsigned threads = 2;
     bool use_pool = true;
+    std::string pool_file;
     std::vector<engine::Scenario> scenarios;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--list") == 0) return list_scenarios();
         if (std::strcmp(argv[i], "--no-pool") == 0) {
             use_pool = false;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--pool-file") == 0 && i + 1 < argc) {
+            pool_file = argv[++i];
             continue;
         }
         if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -71,11 +113,25 @@ int main(int argc, char** argv) {
         scenarios.push_back(*scenario);
     }
     if (scenarios.empty()) scenarios = registry.quick();
+    if (!pool_file.empty()) use_pool = true;  // --pool-file implies a pool
 
     // One pool for the whole run: scoping by problem identity keeps
     // unrelated scenarios apart, and nogood reuse is verdict-preserving.
+    std::shared_ptr<core::SharedNogoodPool> pool;
     if (use_pool) {
-        const auto pool = std::make_shared<core::SharedNogoodPool>();
+        pool = std::make_shared<core::SharedNogoodPool>();
+        // A missing file is the silent first-run cold start; a present
+        // but unreadable/corrupt one is warned about (the warm-start
+        // the user asked for is not happening).
+        std::error_code ec;
+        if (!pool_file.empty() &&
+            (std::filesystem::exists(pool_file, ec) || ec)) {
+            const std::string err = pool->load(pool_file);
+            if (!err.empty()) {
+                std::cerr << "warning: pool file rejected (" << err
+                          << ") — starting cold\n";
+            }
+        }
         for (engine::Scenario& s : scenarios) s.options.nogood_pool = pool;
     }
 
@@ -91,5 +147,17 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n" << solvable << "/" << reports.size()
               << " scenarios solvable in their models\n";
+
+    if (!pool_file.empty()) {
+        const std::string err = pool->save(pool_file);
+        if (err.empty()) {
+            // published() counts every accepted entry, loaded + newly
+            // learned: the pool's whole content.
+            std::cout << "pool saved to " << pool_file << " ("
+                      << pool->published() << " nogoods)\n";
+        } else {
+            std::cerr << "warning: pool save failed (" << err << ")\n";
+        }
+    }
     return 0;
 }

@@ -57,7 +57,8 @@ ActResult run_act_search(const tasks::Task& task, int max_k,
             act_problem(task, chr, lru_ptr, nogood_pool);
         const ChromaticMapResult result =
             solve_chromatic_map(problem, config);
-        out.backtracks_per_depth.push_back(result.backtracks);
+        out.backtracks_per_depth.push_back(result.counters.backtracks);
+        out.counters.add(result.counters);
         if (!result.exhausted) out.exhausted_all_depths = false;
         if (result.map) {
             out.solvable = true;

@@ -24,6 +24,9 @@ struct ActResult {
     std::optional<SimplicialMap> eta;    // the witness
     topo::SubdividedComplex domain;      // Chr^k I for the witness depth
     std::vector<std::size_t> backtracks_per_depth;
+    /// Search/learning tallies summed over every depth searched
+    /// (SearchCounters::add, so every counter field flows up).
+    SearchCounters counters;
     bool exhausted_all_depths = false;   // searches below max_k all complete
 };
 

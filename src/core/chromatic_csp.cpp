@@ -15,6 +15,30 @@
 
 namespace gact::core {
 
+// The fields-covered check of SearchCounters::add: the struct must be
+// exactly its counters (no padding, no non-counter members), so any new
+// field changes sizeof and lands here. When this assert fires, extend
+// add() below AND the populated-struct round-trip in
+// tests/solver_cache_test.cpp, then bump the expected count.
+static_assert(sizeof(SearchCounters) == 10 * sizeof(std::size_t),
+              "SearchCounters gained or lost a field: update "
+              "SearchCounters::add() (every accumulation site funnels "
+              "through it) and the round-trip test, then adjust this "
+              "count");
+
+void SearchCounters::add(const SearchCounters& other) noexcept {
+    backtracks += other.backtracks;
+    nogood_prunings += other.nogood_prunings;
+    nogoods_recorded += other.nogoods_recorded;
+    backjumps += other.backjumps;
+    pool_seeded += other.pool_seeded;
+    pool_published += other.pool_published;
+    exchange_published += other.exchange_published;
+    exchange_imported += other.exchange_imported;
+    eval_cache_hits += other.eval_cache_hits;
+    eval_cache_misses += other.eval_cache_misses;
+}
+
 namespace {
 
 // ---------------------------------------------------------------------------
@@ -178,7 +202,7 @@ struct NaiveSearcher {
     // vertex, so each constraint is checked exactly once, as soon as it is
     // fully assigned.
     std::unordered_map<VertexId, std::vector<Simplex>> constraints_by_last;
-    std::size_t backtracks = 0;
+    SearchCounters counters;
     std::size_t max_backtracks = 0;
     bool exhausted = true;
 
@@ -207,7 +231,7 @@ struct NaiveSearcher {
             }
             if (ok && assign(idx + 1)) return true;
             assignment.erase(v);
-            if (++backtracks > max_backtracks) {
+            if (++counters.backtracks > max_backtracks) {
                 exhausted = false;
                 return false;
             }
@@ -263,7 +287,9 @@ bool naive_solve_component(const ChromaticMapProblem& problem,
     }
 
     const bool found = s.assign(0);
-    result.backtracks += s.backtracks;
+    // Same fields-covered accumulation path as the portfolio merge's
+    // add_counters: everything funnels through SearchCounters::add.
+    result.counters.add(s.counters);
     if (!s.exhausted) result.exhausted = false;
     if (found) {
         for (VertexId v : component_order) solution[v] = s.assignment.at(v);
@@ -276,6 +302,50 @@ bool naive_solve_component(const ChromaticMapProblem& problem,
 // Forward-checking engine with configurable variable/value ordering.
 // ---------------------------------------------------------------------------
 
+/// One portfolio thread's view of the solve's LiveNogoodExchange:
+/// cursor into the shared log, tallies, and the bookkeeping that keeps
+/// imported nogoods out of this thread's own-learning accounting (they
+/// are neither re-published to the cross-solve pool by this thread —
+/// their prover publishes them — nor counted as nogoods_recorded).
+/// Owned by solve_single and shared by the thread's per-component
+/// searchers, so the cursor survives component boundaries.
+struct ExchangeSession {
+    LiveNogoodExchange* exchange = nullptr;
+    NogoodStore* store = nullptr;  // this thread's own store
+    unsigned source = 0;           // this thread's publish tag
+    std::size_t max_import_literals = 0;
+    std::size_t cursor = 0;
+    std::size_t published = 0;
+    std::size_t imported = 0;
+    /// Store indices filled by imports, ascending (the store is
+    /// append-only, so each import lands at the current tail).
+    std::vector<std::uint32_t> imported_ids;
+
+    /// Share a nogood this thread just recorded. `literals` is the
+    /// store's canonical copy (stable: the store is a deque).
+    void publish_recorded(const std::vector<NogoodLiteral>& literals) {
+        if (exchange->publish(source, literals)) ++published;
+    }
+
+    /// Drain every entry other threads published since the last import
+    /// into this thread's store (the store's dedup drops re-derivations
+    /// and cross-thread duplicates). Cheap when nothing is new: one
+    /// acquire load.
+    void import_new() {
+        if (exchange->size() <= cursor) return;
+        cursor = exchange->drain(
+            cursor, source, max_import_literals,
+            [this](const std::vector<NogoodLiteral>& literals) {
+                if (store->record(
+                        std::vector<NogoodLiteral>(literals))) {
+                    ++imported;
+                    imported_ids.push_back(static_cast<std::uint32_t>(
+                        store->size() - 1));
+                }
+            });
+    }
+};
+
 struct FcSearcher {
     FcSearcher(const ChromaticMapProblem& p, const topo::AdjacencyIndex& ix,
                const SolverConfig& c)
@@ -286,10 +356,12 @@ struct FcSearcher {
     const SolverConfig& config;
     const std::atomic<bool>* stop = nullptr;
     // Optional incremental layers, owned by the per-thread driver
-    // (solve_single): memoized constraint evaluation and learned
-    // conflicts. Both null in the root-propagation searcher.
+    // (solve_single): memoized constraint evaluation, learned
+    // conflicts, and the portfolio exchange session. All null in the
+    // root-propagation searcher.
     EvalCache* cache = nullptr;
     NogoodStore* nogoods = nullptr;
+    ExchangeSession* session = nullptr;
 
     /// Outcome of one search() call: a witness below this node, a proven
     /// conflict (conflict_var_ names the variable whose conflict set
@@ -322,9 +394,7 @@ struct FcSearcher {
     std::unordered_map<VertexId, VertexId> assignment;
     // Undo log of domain prunings: (variable index, value index).
     std::vector<std::pair<std::size_t, std::size_t>> trail;
-    std::size_t backtracks = 0;
-    std::size_t nogood_prunings = 0;
-    std::size_t backjumps = 0;
+    SearchCounters counters;
     bool exhausted = true;
     std::vector<VertexId> image_scratch;  // reused across evaluations
 
@@ -426,6 +496,27 @@ struct FcSearcher {
         conflict_add_constraint(assign_conflict_, sigma, cur_idx, cur_idx);
     }
 
+    /// Record one proven conflict and, when the portfolio exchange is
+    /// live, share it with the racing threads immediately (the
+    /// published copy is the store's canonical literal vector — a deque
+    /// element, so the reference is stable even while other imports
+    /// keep appending).
+    void learn(std::vector<NogoodLiteral> literals) {
+        if (!nogoods->record(std::move(literals))) return;
+        ++counters.nogoods_recorded;
+        if (session != nullptr) {
+            session->publish_recorded(nogoods->all().back());
+        }
+    }
+
+    /// Pull the other portfolio threads' freshly proven conflicts into
+    /// this thread's store. Called at every backtrack landing — which
+    /// covers backjump landings too: a jump unwinds through the same
+    /// value loop — and at each component start (the restart point).
+    void maybe_import() {
+        if (session != nullptr) session->import_new();
+    }
+
     /// Learn an exhausted level's conflict set as a nogood: every value
     /// of the level's variable failed under exactly the assignments the
     /// set names, and a satisfying map must assign the variable, so the
@@ -445,7 +536,7 @@ struct FcSearcher {
                 literals.push_back({u.v, u.value});
             }
         }
-        nogoods->record(std::move(literals));
+        learn(std::move(literals));
     }
 
     /// Fill assign_conflict_ with the cause of a domain wipeout of
@@ -525,7 +616,7 @@ struct FcSearcher {
             if (uvar.is_fixed) continue;
             literals.push_back({u, uvar.value});
         }
-        nogoods->record(std::move(literals));
+        learn(std::move(literals));
     }
 
     /// Record the conflict set of a domain wipeout of `u_idx`: for every
@@ -547,7 +638,7 @@ struct FcSearcher {
                 literals.push_back({w, wvar.value});
             }
         }
-        nogoods->record(std::move(literals));
+        learn(std::move(literals));
     }
 
     void undo_to(std::size_t mark) {
@@ -745,7 +836,7 @@ struct FcSearcher {
                     // prunings are reported separately so ablation
                     // counts stay comparable). The nogood's other
                     // literals name the decisions responsible.
-                    ++nogood_prunings;
+                    ++counters.nogood_prunings;
                     if (cbj) {
                         for (const NogoodLiteral& l : *blocking) {
                             if (l.var == var.v) continue;
@@ -772,7 +863,7 @@ struct FcSearcher {
                     !conflict_contains(conflict_[conflict_var_], var_idx)) {
                     undo_to(mark);
                     unassign(var_idx);
-                    ++backjumps;
+                    ++counters.backjumps;
                     return Status::kConflict;
                 }
                 if (cbj) {
@@ -785,10 +876,16 @@ struct FcSearcher {
             }
             undo_to(mark);
             unassign(var_idx);
-            if (++backtracks > config.max_backtracks || stopped()) {
+            if (++counters.backtracks > config.max_backtracks ||
+                stopped()) {
                 exhausted = false;
                 return Status::kAbort;
             }
+            // A backtrack (or a backjump landing) is the natural moment
+            // to pick up what the other portfolio threads proved while
+            // this subtree was being refuted: the next value tried here
+            // immediately benefits. One relaxed check when idle.
+            maybe_import();
         }
         if (cbj && exhausted) record_conflict_set(*conf);
         conflict_var_ = var_idx;
@@ -856,12 +953,14 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
                         std::uint64_t shuffle_salt,
                         const std::atomic<bool>* stop,
                         EvalCache* cache, NogoodStore* nogoods,
+                        ExchangeSession* session,
                         ChromaticMapResult& result,
                         std::unordered_map<VertexId, VertexId>& solution) {
     FcSearcher s(problem, index, config);
     s.stop = stop;
     s.cache = cache;
     s.nogoods = nogoods;
+    s.session = session;
     for (VertexId v : fixed_order) {
         s.var_index[v] = s.vars.size();
         s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, true});
@@ -894,10 +993,12 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
     }
     s.finalize_vars();
 
+    // The component start is the restart point of the exchange: pick up
+    // everything the other threads proved before descending at all.
+    s.maybe_import();
+
     const bool found = s.search() == FcSearcher::Status::kFound;
-    result.backtracks += s.backtracks;
-    result.nogood_prunings += s.nogood_prunings;
-    result.backjumps += s.backjumps;
+    result.counters.add(s.counters);
     if (!s.exhausted) result.exhausted = false;
     if (found) {
         for (VertexId v : component_order) {
@@ -928,7 +1029,9 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
                                 const DomainMap& propagated_domains,
                                 const SolverConfig& config,
                                 std::uint64_t shuffle_salt,
-                                const std::atomic<bool>* stop) {
+                                const std::atomic<bool>* stop,
+                                LiveNogoodExchange* exchange = nullptr,
+                                unsigned thread_id = 0) {
     ChromaticMapResult result;
     result.exhausted = true;
     std::unordered_map<VertexId, VertexId> solution;
@@ -1009,6 +1112,21 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
         }
     }
 
+    // Mid-flight portfolio exchange (the per-thread view of the shared
+    // log solve_chromatic_map created): only meaningful when this
+    // thread actually learns. Imports land in the same bounded store as
+    // the thread's own learning; their indices are remembered so the
+    // cross-solve pool publish below stays "each thread publishes what
+    // it proved" and nogoods_recorded stays own-learning only.
+    std::optional<ExchangeSession> session;
+    if (exchange != nullptr && nogoods.has_value()) {
+        session.emplace();
+        session->exchange = exchange;
+        session->store = &*nogoods;
+        session->source = thread_id;
+        session->max_import_literals = config.exchange_max_literals;
+    }
+
     const auto solve_component =
         [&](const std::vector<VertexId>& component_order) {
             if (naive_engine) {
@@ -1020,12 +1138,12 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
                                              config.max_backtracks, stop,
                                              result, solution);
             }
-            return fc_solve_component(problem, index, propagated_domains,
-                                      config, dec.fixed_order, component_order,
-                                      shuffle_salt, stop,
-                                      cache.has_value() ? &*cache : nullptr,
-                                      nogoods.has_value() ? &*nogoods : nullptr,
-                                      result, solution);
+            return fc_solve_component(
+                problem, index, propagated_domains, config, dec.fixed_order,
+                component_order, shuffle_salt, stop,
+                cache.has_value() ? &*cache : nullptr,
+                nogoods.has_value() ? &*nogoods : nullptr,
+                session.has_value() ? &*session : nullptr, result, solution);
         };
 
     // The fixed-only subproblem validates the pre-assignment itself.
@@ -1040,17 +1158,38 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
     }
 
     if (cache.has_value()) {
-        result.eval_cache_hits = cache->stats().hits();
-        result.eval_cache_misses = cache->stats().misses();
+        result.counters.eval_cache_hits = cache->stats().hits();
+        result.counters.eval_cache_misses = cache->stats().misses();
     }
     if (nogoods.has_value()) {
-        // Seeded entries sit at the front of the append-only store;
-        // everything after them was learned by this solve.
-        result.nogoods_recorded = nogoods->size() - seeded;
-        result.pool_seeded = seeded;
+        // nogoods_recorded was tallied at each learn() (seeds and
+        // exchange imports never pass through it); here only the
+        // session totals and the cross-solve publish remain.
+        result.counters.pool_seeded = seeded;
+        if (session.has_value()) {
+            result.counters.exchange_published = session->published;
+            result.counters.exchange_imported = session->imported;
+        }
         if (use_pool) {
+            // Publish this thread's own learning: seeds sit at the
+            // front of the append-only store; exchange imports are
+            // interleaved after them and are skipped — their proving
+            // thread publishes them (imported_ids is ascending, so one
+            // forward scan pairs with the index walk).
             const auto& all = nogoods->all();
+            const std::vector<std::uint32_t> no_imports;
+            const std::vector<std::uint32_t>& imported_ids =
+                session.has_value() ? session->imported_ids : no_imports;
+            std::size_t next_import = 0;
             for (std::size_t i = seeded; i < all.size(); ++i) {
+                while (next_import < imported_ids.size() &&
+                       imported_ids[next_import] < i) {
+                    ++next_import;
+                }
+                if (next_import < imported_ids.size() &&
+                    imported_ids[next_import] == i) {
+                    continue;
+                }
                 std::vector<SharedNogoodPool::PortableLiteral> portable;
                 portable.reserve(all[i].size());
                 for (const NogoodLiteral& l : all[i]) {
@@ -1058,7 +1197,7 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
                 }
                 if (problem.nogood_pool->publish(problem.nogood_scope,
                                                  std::move(portable))) {
-                    ++result.pool_published;
+                    ++result.counters.pool_published;
                 }
             }
         }
@@ -1114,9 +1253,13 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
                               propagated_domains, config, 0, nullptr);
     } else {
         // Portfolio race: thread 0 keeps the configured value order, the
-        // others search with per-thread shuffles. A thread that either
-        // finds a witness or exhausts the search space has settled the
-        // problem, so it stops everyone else.
+        // others search with per-thread shuffles (unless
+        // diversify_portfolio is off — then every thread runs the
+        // identical search and the race only hedges scheduling). A
+        // thread that either finds a witness or exhausts the search
+        // space has settled the problem, so it stops everyone else.
+        // With live_exchange on, the threads additionally trade learned
+        // nogoods mid-flight through one shared append-only log.
         //
         // Counter audit: the reported result is exactly the settling
         // thread's ChromaticMapResult, claimed once under the mutex —
@@ -1136,6 +1279,13 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
         std::optional<ChromaticMapResult> settled;
         std::vector<ChromaticMapResult> locals(config.num_threads);
         std::vector<std::exception_ptr> errors(config.num_threads);
+        // The mid-flight exchange needs learning to be on to have
+        // anything to trade; it lives exactly as long as the race.
+        std::optional<LiveNogoodExchange> exchange;
+        if (config.live_exchange && !is_naive_engine(config) &&
+            config.nogood_learning && config.nogood_capacity > 0) {
+            exchange.emplace();
+        }
         std::vector<std::thread> threads;
         threads.reserve(config.num_threads);
         for (unsigned i = 0; i < config.num_threads; ++i) {
@@ -1143,11 +1293,16 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
                 try {
                     SolverConfig local = config;
                     local.num_threads = 1;
-                    if (i > 0) local.value_order = ValueOrder::kShuffled;
+                    if (i > 0 && config.diversify_portfolio) {
+                        local.value_order = ValueOrder::kShuffled;
+                    }
                     locals[i] =
                         solve_single(problem, index, dec, base_domains,
                                      propagated_domains, local,
-                                     0x9e3779b97f4a7c15ULL * i, &stop);
+                                     0x9e3779b97f4a7c15ULL * i, &stop,
+                                     exchange.has_value() ? &*exchange
+                                                          : nullptr,
+                                     i);
                     if (locals[i].map.has_value() || locals[i].exhausted) {
                         {
                             const std::lock_guard<std::mutex> lock(mutex);
@@ -1176,15 +1331,12 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
             result = *settled;
         } else {
             result.exhausted = false;
+            // "Total budgeted effort": every counter field accumulates
+            // (add_counters covers them all by construction — see the
+            // SearchCounters fields-covered check), so a counter added
+            // later can never be silently dropped from this merge.
             for (const ChromaticMapResult& r : locals) {
-                result.backtracks += r.backtracks;
-                result.nogood_prunings += r.nogood_prunings;
-                result.nogoods_recorded += r.nogoods_recorded;
-                result.backjumps += r.backjumps;
-                result.eval_cache_hits += r.eval_cache_hits;
-                result.eval_cache_misses += r.eval_cache_misses;
-                result.pool_seeded += r.pool_seeded;
-                result.pool_published += r.pool_published;
+                result.add_counters(r);
             }
         }
     }

@@ -38,9 +38,14 @@
 //    caused a dead end, and the search returns straight to the deepest
 //    decision in the set instead of backtracking chronologically
 //    through decisions the conflict provably does not involve.
-// Learned conflicts can additionally outlive one solve through a
-// SharedNogoodPool wired onto the problem by its builder (see
-// ChromaticMapProblem::nogood_pool and core/nogood_store.h).
+// Learned conflicts travel beyond the thread that proved them on two
+// timescales: *mid-flight*, portfolio threads publish every newly
+// recorded nogood to a lock-light LiveNogoodExchange and import each
+// other's at backtrack/backjump points (SolverConfig::live_exchange);
+// *across solves*, they persist through a SharedNogoodPool wired onto
+// the problem by its builder (see ChromaticMapProblem::nogood_pool and
+// core/nogood_store.h), which itself persists across processes via
+// SharedNogoodPool::save/load.
 #pragma once
 
 #include <cstdint>
@@ -188,6 +193,39 @@ struct SolverConfig {
     /// (asserted across the registry by tests/solver_cache_test.cpp).
     bool backjumping = true;
 
+    /// @brief Mid-flight nogood exchange between portfolio threads
+    /// (active only with num_threads > 1 and nogood_learning on): each
+    /// thread publishes every newly recorded nogood to a lock-light
+    /// shared log (core/nogood_store.h, LiveNogoodExchange) and imports
+    /// the others' at its backtrack/backjump points and at each
+    /// component start, so a conflict one thread proves stops costing
+    /// every other thread its re-derivation — while they are all still
+    /// searching, not at the next solve boundary.
+    /// @note Sound for the same reason seeding from the cross-solve pool
+    /// is: portfolio threads share every per-solve constant, and a
+    /// recorded conflict depends only on those constants and its
+    /// literals. Verdicts and witnesses are bit-identical with the
+    /// exchange on or off; backtrack counts shrink nondeterministically
+    /// (imports race with the search that would have re-proven them).
+    bool live_exchange = true;
+    /// @brief Import-size cap of the exchange: only nogoods with at most
+    /// this many literals are imported (short nogoods fire most often —
+    /// the LBD-style quality filter, applied on the cheap import side so
+    /// publishing stays a single append). 0 = import everything.
+    std::size_t exchange_max_literals = 8;
+
+    /// @brief Diversify the portfolio (the default): threads beyond the
+    /// first search with per-thread shuffled value orders, so the race
+    /// explores different subtrees. Off = every thread runs the
+    /// identical search; the race then only hedges scheduling, but the
+    /// reported verdict and witness become deterministic for any thread
+    /// count (what the toggle-matrix property tests pin) — and so do
+    /// the counters when the live exchange is off (imports race, so
+    /// with the exchange on only the verdict/witness stay pinned). The
+    /// exchange still helps an undiversified race: a slower replica
+    /// skips conflicts a faster one already proved.
+    bool diversify_portfolio = true;
+
     /// @brief Capacity of the carrier -> constraint-complex LRU used by
     /// the *problem builders* (act_problem / lt_approximation_problem),
     /// not by the CSP core itself: it persists across subdivision depths
@@ -228,44 +266,76 @@ struct SolverConfig {
     }
 };
 
+/// @brief The additive effort/learning counters of one search.
+///
+/// Every field is a std::size_t tally, and add() accumulates ALL of
+/// them — that is an enforced invariant, not a convention: a
+/// static_assert next to add()'s definition (chromatic_csp.cpp) pins
+/// sizeof(SearchCounters) to the field count, so adding a counter
+/// without extending add() fails the build instead of being silently
+/// dropped by some accumulation site (the portfolio merge used to
+/// hand-sum eight fields; a ninth would have vanished from merged
+/// reports). The populated-struct round-trip in
+/// tests/solver_cache_test.cpp covers the sums themselves.
+struct SearchCounters {
+    /// Number of backtracking steps performed.
+    std::size_t backtracks = 0;
+    /// Branches skipped because they would have completed a recorded
+    /// nogood (not counted as backtracks).
+    std::size_t nogood_prunings = 0;
+    /// Nogoods recorded by the search itself (capped by
+    /// SolverConfig::nogood_capacity; pool seeds and exchange imports
+    /// are counted separately, never here).
+    std::size_t nogoods_recorded = 0;
+    /// Dead ends resolved by a non-chronological jump: decision levels
+    /// popped without re-enumerating their remaining values because the
+    /// conflict set did not involve them (SolverConfig::backjumping).
+    std::size_t backjumps = 0;
+    /// Nogoods imported from the problem's SharedNogoodPool at the
+    /// start of the search (0 when no pool is wired).
+    std::size_t pool_seeded = 0;
+    /// Newly learned nogoods published back to the pool.
+    std::size_t pool_published = 0;
+    /// Nogoods published to the mid-flight portfolio exchange
+    /// (SolverConfig::live_exchange; 0 single-threaded).
+    std::size_t exchange_published = 0;
+    /// Nogoods imported from other portfolio threads mid-search.
+    std::size_t exchange_imported = 0;
+    /// Constraint-evaluation cache hits (allowed() + image memos
+    /// combined); 0 when the cache is off.
+    std::size_t eval_cache_hits = 0;
+    /// Constraint-evaluation cache misses (including insertions
+    /// rejected at capacity).
+    std::size_t eval_cache_misses = 0;
+
+    /// Field-wise accumulation of EVERY counter (see the struct note).
+    void add(const SearchCounters& other) noexcept;
+};
+
 /// @brief Result of the search.
 struct ChromaticMapResult {
     /// @brief The witness map, when one was found.
     std::optional<SimplicialMap> map;
-    /// @brief Number of backtracking steps performed. In portfolio mode
-    /// all counters report the settling thread (the first to find a
-    /// witness or exhaust the space) — one coherent search's account,
-    /// never a sum mixing in losing threads' partial work; only when no
-    /// thread settles (every budget ran out) are counters summed across
-    /// threads as "total budgeted effort".
-    std::size_t backtracks = 0;
     /// @brief True when the search space was exhausted (so no map exists
     /// under the given constraints); false when the backtrack budget ran
     /// out or a portfolio race was stopped early.
     bool exhausted = false;
+    /// @brief Search effort and learning tallies. In portfolio mode the
+    /// counters report the settling thread (the first to find a witness
+    /// or exhaust the space) — one coherent search's account, never a
+    /// sum mixing in losing threads' partial work; only when no thread
+    /// settles (every budget ran out) are counters summed across
+    /// threads as "total budgeted effort".
+    SearchCounters counters;
 
-    /// @brief Branches skipped because they would have completed a
-    /// recorded nogood (not counted as backtracks).
-    std::size_t nogood_prunings = 0;
-    /// @brief Nogoods recorded by the search (capped by
-    /// SolverConfig::nogood_capacity).
-    std::size_t nogoods_recorded = 0;
-    /// @brief Dead ends resolved by a non-chronological jump: decision
-    /// levels popped without re-enumerating their remaining values
-    /// because the conflict set did not involve them
-    /// (SolverConfig::backjumping).
-    std::size_t backjumps = 0;
-    /// @brief Nogoods imported from the problem's SharedNogoodPool at
-    /// the start of the search (0 when no pool is wired).
-    std::size_t pool_seeded = 0;
-    /// @brief Newly learned nogoods published back to the pool.
-    std::size_t pool_published = 0;
-    /// @brief Constraint-evaluation cache hits (allowed() + image memos
-    /// combined); 0 when the cache is off.
-    std::size_t eval_cache_hits = 0;
-    /// @brief Constraint-evaluation cache misses (including insertions
-    /// rejected at capacity).
-    std::size_t eval_cache_misses = 0;
+    /// @brief Accumulate another result's counters (every field of
+    /// SearchCounters — see its note on the fields-covered guarantee).
+    /// `map` and `exhausted` are deliberately untouched: combining
+    /// verdicts is the caller's semantic decision, combining tallies is
+    /// not.
+    void add_counters(const ChromaticMapResult& other) noexcept {
+        counters.add(other.counters);
+    }
 };
 
 /// @brief Search for a satisfying map with the given engine

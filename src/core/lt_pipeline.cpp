@@ -281,7 +281,7 @@ LtPipeline build_lt_pipeline(int n, int t, std::size_t extra_stages,
             "a finer stable refinement is needed");
     out.tsub = std::move(witness.tsub);
     out.delta = *witness.delta;
-    out.csp_backtracks = witness.backtracks;
+    out.csp_backtracks = witness.counters.backtracks;
     return out;
 }
 

@@ -1,8 +1,14 @@
 #include "core/nogood_store.h"
 
 #include <algorithm>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "util/hash.h"
+#include "util/require.h"
 
 namespace gact::core {
 
@@ -74,12 +80,56 @@ bool NogoodStore::record(std::vector<NogoodLiteral> literals) {
     return true;
 }
 
+LiveNogoodExchange::LiveNogoodExchange(std::size_t capacity)
+    : capacity_(capacity),
+      segments_((capacity + kSegmentSize - 1) / kSegmentSize) {
+    for (std::atomic<Segment*>& s : segments_) {
+        s.store(nullptr, std::memory_order_relaxed);
+    }
+}
+
+LiveNogoodExchange::~LiveNogoodExchange() {
+    for (std::atomic<Segment*>& s : segments_) {
+        delete s.load(std::memory_order_relaxed);
+    }
+}
+
+bool LiveNogoodExchange::publish(unsigned source,
+                                 std::vector<NogoodLiteral> literals) {
+    if (literals.empty() || capacity_ == 0) return false;
+    const std::lock_guard<std::mutex> lock(write_mutex_);
+    const std::size_t i = count_.load(std::memory_order_relaxed);
+    if (i >= capacity_) {
+        rejected_at_capacity_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::atomic<Segment*>& slot = segments_[i >> kSegmentShift];
+    Segment* segment = slot.load(std::memory_order_relaxed);
+    if (segment == nullptr) {
+        segment = new Segment();
+        slot.store(segment, std::memory_order_release);
+    }
+    Entry& e = segment->entries[i & (kSegmentSize - 1)];
+    e.source = source;
+    e.literals = std::move(literals);
+    // The release store is the publication point: a reader that
+    // acquire-loads count_ >= i + 1 sees the fully built entry and the
+    // segment pointer (both sequenced before this store).
+    count_.store(i + 1, std::memory_order_release);
+    return true;
+}
+
 SharedNogoodPool::SharedNogoodPool(std::size_t capacity_per_scope)
     : capacity_(capacity_per_scope) {}
 
 SharedNogoodPool::VarKeyId SharedNogoodPool::intern(
     const topo::BaryPoint& position, topo::Color color) {
     const std::lock_guard<std::mutex> lock(mutex_);
+    return intern_locked(position, color);
+}
+
+SharedNogoodPool::VarKeyId SharedNogoodPool::intern_locked(
+    const topo::BaryPoint& position, topo::Color color) {
     const auto key = std::make_pair(position, color);
     const auto it = key_index_.find(key);
     if (it != key_index_.end()) return it->second;
@@ -96,6 +146,11 @@ bool SharedNogoodPool::publish(const std::string& scope,
                    literals.end());
 
     const std::lock_guard<std::mutex> lock(mutex_);
+    return publish_locked(scope, std::move(literals));
+}
+
+bool SharedNogoodPool::publish_locked(const std::string& scope,
+                                      std::vector<PortableLiteral> literals) {
     Scope& s = scopes_[scope];
     const std::size_t h = portable_hash(literals);
     const auto bucket_it = s.by_hash.find(h);
@@ -146,6 +201,334 @@ std::size_t SharedNogoodPool::rejected_as_duplicate() const {
 std::size_t SharedNogoodPool::rejected_at_capacity() const {
     const std::lock_guard<std::mutex> lock(mutex_);
     return rejected_at_capacity_;
+}
+
+// --- persistence (format spec: docs/ARCHITECTURE.md) -----------------------
+//
+//   gact-nogood-pool v1
+//   keys <count>
+//   key <id> <color> <ncoords> <vertex>:<num>/<den> ...
+//   scopes <count>
+//   scope <nogood-count> <scope string to end of line>
+//   n <nliterals> <var_key>:<value> ...
+//   end
+//
+// Rationals are written num/den exactly (never floats); key ids are
+// file-local and re-interned on load, so a load composes with live
+// interning and with previously loaded files.
+
+namespace {
+
+constexpr const char* kPoolMagic = "gact-nogood-pool v1";
+
+/// Strict full-token u32 parse: the ENTIRE string must be digits (a
+/// corrupted "1x" must be a rejection, not a silent 1 — a mangled
+/// literal loaded as the wrong nogood would be unsound pruning, the one
+/// failure mode persistence must never introduce).
+bool parse_u32(const std::string& s, std::uint32_t& out) {
+    if (s.empty()) return false;
+    try {
+        std::size_t pos = 0;
+        const unsigned long v = std::stoul(s, &pos);
+        if (pos != s.size() || v > 0xffffffffUL) return false;
+        out = static_cast<std::uint32_t>(v);
+    } catch (const std::exception&) {
+        return false;
+    }
+    return true;
+}
+
+/// Strict full-token i64 parse (for rational components; sign allowed).
+bool parse_i64(const std::string& s, std::int64_t& out) {
+    if (s.empty()) return false;
+    try {
+        std::size_t pos = 0;
+        const long long v = std::stoll(s, &pos);
+        if (pos != s.size()) return false;
+        out = v;
+    } catch (const std::exception&) {
+        return false;
+    }
+    return true;
+}
+
+/// Parse "a:b" with both halves full non-negative integers.
+bool parse_pair_u32(const std::string& token, std::uint32_t& a,
+                    std::uint32_t& b) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos) return false;
+    return parse_u32(token.substr(0, colon), a) &&
+           parse_u32(token.substr(colon + 1), b);
+}
+
+/// Parse "<vertex>:<num>/<den>" into one barycentric coordinate.
+bool parse_coord(const std::string& token, topo::VertexId& vertex,
+                 gact::Rational& weight) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos) return false;
+    const auto slash = token.find('/', colon);
+    if (slash == std::string::npos) return false;
+    std::uint32_t v = 0;
+    std::int64_t num = 0;
+    std::int64_t den = 0;
+    if (!parse_u32(token.substr(0, colon), v) ||
+        !parse_i64(token.substr(colon + 1, slash - colon - 1), num) ||
+        !parse_i64(token.substr(slash + 1), den)) {
+        return false;
+    }
+    try {
+        weight = gact::Rational(num, den);  // throws on den == 0
+    } catch (const std::exception&) {
+        return false;
+    }
+    vertex = static_cast<topo::VertexId>(v);
+    return true;
+}
+
+/// Reject trailing tokens on a fully parsed line (an undercounting
+/// corrupted "<n>" prefix must not silently drop literals — dropping
+/// literals makes a nogood strictly stronger, which is unsound).
+bool line_exhausted(std::istringstream& in) {
+    std::string extra;
+    return !(in >> extra);
+}
+
+}  // namespace
+
+std::string SharedNogoodPool::save(const std::string& path) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [scope, s] : scopes_) {
+        (void)s;
+        if (scope.find('\n') != std::string::npos) {
+            return "scope contains a newline and cannot be serialized";
+        }
+    }
+    std::ostringstream out;
+    out << kPoolMagic << "\n";
+    out << "keys " << key_index_.size() << "\n";
+    for (const auto& [key, id] : key_index_) {
+        out << "key " << id << " " << key.second << " "
+            << key.first.coords().size();
+        for (const auto& [vertex, weight] : key.first.coords()) {
+            out << " " << vertex << ":" << weight.num() << "/"
+                << weight.den();
+        }
+        out << "\n";
+    }
+    out << "scopes " << scopes_.size() << "\n";
+    for (const auto& [scope, s] : scopes_) {
+        out << "scope " << s.nogoods.size() << " " << scope << "\n";
+        for (const std::vector<PortableLiteral>& nogood : s.nogoods) {
+            out << "n " << nogood.size();
+            for (const PortableLiteral& l : nogood) {
+                out << " " << l.var_key << ":" << l.value;
+            }
+            out << "\n";
+        }
+    }
+    out << "end\n";
+
+    // Write-then-rename so the save is atomic: a crash or a full disk
+    // mid-write must never destroy the previously persisted learning —
+    // the file either keeps its old contents or becomes the new pool
+    // whole (load() depends on whole files; see its all-or-nothing
+    // contract). The temp name is per-process so two fleet processes
+    // saving the same file cannot interleave writes into one tmp; the
+    // renames themselves are atomic and last-writer-wins with a whole
+    // file either way.
+    const std::string tmp_path =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream file(tmp_path, std::ios::trunc);
+        if (!file) return "cannot open '" + tmp_path + "' for writing";
+        file << out.str();
+        file.flush();
+        if (!file) {
+            std::remove(tmp_path.c_str());
+            return "write to '" + tmp_path + "' failed";
+        }
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        return "cannot rename '" + tmp_path + "' to '" + path + "'";
+    }
+    return "";
+}
+
+std::string SharedNogoodPool::load(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) return "cannot open '" + path + "'";
+
+    // Stage 1: parse and validate the whole file WITHOUT touching the
+    // pool, so any failure below leaves it exactly as it was.
+    struct FileNogood {
+        std::string scope;
+        std::vector<PortableLiteral> literals;  // file-local var keys
+    };
+    std::unordered_map<VarKeyId, std::pair<topo::BaryPoint, topo::Color>>
+        file_keys;
+    std::vector<FileNogood> file_nogoods;
+
+    std::string line;
+    std::size_t line_no = 0;
+    const auto fail = [&](const std::string& what) {
+        return "pool file '" + path + "' line " + std::to_string(line_no) +
+               ": " + what;
+    };
+    const auto next_line = [&](const char* expect) -> std::string {
+        if (!std::getline(file, line)) {
+            line.clear();
+            return std::string("truncated file (expected ") + expect + ")";
+        }
+        ++line_no;
+        return "";
+    };
+
+    std::string err = next_line("header");
+    if (!err.empty()) return fail(err);
+    if (line != kPoolMagic) {
+        return fail("unsupported header '" + line + "' (expected '" +
+                    kPoolMagic + "')");
+    }
+
+    try {
+        std::string word;
+        std::size_t key_count = 0;
+        {
+            err = next_line("keys <count>");
+            if (!err.empty()) return fail(err);
+            std::istringstream in(line);
+            if (!(in >> word >> key_count) || word != "keys" ||
+                !line_exhausted(in)) {
+                return fail("expected 'keys <count>'");
+            }
+        }
+        for (std::size_t i = 0; i < key_count; ++i) {
+            err = next_line("key line");
+            if (!err.empty()) return fail(err);
+            std::istringstream in(line);
+            std::uint32_t id = 0;
+            std::uint32_t color = 0;
+            std::size_t ncoords = 0;
+            if (!(in >> word >> id >> color >> ncoords) || word != "key") {
+                return fail("expected 'key <id> <color> <ncoords> ...'");
+            }
+            std::vector<std::pair<topo::VertexId, Rational>> coords;
+            coords.reserve(ncoords);
+            for (std::size_t c = 0; c < ncoords; ++c) {
+                std::string token;
+                if (!(in >> token)) return fail("missing coordinate");
+                topo::VertexId vertex = 0;
+                Rational weight;
+                if (!parse_coord(token, vertex, weight)) {
+                    return fail("bad coordinate '" + token + "'");
+                }
+                coords.emplace_back(vertex, weight);
+            }
+            if (!line_exhausted(in)) {
+                return fail("trailing tokens on key line");
+            }
+            // The BaryPoint constructor revalidates the invariants
+            // (positive weights summing to 1) and throws on violation;
+            // the catch below turns that into a rejection.
+            if (!file_keys
+                     .emplace(id, std::make_pair(
+                                      topo::BaryPoint(std::move(coords)),
+                                      static_cast<topo::Color>(color)))
+                     .second) {
+                return fail("duplicate key id " + std::to_string(id));
+            }
+        }
+        std::size_t scope_count = 0;
+        {
+            err = next_line("scopes <count>");
+            if (!err.empty()) return fail(err);
+            std::istringstream in(line);
+            if (!(in >> word >> scope_count) || word != "scopes" ||
+                !line_exhausted(in)) {
+                return fail("expected 'scopes <count>'");
+            }
+        }
+        for (std::size_t sidx = 0; sidx < scope_count; ++sidx) {
+            err = next_line("scope line");
+            if (!err.empty()) return fail(err);
+            std::size_t nogood_count = 0;
+            std::string scope;
+            {
+                std::istringstream in(line);
+                if (!(in >> word >> nogood_count) || word != "scope") {
+                    return fail("expected 'scope <count> <name>'");
+                }
+                std::getline(in, scope);
+                if (!scope.empty() && scope.front() == ' ') {
+                    scope.erase(scope.begin());
+                }
+                if (scope.empty()) return fail("empty scope name");
+            }
+            for (std::size_t g = 0; g < nogood_count; ++g) {
+                err = next_line("nogood line");
+                if (!err.empty()) return fail(err);
+                std::istringstream in(line);
+                std::size_t nliterals = 0;
+                if (!(in >> word >> nliterals) || word != "n") {
+                    return fail("expected 'n <count> <var>:<value> ...'");
+                }
+                FileNogood nogood;
+                nogood.scope = scope;
+                nogood.literals.reserve(nliterals);
+                for (std::size_t l = 0; l < nliterals; ++l) {
+                    std::string token;
+                    if (!(in >> token)) return fail("missing literal");
+                    std::uint32_t var_key = 0;
+                    std::uint32_t value = 0;
+                    if (!parse_pair_u32(token, var_key, value)) {
+                        return fail("bad literal '" + token + "'");
+                    }
+                    if (file_keys.count(var_key) == 0) {
+                        return fail("literal references unknown key id " +
+                                    std::to_string(var_key));
+                    }
+                    nogood.literals.push_back(
+                        {var_key, static_cast<topo::VertexId>(value)});
+                }
+                if (nogood.literals.empty()) {
+                    return fail("empty nogood");
+                }
+                if (!line_exhausted(in)) {
+                    return fail("trailing literals beyond the declared "
+                                "count");
+                }
+                file_nogoods.push_back(std::move(nogood));
+            }
+        }
+        err = next_line("'end' trailer");
+        if (!err.empty()) return fail(err);
+        if (line != "end") return fail("expected 'end' trailer");
+    } catch (const std::exception& e) {
+        return fail(std::string("invalid geometry: ") + e.what());
+    }
+
+    // Stage 2: commit. Re-intern every file key (ids are file-local),
+    // remap the literals, and publish through the ordinary dedup +
+    // capacity path.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::unordered_map<VarKeyId, VarKeyId> remap;
+    remap.reserve(file_keys.size());
+    for (const auto& [file_id, key] : file_keys) {
+        remap.emplace(file_id, intern_locked(key.first, key.second));
+    }
+    for (FileNogood& nogood : file_nogoods) {
+        std::vector<PortableLiteral> literals;
+        literals.reserve(nogood.literals.size());
+        for (const PortableLiteral& l : nogood.literals) {
+            literals.push_back({remap.at(l.var_key), l.value});
+        }
+        std::sort(literals.begin(), literals.end());
+        literals.erase(std::unique(literals.begin(), literals.end()),
+                       literals.end());
+        publish_locked(nogood.scope, std::move(literals));
+    }
+    return "";
 }
 
 }  // namespace gact::core

@@ -35,9 +35,12 @@
 // trusted (a collision used to silently drop a genuinely new nogood).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -84,7 +87,13 @@ public:
 
     /// Would assigning `var := value` complete a stored nogood, given
     /// the current partial assignment? Returns the completed nogood's
-    /// literal vector (stable until the next record()), or nullptr.
+    /// literal vector (stable for the lifetime of the store: nogoods
+    /// live in a deque precisely so that record() — including a
+    /// mid-flight exchange import racing ahead of a held pointer —
+    /// never invalidates a previously returned reference; the vector
+    /// used to reallocate, which made "hold across a record()" an
+    /// ASan-visible use-after-free, see
+    /// tests/nogood_exchange_test.cpp), or nullptr.
     /// `value_of(u, out)` must return true and set `out` iff vertex `u`
     /// is currently assigned. A non-null result means the extended
     /// assignment is provably unsatisfiable and the value can be
@@ -158,7 +167,9 @@ public:
     }
 
     /// All stored nogoods, in record order (for cross-solve publishing).
-    const std::vector<std::vector<NogoodLiteral>>& all() const noexcept {
+    /// A deque, not a vector: elements never move, so references handed
+    /// out by blocking_nogood() / back() survive later record() calls.
+    const std::deque<std::vector<NogoodLiteral>>& all() const noexcept {
         return nogoods_;
     }
 
@@ -170,7 +181,9 @@ private:
 
     std::size_t capacity_ = 0;
     Hasher hasher_;  // null = the default literal-vector hash
-    std::vector<std::vector<NogoodLiteral>> nogoods_;
+    /// Stable element addresses (see all()); push_back on a deque never
+    /// invalidates references to existing elements.
+    std::deque<std::vector<NogoodLiteral>> nogoods_;
     /// literal -> indices of nogoods containing it (every literal is
     /// indexed, so blocking_nogood() sees a nogood whichever literal
     /// completes it last).
@@ -181,6 +194,109 @@ private:
     std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash_;
     std::size_t rejected_at_capacity_ = 0;
     std::size_t rejected_as_duplicate_ = 0;
+};
+
+/// A lock-light mid-flight exchange of learned nogoods between the
+/// portfolio threads of ONE solve (the SharedNogoodPool below shares
+/// *across* solves and only syncs at solve boundaries; this exchange is
+/// what lets a racing thread profit from a conflict another thread
+/// proved seconds ago, while both are still searching).
+///
+/// Design: an append-only log of entries in fixed-size segments whose
+/// addresses never change once allocated. Writers serialize on one
+/// mutex (publishing happens only when a nogood is newly recorded, so
+/// contention is proportional to learning, not to search); readers are
+/// wait-free — an acquire load of the entry count synchronizes with the
+/// writer's release store, after which every entry below the count is
+/// fully constructed and immutable, and the segment spine is a
+/// fixed-size array of atomic pointers, so no reader ever observes a
+/// reallocation. Each importer keeps its own cursor and drains only the
+/// suffix it has not seen, skipping entries it published itself.
+///
+/// Soundness is inherited from NogoodStore's argument: portfolio
+/// threads of one solve share every per-solve constant (the constraint
+/// complexes and the root-propagated domains), and a recorded conflict
+/// depends only on those constants and its literals — never on the
+/// publishing thread's assignment order — so importing it mid-search
+/// prunes only branches that provably contain no witness. Verdicts and
+/// witnesses are bit-identical with the exchange on or off; only
+/// backtrack counts and wall time change (tests/solver_cache_test.cpp
+/// asserts this across the registry's toggle matrix).
+class LiveNogoodExchange {
+public:
+    /// `capacity` caps the total entries retained (publishes past it are
+    /// dropped and counted); 0 disables the exchange outright.
+    explicit LiveNogoodExchange(std::size_t capacity = 1 << 14);
+    ~LiveNogoodExchange();
+
+    LiveNogoodExchange(const LiveNogoodExchange&) = delete;
+    LiveNogoodExchange& operator=(const LiveNogoodExchange&) = delete;
+
+    /// Publish one newly learned nogood (already canonicalized by the
+    /// publisher's NogoodStore). `source` tags the publishing thread so
+    /// it never re-imports its own entries. Returns true iff stored.
+    bool publish(unsigned source, std::vector<NogoodLiteral> literals);
+
+    /// Entries visible so far (acquire; safe to read concurrently with
+    /// publishers).
+    std::size_t size() const noexcept {
+        return count_.load(std::memory_order_acquire);
+    }
+
+    /// Visit every entry in [cursor, size()) not published by `source`
+    /// and with at most `max_literals` literals (0 = no cap), advancing
+    /// and returning the cursor. Wait-free with respect to publishers.
+    template <typename Fn>
+    std::size_t drain(std::size_t cursor, unsigned source,
+                      std::size_t max_literals, Fn&& fn) const {
+        const std::size_t limit = size();
+        for (; cursor < limit; ++cursor) {
+            const Entry& e = entry(cursor);
+            if (e.source == source) continue;
+            if (max_literals != 0 && e.literals.size() > max_literals) {
+                continue;
+            }
+            fn(e.literals);
+        }
+        return cursor;
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+    /// Publishes dropped because the exchange was full.
+    std::size_t rejected_at_capacity() const noexcept {
+        return rejected_at_capacity_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct Entry {
+        unsigned source = 0;
+        std::vector<NogoodLiteral> literals;
+    };
+    /// 256 entries per segment: small enough that a short solve touches
+    /// one allocation, large enough that the spine stays tiny.
+    static constexpr std::size_t kSegmentShift = 8;
+    static constexpr std::size_t kSegmentSize = std::size_t{1}
+                                                << kSegmentShift;
+    struct Segment {
+        Entry entries[kSegmentSize];
+    };
+
+    const Entry& entry(std::size_t i) const {
+        // The acquire in size() ordered this load after the publishing
+        // thread's release store of count_, which happened after both
+        // the segment-pointer store and the entry construction.
+        return segments_[i >> kSegmentShift]
+            .load(std::memory_order_acquire)
+            ->entries[i & (kSegmentSize - 1)];
+    }
+
+    std::size_t capacity_ = 0;
+    /// Fixed-size spine: sized once in the constructor, never resized,
+    /// so readers can index it without synchronizing with writers.
+    std::vector<std::atomic<Segment*>> segments_;
+    std::atomic<std::size_t> count_{0};
+    std::atomic<std::size_t> rejected_at_capacity_{0};
+    std::mutex write_mutex_;
 };
 
 /// A thread-safe pool of learned nogoods shared *across* solves — across
@@ -264,11 +380,49 @@ public:
     /// every other learning-loss path in this header.
     std::size_t rejected_at_capacity() const;
 
+    // --- persistence across processes --------------------------------
+    //
+    // The pool's contents are exactly the process-independent parts of
+    // the learning: interned (position, color) keys (exact rationals —
+    // serialized as num/den, never floats), string scopes, and literal
+    // vectors. save()/load() move them through a versioned line-based
+    // text format (spec in docs/ARCHITECTURE.md) so a later process
+    // warm-starts where this one left off. The soundness contract is
+    // unchanged — scopes still name the full problem identity, and a
+    // load only ever adds nogoods a solver may prune against.
+
+    /// Serialize every scope to `path` (format `gact-nogood-pool v1`).
+    /// Atomic: the contents are written to `path + ".tmp"` and renamed
+    /// over the target, so a crash or write failure mid-save leaves the
+    /// previous file intact. Returns "" on success, else a diagnostic;
+    /// the pool is never modified. Scopes containing newlines are
+    /// unrepresentable and reported as an error (the builders never
+    /// produce them).
+    std::string save(const std::string& path) const;
+
+    /// Merge the pool file at `path` into this pool: file-local key ids
+    /// are re-interned (so loading composes with live interning and
+    /// with multiple files), duplicate nogoods are dropped by literal
+    /// comparison, capacity still caps each scope. All-or-nothing: the
+    /// file is fully parsed and validated BEFORE the pool is touched,
+    /// so a truncated, corrupted, or version-mismatched file returns a
+    /// diagnostic and leaves the pool exactly as it was — callers
+    /// downgrade to a cold start (SolveReport::warnings), never abort.
+    /// Returns "" on success.
+    std::string load(const std::string& path);
+
 private:
     struct Scope {
         std::vector<std::vector<PortableLiteral>> nogoods;
         std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash;
     };
+
+    /// intern() / publish() bodies, callable while already holding
+    /// mutex_ (load() re-interns a whole file under one lock).
+    VarKeyId intern_locked(const topo::BaryPoint& position,
+                           topo::Color color);
+    bool publish_locked(const std::string& scope,
+                        std::vector<PortableLiteral> literals);
 
     mutable std::mutex mutex_;
     std::size_t capacity_ = 0;

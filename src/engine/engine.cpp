@@ -1,6 +1,6 @@
 #include "engine/engine.h"
 
-#include <numeric>
+#include <filesystem>
 
 #include "engine/general_route.h"
 #include "engine/stage_clock.h"
@@ -12,20 +12,20 @@ namespace gact::engine {
 
 namespace {
 
-SolveReport solve_wait_free(const Scenario& scenario) {
+SolveReport solve_wait_free(const Scenario& scenario,
+                            core::SharedNogoodPool* pool) {
     SolveReport report;
     report.scenario = scenario.name;
 
     const auto start = stage_clock_now();
     const core::ActResult act = core::run_act_search(
         scenario.task, scenario.options.max_depth, scenario.options.solver,
-        scenario.options.nogood_pool.get());
+        pool);
     report.timings.push_back({"act-search", millis_since(start)});
 
     report.backtracks_per_depth = act.backtracks_per_depth;
-    report.total_backtracks =
-        std::accumulate(act.backtracks_per_depth.begin(),
-                        act.backtracks_per_depth.end(), std::size_t{0});
+    report.counters = act.counters;
+    report.total_backtracks = act.counters.backtracks;
     if (act.solvable) {
         report.verdict = Verdict::kSolvable;
         report.witness = act.eta;
@@ -47,7 +47,8 @@ SolveReport solve_wait_free(const Scenario& scenario) {
     return report;
 }
 
-SolveReport solve_general(const Scenario& scenario) {
+SolveReport solve_general(const Scenario& scenario,
+                          core::SharedNogoodPool* pool) {
     SolveReport report;
     report.scenario = scenario.name;
     if (!scenario.affine.has_value() ||
@@ -83,12 +84,13 @@ SolveReport solve_general(const Scenario& scenario) {
         *scenario.affine, *scenario.options.stable_rule,
         scenario.options.subdivision_stages, scenario.options.fix_identity,
         guidance, scenario.options.solver, scenario.options.shard_threads,
-        scenario.options.nogood_pool.get());
+        pool);
     report.timings.push_back(
         {"terminating-subdivision", witness.subdivision_millis});
     report.timings.push_back(
         {"simplicial-approximation", witness.approximation_millis});
-    report.total_backtracks = witness.backtracks;
+    report.counters = witness.counters;
+    report.total_backtracks = witness.counters.backtracks;
     report.witness_depth =
         static_cast<int>(scenario.options.subdivision_stages);
     report.tsub = std::make_shared<const core::TerminatingSubdivision>(
@@ -182,6 +184,20 @@ std::string SolveReport::summary() const {
         out += " at depth " + std::to_string(witness_depth);
     }
     out += ", " + std::to_string(total_backtracks) + " backtracks";
+    // Learning traffic, when any happened: cross-solve pool seeding /
+    // publishing and mid-flight portfolio exchange — the counters the
+    // warm-start and exchange acceptance checks read off this line.
+    if (counters.pool_seeded != 0 || counters.pool_published != 0) {
+        out += ", pool " + std::to_string(counters.pool_seeded) +
+               " seeded / " + std::to_string(counters.pool_published) +
+               " published";
+    }
+    if (counters.exchange_published != 0 ||
+        counters.exchange_imported != 0) {
+        out += ", exchange " + std::to_string(counters.exchange_published) +
+               " published / " +
+               std::to_string(counters.exchange_imported) + " imported";
+    }
     double total_ms = 0.0;
     for (const StageTiming& t : timings) total_ms += t.millis;
     out += ", " + std::to_string(static_cast<long long>(total_ms)) + " ms";
@@ -192,8 +208,50 @@ std::string SolveReport::summary() const {
 
 SolveReport Engine::solve(const Scenario& scenario) const {
     require(!scenario.name.empty(), "Engine::solve: unnamed scenario");
-    if (scenario.is_wait_free()) return solve_wait_free(scenario);
-    return solve_general(scenario);
+
+    // Pool persistence (EngineOptions::pool_file): resolve the pool and
+    // warm-start it from disk before the solve, save it back after. Any
+    // file problem downgrades to a cold start with a warning — a stale
+    // or mangled pool file must never take the solve down, because the
+    // pool only ever accelerates; it never decides.
+    std::shared_ptr<core::SharedNogoodPool> pool =
+        scenario.options.nogood_pool;
+    std::vector<std::string> pool_warnings;
+    const std::string& pool_file = scenario.options.pool_file;
+    if (!pool_file.empty()) {
+        if (pool == nullptr) {
+            pool = std::make_shared<core::SharedNogoodPool>();
+        }
+        // Only a genuinely ABSENT file is the clean, silent cold start
+        // (the run that seeds it below). A file that exists but cannot
+        // be opened or parsed — permissions, corruption, version skew —
+        // must surface as a warning: the operator configured a
+        // warm-start that is not happening.
+        std::error_code ec;
+        if (std::filesystem::exists(pool_file, ec) || ec) {
+            const std::string err = pool->load(pool_file);
+            if (!err.empty()) {
+                pool_warnings.push_back(
+                    "nogood-pool file rejected (" + err +
+                    ") — continuing with a cold pool");
+            }
+        }
+    }
+
+    SolveReport report = scenario.is_wait_free()
+                             ? solve_wait_free(scenario, pool.get())
+                             : solve_general(scenario, pool.get());
+    report.warnings.insert(report.warnings.begin(), pool_warnings.begin(),
+                           pool_warnings.end());
+
+    if (!pool_file.empty()) {
+        const std::string err = pool->save(pool_file);
+        if (!err.empty()) {
+            report.warnings.push_back("nogood-pool save failed (" + err +
+                                      ") — learning not persisted");
+        }
+    }
+    return report;
 }
 
 std::vector<SolveReport> Engine::solve_batch(

@@ -92,8 +92,14 @@ struct SolveReport {
     std::vector<iis::Run> model_runs;
     std::optional<core::AdmissibilityReport> admissibility;
 
-    /// Total CSP backtracks across all searches of the solve.
+    /// Total CSP backtracks across all searches of the solve
+    /// (== counters.backtracks, kept as the historical field name).
     std::size_t total_backtracks = 0;
+    /// Full search/learning tallies summed across the solve's CSP runs:
+    /// backtracks, nogood learning, cross-solve pool seeding/publishing
+    /// and mid-flight exchange traffic (core::SearchCounters). What the
+    /// summary() learning annotations and the benches read.
+    core::SearchCounters counters;
     /// Per-stage wall times, in pipeline order.
     std::vector<StageTiming> timings;
 

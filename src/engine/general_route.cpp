@@ -35,7 +35,7 @@ GeneralWitness build_general_witness(const tasks::AffineTask& task,
     const core::ChromaticMapResult result =
         core::solve_chromatic_map(problem, solver);
     out.approximation_millis = millis_since(start);
-    out.backtracks = result.backtracks;
+    out.counters = result.counters;
     out.exhausted = result.exhausted;
     if (result.map.has_value()) out.delta = *result.map;
     return out;

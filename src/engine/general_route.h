@@ -19,7 +19,9 @@ namespace gact::engine {
 struct GeneralWitness {
     core::TerminatingSubdivision tsub;  ///< T, materialized
     std::optional<core::SimplicialMap> delta;  ///< K(T) -> L if found
-    std::size_t backtracks = 0;                ///< approximation CSP effort
+    /// Approximation-CSP effort and learning tallies (backtracks,
+    /// nogood/pool/exchange activity — see core::SearchCounters).
+    core::SearchCounters counters;
     /// True when the CSP search space was exhausted (no approximation
     /// exists for this T); false when the budget ran out first. Only
     /// meaningful when `delta` is empty.

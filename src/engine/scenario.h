@@ -66,6 +66,20 @@ struct EngineOptions {
     /// witness-preserving (pruning only).
     std::shared_ptr<core::SharedNogoodPool> nogood_pool;
 
+    /// @brief Pool persistence (core/nogood_store.h, save/load): when
+    /// non-empty, the solve warm-starts by loading this pool file into
+    /// its SharedNogoodPool (a per-solve pool is created when
+    /// `nogood_pool` is null) and saves the pool back afterwards, so a
+    /// fresh process replays every conflict an earlier one proved — the
+    /// second process finds the bit-identical witness with 0
+    /// backtracks. A missing file is a clean cold start; an unreadable,
+    /// corrupted, or version-mismatched file downgrades to a cold start
+    /// with a SolveReport::warnings entry, never an abort. Batch
+    /// drivers sharing one pool across scenarios (example_engine_cli
+    /// --pool-file) should load/save once themselves instead of setting
+    /// this per scenario: per-solve saves of a shared file would race.
+    std::string pool_file;
+
     /// @brief Intra-scenario sharding (general route): split each
     /// terminating-subdivision stage into per-facet work units across
     /// this many self-scheduling threads. Bit-identical to 1-thread

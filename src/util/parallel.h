@@ -22,8 +22,26 @@ namespace gact {
 /// workers by a self-scheduling atomic index. With num_threads <= 1 (or
 /// fewer than two units) the loop runs inline — byte-for-byte the
 /// sequential behavior, no threads spawned. `fn` must be safe to call
-/// concurrently on distinct indices; the first exception thrown by any
-/// worker stops the pool and is rethrown to the caller.
+/// concurrently on distinct indices.
+///
+/// Exception semantics (pinned by tests/parallel_test.cpp): each worker
+/// records at most ONE exception — its first — and sets the stop flag,
+/// so the remaining workers finish their in-flight unit and take no new
+/// ones (units already claimed may still run to completion; units never
+/// claimed never run). After the join, the recorded exception of the
+/// LOWEST-numbered worker that threw is rethrown; any others are
+/// dropped. "Lowest worker index" is deliberate and deterministic given
+/// which workers threw — it is NOT "first thrown in time": wall-clock
+/// order of concurrent throws is meaningless, and callers must treat
+/// the propagated exception as "one representative failure", not "the
+/// root cause".
+///
+/// Memory ordering: both `stop` and `next` are relaxed on purpose. The
+/// stop flag is advisory (a worker observing it late merely runs one
+/// more unit — the same unit-level uncertainty self-scheduling has
+/// anyway), and no data flows through either atomic: every cross-thread
+/// result — the errors array and whatever `fn` wrote — is published by
+/// the thread join, which fully synchronizes before anything is read.
 template <typename Fn>
 void parallel_for_index(std::size_t n, unsigned num_threads, Fn&& fn) {
     if (num_threads <= 1 || n < 2) {
@@ -47,12 +65,18 @@ void parallel_for_index(std::size_t n, unsigned num_threads, Fn&& fn) {
                     fn(i);
                 }
             } catch (...) {
+                // One slot per worker: a worker that threw stops
+                // pulling units, so this assignment can happen at most
+                // once per slot.
                 errors[w] = std::current_exception();
                 stop.store(true, std::memory_order_relaxed);
             }
         });
     }
     for (std::thread& t : pool) t.join();
+    // Deterministic representative: the lowest-indexed worker's
+    // exception (see the header comment), scanned after the join has
+    // published every slot.
     for (const std::exception_ptr& e : errors) {
         if (e) std::rethrow_exception(e);
     }

@@ -31,7 +31,7 @@ TEST(ChromaticCsp, IdentityOnStandardSimplex) {
     for (topo::VertexId v : s.vertex_ids()) {
         EXPECT_EQ(result.map->apply(v), v);
     }
-    EXPECT_TRUE(result.exhausted || result.backtracks == 0);
+    EXPECT_TRUE(result.exhausted || result.counters.backtracks == 0);
 }
 
 TEST(ChromaticCsp, RetractionOfChrFoundBySearch) {
@@ -75,7 +75,7 @@ TEST(ChromaticCsp, DisconnectedTargetIsUnsatisfiable) {
     const auto result = solve_chromatic_map(problem);
     EXPECT_FALSE(result.map.has_value());
     EXPECT_TRUE(result.exhausted);
-    EXPECT_GT(result.backtracks, 0u);
+    EXPECT_GT(result.counters.backtracks, 0u);
 }
 
 TEST(ChromaticCsp, SatisfiableWithConsistentFixing) {
@@ -192,7 +192,7 @@ protected:
         ASSERT_TRUE(fast.exhausted || fast.map.has_value())
             << "fast engine hit its budget; raise it for this problem";
         EXPECT_EQ(naive.map.has_value(), fast.map.has_value());
-        EXPECT_LE(fast.backtracks, naive.backtracks);
+        EXPECT_LE(fast.counters.backtracks, naive.counters.backtracks);
         if (fast.map.has_value()) {
             EXPECT_EQ(check_chromatic_map(problem, *fast.map), "");
         }

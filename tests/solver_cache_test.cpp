@@ -116,6 +116,114 @@ TEST(SolverCacheProperty, SharedPoolPreservesEveryRegistryVerdictAndWitness) {
     }
 }
 
+TEST(SolverCacheProperty, ExchangePoolThreadMatrixPreservesVerdictAndWitness) {
+    // The PR-5 toggle matrix: mid-flight exchange on/off x cross-solve
+    // pool on/off x threads 1/N, every cell bit-identical to the plain
+    // single-threaded PR-2 engine. The N-thread cells run the portfolio
+    // undiversified (diversify_portfolio = false): every thread then
+    // performs the identical search, so whichever thread settles
+    // reports the same witness — which is what makes "bit-identical
+    // across the matrix" a deterministic assertion rather than a race
+    // (with diversification on, *which* witness wins is timing; the
+    // per-thread searches are still witness-invariant under exchange
+    // imports, since pruned subtrees never contain a witness).
+    const engine::Engine eng;
+    for (const auto& spec : engine::ScenarioRegistry::standard().specs()) {
+        if (spec.heavy) continue;
+        engine::Scenario scenario = spec.make();
+        scenario.name = spec.name;
+        scenario.options.solver = with_layers(false, false);
+        const engine::SolveReport plain = eng.solve(scenario);
+
+        for (const bool pool : {false, true}) {
+            for (const bool exchange : {false, true}) {
+                for (const unsigned threads : {1u, 3u}) {
+                    engine::Scenario cell = spec.make();
+                    cell.name = spec.name;
+                    core::SolverConfig solver = core::SolverConfig::fast();
+                    solver.num_threads = threads;
+                    solver.live_exchange = exchange;
+                    solver.diversify_portfolio = false;
+                    cell.options.solver = solver;
+                    if (pool) {
+                        cell.options.nogood_pool =
+                            std::make_shared<SharedNogoodPool>();
+                    }
+                    const std::string label =
+                        spec.name + " [matrix pool=" +
+                        std::to_string(pool) + " exchange=" +
+                        std::to_string(exchange) + " threads=" +
+                        std::to_string(threads) + "]";
+                    expect_equivalent(plain, eng.solve(cell), label);
+                    if (pool) {
+                        // Warm re-solve against the pool the cold cell
+                        // populated: still bit-identical.
+                        expect_equivalent(plain, eng.solve(cell),
+                                          label + " warm");
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --- the counter-accumulation audit (SearchCounters::add) ---------------
+
+TEST(SearchCounters, AddAccumulatesEveryField) {
+    // Each field gets a distinct value on both sides, so a field that
+    // add() dropped or overwrote shows up as a wrong sum. The other
+    // half of the guarantee is compile-time: the static_assert next to
+    // add()'s definition (chromatic_csp.cpp) pins sizeof(SearchCounters)
+    // to the field count, so a NEW counter cannot be added without
+    // revisiting add() and this test.
+    core::SearchCounters a;
+    a.backtracks = 1;
+    a.nogood_prunings = 2;
+    a.nogoods_recorded = 3;
+    a.backjumps = 4;
+    a.pool_seeded = 5;
+    a.pool_published = 6;
+    a.exchange_published = 7;
+    a.exchange_imported = 8;
+    a.eval_cache_hits = 9;
+    a.eval_cache_misses = 10;
+    core::SearchCounters b;
+    b.backtracks = 100;
+    b.nogood_prunings = 200;
+    b.nogoods_recorded = 300;
+    b.backjumps = 400;
+    b.pool_seeded = 500;
+    b.pool_published = 600;
+    b.exchange_published = 700;
+    b.exchange_imported = 800;
+    b.eval_cache_hits = 900;
+    b.eval_cache_misses = 1000;
+
+    a.add(b);
+    EXPECT_EQ(a.backtracks, 101u);
+    EXPECT_EQ(a.nogood_prunings, 202u);
+    EXPECT_EQ(a.nogoods_recorded, 303u);
+    EXPECT_EQ(a.backjumps, 404u);
+    EXPECT_EQ(a.pool_seeded, 505u);
+    EXPECT_EQ(a.pool_published, 606u);
+    EXPECT_EQ(a.exchange_published, 707u);
+    EXPECT_EQ(a.exchange_imported, 808u);
+    EXPECT_EQ(a.eval_cache_hits, 909u);
+    EXPECT_EQ(a.eval_cache_misses, 1010u);
+
+    // ChromaticMapResult::add_counters funnels through add() and must
+    // leave the verdict fields alone.
+    core::ChromaticMapResult r;
+    r.exhausted = true;
+    core::ChromaticMapResult other;
+    other.counters = b;
+    other.exhausted = false;
+    r.add_counters(other);
+    EXPECT_EQ(r.counters.backtracks, 100u);
+    EXPECT_TRUE(r.exhausted);
+    EXPECT_FALSE(r.map.has_value());
+}
+
 // --- the portfolio counter-merge audit ----------------------------------
 
 /// A problem whose search is identical on every portfolio thread:
@@ -161,31 +269,51 @@ TEST(PortfolioMerge, CountersAreThreadCountIndependentOnDeterministicRaces) {
         core::solve_chromatic_map(unsat, core::SolverConfig::fast());
     EXPECT_FALSE(single_unsat.map.has_value());
     EXPECT_TRUE(single_unsat.exhausted);
-    EXPECT_GT(single_unsat.backtracks, 0u);
+    EXPECT_GT(single_unsat.counters.backtracks, 0u);
 
     const auto single_sat =
         core::solve_chromatic_map(sat, core::SolverConfig::fast());
     ASSERT_TRUE(single_sat.map.has_value());
-    EXPECT_EQ(single_sat.backtracks, 0u);
+    EXPECT_EQ(single_sat.counters.backtracks, 0u);
 
     for (unsigned threads : {2u, 4u}) {
-        const auto racy_unsat = core::solve_chromatic_map(
-            unsat, core::SolverConfig::portfolio(threads));
+        // Exchange OFF for the counter-equality half: with the
+        // mid-flight exchange on, a thread may import a racing thread's
+        // nogoods and legitimately finish with fewer backtracks than
+        // the single-thread run — counters are then racy by design and
+        // only the verdict/witness stay pinned (asserted below).
+        core::SolverConfig isolated = core::SolverConfig::portfolio(threads);
+        isolated.live_exchange = false;
+        const auto racy_unsat = core::solve_chromatic_map(unsat, isolated);
         EXPECT_FALSE(racy_unsat.map.has_value());
         EXPECT_TRUE(racy_unsat.exhausted);
-        EXPECT_EQ(racy_unsat.backtracks, single_unsat.backtracks)
+        EXPECT_EQ(racy_unsat.counters.backtracks,
+                  single_unsat.counters.backtracks)
             << "x" << threads
             << ": the merge must report the settling thread's coherent "
                "count, not a sum over stopped threads";
-        EXPECT_EQ(racy_unsat.nogoods_recorded,
-                  single_unsat.nogoods_recorded)
+        EXPECT_EQ(racy_unsat.counters.nogoods_recorded,
+                  single_unsat.counters.nogoods_recorded)
             << "x" << threads;
 
-        const auto racy_sat = core::solve_chromatic_map(
-            sat, core::SolverConfig::portfolio(threads));
+        const auto racy_sat = core::solve_chromatic_map(sat, isolated);
         ASSERT_TRUE(racy_sat.map.has_value());
         EXPECT_EQ(racy_sat.map->vertex_map(), single_sat.map->vertex_map());
-        EXPECT_EQ(racy_sat.backtracks, 0u) << "x" << threads;
+        EXPECT_EQ(racy_sat.counters.backtracks, 0u) << "x" << threads;
+
+        // Exchange ON (the shipped portfolio default): verdict and
+        // witness must be untouched whatever the import interleaving.
+        const auto traded_unsat = core::solve_chromatic_map(
+            unsat, core::SolverConfig::portfolio(threads));
+        EXPECT_FALSE(traded_unsat.map.has_value());
+        EXPECT_TRUE(traded_unsat.exhausted) << "x" << threads;
+
+        const auto traded_sat = core::solve_chromatic_map(
+            sat, core::SolverConfig::portfolio(threads));
+        ASSERT_TRUE(traded_sat.map.has_value());
+        EXPECT_EQ(traded_sat.map->vertex_map(),
+                  single_sat.map->vertex_map())
+            << "x" << threads;
     }
 }
 
