@@ -28,7 +28,11 @@
 // After the cells, a dedicated exchange-ablation section races the
 // free-R_0 *unguided* instance with the mid-flight exchange off vs on —
 // the one report instance whose race runs long enough for the trade to
-// reach the settling thread (see the section comment).
+// reach the settling thread (see the section comment) — and a
+// nogood-lifecycle section measures the PR-6 knobs on the same
+// instance: Luby restarts off vs forced-frequent, and a deliberately
+// tiny nogood store with GC off (the legacy at-capacity learning
+// freeze) vs on (`restarts:` / `gc:` summary lines, gated by CI).
 // Rows report found/exhausted, backtracks, backjumps, nogood
 // prunings/recordings, pool seeding, exchange traffic, cache hit rates,
 // and wall time; the summary lines compare naive vs the shipped engine
@@ -331,6 +335,74 @@ void print_report() {
             std::cout << "    exchange: cells disagree on settling "
                          "(budget artifacts); backtracks not comparable\n";
         }
+    }
+
+    // --- the nogood-lifecycle ablation (PR 6) --------------------------
+    // Same free-R_0 unguided instance as the exchange section, for the
+    // same reason: its search runs long enough that restarts actually
+    // fire and a tiny store actually fills. Single-threaded, so every
+    // number here is deterministic.
+    //
+    // restarts: the shipped engine with the Luby schedule forced
+    // frequent (unit = 16 backtracks) vs off. A restarted search replays
+    // the identical DFS with a superset of the learned conflicts, so the
+    // verdict is pinned; the backtrack count may move either way (the
+    // replays re-spend budget, the extra nogoods prune), and only a
+    // blow-up past twice the off count plus a floor is a regression.
+    //
+    // gc: the shipped engine against a deliberately tiny store (8
+    // entries), with collection off — the legacy dead end where a full
+    // store rejects every further conflict — vs on, where collections
+    // evict the least active half and recording continues past the cap.
+    // GC can only admit conflicts the frozen store rejected, so fewer
+    // recordings with GC on is a regression.
+    {
+        std::cout << "nogood lifecycle ablation (free R_0, unguided "
+                     "candidates):\n";
+        const auto problem = inst.problem(false, false);
+        SolverConfig restarts_off = SolverConfig::fast(8000000);
+        restarts_off.restarts = false;
+        const Cell r_off = run_cell(problem, restarts_off);
+        print_cell("shipped, restarts off      ", r_off);
+        SolverConfig restarts_on = SolverConfig::fast(8000000);
+        restarts_on.restart_unit = 16;
+        const Cell r_on = run_cell(problem, restarts_on);
+        print_cell("shipped, Luby unit=16      ", r_on);
+        if (r_off.found == r_on.found && r_off.exhausted == r_on.exhausted) {
+            const std::size_t off = r_off.counters.backtracks;
+            const std::size_t on = r_on.counters.backtracks;
+            std::cout << "    restarts: off " << off << " -> on " << on
+                      << " backtracks (" << r_on.counters.restarts
+                      << " restarts"
+                      << (on > 2 * off + 128
+                              ? ") — MORE: restart regression\n"
+                              : on < off ? ", reduced)\n" : ", bounded)\n");
+        } else {
+            std::cout << "    restarts: cells disagree on settling "
+                         "(budget artifacts); backtracks not comparable — "
+                         "solver bug if both settled\n";
+        }
+
+        SolverConfig frozen = SolverConfig::fast(8000000);
+        frozen.nogood_capacity = 8;
+        frozen.nogood_gc = false;
+        const Cell gc_off = run_cell(problem, frozen);
+        print_cell("tiny store (8), GC off     ", gc_off);
+        SolverConfig collected = frozen;
+        collected.nogood_gc = true;
+        const Cell gc_on = run_cell(problem, collected);
+        print_cell("tiny store (8), GC on      ", gc_on);
+        const std::size_t frozen_recorded = gc_off.counters.nogoods_recorded;
+        const std::size_t live_recorded = gc_on.counters.nogoods_recorded;
+        std::cout << "    gc: capacity 8, off " << frozen_recorded
+                  << " recorded (frozen at the cap) -> on " << live_recorded
+                  << " recorded / " << gc_on.counters.nogoods_evicted
+                  << " evicted"
+                  << (live_recorded < frozen_recorded
+                          ? " — FEWER: gc regression\n"
+                          : live_recorded > collected.nogood_capacity
+                                ? ", learning continued past the cap\n"
+                                : ", store never filled at this size\n");
     }
     std::cout << std::endl;
 }

@@ -5,9 +5,15 @@
 //   example_engine_cli --list          # list scenarios (nothing built)
 //   example_engine_cli --threads 4     # shard width (default 2)
 //   example_engine_cli --no-pool       # disable cross-solve nogood reuse
+//   example_engine_cli --no-restarts   # disable Luby restarts in the CSP
+//   example_engine_cli --no-gc         # full nogood store rejects instead
+//                                      # of collecting (pre-GC behavior)
 //   example_engine_cli --pool-file learned.pool lt-2-1-res1
 //                                      # persist the pool across processes
 //   example_engine_cli lt-2-1-res1 consensus-2-wf   # run by name
+//
+// --pool-file and --no-pool contradict each other; asking for both is a
+// usage error, not a silent precedence.
 //
 // Every solvability question the other examples answer by hand is one
 // registry name here: the Scenario carries the task, the model, and the
@@ -68,6 +74,17 @@ void print_report(const engine::SolveReport& report) {
     for (const engine::StageTiming& t : report.timings) {
         std::cout << "      " << t.stage << ": " << t.millis << " ms\n";
     }
+    // The nogood-lifecycle counters, printed only when the solve
+    // actually learned something: restart/GC behavior is otherwise
+    // invisible from the verdict line.
+    const core::SearchCounters& c = report.counters;
+    if (c.nogoods_recorded != 0 || c.restarts != 0 ||
+        c.nogoods_evicted != 0) {
+        std::cout << "      nogoods: " << c.nogoods_recorded
+                  << " recorded, " << c.nogoods_evicted << " evicted, "
+                  << c.restarts << " restarts, " << c.nogood_prunings
+                  << " prunings\n";
+    }
 }
 
 int list_scenarios() {
@@ -85,14 +102,24 @@ int main(int argc, char** argv) {
     const engine::ScenarioRegistry& registry =
         engine::ScenarioRegistry::standard();
     unsigned threads = 2;
-    bool use_pool = true;
+    bool no_pool = false;
+    bool no_restarts = false;
+    bool no_gc = false;
     std::string pool_file;
     std::vector<engine::Scenario> scenarios;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--list") == 0) return list_scenarios();
         if (std::strcmp(argv[i], "--no-pool") == 0) {
-            use_pool = false;
+            no_pool = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--no-restarts") == 0) {
+            no_restarts = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--no-gc") == 0) {
+            no_gc = true;
             continue;
         }
         if (std::strcmp(argv[i], "--pool-file") == 0 && i + 1 < argc) {
@@ -112,8 +139,19 @@ int main(int argc, char** argv) {
         }
         scenarios.push_back(*scenario);
     }
+    if (!pool_file.empty() && no_pool) {
+        // The old behavior silently let --pool-file win; an explicit
+        // contradiction deserves an explicit error.
+        std::cerr << "usage error: --pool-file requires the pool that "
+                     "--no-pool disables; drop one of the two flags\n";
+        return 2;
+    }
     if (scenarios.empty()) scenarios = registry.quick();
-    if (!pool_file.empty()) use_pool = true;  // --pool-file implies a pool
+    const bool use_pool = !no_pool;
+    for (engine::Scenario& s : scenarios) {
+        if (no_restarts) s.options.solver.restarts = false;
+        if (no_gc) s.options.solver.nogood_gc = false;
+    }
 
     // One pool for the whole run: scoping by problem identity keeps
     // unrelated scenarios apart, and nogood reuse is verdict-preserving.

@@ -20,7 +20,7 @@ namespace gact::core {
 // field changes sizeof and lands here. When this assert fires, extend
 // add() below AND the populated-struct round-trip in
 // tests/solver_cache_test.cpp, then bump the expected count.
-static_assert(sizeof(SearchCounters) == 10 * sizeof(std::size_t),
+static_assert(sizeof(SearchCounters) == 12 * sizeof(std::size_t),
               "SearchCounters gained or lost a field: update "
               "SearchCounters::add() (every accumulation site funnels "
               "through it) and the round-trip test, then adjust this "
@@ -30,6 +30,8 @@ void SearchCounters::add(const SearchCounters& other) noexcept {
     backtracks += other.backtracks;
     nogood_prunings += other.nogood_prunings;
     nogoods_recorded += other.nogoods_recorded;
+    nogoods_evicted += other.nogoods_evicted;
+    restarts += other.restarts;
     backjumps += other.backjumps;
     pool_seeded += other.pool_seeded;
     pool_published += other.pool_published;
@@ -365,9 +367,13 @@ struct FcSearcher {
 
     /// Outcome of one search() call: a witness below this node, a proven
     /// conflict (conflict_var_ names the variable whose conflict set
-    /// describes it when backjumping is on), or an abort (budget / stop
-    /// flag — not a proof, so no conflict set).
-    enum class Status { kFound, kConflict, kAbort };
+    /// describes it when backjumping is on), an abort (budget / stop
+    /// flag — not a proof, so no conflict set), or a Luby restart (this
+    /// run's backtrack allotment ran out; the driver unwinds to the
+    /// component root and searches again with the learned nogoods —
+    /// unlike kAbort it does NOT clear `exhausted`, because the next
+    /// run finishes the proof).
+    enum class Status { kFound, kConflict, kAbort, kRestart };
 
     struct Var {
         VertexId v = 0;
@@ -383,6 +389,12 @@ struct FcSearcher {
         std::size_t active_count = 0;
         bool assigned = false;
         bool is_fixed = false;
+        // Word-packed mirror of `active`, kept in lockstep by
+        // prune()/undo_to(): the FC mask filter intersects it with the
+        // memoized allowed mask 64 values at a time instead of testing
+        // every value byte-by-byte. Last member so the positional
+        // aggregate initializers above it stay valid.
+        std::vector<std::uint64_t> active_bits;
     };
     static constexpr std::uint32_t kNoVar = 0xffffffffu;
     std::vector<Var> vars;  // fixed vertices first, then the component's
@@ -397,6 +409,17 @@ struct FcSearcher {
     SearchCounters counters;
     bool exhausted = true;
     std::vector<VertexId> image_scratch;  // reused across evaluations
+    // Deferred forward-checking work of one try_assign: (constraint,
+    // index of its single unassigned vertex). Member so the buffer is
+    // allocated once, not per node; valid only within the call that
+    // filled it (nothing assigns between the fill and the drain).
+    std::vector<std::pair<const Simplex*, std::uint32_t>> fc_pending;
+
+    // Luby restart state, driven by fc_solve_component: once the
+    // current run's backtracks reach restart_limit, search() unwinds
+    // with Status::kRestart. 0 = never restart.
+    std::size_t restart_limit = 0;
+    std::size_t run_start_backtracks = 0;
 
     // Conflict-directed backjumping state (config.backjumping): one
     // conflict set per variable, as a bitset over var indices. conf(v)
@@ -595,9 +618,24 @@ struct FcSearcher {
                                     image_scratch);
     }
 
+    /// Reset a variable's live-domain state to "everything active";
+    /// the setup sites and the restart driver share it.
+    static void activate_all(Var& var) {
+        const std::size_t n = var.values.size();
+        var.active.assign(n, 1);
+        var.pruned_by.assign(n, nullptr);
+        var.active_count = n;
+        var.active_bits.assign((n + 63) / 64, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            var.active_bits[i >> 6] |= std::uint64_t{1} << (i & 63);
+        }
+    }
+
     void prune(std::size_t var_idx, std::size_t value_idx,
                const Simplex* cause) {
         vars[var_idx].active[value_idx] = 0;
+        vars[var_idx].active_bits[value_idx >> 6] &=
+            ~(std::uint64_t{1} << (value_idx & 63));
         vars[var_idx].pruned_by[value_idx] = cause;
         --vars[var_idx].active_count;
         trail.emplace_back(var_idx, value_idx);
@@ -646,6 +684,8 @@ struct FcSearcher {
             const auto [var_idx, value_idx] = trail.back();
             trail.pop_back();
             vars[var_idx].active[value_idx] = 1;
+            vars[var_idx].active_bits[value_idx >> 6] |=
+                std::uint64_t{1} << (value_idx & 63);
             ++vars[var_idx].active_count;
         }
     }
@@ -655,6 +695,18 @@ struct FcSearcher {
     /// short of completion filters that vertex's live domain. Returns
     /// false on a violated constraint or a domain wipeout (the caller must
     /// undo_to its own trail mark either way).
+    ///
+    /// Two passes over the incident constraints. Pass 1 classifies and
+    /// immediately checks every completed (leaf) constraint — the
+    /// admissible bound test of this branch: each check is one memo
+    /// probe, writes nothing, and a violation rejects the assignment
+    /// before any forward-checking work (domain writes + trail entries
+    /// + their undo) is paid for. Pass 2 runs the deferred FC filters.
+    /// Relative order within each class is the incident order, so the
+    /// prune sequence is deterministic; leaf-before-filter only changes
+    /// WHICH sound conflict a doomed assignment fails on (and hence
+    /// which nogood is learned), never whether it fails — verdicts and
+    /// witnesses are untouched.
     bool try_assign(std::size_t var_idx, VertexId w) {
         Var& var = vars[var_idx];
         var.assigned = true;
@@ -664,10 +716,10 @@ struct FcSearcher {
         // (image_constraint_holds); everything else reads the dense
         // tables.
         if (cache == nullptr) assignment[var.v] = w;
+        fc_pending.clear();
         for (const Simplex* sigma_ptr : index.incident_simplices(var.v)) {
             const Simplex& sigma = *sigma_ptr;
             std::uint32_t unassigned_idx = kNoVar;
-            VertexId unassigned_vertex = 0;
             std::size_t num_unassigned = 0;
             bool in_scope = true;
             for (VertexId u : sigma.vertices()) {
@@ -677,7 +729,6 @@ struct FcSearcher {
                     break;
                 }
                 if (!vars[ui].assigned) {
-                    unassigned_vertex = u;
                     unassigned_idx = ui;
                     if (++num_unassigned > 1) break;
                 }
@@ -692,56 +743,70 @@ struct FcSearcher {
                     return false;
                 }
             } else if (num_unassigned == 1 && config.forward_checking) {
-                const std::size_t u_idx = unassigned_idx;
-                Var& uvar = vars[u_idx];
-                // The constraint complex and the assigned part of the
-                // image are fixed across the candidate loop; build the
-                // image once with a hole at the unassigned slot.
-                std::vector<VertexId>& image = image_scratch;
-                image.clear();
-                std::size_t u_slot = 0;
-                for (std::size_t j = 0; j < sigma.vertices().size(); ++j) {
-                    const VertexId u = sigma.vertices()[j];
-                    if (u == unassigned_vertex) {
-                        u_slot = j;
-                        image.push_back(EvalCache::kHole);
-                    } else {
-                        image.push_back(vars[var_of_vertex[u]].value);
-                    }
-                }
-                if (cache != nullptr) {
-                    // One memoized lookup filters the whole candidate
-                    // list: the mask is keyed by the neighborhood-image
-                    // fingerprint (cid + assigned values + hole).
-                    const std::vector<std::uint64_t>& mask =
-                        cache->allowed_mask(problem, index.id_of(sigma_ptr),
-                                            sigma, image, u_slot,
-                                            uvar.values);
-                    for (std::size_t i = 0; i < uvar.values.size(); ++i) {
-                        if (!uvar.active[i]) continue;
-                        if ((mask[i / 64] >> (i % 64) & 1) == 0) {
-                            prune(u_idx, i, sigma_ptr);
-                        }
-                    }
+                fc_pending.emplace_back(sigma_ptr, unassigned_idx);
+            }
+        }
+        for (const auto& [sigma_ptr, u_idx32] : fc_pending) {
+            const Simplex& sigma = *sigma_ptr;
+            const std::size_t u_idx = u_idx32;
+            Var& uvar = vars[u_idx];
+            // The constraint complex and the assigned part of the
+            // image are fixed across the candidate loop; build the
+            // image once with a hole at the unassigned slot.
+            std::vector<VertexId>& image = image_scratch;
+            image.clear();
+            std::size_t u_slot = 0;
+            for (std::size_t j = 0; j < sigma.vertices().size(); ++j) {
+                const VertexId u = sigma.vertices()[j];
+                if (u == uvar.v) {
+                    u_slot = j;
+                    image.push_back(EvalCache::kHole);
                 } else {
-                    const SimplicialComplex& allowed = problem.allowed(sigma);
-                    for (std::size_t i = 0; i < uvar.values.size(); ++i) {
-                        if (!uvar.active[i]) continue;
-                        image[u_slot] = uvar.values[i];
-                        const Simplex img{std::vector<VertexId>(image)};
-                        if (!problem.codomain->contains(img) ||
-                            !allowed.contains(img)) {
-                            prune(u_idx, i, sigma_ptr);
-                        }
+                    image.push_back(vars[var_of_vertex[u]].value);
+                }
+            }
+            if (cache != nullptr) {
+                // One memoized lookup filters the whole candidate
+                // list: the mask is keyed by the neighborhood-image
+                // fingerprint (cid + assigned values + hole). The
+                // filter itself is the word-wise pass `live & ~allowed`
+                // over the packed domain — only the values actually
+                // being pruned cost anything beyond one AND-NOT per 64
+                // candidates (ctz walks the remainder in ascending
+                // index order, same sequence as the old per-value scan).
+                const std::vector<std::uint64_t>& mask =
+                    cache->allowed_mask(problem, index.id_of(sigma_ptr),
+                                        sigma, image, u_slot,
+                                        uvar.values);
+                const std::size_t words = uvar.active_bits.size();
+                for (std::size_t wd = 0; wd < words; ++wd) {
+                    std::uint64_t removed = uvar.active_bits[wd] & ~mask[wd];
+                    while (removed != 0) {
+                        const std::size_t i =
+                            (wd << 6) + static_cast<std::size_t>(
+                                            __builtin_ctzll(removed));
+                        removed &= removed - 1;
+                        prune(u_idx, i, sigma_ptr);
                     }
                 }
-                if (uvar.active_count == 0) {
-                    record_wipeout(u_idx);
-                    if (config.backjumping) {
-                        conflict_from_wipeout(u_idx, var_idx);
+            } else {
+                const SimplicialComplex& allowed = problem.allowed(sigma);
+                for (std::size_t i = 0; i < uvar.values.size(); ++i) {
+                    if (!uvar.active[i]) continue;
+                    image[u_slot] = uvar.values[i];
+                    const Simplex img{std::vector<VertexId>(image)};
+                    if (!problem.codomain->contains(img) ||
+                        !allowed.contains(img)) {
+                        prune(u_idx, i, sigma_ptr);
                     }
-                    return false;
                 }
+            }
+            if (uvar.active_count == 0) {
+                record_wipeout(u_idx);
+                if (config.backjumping) {
+                    conflict_from_wipeout(u_idx, var_idx);
+                }
+                return false;
             }
         }
         return true;
@@ -850,7 +915,10 @@ struct FcSearcher {
             if (try_assign(var_idx, var.values[i])) {
                 const Status st = search();
                 if (st == Status::kFound) return st;
-                if (st == Status::kAbort) {
+                if (st == Status::kAbort || st == Status::kRestart) {
+                    // Both unwind the whole tree; only kAbort is final
+                    // (kRestart keeps `exhausted` — the next run
+                    // finishes the proof with today's nogoods).
                     undo_to(mark);
                     unassign(var_idx);
                     return st;
@@ -881,6 +949,13 @@ struct FcSearcher {
                 exhausted = false;
                 return Status::kAbort;
             }
+            // This run's Luby allotment. Checked after the global
+            // budget: restarts reschedule the budget, never extend it.
+            if (restart_limit != 0 &&
+                counters.backtracks - run_start_backtracks >=
+                    restart_limit) {
+                return Status::kRestart;
+            }
             // A backtrack (or a backjump landing) is the natural moment
             // to pick up what the other portfolio threads proved while
             // this subtree was being refuted: the next value tried here
@@ -910,18 +985,16 @@ std::optional<DomainMap> propagate_fixed_snapshot(
     FcSearcher s(problem, index, propagation_config);
     for (VertexId v : fixed_order) {
         s.var_index[v] = s.vars.size();
-        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, true});
+        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, true, {}});
     }
     for (VertexId v : problem.domain->vertex_ids()) {
         if (problem.fixed.count(v) != 0) continue;
         s.var_index[v] = s.vars.size();
-        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, false});
+        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, false, {}});
     }
     for (FcSearcher::Var& var : s.vars) {
         var.values = base_domains.at(var.v);
-        var.active.assign(var.values.size(), 1);
-        var.pruned_by.assign(var.values.size(), nullptr);
-        var.active_count = var.values.size();
+        FcSearcher::activate_all(var);
     }
     s.finalize_vars();
     for (VertexId v : fixed_order) {
@@ -944,6 +1017,23 @@ std::optional<DomainMap> propagate_fixed_snapshot(
     return pruned;
 }
 
+/// The Luby restart sequence, 1-indexed: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2,
+/// 1, 1, 2, 4, 8, ... — the universal-optimal schedule for restarting a
+/// Las-Vegas search (Luby, Sinclair, Zuckerman 1993). luby(i) scales
+/// SolverConfig::restart_unit into the i-th run's backtrack allotment.
+std::size_t luby(std::size_t i) {
+    for (;;) {
+        // Find the block: if i is exactly 2^k - 1 the value is 2^(k-1);
+        // otherwise recurse into the tail of the enclosing block.
+        std::size_t k = 1;
+        while ((std::size_t{1} << k) - 1 < i) ++k;
+        if ((std::size_t{1} << k) - 1 == i) {
+            return std::size_t{1} << (k - 1);
+        }
+        i -= (std::size_t{1} << (k - 1)) - 1;
+    }
+}
+
 bool fc_solve_component(const ChromaticMapProblem& problem,
                         const topo::AdjacencyIndex& index,
                         const DomainMap& propagated_domains,
@@ -963,11 +1053,11 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
     s.session = session;
     for (VertexId v : fixed_order) {
         s.var_index[v] = s.vars.size();
-        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, true});
+        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, true, {}});
     }
     for (VertexId v : component_order) {
         s.var_index[v] = s.vars.size();
-        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, false});
+        s.vars.push_back({v, 0, 0, {}, {}, {}, 0, false, false, {}});
     }
 
     std::mt19937_64 rng(config.seed ^ shuffle_salt);
@@ -976,9 +1066,7 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
         if (config.value_order == ValueOrder::kShuffled && !var.is_fixed) {
             std::shuffle(var.values.begin(), var.values.end(), rng);
         }
-        var.active.assign(var.values.size(), 1);
-        var.pruned_by.assign(var.values.size(), nullptr);
-        var.active_count = var.values.size();
+        FcSearcher::activate_all(var);
     }
 
     // The fixed assignments were validated and propagated into
@@ -994,10 +1082,38 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
     s.finalize_vars();
 
     // The component start is the restart point of the exchange: pick up
-    // everything the other threads proved before descending at all.
+    // everything the other threads proved before descending at all. It
+    // is also a reference-free safe point, so retired nogood buffers
+    // from the previous component can be physically reclaimed.
+    if (nogoods != nullptr) nogoods->reclaim();
     s.maybe_import();
 
-    const bool found = s.search() == FcSearcher::Status::kFound;
+    // Luby restarts (only meaningful with a store: a restart without
+    // learned nogoods would replay the identical tree). Each run gets
+    // luby(i) * restart_unit backtracks; on kRestart the searcher has
+    // fully unwound to this root, so re-descending with the retained
+    // store — now holding everything this run and the exchange peers
+    // proved — is the same deterministic DFS with strictly more sound
+    // pruning: same first witness, same exhaustion verdict, fewer
+    // re-derived conflicts. The global max_backtracks budget keeps
+    // ticking across runs, so termination is unchanged.
+    const bool use_restarts = config.restarts && nogoods != nullptr &&
+                              config.restart_unit > 0;
+    FcSearcher::Status status;
+    for (std::size_t run = 1;; ++run) {
+        if (use_restarts) {
+            s.restart_limit = luby(run) * config.restart_unit;
+            s.run_start_backtracks = s.counters.backtracks;
+        }
+        status = s.search();
+        if (status != FcSearcher::Status::kRestart) break;
+        ++s.counters.restarts;
+        // Unwound to the root: no blocking_nogood()/back() reference is
+        // live, so this is the other designated reclaim point.
+        nogoods->reclaim();
+        s.maybe_import();
+    }
+    const bool found = status == FcSearcher::Status::kFound;
     result.counters.add(s.counters);
     if (!s.exhausted) result.exhausted = false;
     if (found) {
@@ -1106,7 +1222,14 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
                     seeds.push_back(std::move(literals));
                 });
         }
-        nogoods.emplace(config.nogood_capacity + seeds.size());
+        // The store collects when full (config.nogood_gc) instead of
+        // rejecting — the capacity bounds the live set, not the
+        // learning. Seeds are not exempt from eviction: a seed that
+        // never fires is exactly the kind of ballast GC exists to shed.
+        NogoodStore::GcConfig gc;
+        gc.enabled = config.nogood_gc;
+        gc.keep_fraction = config.gc_keep_fraction;
+        nogoods.emplace(config.nogood_capacity + seeds.size(), gc);
         for (std::vector<NogoodLiteral>& s : seeds) {
             if (nogoods->record(std::move(s))) ++seeded;
         }
@@ -1166,6 +1289,7 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
         // exchange imports never pass through it); here only the
         // session totals and the cross-solve publish remain.
         result.counters.pool_seeded = seeded;
+        result.counters.nogoods_evicted = nogoods->evicted();
         if (session.has_value()) {
             result.counters.exchange_published = session->published;
             result.counters.exchange_imported = session->imported;
@@ -1190,6 +1314,10 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
                     imported_ids[next_import] == i) {
                     continue;
                 }
+                // Retired-and-reclaimed slots are empty vectors; an
+                // empty literal set must never reach the pool (it would
+                // read as "everything is contradictory").
+                if (all[i].empty()) continue;
                 std::vector<SharedNogoodPool::PortableLiteral> portable;
                 portable.reserve(all[i].size());
                 for (const NogoodLiteral& l : all[i]) {

@@ -176,9 +176,37 @@ struct SolverConfig {
     /// @note Sound pruning only: verdicts and witnesses are identical
     /// with learning on or off; backtrack counts shrink.
     bool nogood_learning = true;
-    /// @brief Max nogoods retained per search thread; recording stops at
-    /// the cap (0 disables the store outright).
+    /// @brief Max nogoods live per search thread (0 disables the store
+    /// outright). What happens at the cap depends on `nogood_gc`.
     std::size_t nogood_capacity = 4096;
+    /// @brief Collect the nogood store when it fills: retire the least
+    /// active nogoods (activity-aged, LBD-style — see NogoodStore's
+    /// GcConfig) down to `gc_keep_fraction * nogood_capacity` and keep
+    /// learning. Off restores the legacy dead end where a full store
+    /// rejects every further conflict and learning silently freezes.
+    /// @note Eviction only forgets pruning shortcuts; verdicts and
+    /// witnesses are identical either way (toggle-matrix tests).
+    bool nogood_gc = true;
+    /// @brief Live fraction kept by each collection (clamped inside the
+    /// store so a collection always keeps >= 1 and frees >= 1).
+    double gc_keep_fraction = 0.5;
+
+    /// @brief Luby-sequence restarts (FC engine only, needs
+    /// nogood_learning): abandon the current tree after luby(i) *
+    /// restart_unit backtracks and redo the search from the component
+    /// root, keeping the nogood store, the pool seeds, and the exchange
+    /// cursor — so the retry spends its budget where the learned
+    /// conflicts now prune hardest instead of grinding out the first
+    /// ordering's tail. Total work stays bounded by max_backtracks
+    /// (restarts reschedule the budget, they do not extend it).
+    /// @note The restarted search runs the identical deterministic DFS
+    /// with a superset of the pruning knowledge, so the first witness
+    /// found — and the exhaustion verdict — are the same as without
+    /// restarts (asserted across the registry toggle matrix).
+    bool restarts = true;
+    /// @brief Backtracks in the i-th run = luby(i) * restart_unit
+    /// (1, 1, 2, 1, 1, 2, 4, ... times this unit).
+    std::size_t restart_unit = 512;
 
     /// @brief Conflict-directed backjumping (FC engine only): on a dead
     /// end, return straight to the deepest decision in the conflict set
@@ -283,10 +311,18 @@ struct SearchCounters {
     /// Branches skipped because they would have completed a recorded
     /// nogood (not counted as backtracks).
     std::size_t nogood_prunings = 0;
-    /// Nogoods recorded by the search itself (capped by
-    /// SolverConfig::nogood_capacity; pool seeds and exchange imports
-    /// are counted separately, never here).
+    /// Nogoods recorded by the search itself (pool seeds and exchange
+    /// imports are counted separately, never here). With nogood_gc on
+    /// this keeps growing past nogood_capacity — the capacity bounds
+    /// the *live* set, not the learning (the PR-6 regression tests pin
+    /// exactly this).
     std::size_t nogoods_recorded = 0;
+    /// Nogoods retired by store collections (SolverConfig::nogood_gc);
+    /// 0 when GC is off or the store never filled.
+    std::size_t nogoods_evicted = 0;
+    /// Luby restarts taken (SolverConfig::restarts): abandoned trees,
+    /// not counting the final run that settled the component.
+    std::size_t restarts = 0;
     /// Dead ends resolved by a non-chronological jump: decision levels
     /// popped without re-enumerating their remaining values because the
     /// conflict set did not involve them (SolverConfig::backjumping).

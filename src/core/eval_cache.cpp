@@ -40,9 +40,7 @@ bool EvalCache::image_allowed(const ChromaticMapProblem& problem,
     const topo::Simplex img{std::vector<topo::VertexId>(image)};
     const bool ok = problem.codomain->contains(img) &&
                     allowed(problem, cid, sigma).contains(img);
-    // Both memos share the one capacity so the configured cap bounds
-    // the cache's total footprint.
-    if (image_memo_.size() + mask_memo_.size() < image_capacity_) {
+    if (admit_one()) {
         ++stats_.image_misses;
         image_memo_.emplace(
             ImageKey{static_cast<std::uint32_t>(cid), image}, ok);
@@ -50,6 +48,26 @@ bool EvalCache::image_allowed(const ChromaticMapProblem& problem,
         ++stats_.image_rejected;
     }
     return ok;
+}
+
+bool EvalCache::admit_one() {
+    // Both memos share the one capacity so the configured cap bounds
+    // the cache's total footprint.
+    if (image_memo_.size() + mask_memo_.size() < image_capacity_) {
+        return true;
+    }
+    if (image_capacity_ == 0) return false;  // image memos disabled
+    // Full: reset the epoch instead of freezing. The old code refused
+    // every insertion from here on, which pinned the memo to whatever
+    // the search touched first — all later subtrees ran uncached for
+    // the rest of the solve. Dropping everything and refilling with
+    // the CURRENT working set costs one warm-up per epoch and keeps
+    // memoization live (tests/eval_cache_test.cpp).
+    stats_.image_evicted += image_memo_.size() + mask_memo_.size();
+    ++stats_.epoch_resets;
+    image_memo_.clear();
+    mask_memo_.clear();
+    return true;
 }
 
 const std::vector<std::uint64_t>& EvalCache::allowed_mask(
@@ -72,7 +90,7 @@ const std::vector<std::uint64_t>& EvalCache::allowed_mask(
         }
     }
     image[hole_slot] = kHole;
-    if (mask_memo_.size() + image_memo_.size() < image_capacity_) {
+    if (admit_one()) {
         ++stats_.image_misses;
         const auto [pos, inserted] = mask_memo_.emplace(
             ImageKey{static_cast<std::uint32_t>(cid), image},

@@ -45,8 +45,19 @@ struct EvalCacheStats {
     std::size_t allowed_misses = 0;
     std::size_t image_hits = 0;
     std::size_t image_misses = 0;
-    /// Image evaluations not memoized because the capacity cap was hit.
+    /// Image evaluations not memoized (only with image_capacity == 0,
+    /// which disables the image memos outright; a full memo now resets
+    /// instead of rejecting — see epoch_resets).
     std::size_t image_rejected = 0;
+    /// Full-memo epoch resets: a miss at capacity drops BOTH image
+    /// memos wholesale and memoizes the new entry. The old behavior —
+    /// rejecting every insertion forever once full, pinning whatever
+    /// filled the memo first even after the search moved to a subtree
+    /// with a disjoint working set — silently degraded the cache to a
+    /// pass-through (tests/eval_cache_test.cpp pins the fix).
+    std::size_t epoch_resets = 0;
+    /// Entries dropped by those resets.
+    std::size_t image_evicted = 0;
 
     std::size_t hits() const noexcept { return allowed_hits + image_hits; }
     std::size_t misses() const noexcept {
@@ -149,6 +160,14 @@ private:
             return a.cid == b.cid && a.image == *b.image;
         }
     };
+
+    /// Make room for one image/mask memo insertion: true = insert. At
+    /// capacity this resets the epoch (clears both memos) rather than
+    /// refusing — the refill costs a few thousand re-evaluations once,
+    /// the freeze cost every evaluation from then on. Callers only hold
+    /// memo references up to the next cache call (the documented
+    /// allowed_mask contract), so the reset invalidates nothing live.
+    bool admit_one();
 
     std::vector<const topo::SimplicialComplex*> allowed_by_id_;
     std::unordered_map<ImageKey, bool, ImageKeyHash, ImageKeyEq> image_memo_;

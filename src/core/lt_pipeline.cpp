@@ -1,7 +1,10 @@
 #include "core/lt_pipeline.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <memory>
+#include <numeric>
 
 #include "engine/general_route.h"
 #include "util/require.h"
@@ -137,6 +140,18 @@ void ray_segment_hits(const BaryPoint& c, const BaryPoint& x,
     }
 }
 
+// Shared-denominator headroom for the integer candidate-distance fast
+// path below: an l1 distance accumulates at most 2(n + 1) terms of
+// magnitude <= den, so capping den well inside int64 keeps every sum
+// exact. Returns lcm(a, b), or 0 when it would exceed the cap.
+constexpr std::int64_t kGuideDenCap = std::int64_t{1} << 40;
+
+std::int64_t lcm_capped(std::int64_t a, std::int64_t b) {
+    const std::int64_t g = std::gcd(a, b);
+    if (a / g > kGuideDenCap / b) return 0;
+    return (a / g) * b;
+}
+
 }  // namespace
 
 BaryPoint radial_projection_l1(const tasks::AffineTask& lt,
@@ -231,21 +246,123 @@ ChromaticMapProblem lt_approximation_problem(const tasks::AffineTask& task,
     if (guidance != LtGuidance::kNone) {
         // Candidate order: L vertices of the right color, nearest (to the
         // radial projection of the vertex when requested, else to the
-        // vertex itself) first.
+        // vertex itself) first. The per-color candidate lists (with their
+        // positions) are precomputed here: vertex_ids() walks the whole
+        // output complex, and the closure runs once per domain vertex —
+        // tens of thousands of times on the heavy registry scenarios.
+        // The distance computation additionally rescales every candidate
+        // coordinate to one shared denominator, so each closure call
+        // measures distances in pure integer arithmetic. At a common
+        // denominator the scaled distances order exactly like the
+        // rationals they stand for (ties broken by vertex id either way);
+        // if an lcm would overflow the headroom, the closure falls back
+        // to exact Rational distances — same order, just slower.
         const bool radial = guidance == LtGuidance::kRadial;
-        problem.candidate_order = [&task, &tsub, radial](VertexId v) {
+        struct Guide {
+            std::map<topo::Color,
+                     std::vector<std::pair<BaryPoint, VertexId>>> exact;
+            // Entry-for-entry with `exact`: the same coordinates as
+            // numerators over the shared denominator `den`.
+            std::map<topo::Color,
+                     std::vector<std::vector<
+                         std::pair<VertexId, std::int64_t>>>> scaled;
+            std::int64_t den = 1;
+            bool use_scaled = true;
+        };
+        auto guide = std::make_shared<Guide>();
+        for (VertexId w : task.task.outputs.vertex_ids()) {
+            guide->exact[task.task.outputs.color(w)].emplace_back(
+                task.subdivision.position(w), w);
+        }
+        for (const auto& [color, cands] : guide->exact) {
+            for (const auto& [pos, w] : cands) {
+                for (const auto& [bv, r] : pos.coords()) {
+                    guide->den = lcm_capped(guide->den, r.den());
+                    if (guide->den == 0) break;
+                }
+                if (guide->den == 0) break;
+            }
+            if (guide->den == 0) break;
+        }
+        if (guide->den == 0) {
+            guide->use_scaled = false;
+            guide->den = 1;
+        } else {
+            for (const auto& [color, cands] : guide->exact) {
+                auto& lists = guide->scaled[color];
+                lists.reserve(cands.size());
+                for (const auto& [pos, w] : cands) {
+                    std::vector<std::pair<VertexId, std::int64_t>> sc;
+                    sc.reserve(pos.coords().size());
+                    for (const auto& [bv, r] : pos.coords()) {
+                        sc.emplace_back(bv,
+                                        r.num() * (guide->den / r.den()));
+                    }
+                    lists.push_back(std::move(sc));
+                }
+            }
+        }
+        problem.candidate_order = [&task, &tsub, radial,
+                                   guide](VertexId v) {
             const topo::Color color = tsub.stable_complex().color(v);
             BaryPoint target = tsub.stable_position(v);
             if (radial) target = radial_projection_l1(task, target);
+            std::vector<VertexId> order;
+            const auto it = guide->exact.find(color);
+            if (it == guide->exact.end()) return order;
+            const auto& cands = it->second;
+            order.reserve(cands.size());
+            if (guide->use_scaled) {
+                // Extend the shared denominator to cover this target.
+                std::int64_t dv = guide->den;
+                for (const auto& [bv, r] : target.coords()) {
+                    dv = lcm_capped(dv, r.den());
+                    if (dv == 0) break;
+                }
+                if (dv != 0) {
+                    const std::int64_t f = dv / guide->den;
+                    std::vector<std::pair<VertexId, std::int64_t>> tgt;
+                    tgt.reserve(target.coords().size());
+                    for (const auto& [bv, r] : target.coords()) {
+                        tgt.emplace_back(bv, r.num() * (dv / r.den()));
+                    }
+                    const auto& scaled = guide->scaled.find(color)->second;
+                    std::vector<std::pair<std::int64_t, VertexId>> scored;
+                    scored.reserve(cands.size());
+                    for (std::size_t i = 0; i < cands.size(); ++i) {
+                        const auto& cc = scaled[i];
+                        std::int64_t dist = 0;
+                        std::size_t a = 0, b = 0;
+                        while (a < cc.size() && b < tgt.size()) {
+                            if (cc[a].first == tgt[b].first) {
+                                const std::int64_t d =
+                                    cc[a].second * f - tgt[b].second;
+                                dist += d < 0 ? -d : d;
+                                ++a;
+                                ++b;
+                            } else if (cc[a].first < tgt[b].first) {
+                                dist += cc[a].second * f;
+                                ++a;
+                            } else {
+                                dist += tgt[b].second;
+                                ++b;
+                            }
+                        }
+                        for (; a < cc.size(); ++a) dist += cc[a].second * f;
+                        for (; b < tgt.size(); ++b) dist += tgt[b].second;
+                        scored.emplace_back(dist, cands[i].second);
+                    }
+                    std::sort(scored.begin(), scored.end());
+                    for (const auto& [dist, w] : scored) order.push_back(w);
+                    return order;
+                }
+            }
             std::vector<std::pair<Rational, VertexId>> scored;
-            for (VertexId w : task.task.outputs.vertex_ids()) {
-                if (task.task.outputs.color(w) != color) continue;
-                scored.emplace_back(
-                    target.l1_distance(task.subdivision.position(w)), w);
+            scored.reserve(cands.size());
+            for (const auto& [pos, w] : cands) {
+                scored.emplace_back(target.l1_distance(pos), w);
             }
             std::sort(scored.begin(), scored.end());
-            std::vector<VertexId> order;
-            order.reserve(scored.size());
             for (const auto& [dist, w] : scored) order.push_back(w);
             return order;
         };

@@ -37,6 +37,9 @@ std::size_t portable_hash(
 
 NogoodStore::NogoodStore(std::size_t capacity) : capacity_(capacity) {}
 
+NogoodStore::NogoodStore(std::size_t capacity, GcConfig gc)
+    : capacity_(capacity), gc_(gc) {}
+
 NogoodStore::NogoodStore(std::size_t capacity, Hasher hasher)
     : capacity_(capacity), hasher_(std::move(hasher)) {}
 
@@ -54,7 +57,9 @@ bool NogoodStore::record(std::vector<NogoodLiteral> literals) {
     // full store counts as the duplicate it is, not as learning loss —
     // and the probe is a find(), never operator[], so rejected records
     // leave no empty bucket behind (the capacity bound must bound the
-    // whole store, including its index).
+    // whole store, including its index). Retired ids left the buckets
+    // at collection time, so a re-proved forgotten conflict is
+    // re-learned here, not mistaken for a duplicate of a dead entry.
     const std::size_t h =
         hasher_ ? hasher_(literals) : nogood_hash(literals);
     const auto bucket_it = by_hash_.find(h);
@@ -66,9 +71,16 @@ bool NogoodStore::record(std::vector<NogoodLiteral> literals) {
             }
         }
     }
-    if (nogoods_.size() >= capacity_) {
-        ++rejected_at_capacity_;
-        return false;
+    if (live_ >= capacity_) {
+        if (!gc_.enabled) {
+            // The legacy dead end: a full store refuses every new
+            // conflict, silently freezing all learning for the rest of
+            // the search. Kept (observable, opt-out) for callers that
+            // pin it; the solver runs with GC on.
+            ++rejected_at_capacity_;
+            return false;
+        }
+        collect();
     }
 
     const auto id = static_cast<std::uint32_t>(nogoods_.size());
@@ -77,7 +89,90 @@ bool NogoodStore::record(std::vector<NogoodLiteral> literals) {
         watch_[literal_key(l.var, l.value)].push_back(id);
     }
     nogoods_.push_back(std::move(literals));
+    // Born with one halving's worth of grace so a fresh nogood is not
+    // the collector's first pick before it ever gets a chance to fire.
+    activity_.push_back(2);
+    retired_.push_back(0);
+    ++live_;
     return true;
+}
+
+void NogoodStore::collect() {
+    // Keep target, clamped so a collection always keeps at least one
+    // nogood and frees at least one slot whatever the fraction says.
+    const auto raw_target = static_cast<std::size_t>(
+        static_cast<double>(capacity_) * gc_.keep_fraction);
+    const std::size_t target =
+        std::min(std::max<std::size_t>(raw_target, 1), capacity_ - 1);
+    if (live_ <= target) return;
+
+    std::vector<std::uint32_t> live_ids;
+    live_ids.reserve(live_);
+    for (std::uint32_t id = 0; id < nogoods_.size(); ++id) {
+        if (retired_[id] == 0) live_ids.push_back(id);
+    }
+    // Eviction priority: least active first; among equals the widest
+    // nogood goes first (a narrow nogood prunes more per probe), then
+    // the oldest. The full sort keeps the policy deterministic, which
+    // the bit-identical toggle-matrix tests lean on indirectly (any
+    // sound pruning set preserves verdicts, but determinism keeps runs
+    // reproducible for debugging).
+    std::sort(live_ids.begin(), live_ids.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                  if (activity_[a] != activity_[b]) {
+                      return activity_[a] < activity_[b];
+                  }
+                  if (nogoods_[a].size() != nogoods_[b].size()) {
+                      return nogoods_[a].size() > nogoods_[b].size();
+                  }
+                  return a < b;
+              });
+    const std::size_t n_evict = live_ids.size() - target;
+    for (std::size_t i = 0; i < n_evict; ++i) {
+        const std::uint32_t id = live_ids[i];
+        // Logical retirement only: the deque slot and literal buffer
+        // stay until reclaim(), preserving references a searcher or
+        // the exchange path may still hold (PR-5 contract).
+        retired_[id] = 1;
+        pending_reclaim_.push_back(id);
+    }
+    live_ -= n_evict;
+    evicted_ += n_evict;
+    ++gc_runs_;
+
+    // Drop retired ids from both indices so they stop blocking and
+    // stop shadowing re-learned duplicates. O(live + buckets) — paid
+    // once per (capacity - target) admissions.
+    const auto sweep = [this](auto& index) {
+        for (auto it = index.begin(); it != index.end();) {
+            auto& ids = it->second;
+            ids.erase(std::remove_if(ids.begin(), ids.end(),
+                                     [this](std::uint32_t id) {
+                                         return retired_[id] != 0;
+                                     }),
+                      ids.end());
+            // Empty buckets go too: the capacity bound covers the
+            // index, and record()'s dedup probe must stay a find().
+            it = ids.empty() ? index.erase(it) : std::next(it);
+        }
+    };
+    sweep(watch_);
+    sweep(by_hash_);
+
+    // Age every survivor: activity is a recency-weighted count, so a
+    // nogood that stops firing decays toward eviction.
+    for (std::uint32_t& a : activity_) a >>= 1;
+}
+
+std::size_t NogoodStore::reclaim() {
+    const std::size_t freed = pending_reclaim_.size();
+    for (const std::uint32_t id : pending_reclaim_) {
+        // Free the buffer but keep the (now empty) deque slot: ids must
+        // stay stable for the exchange/pool bookkeeping.
+        std::vector<NogoodLiteral>().swap(nogoods_[id]);
+    }
+    pending_reclaim_.clear();
+    return freed;
 }
 
 LiveNogoodExchange::LiveNogoodExchange(std::size_t capacity)
@@ -295,8 +390,15 @@ bool line_exhausted(std::istringstream& in) {
 
 }  // namespace
 
-std::string SharedNogoodPool::save(const std::string& path) const {
+std::string SharedNogoodPool::save(const std::string& path) {
     const std::lock_guard<std::mutex> lock(mutex_);
+    // Merge-on-save: fold in whatever another process persisted to this
+    // file since we loaded it (or never did), so alternating writers
+    // union their learning rather than clobber it. The diagnostic is
+    // deliberately dropped — a missing file is the ordinary first-save
+    // cold start, and a corrupt one holds no learning worth keeping, so
+    // both simply get overwritten below.
+    (void)merge_file_locked(path);
     for (const auto& [scope, s] : scopes_) {
         (void)s;
         if (scope.find('\n') != std::string::npos) {
@@ -356,6 +458,11 @@ std::string SharedNogoodPool::save(const std::string& path) const {
 }
 
 std::string SharedNogoodPool::load(const std::string& path) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return merge_file_locked(path);
+}
+
+std::string SharedNogoodPool::merge_file_locked(const std::string& path) {
     std::ifstream file(path);
     if (!file) return "cannot open '" + path + "'";
 
@@ -510,8 +617,7 @@ std::string SharedNogoodPool::load(const std::string& path) {
 
     // Stage 2: commit. Re-intern every file key (ids are file-local),
     // remap the literals, and publish through the ordinary dedup +
-    // capacity path.
-    const std::lock_guard<std::mutex> lock(mutex_);
+    // capacity path. The caller holds mutex_.
     std::unordered_map<VarKeyId, VarKeyId> remap;
     remap.reserve(file_keys.size());
     for (const auto& [file_id, key] : file_keys) {

@@ -27,11 +27,28 @@
 // wall time change (tests/solver_cache_test.cpp asserts this across the
 // scenario registry).
 //
-// The store is bounded: recording stops at the configured capacity
-// (SolverConfig::nogood_capacity) so pathological searches cannot grow
-// it without bound. Lookup is via a watch index that maps every literal
-// to the nogoods containing it. Deduplication compares canonicalized
-// literal vectors inside per-hash buckets — hash equality alone is never
+// The store is bounded (SolverConfig::nogood_capacity) so pathological
+// searches cannot grow it without bound — but a full store must not
+// stop learning. Historically it did: once size() hit the capacity,
+// record() rejected every new conflict for the rest of the search
+// (rejected_at_capacity_), freezing the learning on whatever was
+// derived first. With GcConfig::enabled the store instead *collects*:
+// when the live count reaches the capacity it retires the least useful
+// nogoods (lowest activity first — activity is bumped each time a
+// nogood blocks a branch and halved at every collection, a clause-aging
+// scheme in the LBD/VSIDS family) down to capacity * keep_fraction and
+// admits the new record. Retirement is logical: the nogood leaves the
+// watch and dedup indices (it stops pruning and may be re-learned) but
+// its deque slot and literal buffer survive, so ids stay stable and the
+// PR-5 lifetime contract holds — a blocking_nogood() reference or an
+// all().back() reference held by a searcher, and the copies in the
+// exchange log, are never invalidated by a collection. Buffers are
+// freed only by an explicit reclaim() at caller-chosen safe points
+// (restart and component boundaries, where no references are live);
+// see tests/nogood_gc_test.cpp for the ASan-visible contract tests.
+// Lookup is via a watch index that maps every literal to the live
+// nogoods containing it. Deduplication compares canonicalized literal
+// vectors inside per-hash buckets — hash equality alone is never
 // trusted (a collision used to silently drop a genuinely new nogood).
 #pragma once
 
@@ -72,17 +89,32 @@ class NogoodStore {
 public:
     using Hasher = std::function<std::size_t(const std::vector<NogoodLiteral>&)>;
 
+    /// Eviction policy for a full store (see the file comment). Off by
+    /// default: without it the store keeps the legacy reject-at-capacity
+    /// behavior, which some callers (and tests) still pin.
+    struct GcConfig {
+        bool enabled = false;
+        /// Fraction of `capacity` left live after a collection; the
+        /// evicted headroom is what amortizes the O(live) index rebuild.
+        /// Clamped so a collection always keeps >= 1 and frees >= 1.
+        double keep_fraction = 0.5;
+    };
+
     /// `capacity` == 0 disables the store (record() drops everything).
     explicit NogoodStore(std::size_t capacity);
+
+    /// A store that collects instead of rejecting when full.
+    NogoodStore(std::size_t capacity, GcConfig gc);
 
     /// Test-only: inject a custom hasher (e.g. a constant, to force every
     /// record into one collision bucket). Dedup must survive any hasher.
     NogoodStore(std::size_t capacity, Hasher hasher);
 
     /// Record a conflicting assignment set. Literals are canonicalized
-    /// (sorted, deduplicated); empty sets, duplicates of stored
-    /// nogoods, and records past the capacity are dropped. Returns true
-    /// iff the nogood was newly stored.
+    /// (sorted, deduplicated); empty sets and duplicates of live
+    /// nogoods are dropped. A full store either rejects the record
+    /// (GC off — the legacy dead end) or retires its least active
+    /// nogoods to make room (GC on). Returns true iff newly stored.
     bool record(std::vector<NogoodLiteral> literals);
 
     /// Would assigning `var := value` complete a stored nogood, given
@@ -127,7 +159,13 @@ public:
                     break;
                 }
             }
-            if (complete) return &nogoods_[id];
+            if (complete) {
+                // The activity signal the collector ranks by: a nogood
+                // earns its keep each time it blocks a branch. Mutable
+                // because a lookup is logically const.
+                ++activity_[id];
+                return &nogoods_[id];
+            }
         }
         return nullptr;
     }
@@ -154,9 +192,34 @@ public:
     }
 
     bool empty() const noexcept { return nogoods_.empty(); }
+    /// Stored entries including retired ones — ids [0, size()) stay
+    /// stable across collections, which the exchange-import bookkeeping
+    /// (ascending imported ids) and the pool-publish scan rely on.
     std::size_t size() const noexcept { return nogoods_.size(); }
     std::size_t capacity() const noexcept { return capacity_; }
-    /// Records dropped because the store was full.
+    /// Entries still pruning (indexed in watch_/by_hash_).
+    std::size_t live() const noexcept { return live_; }
+    /// True iff `id` was retired by a collection. Retired entries keep
+    /// their literals until reclaim().
+    bool is_retired(std::uint32_t id) const noexcept {
+        return id < retired_.size() && retired_[id] != 0;
+    }
+    /// Total retirements across all collections.
+    std::size_t evicted() const noexcept { return evicted_; }
+    /// Collections run so far.
+    std::size_t gc_runs() const noexcept { return gc_runs_; }
+
+    /// Free the literal buffers of nogoods retired since the last
+    /// reclaim(), returning how many were freed. THIS is the call that
+    /// invalidates outstanding references into retired entries (the
+    /// deque slots themselves survive — ids stay stable — but their
+    /// literal vectors are emptied), so callers may only invoke it at
+    /// points where no blocking_nogood()/back() reference is held:
+    /// the searcher reclaims at restart and component boundaries.
+    std::size_t reclaim();
+
+    /// Records dropped because the store was full (GC off only; with GC
+    /// on, a full store evicts instead and this stays 0).
     std::size_t rejected_at_capacity() const noexcept {
         return rejected_at_capacity_;
     }
@@ -169,21 +232,35 @@ public:
     /// All stored nogoods, in record order (for cross-solve publishing).
     /// A deque, not a vector: elements never move, so references handed
     /// out by blocking_nogood() / back() survive later record() calls.
+    /// Retired-and-reclaimed entries appear as empty vectors.
     const std::deque<std::vector<NogoodLiteral>>& all() const noexcept {
         return nogoods_;
     }
 
 private:
+    /// Retire the least active live nogoods down to the keep target,
+    /// rebuilding the watch and dedup indices without them. Called by
+    /// record() when the live count reaches capacity and GC is on.
+    void collect();
     static std::uint64_t literal_key(topo::VertexId var,
                                      topo::VertexId value) noexcept {
         return (static_cast<std::uint64_t>(var) << 32) | value;
     }
 
     std::size_t capacity_ = 0;
+    GcConfig gc_;
     Hasher hasher_;  // null = the default literal-vector hash
     /// Stable element addresses (see all()); push_back on a deque never
     /// invalidates references to existing elements.
     std::deque<std::vector<NogoodLiteral>> nogoods_;
+    /// Per-id block counts (see blocking_nogood); halved each
+    /// collection so stale usefulness ages out. Mutable: bumping on a
+    /// const lookup is bookkeeping, not observable state.
+    mutable std::vector<std::uint32_t> activity_;
+    /// Per-id retirement flags, parallel to nogoods_.
+    std::vector<char> retired_;
+    /// Retired ids whose literal buffers reclaim() has not freed yet.
+    std::vector<std::uint32_t> pending_reclaim_;
     /// literal -> indices of nogoods containing it (every literal is
     /// indexed, so blocking_nogood() sees a nogood whichever literal
     /// completes it last).
@@ -192,6 +269,9 @@ private:
     /// the canonicalized literal vectors inside the bucket: two distinct
     /// nogoods may collide, and both must be kept.
     std::unordered_map<std::size_t, std::vector<std::uint32_t>> by_hash_;
+    std::size_t live_ = 0;
+    std::size_t evicted_ = 0;
+    std::size_t gc_runs_ = 0;
     std::size_t rejected_at_capacity_ = 0;
     std::size_t rejected_as_duplicate_ = 0;
 };
@@ -392,13 +472,18 @@ public:
     // load only ever adds nogoods a solver may prune against.
 
     /// Serialize every scope to `path` (format `gact-nogood-pool v1`).
-    /// Atomic: the contents are written to `path + ".tmp"` and renamed
-    /// over the target, so a crash or write failure mid-save leaves the
-    /// previous file intact. Returns "" on success, else a diagnostic;
-    /// the pool is never modified. Scopes containing newlines are
+    /// Merge-on-save: if `path` already holds a valid pool file, its
+    /// contents are first merged into this pool (union, dedup, capacity
+    /// still capping each scope), so two processes alternating on one
+    /// file accumulate each other's learning instead of last-writer
+    /// clobbering it; a missing or invalid existing file is simply
+    /// overwritten. Atomic: the contents are written to a per-process
+    /// temp name and renamed over the target, so a crash or write
+    /// failure mid-save leaves the previous file intact. Returns "" on
+    /// success, else a diagnostic. Scopes containing newlines are
     /// unrepresentable and reported as an error (the builders never
     /// produce them).
-    std::string save(const std::string& path) const;
+    std::string save(const std::string& path);
 
     /// Merge the pool file at `path` into this pool: file-local key ids
     /// are re-interned (so loading composes with live interning and
@@ -421,6 +506,10 @@ private:
     /// mutex_ (load() re-interns a whole file under one lock).
     VarKeyId intern_locked(const topo::BaryPoint& position,
                            topo::Color color);
+    /// The load() body: parse the pool file at `path` and merge it,
+    /// with mutex_ already held (save() reuses it for merge-on-save).
+    /// All-or-nothing: parsing completes before the pool is touched.
+    std::string merge_file_locked(const std::string& path);
     bool publish_locked(const std::string& scope,
                         std::vector<PortableLiteral> literals);
 

@@ -1,5 +1,7 @@
 #include "core/terminating_subdivision.h"
 
+#include <unordered_map>
+
 #include "util/parallel.h"
 #include "util/require.h"
 
@@ -50,26 +52,46 @@ void TerminatingSubdivision::advance(
                 if (stabilize(cx, s)) selected[fi].push_back(s);
             }
         });
+    std::vector<Simplex> newly_stable;
     for (const std::vector<Simplex>& faces : selected) {
         for (const Simplex& s : faces) {
-            if (!current.stable.contains(s)) current.stable.add_simplex(s);
+            if (current.stable.contains(s)) continue;
+            current.stable.add_simplex(s);
+            newly_stable.push_back(s);
         }
     }
 
     // Record the newly stable simplices into the global complex, stamping
     // first-stabilization stages (faces stabilize with their cofaces).
+    // Only the simplices selected THIS stage need recording: everything
+    // else in current.stable is either a face of one of them (covered by
+    // the closure walk below) or the persisted image of a simplex that
+    // was recorded — under the same position/color global ids — at an
+    // earlier stage, where stable_since_ already holds its first
+    // stabilization stage (emplace keeps the first stamp).
     const std::size_t stage = stages_.size() - 1;
-    for (const Simplex& s : current.stable.simplices()) {
+    // global_id resolves through the exact-rational position index;
+    // memoize per stage so each stage vertex pays for one probe however
+    // many stable simplices share it.
+    std::unordered_map<VertexId, VertexId> global_of;
+    const auto global_id_memo = [&](VertexId v) {
+        const auto it = global_of.find(v);
+        if (it != global_of.end()) return it->second;
+        const VertexId id = global_id(cx, v);
+        global_of.emplace(v, id);
+        return id;
+    };
+    for (const Simplex& s : newly_stable) {
         std::vector<VertexId> verts;
         verts.reserve(s.size());
-        for (VertexId v : s.vertices()) verts.push_back(global_id(cx, v));
+        for (VertexId v : s.vertices()) verts.push_back(global_id_memo(v));
         Simplex global(std::move(verts));
         for (const Simplex& face : global.faces()) {
             stable_since_.emplace(face, stage);
         }
         stable_simplices_.add_simplex(std::move(global));
     }
-    stable_ = ChromaticComplex(stable_simplices_, global_color_);
+    stable_stale_ = true;
 
     // Build C_{k+1}: partial chromatic subdivision terminating Sigma_k.
     const SimplicialComplex& sigma = current.stable;
@@ -79,22 +101,47 @@ void TerminatingSubdivision::advance(
         num_threads);
 
     // Sigma_k persists in C_{k+1}: terminated simplices survive with new
-    // vertex ids (matched by position + color).
+    // vertex ids (matched by position + color). The per-vertex lookup
+    // goes through the exact-rational position index, so memoize it:
+    // stable simplices share vertices heavily and the map probe is the
+    // expensive part of this check.
+    std::unordered_map<VertexId, VertexId> vertex_image;
+    std::vector<Simplex> images;
+    images.reserve(sigma.simplices().size());
     for (const Simplex& s : sigma.simplices()) {
         std::vector<VertexId> verts;
         for (VertexId v : s.vertices()) {
+            const auto memo = vertex_image.find(v);
+            if (memo != vertex_image.end()) {
+                verts.push_back(memo->second);
+                continue;
+            }
             const auto nv = next.complex.find_vertex(
                 cx.position(v), cx.complex().color(v));
             ensure(nv.has_value(),
                    "TerminatingSubdivision: stable vertex vanished");
+            vertex_image.emplace(v, *nv);
             verts.push_back(*nv);
         }
-        const Simplex image{std::move(verts)};
+        Simplex image{std::move(verts)};
         ensure(next.complex.complex().contains(image),
                "TerminatingSubdivision: stable simplex not preserved");
-        next.stable.add_simplex(image);
+        images.push_back(std::move(image));
     }
+    // Sigma_k is closed under faces and the vertexwise image of a closed
+    // set is closed, so the images need no per-simplex closure walk.
+    next.stable = SimplicialComplex::from_closed(std::move(images));
     stages_.push_back(std::move(next));
+}
+
+const ChromaticComplex& TerminatingSubdivision::stable_complex() const {
+    if (stable_stale_) {
+        // Trusted: global simplices are color-preserving images of
+        // properly colored stage simplices, so the coloring stays proper.
+        stable_ = ChromaticComplex::trusted(stable_simplices_, global_color_);
+        stable_stale_ = false;
+    }
+    return stable_;
 }
 
 const SubdividedComplex& TerminatingSubdivision::complex_at(

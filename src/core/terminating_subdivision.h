@@ -62,9 +62,9 @@ public:
     const SimplicialComplex& stable_at(std::size_t k) const;
 
     /// K(T) so far: the union of stable simplices, in global vertex ids.
-    const ChromaticComplex& stable_complex() const noexcept {
-        return stable_;
-    }
+    /// Rebuilt lazily after advance() stages (the chromatic wrapper is a
+    /// full copy of the stable set, too expensive to refresh per stage).
+    const ChromaticComplex& stable_complex() const;
 
     /// Position in |base| of a global stable vertex.
     const BaryPoint& stable_position(VertexId global_vertex) const;
@@ -90,7 +90,7 @@ public:
 
     /// The stable facets (maximal stable simplices) of K(T) so far.
     std::vector<Simplex> stable_facets() const {
-        return stable_.complex().facets();
+        return stable_complex().complex().facets();
     }
 
     /// Is the realization of the global stable simplex `tau` a superset of
@@ -113,13 +113,16 @@ private:
     ChromaticComplex base_;
     std::vector<Stage> stages_;
 
-    // Global stable complex and geometry.
-    ChromaticComplex stable_;
+    // Global stable complex and geometry. stable_ mirrors
+    // stable_simplices_ + global_color_; advance() only marks it stale
+    // and stable_complex() refreshes it on demand.
+    mutable ChromaticComplex stable_;
+    mutable bool stable_stale_ = false;
     std::map<std::pair<BaryPoint, Color>, VertexId> global_index_;
     std::vector<BaryPoint> global_position_;
     std::unordered_map<VertexId, Color> global_color_;
     SimplicialComplex stable_simplices_;
-    std::map<Simplex, std::size_t> stable_since_;
+    std::unordered_map<Simplex, std::size_t> stable_since_;
 };
 
 }  // namespace gact::core

@@ -27,6 +27,14 @@ public:
     ChromaticComplex(SimplicialComplex complex,
                      std::unordered_map<VertexId, Color> colors);
 
+    /// Wrap without validating. Strictly for internal builders whose
+    /// output is chromatic by construction (the chromatic subdivision,
+    /// the stable-complex accumulator): on the multi-million-simplex
+    /// complexes they produce, even the edge-only validation walk is a
+    /// measurable fraction of the build.
+    static ChromaticComplex trusted(SimplicialComplex complex,
+                                    std::unordered_map<VertexId, Color> colors);
+
     /// The standard n-simplex s: vertices 0..n, vertex i colored i, with
     /// all faces present (paper, Section 3.2).
     static ChromaticComplex standard_simplex(int n);

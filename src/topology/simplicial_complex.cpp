@@ -1,6 +1,8 @@
 #include "topology/simplicial_complex.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <unordered_map>
 
 namespace gact::topo {
@@ -8,14 +10,119 @@ namespace gact::topo {
 SimplicialComplex SimplicialComplex::from_facets(
     const std::vector<Simplex>& facets) {
     SimplicialComplex c;
-    for (const Simplex& f : facets) c.add_simplex(f);
+    // Facets with at most 4 vertices (all of subdivision output) take a
+    // bulk path: every nonempty vertex subset is packed into a 128-bit
+    // key (four 32-bit slots holding vertex id + 1, empty slots zero —
+    // distinct subsets give distinct keys), the flat key list is sorted
+    // and uniqued, and each distinct simplex is inserted exactly once
+    // into a set reserved at its final size. Subset enumeration makes
+    // the result downward closed by construction, and sorting flat PODs
+    // is much cheaper than hash-probing the growing set once per
+    // (facet, face) pair as the closure walk would. Larger facets — and
+    // ids that would collide with the +1 encoding — fall back to
+    // add_simplex, whose walk dedups against the bulk-inserted set.
+    using Key = std::pair<std::uint64_t, std::uint64_t>;
+    std::vector<Key> keys;
+    std::vector<const Simplex*> big;
+    std::size_t subset_count = 0;
+    for (const Simplex& f : facets) {
+        if (f.size() <= 4) subset_count += (std::size_t{1} << f.size()) - 1;
+    }
+    keys.reserve(subset_count);
+    for (const Simplex& f : facets) {
+        const std::vector<VertexId>& fv = f.vertices();
+        const std::size_t n = fv.size();
+        bool small = n >= 1 && n <= 4;
+        if (small) {
+            for (VertexId v : fv) {
+                if (v == std::numeric_limits<VertexId>::max()) {
+                    small = false;
+                    break;
+                }
+            }
+        }
+        if (!small) {
+            big.push_back(&f);
+            continue;
+        }
+        for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+            std::uint64_t slot[4] = {0, 0, 0, 0};
+            std::size_t k = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (mask & (1u << i)) {
+                    slot[k++] = std::uint64_t{fv[i]} + 1;
+                }
+            }
+            keys.emplace_back((slot[0] << 32) | slot[1],
+                              (slot[2] << 32) | slot[3]);
+        }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    c.simplices_.reserve(keys.size() + big.size() * 4);
+    for (const Key& key : keys) {
+        std::vector<VertexId> verts;
+        verts.reserve(4);
+        for (std::uint64_t p : {key.first >> 32, key.first & 0xffffffffu,
+                                key.second >> 32, key.second & 0xffffffffu}) {
+            if (p != 0) verts.push_back(static_cast<VertexId>(p - 1));
+        }
+        c.simplices_.insert(Simplex(std::move(verts)));
+    }
+    for (const Simplex* f : big) c.add_simplex(*f);
+    return c;
+}
+
+SimplicialComplex SimplicialComplex::from_closed(
+    std::vector<Simplex> simplices) {
+    SimplicialComplex c;
+    c.simplices_.reserve(simplices.size());
+    for (Simplex& s : simplices) {
+        require(!s.empty(),
+                "SimplicialComplex: cannot add the empty simplex");
+        c.simplices_.insert(std::move(s));
+    }
     return c;
 }
 
 void SimplicialComplex::add_simplex(const Simplex& s) {
     require(!s.empty(), "SimplicialComplex: cannot add the empty simplex");
     if (contains(s)) return;
-    for (Simplex& face : s.faces()) simplices_.insert(std::move(face));
+    insert_closure(Simplex(s));
+}
+
+void SimplicialComplex::insert_closure(Simplex&& s) {
+    // Walk the boundary instead of materializing all 2^n - 1 faces up
+    // front: a face that is already present has its own closure present
+    // (the set is downward closed by construction), so the walk stops at
+    // the boundary of what is genuinely new. Adjacent facets share most
+    // of their face lattice, which the all-faces version re-built and
+    // re-hashed every time; the missing faces are probed through the
+    // transparent hash with a reused scratch buffer, so only simplices
+    // actually inserted allocate.
+    std::vector<Simplex> stack;
+    stack.push_back(std::move(s));
+    std::vector<VertexId> scratch;
+    while (!stack.empty()) {
+        Simplex top = std::move(stack.back());
+        stack.pop_back();
+        // The same missing face can be stacked by several of its
+        // cofaces before it lands in the set; later copies are no-ops.
+        if (contains(top)) continue;
+        const std::vector<VertexId>& tv = top.vertices();
+        if (tv.size() > 1) {
+            // scratch = tv with a hole, walked from position 0 to n-1.
+            scratch.assign(tv.begin() + 1, tv.end());
+            for (std::size_t i = 0;; ++i) {
+                if (simplices_.find(scratch) == simplices_.end()) {
+                    stack.emplace_back(std::vector<VertexId>(scratch));
+                }
+                if (i + 1 == tv.size()) break;
+                scratch[i] = tv[i];
+            }
+        }
+        simplices_.insert(std::move(top));
+    }
 }
 
 std::vector<Simplex> SimplicialComplex::simplices_of_dimension(int d) const {

@@ -12,6 +12,34 @@
 
 namespace gact::topo {
 
+/// Transparent hash/equality for sets of simplices: lets the closure
+/// builder probe with a raw sorted vertex vector, constructing a Simplex
+/// (and allocating) only when the probe misses and an insert follows.
+struct SimplexSetHash {
+    using is_transparent = void;
+    std::size_t operator()(const Simplex& s) const noexcept {
+        return gact::hash_range(s.vertices());
+    }
+    std::size_t operator()(const std::vector<VertexId>& v) const noexcept {
+        return gact::hash_range(v);
+    }
+};
+struct SimplexSetEq {
+    using is_transparent = void;
+    bool operator()(const Simplex& a, const Simplex& b) const noexcept {
+        return a == b;
+    }
+    bool operator()(const std::vector<VertexId>& a, const Simplex& b) const
+        noexcept {
+        return a == b.vertices();
+    }
+    bool operator()(const Simplex& a, const std::vector<VertexId>& b) const
+        noexcept {
+        return a.vertices() == b;
+    }
+};
+using SimplexSet = std::unordered_set<Simplex, SimplexSetHash, SimplexSetEq>;
+
 /// A finite simplicial complex over vertex ids.
 class SimplicialComplex {
 public:
@@ -19,6 +47,13 @@ public:
 
     /// Build the downward closure of the given facets.
     static SimplicialComplex from_facets(const std::vector<Simplex>& facets);
+
+    /// Build from a simplex list that is already closed under faces
+    /// (every face of every entry appears in the list). Skips the
+    /// per-simplex closure walk of add_simplex — the caller vouches for
+    /// closedness, e.g. because the list is the image of a closed set
+    /// under a vertex map.
+    static SimplicialComplex from_closed(std::vector<Simplex> simplices);
 
     /// Insert a simplex together with all its faces.
     void add_simplex(const Simplex& s);
@@ -32,9 +67,7 @@ public:
     std::size_t size() const noexcept { return simplices_.size(); }
 
     /// All simplices, unordered.
-    const std::unordered_set<Simplex>& simplices() const noexcept {
-        return simplices_;
-    }
+    const SimplexSet& simplices() const noexcept { return simplices_; }
 
     /// All simplices of dimension d, sorted for determinism.
     std::vector<Simplex> simplices_of_dimension(int d) const;
@@ -87,7 +120,11 @@ public:
     }
 
 private:
-    std::unordered_set<Simplex> simplices_;
+    /// Insert `s` (known absent) and whatever part of its face closure
+    /// is missing, consuming the simplices instead of copying them.
+    void insert_closure(Simplex&& s);
+
+    SimplexSet simplices_;
 };
 
 }  // namespace gact::topo

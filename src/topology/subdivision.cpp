@@ -43,6 +43,7 @@ SubdividedComplex SubdividedComplex::subdivide_impl(
     out.base_ = base_;
     out.depth_ = depth_ + 1;
 
+
     using Key = std::pair<VertexId, Simplex>;
 
     // Key for a subdivision vertex: the pair (p, tau) with the collapse
@@ -61,39 +62,99 @@ SubdividedComplex SubdividedComplex::subdivide_impl(
     // the partition tables are precomputed once per facet size instead
     // of per facet.
     const std::vector<Simplex> parents = complex_.facets();
-    std::map<std::size_t, std::vector<OrderedIndexPartition>>
-        partitions_by_size;
+    // Per facet size n: each ordered partition flattened to the sequence
+    // of (vertex index, prefix-union bitmask) pairs its keys come from.
+    // The pair tables depend only on n, so per parent the keys reduce to
+    // table lookups instead of re-deriving prefix simplices per tuple.
+    using KeyRef = std::pair<std::uint32_t, std::uint32_t>;
+    std::map<std::size_t, std::vector<std::vector<KeyRef>>> pairs_by_size;
     for (const Simplex& parent : parents) {
         const std::size_t n = parent.size();
-        if (partitions_by_size.find(n) == partitions_by_size.end()) {
-            partitions_by_size.emplace(n, ordered_partitions(n));
-        }
-    }
-    std::vector<std::vector<std::vector<Key>>> generated(parents.size());
-    parallel_for_index(parents.size(), num_threads, [&](std::size_t pi) {
-        const std::vector<VertexId>& pv = parents[pi].vertices();
-        const std::vector<OrderedIndexPartition>& parts =
-            partitions_by_size.at(pv.size());
-        std::vector<std::vector<Key>>& facet_keys = generated[pi];
-        facet_keys.reserve(parts.size());
-        for (const OrderedIndexPartition& part : parts) {
-            std::vector<Key> keys;
-            keys.reserve(pv.size());
-            Simplex prefix;
+        if (pairs_by_size.find(n) != pairs_by_size.end()) continue;
+        std::vector<std::vector<KeyRef>> pair_parts;
+        for (const OrderedIndexPartition& part : ordered_partitions(n)) {
+            std::vector<KeyRef> refs;
+            refs.reserve(n);
+            std::uint32_t mask = 0;
             for (const std::vector<std::size_t>& block : part) {
-                for (std::size_t i : block) prefix = prefix.with(pv[i]);
+                for (std::size_t i : block) mask |= std::uint32_t{1} << i;
                 for (std::size_t i : block) {
-                    keys.push_back(canonical_key(pv[i], prefix));
+                    refs.emplace_back(static_cast<std::uint32_t>(i), mask);
                 }
             }
-            facet_keys.push_back(std::move(keys));
+            pair_parts.push_back(std::move(refs));
+        }
+        pairs_by_size.emplace(n, std::move(pair_parts));
+    }
+    // Per parent: the distinct canonical keys in first-occurrence order,
+    // plus the facet tuples as indices into that table. A parent of size
+    // n has at most n * 2^(n-1) distinct (p, tau) pairs but n * |ordered
+    // partitions| key slots, so deduplicating locally — and calling
+    // `terminated` once per distinct prefix, not once per slot — is
+    // where the per-facet work collapses.
+    struct ParentKeys {
+        std::vector<Key> table;  // distinct keys, first-occurrence order
+        std::vector<std::vector<std::uint32_t>> tuples;  // table indices
+    };
+    std::vector<ParentKeys> generated(parents.size());
+    parallel_for_index(parents.size(), num_threads, [&](std::size_t pi) {
+        const std::vector<VertexId>& pv = parents[pi].vertices();
+        const std::size_t n = pv.size();
+        const std::vector<std::vector<KeyRef>>& parts = pairs_by_size.at(n);
+        ParentKeys& pk = generated[pi];
+        // A terminated parent collapses wholesale: every prefix union tau
+        // is a face of the parent, hence terminated (the predicate is
+        // face-closed), so every key collapses to (p, {p}) and all
+        // partitions produce the same facet — the parent itself. Emit it
+        // once, with keys in the first partition's block order, which is
+        // exactly the first-occurrence order the full enumeration would
+        // have produced: vertex ids, facets, and geometry stay
+        // bit-identical while the per-facet work drops from
+        // |partitions| tuples to one.
+        if (n > 1 && terminated(parents[pi])) {
+            std::vector<std::uint32_t> tuple;
+            tuple.reserve(n);
+            for (const KeyRef& ref : parts.front()) {
+                tuple.push_back(static_cast<std::uint32_t>(pk.table.size()));
+                pk.table.push_back({pv[ref.first], Simplex{pv[ref.first]}});
+            }
+            pk.tuples.push_back(std::move(tuple));
+            return;
+        }
+        std::vector<std::int32_t> slot_of(n << n, -1);  // (i, mask) slots
+        pk.tuples.reserve(parts.size());
+        for (const std::vector<KeyRef>& part : parts) {
+            std::vector<std::uint32_t> tuple;
+            tuple.reserve(n);
+            for (const KeyRef& ref : part) {
+                std::int32_t& slot =
+                    slot_of[(static_cast<std::size_t>(ref.first) << n) |
+                            ref.second];
+                if (slot < 0) {
+                    std::vector<VertexId> tau;
+                    for (std::size_t b = 0; b < n; ++b) {
+                        if (ref.second & (std::uint32_t{1} << b)) {
+                            tau.push_back(pv[b]);
+                        }
+                    }
+                    slot = static_cast<std::int32_t>(pk.table.size());
+                    pk.table.push_back(canonical_key(
+                        pv[ref.first], Simplex{std::move(tau)}));
+                }
+                tuple.push_back(static_cast<std::uint32_t>(slot));
+            }
+            pk.tuples.push_back(std::move(tuple));
         }
     });
 
+
     // Phase 2 — intern the keys in (parent, partition, block) order:
     // first-occurrence order, and with it every vertex id, matches the
-    // sequential build exactly whatever num_threads was. Geometry is
-    // deferred to phase 3 so the exact rational arithmetic also shards.
+    // sequential build exactly whatever num_threads was. (A duplicate in
+    // a parent's table — two prefixes collapsing onto the same (p, {p})
+    // — interns to the already-assigned id, so per-parent deduplication
+    // preserves that order.) Geometry is deferred to phase 3 so the
+    // exact rational arithmetic also shards.
     std::unordered_map<VertexId, Color> colors;
     std::vector<Simplex> facets;
     std::vector<const Key*> key_of;  // new vertex id -> its map key
@@ -107,14 +168,19 @@ SubdividedComplex SubdividedComplex::subdivide_impl(
         colors[id] = complex_.color(key.first);
         return id;
     };
-    for (const std::vector<std::vector<Key>>& facet_keys : generated) {
-        for (const std::vector<Key>& keys : facet_keys) {
+    std::vector<VertexId> global_of;
+    for (const ParentKeys& pk : generated) {
+        global_of.clear();
+        global_of.reserve(pk.table.size());
+        for (const Key& key : pk.table) global_of.push_back(intern(key));
+        for (const std::vector<std::uint32_t>& tuple : pk.tuples) {
             std::vector<VertexId> verts;
-            verts.reserve(keys.size());
-            for (const Key& key : keys) verts.push_back(intern(key));
+            verts.reserve(tuple.size());
+            for (std::uint32_t ti : tuple) verts.push_back(global_of[ti]);
             facets.emplace_back(std::move(verts));
         }
     }
+
 
     // Phase 3 — exact positions per Section 3.2, one work unit per new
     // vertex (a singleton tau keeps the parent vertex's position), then
@@ -149,8 +215,12 @@ SubdividedComplex SubdividedComplex::subdivide_impl(
     std::sort(facets.begin(), facets.end());
     facets.erase(std::unique(facets.begin(), facets.end()), facets.end());
 
-    out.complex_ = ChromaticComplex(SimplicialComplex::from_facets(facets),
-                                    std::move(colors));
+    SimplicialComplex closure = SimplicialComplex::from_facets(facets);
+    // Trusted: the chromatic subdivision colors each new vertex with the
+    // color of the original-complex vertex it replaces, facet by facet —
+    // proper coloring is structural here.
+    out.complex_ =
+        ChromaticComplex::trusted(std::move(closure), std::move(colors));
     return out;
 }
 

@@ -123,6 +123,35 @@ TEST(SharedNogoodPoolPersistence, LoadRemapsFileKeysAgainstExistingInterns) {
     EXPECT_EQ(dest.rejected_as_duplicate(), 1u);
 }
 
+TEST(SharedNogoodPoolPersistence, SaveMergesWhatAnotherWriterPersisted) {
+    TempFile file("two-writer");
+    // Writer A persists one nogood...
+    SharedNogoodPool a;
+    const auto ak = a.intern(midpoint01(), 1);
+    ASSERT_TRUE(a.publish("shared", {{ak, 1}}));
+    ASSERT_EQ(a.save(file.path), "");
+
+    // ...and writer B — a pool that never loaded the file — learns a
+    // different one and saves over the same path. Merge-on-save must
+    // union the two, not last-writer-clobber A's learning.
+    SharedNogoodPool b;
+    const auto bk = b.intern(third012(), 2);
+    ASSERT_TRUE(b.publish("shared", {{bk, 2}}));
+    ASSERT_EQ(b.save(file.path), "");
+    EXPECT_EQ(b.size("shared"), 2u);  // B absorbed A's entry while saving
+
+    SharedNogoodPool readback;
+    ASSERT_EQ(readback.load(file.path), "");
+    EXPECT_EQ(readback.size("shared"), 2u);
+
+    // A third save with nothing new re-imports the file and dedups
+    // every entry: the union is stable, not doubling.
+    ASSERT_EQ(b.save(file.path), "");
+    SharedNogoodPool again;
+    ASSERT_EQ(again.load(file.path), "");
+    EXPECT_EQ(again.size("shared"), 2u);
+}
+
 TEST(SharedNogoodPoolPersistence, RejectsCorruptionWithoutTouchingThePool) {
     TempFile file("corrupt");
     SharedNogoodPool good;

@@ -1,12 +1,13 @@
 // The solver's incremental layers must be invisible except in wall
 // time: for every scenario in the standard registry, solving with the
 // evaluation cache, nogood learning, conflict-directed backjumping,
-// and/or the cross-solve SharedNogoodPool toggled must produce the
-// identical SolveReport verdict and witness as the plain PR-2
-// forward-checking engine. Plus unit coverage for the bounded
-// NogoodStore (including the hash-collision dedup regression), the
-// SharedNogoodPool, the EvalCache/AllowedComplexLru capacity behavior,
-// and the portfolio counter-merge audit.
+// Luby restarts, nogood GC, and/or the cross-solve SharedNogoodPool
+// toggled must produce the identical SolveReport verdict and witness
+// as the plain PR-2 forward-checking engine. Plus unit coverage for
+// the bounded NogoodStore (including the hash-collision dedup
+// regression), the SharedNogoodPool, the EvalCache/AllowedComplexLru
+// capacity behavior, the capacity-stall regression GC removes, and the
+// portfolio counter-merge audit.
 #include <gtest/gtest.h>
 
 #include "core/act_solver.h"
@@ -167,6 +168,94 @@ TEST(SolverCacheProperty, ExchangePoolThreadMatrixPreservesVerdictAndWitness) {
     }
 }
 
+TEST(SolverCacheProperty, RestartGcMatrixPreservesVerdictAndWitness) {
+    // The PR-6 axes: Luby restarts on/off x nogood GC on/off, with both
+    // mechanisms forced to actually fire on quick scenarios —
+    // restart_unit = 2 abandons the tree after two backtracks, and a
+    // four-entry store collects on the fifth distinct conflict. A
+    // restarted search replays the identical deterministic DFS with a
+    // superset of the pruning knowledge, and a collection only forgets
+    // pruning shortcuts, so every cell must stay bit-identical to the
+    // plain PR-2 engine.
+    const engine::Engine eng;
+    for (const auto& spec : engine::ScenarioRegistry::standard().specs()) {
+        if (spec.heavy) continue;
+        engine::Scenario scenario = spec.make();
+        scenario.name = spec.name;
+        scenario.options.solver = with_layers(false, false);
+        const engine::SolveReport plain = eng.solve(scenario);
+
+        for (const bool restarts : {false, true}) {
+            for (const bool gc : {false, true}) {
+                engine::Scenario cell = spec.make();
+                cell.name = spec.name;
+                core::SolverConfig solver = core::SolverConfig::fast();
+                solver.restarts = restarts;
+                solver.restart_unit = 2;
+                solver.nogood_gc = gc;
+                solver.nogood_capacity = 4;
+                cell.options.solver = solver;
+                const std::string label =
+                    spec.name + " [restarts=" + std::to_string(restarts) +
+                    " gc=" + std::to_string(gc) + "]";
+                expect_equivalent(plain, eng.solve(cell), label);
+            }
+        }
+    }
+}
+
+// --- the capacity-stall regression (what the GC exists to fix) ----------
+
+TEST(NogoodLifecycle, GcKeepsLearningPastTheCapacityWhereTheOldStoreFroze) {
+    using topo::ChromaticComplex;
+    using topo::Simplex;
+    using topo::SimplicialComplex;
+
+    // Every branch dies instantly: the codomain has four color-matching
+    // candidates per domain vertex but not a single edge, so each root
+    // assignment wipes out its neighbors' domains and records one unit
+    // nogood — more distinct conflicts than a two-entry store can hold.
+    const ChromaticComplex domain(
+        SimplicialComplex::from_facets({Simplex{0, 1, 2}}),
+        {{0, 0}, {1, 1}, {2, 2}});
+    std::vector<Simplex> isolated_vertices;
+    std::unordered_map<topo::VertexId, topo::Color> colors;
+    for (topo::VertexId v = 10; v < 22; ++v) {
+        isolated_vertices.push_back(Simplex{v});
+        colors[v] = static_cast<topo::Color>((v - 10) % 3);
+    }
+    const ChromaticComplex edgeless(
+        SimplicialComplex::from_facets(isolated_vertices), std::move(colors));
+    core::ChromaticMapProblem problem;
+    problem.domain = &domain;
+    problem.codomain = &edgeless;
+    problem.allowed =
+        [&edgeless](const Simplex&) -> const SimplicialComplex& {
+        return edgeless.complex();
+    };
+
+    core::SolverConfig gc_on = core::SolverConfig::fast();
+    gc_on.nogood_capacity = 2;
+    gc_on.nogood_gc = true;
+    const auto with_gc = core::solve_chromatic_map(problem, gc_on);
+    EXPECT_FALSE(with_gc.map.has_value());
+    EXPECT_TRUE(with_gc.exhausted);
+    // The point of the PR: recording continues past the cap...
+    EXPECT_GT(with_gc.counters.nogoods_recorded, gc_on.nogood_capacity);
+    // ...because collections made room.
+    EXPECT_GT(with_gc.counters.nogoods_evicted, 0u);
+
+    // The legacy dead end, still reachable via the knob: the same
+    // search with GC off freezes learning the moment the store fills.
+    core::SolverConfig gc_off = gc_on;
+    gc_off.nogood_gc = false;
+    const auto without_gc = core::solve_chromatic_map(problem, gc_off);
+    EXPECT_FALSE(without_gc.map.has_value());
+    EXPECT_TRUE(without_gc.exhausted);
+    EXPECT_LE(without_gc.counters.nogoods_recorded, gc_off.nogood_capacity);
+    EXPECT_EQ(without_gc.counters.nogoods_evicted, 0u);
+}
+
 // --- the counter-accumulation audit (SearchCounters::add) ---------------
 
 TEST(SearchCounters, AddAccumulatesEveryField) {
@@ -180,36 +269,42 @@ TEST(SearchCounters, AddAccumulatesEveryField) {
     a.backtracks = 1;
     a.nogood_prunings = 2;
     a.nogoods_recorded = 3;
-    a.backjumps = 4;
-    a.pool_seeded = 5;
-    a.pool_published = 6;
-    a.exchange_published = 7;
-    a.exchange_imported = 8;
-    a.eval_cache_hits = 9;
-    a.eval_cache_misses = 10;
+    a.nogoods_evicted = 4;
+    a.restarts = 5;
+    a.backjumps = 6;
+    a.pool_seeded = 7;
+    a.pool_published = 8;
+    a.exchange_published = 9;
+    a.exchange_imported = 10;
+    a.eval_cache_hits = 11;
+    a.eval_cache_misses = 12;
     core::SearchCounters b;
     b.backtracks = 100;
     b.nogood_prunings = 200;
     b.nogoods_recorded = 300;
-    b.backjumps = 400;
-    b.pool_seeded = 500;
-    b.pool_published = 600;
-    b.exchange_published = 700;
-    b.exchange_imported = 800;
-    b.eval_cache_hits = 900;
-    b.eval_cache_misses = 1000;
+    b.nogoods_evicted = 400;
+    b.restarts = 500;
+    b.backjumps = 600;
+    b.pool_seeded = 700;
+    b.pool_published = 800;
+    b.exchange_published = 900;
+    b.exchange_imported = 1000;
+    b.eval_cache_hits = 1100;
+    b.eval_cache_misses = 1200;
 
     a.add(b);
     EXPECT_EQ(a.backtracks, 101u);
     EXPECT_EQ(a.nogood_prunings, 202u);
     EXPECT_EQ(a.nogoods_recorded, 303u);
-    EXPECT_EQ(a.backjumps, 404u);
-    EXPECT_EQ(a.pool_seeded, 505u);
-    EXPECT_EQ(a.pool_published, 606u);
-    EXPECT_EQ(a.exchange_published, 707u);
-    EXPECT_EQ(a.exchange_imported, 808u);
-    EXPECT_EQ(a.eval_cache_hits, 909u);
-    EXPECT_EQ(a.eval_cache_misses, 1010u);
+    EXPECT_EQ(a.nogoods_evicted, 404u);
+    EXPECT_EQ(a.restarts, 505u);
+    EXPECT_EQ(a.backjumps, 606u);
+    EXPECT_EQ(a.pool_seeded, 707u);
+    EXPECT_EQ(a.pool_published, 808u);
+    EXPECT_EQ(a.exchange_published, 909u);
+    EXPECT_EQ(a.exchange_imported, 1010u);
+    EXPECT_EQ(a.eval_cache_hits, 1111u);
+    EXPECT_EQ(a.eval_cache_misses, 1212u);
 
     // ChromaticMapResult::add_counters funnels through add() and must
     // leave the verdict fields alone.
