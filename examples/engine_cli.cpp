@@ -10,6 +10,9 @@
 //                                      # of collecting (pre-GC behavior)
 //   example_engine_cli --pool-file learned.pool lt-2-1-res1
 //                                      # persist the pool across processes
+//   example_engine_cli --json          # machine-readable reports (one
+//                                      # JSON object per line, the same
+//                                      # schema gact_serve replies with)
 //   example_engine_cli lt-2-1-res1 consensus-2-wf   # run by name
 //
 // --pool-file and --no-pool contradict each other; asking for both is a
@@ -41,34 +44,21 @@
 #include <memory>
 
 #include "engine/engine.h"
+#include "engine/report_json.h"
 #include "engine/scenario_registry.h"
 
 namespace {
 
 using namespace gact;
 
-/// Order-independent FNV-style digest of a witness's vertex map, so two
-/// processes can assert bit-identical witnesses by comparing one hex
-/// line (an unordered_map's iteration order is not stable across
-/// processes; XOR of per-pair hashes is).
-std::uint64_t witness_digest(const core::SimplicialMap& map) {
-    std::uint64_t digest = 0x9e3779b97f4a7c15ULL;
-    for (const auto& [v, w] : map.vertex_map()) {
-        std::size_t pair_hash = std::hash<std::uint64_t>{}(
-            (static_cast<std::uint64_t>(v) << 32) | w);
-        digest ^= 0x100000001b3ULL * (pair_hash | 1);
-    }
-    return digest;
-}
-
 void print_report(const engine::SolveReport& report) {
     std::cout << "  " << report.summary() << "\n";
     if (report.witness.has_value()) {
-        char digest[32];
-        std::snprintf(digest, sizeof(digest), "%016llx",
-                      static_cast<unsigned long long>(
-                          witness_digest(*report.witness)));
-        std::cout << "      witness digest: " << digest << " ("
+        // engine::witness_digest_hex is the same digest gact_serve
+        // reports, so "bit-identical witness" can be asserted across
+        // the CLI and the service by comparing one hex line.
+        std::cout << "      witness digest: "
+                  << engine::witness_digest_hex(*report.witness) << " ("
                   << report.witness->size() << " vertices)\n";
     }
     for (const engine::StageTiming& t : report.timings) {
@@ -105,11 +95,16 @@ int main(int argc, char** argv) {
     bool no_pool = false;
     bool no_restarts = false;
     bool no_gc = false;
+    bool json_output = false;
     std::string pool_file;
     std::vector<engine::Scenario> scenarios;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--list") == 0) return list_scenarios();
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json_output = true;
+            continue;
+        }
         if (std::strcmp(argv[i], "--no-pool") == 0) {
             no_pool = true;
             continue;
@@ -133,8 +128,12 @@ int main(int argc, char** argv) {
         }
         const auto scenario = registry.find(argv[i]);
         if (!scenario.has_value()) {
-            std::cerr << "unknown scenario '" << argv[i]
-                      << "' (see --list)\n";
+            std::cerr << "unknown scenario '" << argv[i] << "'\n"
+                      << "registered scenarios:";
+            for (const std::string& name : registry.names()) {
+                std::cerr << " " << name;
+            }
+            std::cerr << "\n(--list for descriptions)\n";
             return 2;
         }
         scenarios.push_back(*scenario);
@@ -173,26 +172,38 @@ int main(int argc, char** argv) {
         for (engine::Scenario& s : scenarios) s.options.nogood_pool = pool;
     }
 
-    std::cout << "== gact engine: " << scenarios.size() << " scenario"
-              << (scenarios.size() == 1 ? "" : "s") << " on " << threads
-              << " thread" << (threads == 1 ? "" : "s") << " ==\n";
+    if (!json_output) {
+        std::cout << "== gact engine: " << scenarios.size() << " scenario"
+                  << (scenarios.size() == 1 ? "" : "s") << " on " << threads
+                  << " thread" << (threads == 1 ? "" : "s") << " ==\n";
+    }
     const engine::Engine engine;
     const auto reports = engine.solve_batch(scenarios, threads);
     std::size_t solvable = 0;
     for (const auto& report : reports) {
-        print_report(report);
+        if (json_output) {
+            // One report object per line — the identical schema the
+            // solve service puts under "report" in its replies.
+            std::cout << engine::report_to_json(report).dump() << "\n";
+        } else {
+            print_report(report);
+        }
         if (report.solvable()) ++solvable;
     }
-    std::cout << "\n" << solvable << "/" << reports.size()
-              << " scenarios solvable in their models\n";
+    if (!json_output) {
+        std::cout << "\n" << solvable << "/" << reports.size()
+                  << " scenarios solvable in their models\n";
+    }
 
     if (!pool_file.empty()) {
         const std::string err = pool->save(pool_file);
         if (err.empty()) {
             // published() counts every accepted entry, loaded + newly
             // learned: the pool's whole content.
-            std::cout << "pool saved to " << pool_file << " ("
-                      << pool->published() << " nogoods)\n";
+            if (!json_output) {
+                std::cout << "pool saved to " << pool_file << " ("
+                          << pool->published() << " nogoods)\n";
+            }
         } else {
             std::cerr << "warning: pool save failed (" << err << ")\n";
         }

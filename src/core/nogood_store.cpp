@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -390,15 +391,20 @@ bool line_exhausted(std::istringstream& in) {
 
 }  // namespace
 
-std::string SharedNogoodPool::save(const std::string& path) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    // Merge-on-save: fold in whatever another process persisted to this
-    // file since we loaded it (or never did), so alternating writers
-    // union their learning rather than clobber it. The diagnostic is
-    // deliberately dropped — a missing file is the ordinary first-save
-    // cold start, and a corrupt one holds no learning worth keeping, so
-    // both simply get overwritten below.
-    (void)merge_file_locked(path);
+/// The staged contents of one parsed pool file: file-local key ids plus
+/// the nogoods that reference them. Produced lock-free by parse_file(),
+/// committed under the lock by merge_parsed_locked().
+struct SharedNogoodPool::ParsedFile {
+    struct FileNogood {
+        std::string scope;
+        std::vector<PortableLiteral> literals;  // file-local var keys
+    };
+    std::unordered_map<VarKeyId, std::pair<topo::BaryPoint, topo::Color>>
+        keys;
+    std::vector<FileNogood> nogoods;
+};
+
+std::string SharedNogoodPool::serialize_locked(std::string& contents) const {
     for (const auto& [scope, s] : scopes_) {
         (void)s;
         if (scope.find('\n') != std::string::npos) {
@@ -429,21 +435,50 @@ std::string SharedNogoodPool::save(const std::string& path) {
         }
     }
     out << "end\n";
+    contents = out.str();
+    return "";
+}
+
+std::string SharedNogoodPool::save(const std::string& path) {
+    // Merge-on-save: fold in whatever another process persisted to this
+    // file since we loaded it (or never did), so alternating writers
+    // union their learning rather than clobber it. The parse diagnostic
+    // is deliberately dropped — a missing file is the ordinary
+    // first-save cold start, and a corrupt one holds no learning worth
+    // keeping, so both simply get overwritten below. The file is read
+    // and parsed BEFORE taking the lock: a live server snapshots its
+    // pool while solves keep publishing, and those publishes must only
+    // ever wait on in-memory work, never on the disk.
+    ParsedFile existing;
+    const std::string parse_err = parse_file(path, existing);
+
+    std::string contents;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (parse_err.empty()) merge_parsed_locked(existing);
+        const std::string err = serialize_locked(contents);
+        if (!err.empty()) return err;
+    }
+    // The lock is dropped: `contents` is a consistent cut of the pool
+    // (publishes landing after it simply make the next snapshot).
 
     // Write-then-rename so the save is atomic: a crash or a full disk
     // mid-write must never destroy the previously persisted learning —
     // the file either keeps its old contents or becomes the new pool
     // whole (load() depends on whole files; see its all-or-nothing
-    // contract). The temp name is per-process so two fleet processes
-    // saving the same file cannot interleave writes into one tmp; the
-    // renames themselves are atomic and last-writer-wins with a whole
-    // file either way.
+    // contract). The temp name is per-process AND per-call so neither
+    // two fleet processes nor two threads of one process (a snapshot
+    // timer racing a shutdown drain) can interleave writes into one
+    // tmp; the renames themselves are atomic and last-writer-wins with
+    // a whole file either way.
+    static std::atomic<unsigned> save_counter{0};
     const std::string tmp_path =
-        path + ".tmp." + std::to_string(::getpid());
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(save_counter.fetch_add(1));
     {
         std::ofstream file(tmp_path, std::ios::trunc);
         if (!file) return "cannot open '" + tmp_path + "' for writing";
-        file << out.str();
+        file << contents;
         file.flush();
         if (!file) {
             std::remove(tmp_path.c_str());
@@ -458,23 +493,25 @@ std::string SharedNogoodPool::save(const std::string& path) {
 }
 
 std::string SharedNogoodPool::load(const std::string& path) {
+    // Same split as save(): parse off the lock, commit under it.
+    ParsedFile parsed;
+    const std::string err = parse_file(path, parsed);
+    if (!err.empty()) return err;
     const std::lock_guard<std::mutex> lock(mutex_);
-    return merge_file_locked(path);
+    merge_parsed_locked(parsed);
+    return "";
 }
 
-std::string SharedNogoodPool::merge_file_locked(const std::string& path) {
+std::string SharedNogoodPool::parse_file(const std::string& path,
+                                         ParsedFile& out) {
     std::ifstream file(path);
     if (!file) return "cannot open '" + path + "'";
 
-    // Stage 1: parse and validate the whole file WITHOUT touching the
-    // pool, so any failure below leaves it exactly as it was.
-    struct FileNogood {
-        std::string scope;
-        std::vector<PortableLiteral> literals;  // file-local var keys
-    };
-    std::unordered_map<VarKeyId, std::pair<topo::BaryPoint, topo::Color>>
-        file_keys;
-    std::vector<FileNogood> file_nogoods;
+    // Parse and validate the whole file WITHOUT touching the pool, so
+    // any failure below leaves it exactly as it was.
+    using FileNogood = ParsedFile::FileNogood;
+    auto& file_keys = out.keys;
+    auto& file_nogoods = out.nogoods;
 
     std::string line;
     std::size_t line_no = 0;
@@ -614,16 +651,19 @@ std::string SharedNogoodPool::merge_file_locked(const std::string& path) {
     } catch (const std::exception& e) {
         return fail(std::string("invalid geometry: ") + e.what());
     }
+    return "";
+}
 
-    // Stage 2: commit. Re-intern every file key (ids are file-local),
-    // remap the literals, and publish through the ordinary dedup +
-    // capacity path. The caller holds mutex_.
+void SharedNogoodPool::merge_parsed_locked(const ParsedFile& parsed) {
+    // Commit a parsed file: re-intern every file key (ids are
+    // file-local), remap the literals, and publish through the ordinary
+    // dedup + capacity path. The caller holds mutex_.
     std::unordered_map<VarKeyId, VarKeyId> remap;
-    remap.reserve(file_keys.size());
-    for (const auto& [file_id, key] : file_keys) {
+    remap.reserve(parsed.keys.size());
+    for (const auto& [file_id, key] : parsed.keys) {
         remap.emplace(file_id, intern_locked(key.first, key.second));
     }
-    for (FileNogood& nogood : file_nogoods) {
+    for (const ParsedFile::FileNogood& nogood : parsed.nogoods) {
         std::vector<PortableLiteral> literals;
         literals.reserve(nogood.literals.size());
         for (const PortableLiteral& l : nogood.literals) {
@@ -634,7 +674,6 @@ std::string SharedNogoodPool::merge_file_locked(const std::string& path) {
                        literals.end());
         publish_locked(nogood.scope, std::move(literals));
     }
-    return "";
 }
 
 }  // namespace gact::core

@@ -477,12 +477,22 @@ public:
     /// still capping each scope), so two processes alternating on one
     /// file accumulate each other's learning instead of last-writer
     /// clobbering it; a missing or invalid existing file is simply
-    /// overwritten. Atomic: the contents are written to a per-process
-    /// temp name and renamed over the target, so a crash or write
-    /// failure mid-save leaves the previous file intact. Returns "" on
+    /// overwritten. Atomic: the contents are written to a per-process,
+    /// per-call temp name and renamed over the target, so a crash or
+    /// write failure mid-save leaves the previous file intact, and
+    /// concurrent save() calls (a snapshot timer racing a shutdown
+    /// drain) cannot interleave into one tmp file. Returns "" on
     /// success, else a diagnostic. Scopes containing newlines are
     /// unrepresentable and reported as an error (the builders never
     /// produce them).
+    ///
+    /// Snapshot-friendly: the pool lock is held only to merge the
+    /// parsed existing file and serialize the pool to memory — the
+    /// file read before and the write+rename after run unlocked, so
+    /// concurrent publishes (live solves) never block on disk I/O, and
+    /// every snapshot is a consistent cut of the pool
+    /// (tests/nogood_pool_persistence_test.cpp pins this under a
+    /// publisher/snapshotter race).
     std::string save(const std::string& path);
 
     /// Merge the pool file at `path` into this pool: file-local key ids
@@ -506,10 +516,21 @@ private:
     /// mutex_ (load() re-interns a whole file under one lock).
     VarKeyId intern_locked(const topo::BaryPoint& position,
                            topo::Color color);
-    /// The load() body: parse the pool file at `path` and merge it,
-    /// with mutex_ already held (save() reuses it for merge-on-save).
-    /// All-or-nothing: parsing completes before the pool is touched.
-    std::string merge_file_locked(const std::string& path);
+    /// A fully parsed and validated pool file, not yet merged (defined
+    /// in nogood_store.cpp). Splitting parse from merge keeps the file
+    /// I/O outside mutex_: load() and save() parse first, lock second.
+    struct ParsedFile;
+    /// Parse + validate the pool file at `path` into `out` WITHOUT
+    /// touching the pool (no lock needed). Returns "" or a diagnostic;
+    /// on error `out` is unspecified and must not be merged.
+    static std::string parse_file(const std::string& path, ParsedFile& out);
+    /// Commit a parsed file: re-intern its file-local keys, remap and
+    /// publish its nogoods through the ordinary dedup + capacity path.
+    /// The caller holds mutex_.
+    void merge_parsed_locked(const ParsedFile& parsed);
+    /// Serialize the whole pool into `out` (the `gact-nogood-pool v1`
+    /// text). The caller holds mutex_. Returns "" or a diagnostic.
+    std::string serialize_locked(std::string& out) const;
     bool publish_locked(const std::string& scope,
                         std::vector<PortableLiteral> literals);
 

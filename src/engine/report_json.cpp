@@ -1,0 +1,217 @@
+#include "engine/report_json.h"
+
+#include <cstdio>
+#include <functional>
+
+#include "engine/scenario_registry.h"
+
+namespace gact::engine {
+
+std::uint64_t witness_digest(const core::SimplicialMap& map) {
+    // XOR of a splitmix64-style mix of each (vertex, image) pair:
+    // order-independent (the map iterates in unspecified order) and
+    // fully specified — no std::hash, whose output is implementation-
+    // defined and would make digests differ across standard libraries.
+    // (The CLI's original digest multiplied (hash | 1) by a constant,
+    // which collided pairs differing only in their lowest bit.)
+    std::uint64_t digest = 0x9e3779b97f4a7c15ULL;
+    for (const auto& [v, w] : map.vertex_map()) {
+        std::uint64_t x = (static_cast<std::uint64_t>(v) << 32) | w;
+        x ^= x >> 30;
+        x *= 0xbf58476d1ce4e5b9ULL;
+        x ^= x >> 27;
+        x *= 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+        digest ^= x;
+    }
+    return digest;
+}
+
+std::string witness_digest_hex(const core::SimplicialMap& map) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(witness_digest(map)));
+    return buf;
+}
+
+// Every SearchCounters field crosses the wire; a new one must be added
+// to counters_to_json below AND to the round-trip assertions in
+// tests/report_json_test.cpp, then this count bumped (the same guard
+// idiom as SearchCounters::add in chromatic_csp.cpp).
+static_assert(sizeof(core::SearchCounters) == 12 * sizeof(std::size_t),
+              "SearchCounters gained or lost a field: update "
+              "counters_to_json(), the report_json round-trip test, and "
+              "this count");
+
+util::Json counters_to_json(const core::SearchCounters& c) {
+    util::Json out = util::Json::object();
+    out.set("backtracks", c.backtracks);
+    out.set("nogood_prunings", c.nogood_prunings);
+    out.set("nogoods_recorded", c.nogoods_recorded);
+    out.set("nogoods_evicted", c.nogoods_evicted);
+    out.set("restarts", c.restarts);
+    out.set("backjumps", c.backjumps);
+    out.set("pool_seeded", c.pool_seeded);
+    out.set("pool_published", c.pool_published);
+    out.set("exchange_published", c.exchange_published);
+    out.set("exchange_imported", c.exchange_imported);
+    out.set("eval_cache_hits", c.eval_cache_hits);
+    out.set("eval_cache_misses", c.eval_cache_misses);
+    return out;
+}
+
+util::Json report_to_json(const SolveReport& report) {
+    util::Json out = util::Json::object();
+    out.set("scenario", report.scenario);
+    out.set("verdict", to_string(report.verdict));
+    out.set("detail", report.detail);
+    if (!report.warnings.empty()) {
+        util::Json warnings = util::Json::array();
+        for (const std::string& w : report.warnings) warnings.push_back(w);
+        out.set("warnings", std::move(warnings));
+    }
+    out.set("witness_depth", static_cast<std::int64_t>(report.witness_depth));
+    if (report.witness.has_value()) {
+        util::Json witness = util::Json::object();
+        witness.set("digest", witness_digest_hex(*report.witness));
+        witness.set("vertices", report.witness->size());
+        out.set("witness", std::move(witness));
+    }
+    out.set("total_backtracks", report.total_backtracks);
+    out.set("counters", counters_to_json(report.counters));
+    util::Json timings = util::Json::array();
+    for (const StageTiming& t : report.timings) {
+        util::Json stage = util::Json::object();
+        stage.set("stage", t.stage);
+        stage.set("millis", t.millis);
+        timings.push_back(std::move(stage));
+    }
+    out.set("timings", std::move(timings));
+    out.set("summary", report.summary());
+    return out;
+}
+
+namespace {
+
+/// One overridable knob: validate the JSON value's type/range and
+/// assign. Each returns "" or a diagnostic naming the key.
+std::string expect_uint(const util::Json& v, const char* key,
+                        std::size_t& out) {
+    if (!v.is_int() || v.as_int() < 0) {
+        return std::string("option '") + key +
+               "' must be a non-negative integer";
+    }
+    out = static_cast<std::size_t>(v.as_int());
+    return "";
+}
+
+std::string expect_bool(const util::Json& v, const char* key, bool& out) {
+    if (!v.is_bool()) {
+        return std::string("option '") + key + "' must be a boolean";
+    }
+    out = v.as_bool();
+    return "";
+}
+
+}  // namespace
+
+std::string apply_options_json(const util::Json& overrides,
+                               EngineOptions& options) {
+    if (!overrides.is_object()) {
+        return "'options' must be a JSON object";
+    }
+    for (const auto& [key, value] : overrides.as_object()) {
+        std::string err;
+        std::size_t u = 0;
+        bool b = false;
+        if (key == "max_depth") {
+            err = expect_uint(value, key.c_str(), u);
+            if (err.empty()) options.max_depth = static_cast<int>(u);
+        } else if (key == "subdivision_stages") {
+            err = expect_uint(value, key.c_str(), u);
+            if (err.empty()) options.subdivision_stages = u;
+        } else if (key == "max_backtracks") {
+            err = expect_uint(value, key.c_str(), u);
+            if (err.empty()) options.solver.max_backtracks = u;
+        } else if (key == "num_threads") {
+            err = expect_uint(value, key.c_str(), u);
+            if (err.empty() && u == 0) {
+                err = "option 'num_threads' must be >= 1";
+            }
+            if (err.empty()) {
+                options.solver.num_threads = static_cast<unsigned>(u);
+            }
+        } else if (key == "shard_threads") {
+            err = expect_uint(value, key.c_str(), u);
+            if (err.empty() && u == 0) {
+                err = "option 'shard_threads' must be >= 1";
+            }
+            if (err.empty()) {
+                options.shard_threads = static_cast<unsigned>(u);
+            }
+        } else if (key == "fix_identity") {
+            err = expect_bool(value, key.c_str(), b);
+            if (err.empty()) options.fix_identity = b;
+        } else if (key == "run_prefix_depth") {
+            err = expect_uint(value, key.c_str(), u);
+            if (err.empty()) {
+                options.run_prefix_depth = static_cast<std::uint32_t>(u);
+            }
+        } else if (key == "max_landing_round") {
+            err = expect_uint(value, key.c_str(), u);
+            if (err.empty()) options.max_landing_round = u;
+        } else if (key == "nogood_learning") {
+            err = expect_bool(value, key.c_str(), b);
+            if (err.empty()) options.solver.nogood_learning = b;
+        } else if (key == "restarts") {
+            err = expect_bool(value, key.c_str(), b);
+            if (err.empty()) options.solver.restarts = b;
+        } else if (key == "nogood_gc") {
+            err = expect_bool(value, key.c_str(), b);
+            if (err.empty()) options.solver.nogood_gc = b;
+        } else if (key == "backjumping") {
+            err = expect_bool(value, key.c_str(), b);
+            if (err.empty()) options.solver.backjumping = b;
+        } else if (key == "live_exchange") {
+            err = expect_bool(value, key.c_str(), b);
+            if (err.empty()) options.solver.live_exchange = b;
+        } else {
+            err = "unknown option '" + key + "'";
+        }
+        if (!err.empty()) return err;
+    }
+    return "";
+}
+
+std::optional<Scenario> scenario_from_request(const util::Json& request,
+                                              std::string* error) {
+    const auto fail = [&](std::string what) -> std::optional<Scenario> {
+        if (error != nullptr) *error = std::move(what);
+        return std::nullopt;
+    };
+    if (!request.is_object()) return fail("request must be a JSON object");
+    const util::Json* name = request.find("scenario");
+    if (name == nullptr || !name->is_string() ||
+        name->as_string().empty()) {
+        return fail("request needs a non-empty string 'scenario' field");
+    }
+    const ScenarioRegistry& registry = ScenarioRegistry::standard();
+    std::optional<Scenario> scenario = registry.find(name->as_string());
+    if (!scenario.has_value()) {
+        std::string known;
+        for (const std::string& n : registry.names()) {
+            if (!known.empty()) known += ", ";
+            known += n;
+        }
+        return fail("unknown scenario '" + name->as_string() +
+                    "' (registered: " + known + ")");
+    }
+    if (const util::Json* overrides = request.find("options")) {
+        const std::string err =
+            apply_options_json(*overrides, scenario->options);
+        if (!err.empty()) return fail(err);
+    }
+    return scenario;
+}
+
+}  // namespace gact::engine

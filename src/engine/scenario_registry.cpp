@@ -1,5 +1,7 @@
 #include "engine/scenario_registry.h"
 
+#include <algorithm>
+
 #include "tasks/standard_tasks.h"
 #include "util/require.h"
 
@@ -174,6 +176,14 @@ void ScenarioRegistry::add(std::string name, std::string description,
     }
     specs_.push_back(ScenarioSpec{std::move(name), std::move(description),
                                   heavy, std::move(make)});
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(specs_.size());
+    for (const ScenarioSpec& spec : specs_) out.push_back(spec.name);
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 std::optional<Scenario> ScenarioRegistry::find(const std::string& name) const {

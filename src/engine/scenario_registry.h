@@ -33,6 +33,10 @@ public:
         return specs_;
     }
 
+    /// All registered names, sorted (nothing materialized) — the
+    /// service's `list` reply and every "unknown scenario" diagnostic.
+    std::vector<std::string> names() const;
+
     /// Materialize the named scenario; nullopt if unknown.
     std::optional<Scenario> find(const std::string& name) const;
 

@@ -1,0 +1,98 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gact::service {
+
+std::string ServiceClient::connect(const std::string& host,
+                                   std::uint16_t port) {
+    close();
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* results = nullptr;
+    const int rc = ::getaddrinfo(host.c_str(),
+                                 std::to_string(port).c_str(), &hints,
+                                 &results);
+    if (rc != 0) {
+        return "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+    }
+    std::string last_error = "no addresses for '" + host + "'";
+    for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+        const int fd =
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_error = std::string("socket() failed: ") +
+                         std::strerror(errno);
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            fd_ = fd;
+            break;
+        }
+        last_error =
+            std::string("connect() failed: ") + std::strerror(errno);
+        ::close(fd);
+    }
+    ::freeaddrinfo(results);
+    return fd_ >= 0 ? "" : last_error;
+}
+
+std::string ServiceClient::send(const util::Json& request) {
+    if (fd_ < 0) return "not connected";
+    return write_frame(fd_, request.dump());
+}
+
+std::optional<util::Json> ServiceClient::receive(std::string* error) {
+    if (error != nullptr) error->clear();
+    if (fd_ < 0) {
+        if (error != nullptr) *error = "not connected";
+        return std::nullopt;
+    }
+    std::string payload;
+    std::string diagnostic;
+    const ReadStatus status = read_frame(fd_, payload, diagnostic);
+    if (status == ReadStatus::kClosed) {
+        if (error != nullptr) *error = "connection closed by server";
+        return std::nullopt;
+    }
+    if (status == ReadStatus::kError) {
+        if (error != nullptr) *error = diagnostic;
+        return std::nullopt;
+    }
+    std::string parse_error;
+    std::optional<util::Json> reply =
+        util::Json::parse(payload, &parse_error);
+    if (!reply.has_value() && error != nullptr) {
+        *error = "unparseable reply: " + parse_error;
+    }
+    return reply;
+}
+
+std::optional<util::Json> ServiceClient::request(const util::Json& req,
+                                                 std::string* error) {
+    const std::string send_error = send(req);
+    if (!send_error.empty()) {
+        if (error != nullptr) *error = send_error;
+        return std::nullopt;
+    }
+    return receive(error);
+}
+
+void ServiceClient::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+}  // namespace gact::service

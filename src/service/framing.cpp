@@ -1,0 +1,144 @@
+#include "service/framing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+
+#include <unistd.h>
+
+#include "util/require.h"
+
+namespace gact::service {
+
+namespace {
+
+constexpr std::size_t kPrefixBytes = 4;
+
+std::uint32_t decode_be32(const char* p) {
+    const unsigned char* u = reinterpret_cast<const unsigned char*>(p);
+    return (static_cast<std::uint32_t>(u[0]) << 24) |
+           (static_cast<std::uint32_t>(u[1]) << 16) |
+           (static_cast<std::uint32_t>(u[2]) << 8) |
+           static_cast<std::uint32_t>(u[3]);
+}
+
+void encode_be32(std::uint32_t v, char* p) {
+    p[0] = static_cast<char>((v >> 24) & 0xFF);
+    p[1] = static_cast<char>((v >> 16) & 0xFF);
+    p[2] = static_cast<char>((v >> 8) & 0xFF);
+    p[3] = static_cast<char>(v & 0xFF);
+}
+
+}  // namespace
+
+std::string encode_frame(const std::string& payload) {
+    require(!payload.empty(), "encode_frame: empty payload");
+    require(payload.size() <= std::numeric_limits<std::uint32_t>::max(),
+            "encode_frame: payload exceeds the 4-byte length prefix");
+    std::string out;
+    out.resize(kPrefixBytes + payload.size());
+    encode_be32(static_cast<std::uint32_t>(payload.size()), out.data());
+    std::memcpy(out.data() + kPrefixBytes, payload.data(), payload.size());
+    return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+    if (!error_.empty()) return;  // dead stream: drop everything
+    // Compact the consumed prefix before growing, so a long-lived
+    // connection does not accumulate every frame it ever received.
+    if (pos_ > 0 && pos_ == buffer_.size()) {
+        buffer_.clear();
+        pos_ = 0;
+    } else if (pos_ > (64u << 10)) {
+        buffer_.erase(0, pos_);
+        pos_ = 0;
+    }
+    buffer_.append(data, size);
+}
+
+std::optional<std::string> FrameDecoder::next() {
+    if (!error_.empty()) return std::nullopt;
+    if (buffer_.size() - pos_ < kPrefixBytes) return std::nullopt;
+    const std::uint32_t length = decode_be32(buffer_.data() + pos_);
+    if (length == 0) {
+        error_ = "zero-length frame";
+        return std::nullopt;
+    }
+    if (length > max_payload_) {
+        error_ = "frame length " + std::to_string(length) +
+                 " exceeds the " + std::to_string(max_payload_) +
+                 "-byte cap";
+        return std::nullopt;
+    }
+    if (buffer_.size() - pos_ < kPrefixBytes + length) {
+        return std::nullopt;  // truncated so far: wait for more bytes
+    }
+    std::string payload =
+        buffer_.substr(pos_ + kPrefixBytes, length);
+    pos_ += kPrefixBytes + length;
+    return payload;
+}
+
+std::string write_frame(int fd, const std::string& payload) {
+    std::string frame;
+    try {
+        frame = encode_frame(payload);
+    } catch (const std::exception& e) {
+        return e.what();
+    }
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n =
+            ::write(fd, frame.data() + sent, frame.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return std::string("write failed: ") + std::strerror(errno);
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return "";
+}
+
+ReadStatus read_frame(int fd, std::string& payload, std::string& diagnostic,
+                      std::size_t max_payload) {
+    diagnostic.clear();
+    const auto read_exact = [&](char* out, std::size_t want,
+                                bool at_boundary) -> ReadStatus {
+        std::size_t got = 0;
+        while (got < want) {
+            const ssize_t n = ::read(fd, out + got, want - got);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                diagnostic =
+                    std::string("read failed: ") + std::strerror(errno);
+                return ReadStatus::kError;
+            }
+            if (n == 0) {
+                if (at_boundary && got == 0) return ReadStatus::kClosed;
+                diagnostic = "connection closed mid-frame";
+                return ReadStatus::kError;
+            }
+            got += static_cast<std::size_t>(n);
+        }
+        return ReadStatus::kOk;
+    };
+
+    char prefix[kPrefixBytes];
+    ReadStatus status = read_exact(prefix, kPrefixBytes, true);
+    if (status != ReadStatus::kOk) return status;
+    const std::uint32_t length = decode_be32(prefix);
+    if (length == 0) {
+        diagnostic = "zero-length frame";
+        return ReadStatus::kError;
+    }
+    if (length > max_payload) {
+        diagnostic = "frame length " + std::to_string(length) +
+                     " exceeds the " + std::to_string(max_payload) +
+                     "-byte cap";
+        return ReadStatus::kError;
+    }
+    payload.resize(length);
+    return read_exact(payload.data(), length, false);
+}
+
+}  // namespace gact::service

@@ -1,0 +1,87 @@
+// The wire framing of gact::service: length-prefixed JSON frames.
+//
+// One frame = a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON. The prefix makes message boundaries explicit on
+// a byte stream (TCP has none), and capping it (`max_payload`) lets the
+// server reject a garbage or hostile prefix — say, the first four bytes
+// of an HTTP request aimed at the wrong port — before allocating
+// anything. A zero-length payload is also invalid: every protocol
+// message is at least "{}".
+//
+// The pure encode/decode core (encode_frame / FrameDecoder) is
+// separated from the socket I/O (read_frame / write_frame) so the
+// framing rules are unit-testable byte by byte — round-trip,
+// truncation, garbage — without a socket in sight
+// (tests/service_framing_test.cpp). FrameDecoder is incremental: feed
+// it whatever the socket produced, get back complete payloads; a
+// payload split across reads is simply not ready yet.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gact::service {
+
+/// Default payload cap: far above any real request or report (reports
+/// carry digests, not witnesses) while keeping a hostile prefix from
+/// provoking a large allocation.
+inline constexpr std::size_t kDefaultMaxPayload = 4u << 20;  // 4 MiB
+
+/// The 4-byte big-endian length prefix + payload, as one buffer.
+/// Precondition (checked): 0 < payload.size() <= max encodable.
+std::string encode_frame(const std::string& payload);
+
+/// Incremental decoder of a frame stream.
+class FrameDecoder {
+public:
+    explicit FrameDecoder(std::size_t max_payload = kDefaultMaxPayload)
+        : max_payload_(max_payload) {}
+
+    /// Append raw bytes from the stream.
+    void feed(const char* data, std::size_t size);
+    void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
+
+    /// Extract the next complete payload, if one is buffered. Returns
+    /// nullopt when more bytes are needed — OR after a framing error;
+    /// distinguish with error(). Once an error is set the stream is
+    /// desynchronized and the decoder stays dead (there is no way to
+    /// find the next frame boundary after a bogus length prefix).
+    std::optional<std::string> next();
+
+    /// Non-empty after a fatal framing error (oversized or zero length
+    /// prefix).
+    const std::string& error() const noexcept { return error_; }
+
+    /// Bytes buffered but not yet returned (diagnostics/tests).
+    std::size_t buffered() const noexcept { return buffer_.size() - pos_; }
+
+private:
+    std::size_t max_payload_;
+    std::string buffer_;
+    std::size_t pos_ = 0;  // consumed prefix of buffer_
+    std::string error_;
+};
+
+// --------------------------------------------------------------- socket I/O
+
+/// Write one frame to `fd`, looping over partial writes and EINTR.
+/// Returns "" on success, else a diagnostic. (No internal locking: the
+/// server serializes writers per connection.)
+std::string write_frame(int fd, const std::string& payload);
+
+/// Result of one blocking frame read.
+enum class ReadStatus {
+    kOk,      ///< `payload` holds one complete frame
+    kClosed,  ///< orderly EOF on a frame boundary
+    kError,   ///< I/O error, mid-frame EOF, or framing error (see diag)
+};
+
+/// Read exactly one frame from `fd` (blocking). On kError `diagnostic`
+/// explains; a mid-frame EOF is an error (the peer died mid-message),
+/// while EOF before any byte of a frame is a clean kClosed.
+ReadStatus read_frame(int fd, std::string& payload, std::string& diagnostic,
+                      std::size_t max_payload = kDefaultMaxPayload);
+
+}  // namespace gact::service

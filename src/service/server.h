@@ -1,0 +1,226 @@
+// gact::service — the long-running networked solve server.
+//
+// The engine solved any registry scenario fast and learned durably, but
+// every solve still cost a full process launch, and the pool file's
+// load-then-save dance is racy across concurrent CLI invocations. This
+// server turns solvability queries into a served workload: a plain
+// POSIX TCP listener speaking length-prefixed JSON frames
+// (service/framing.h), a bounded admission queue drained by a
+// self-scheduling worker pool (service/request_queue.h — the
+// solve_batch scheduling shape over an open-ended request stream), and
+// ONE resident core::SharedNogoodPool wired into every solve. Pool-file
+// concurrency is thereby fixed by construction: a single process owns
+// the pool, every request warms it for the next, and persistence is a
+// periodic snapshot (merge-on-save, atomic rename) plus a final
+// snapshot on graceful shutdown instead of N processes racing one file.
+//
+// Threading model (one line each; the full picture is in
+// docs/ARCHITECTURE.md):
+//  * acceptor thread — polls the listen socket, spawns one reader
+//    thread per connection, reaps finished ones;
+//  * connection reader threads — decode frames, answer stats/list
+//    inline, admit solve jobs to the queue (or reply queue-full /
+//    shutting-down immediately: backpressure is explicit, never a
+//    silent stall);
+//  * worker threads — pop jobs, run Engine::solve against the resident
+//    pool, write the report frame back under the connection's write
+//    mutex (replies carry the request's echoed "id", so clients may
+//    pipeline);
+//  * snapshot thread — saves the pool to disk every
+//    `snapshot_every_seconds` (serialization happens under the pool
+//    lock, disk I/O does not — solves never block on a snapshot).
+//
+// Robustness is part of the contract: a malformed payload gets an
+// error reply and the connection lives on; an unframeable byte stream
+// (bogus length prefix) gets an error reply and a close, because no
+// later frame boundary can be trusted; a request whose queue-wait
+// deadline passed is answered with a budget-exhausted-style "timeout"
+// error instead of being solved late; and SIGINT/SIGTERM
+// (install_stop_signal_handlers + wait_until_stop_requested + stop())
+// drains gracefully: stop accepting, finish every admitted solve,
+// snapshot the pool, exit 0.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/chromatic_csp.h"
+#include "core/nogood_store.h"
+#include "engine/engine.h"
+#include "service/framing.h"
+#include "service/request_queue.h"
+#include "util/json.h"
+
+namespace gact::service {
+
+struct ServiceConfig {
+    /// Bind address. The default serves loopback only; a deployment
+    /// that means to face a network opts in with "0.0.0.0".
+    std::string bind_address = "127.0.0.1";
+    /// TCP port; 0 binds an ephemeral port (read it back with port() —
+    /// what the tests and the load bench do).
+    std::uint16_t port = 0;
+    /// Solve worker threads draining the queue.
+    unsigned workers = 2;
+    /// Admission-queue bound: requests beyond it get queue-full replies.
+    std::size_t queue_depth = 16;
+    /// When non-empty: load at startup (missing file = cold start,
+    /// damaged file = warning), snapshot periodically and on stop().
+    std::string pool_file;
+    /// Snapshot period; 0 = only the final stop() snapshot.
+    unsigned snapshot_every_seconds = 0;
+    /// Default queue-wait deadline per request, ms; 0 = none. A request
+    /// may override with its own "timeout_ms" field.
+    std::size_t default_timeout_ms = 0;
+    /// Frame payload cap (see service/framing.h).
+    std::size_t max_payload_bytes = kDefaultMaxPayload;
+    /// Test-only: run by each worker after popping a job, before
+    /// solving — lets tests hold workers to fill the queue
+    /// deterministically. Null in production.
+    std::function<void()> test_worker_hook;
+};
+
+/// One client connection: the fd plus the write lock that keeps worker
+/// replies and inline replies from interleaving on the stream.
+struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> reader_done{false};
+};
+
+class SolveServer {
+public:
+    explicit SolveServer(ServiceConfig config);
+    ~SolveServer();
+
+    SolveServer(const SolveServer&) = delete;
+    SolveServer& operator=(const SolveServer&) = delete;
+
+    /// Bind, listen, load the pool file (when configured), spin up the
+    /// acceptor/worker/snapshot threads. Returns "" on success, else a
+    /// diagnostic (the server is then inert and stop() is a no-op).
+    std::string start();
+
+    /// The bound port (after a successful start(); ephemeral binds
+    /// report the kernel-assigned port).
+    std::uint16_t port() const noexcept { return bound_port_; }
+
+    /// Non-fatal startup condition worth printing (e.g. a rejected pool
+    /// file that downgraded to a cold start). Empty when clean.
+    const std::string& startup_warning() const noexcept {
+        return startup_warning_;
+    }
+
+    /// Flag a stop. Async-signal-safe (one relaxed atomic store): this
+    /// is exactly what the SIGINT/SIGTERM handlers call. The actual
+    /// drain happens in stop().
+    void request_stop() noexcept {
+        stop_requested_.store(true, std::memory_order_relaxed);
+    }
+    bool stop_requested() const noexcept {
+        return stop_requested_.load(std::memory_order_relaxed);
+    }
+    /// Block until request_stop() is called (from any thread or a
+    /// signal handler). The serve binary's main loop.
+    void wait_until_stop_requested() const;
+
+    /// Graceful drain, idempotent: stop accepting connections and
+    /// admitting requests, finish every admitted solve, take the final
+    /// pool snapshot, then close connections and join every thread.
+    void stop();
+
+    /// The resident pool (for tests and the stats request).
+    const std::shared_ptr<core::SharedNogoodPool>& pool() const noexcept {
+        return pool_;
+    }
+
+    /// The stats-request body: uptime, queue depth/capacity, in-flight
+    /// and served counts, per-verdict tallies, error tallies by code,
+    /// pool size, and the cumulative SearchCounters across all solves.
+    util::Json stats_json() const;
+
+private:
+    struct SolveJob {
+        engine::Scenario scenario;
+        util::Json id;  // echoed verbatim; null when absent
+        std::shared_ptr<Connection> conn;
+        std::chrono::steady_clock::time_point deadline{};
+        bool has_deadline = false;
+    };
+
+    void acceptor_loop();
+    void reader_loop(std::shared_ptr<Connection> conn);
+    void worker_loop();
+    void snapshot_loop();
+    /// Parse + dispatch one frame payload from `conn`; never throws.
+    void handle_payload(const std::shared_ptr<Connection>& conn,
+                        const std::string& payload);
+    void reply(const std::shared_ptr<Connection>& conn,
+               const util::Json& body);
+    void reply_error(const std::shared_ptr<Connection>& conn,
+                     const util::Json& id, const char* code,
+                     const std::string& message);
+    /// Save the pool to config_.pool_file, recording outcome in stats.
+    void snapshot_pool();
+    util::Json list_json() const;
+
+    ServiceConfig config_;
+    std::shared_ptr<core::SharedNogoodPool> pool_;
+    engine::Engine engine_;
+
+    int listen_fd_ = -1;
+    std::uint16_t bound_port_ = 0;
+    std::string startup_warning_;
+    bool started_ = false;
+    bool stopped_ = false;
+
+    std::atomic<bool> stop_requested_{false};
+    RequestQueue<SolveJob> queue_;
+
+    std::thread acceptor_;
+    std::vector<std::thread> workers_;
+    std::thread snapshotter_;
+
+    /// Live connections + their reader threads, under one mutex; the
+    /// acceptor reaps entries whose reader finished.
+    struct ConnEntry {
+        std::shared_ptr<Connection> conn;
+        std::thread reader;
+    };
+    mutable std::mutex conns_mutex_;
+    std::vector<ConnEntry> conns_;
+
+    /// Cumulative stats, one mutex (touched per request, not per
+    /// backtrack — never hot).
+    mutable std::mutex stats_mutex_;
+    std::chrono::steady_clock::time_point started_at_{};
+    std::size_t connections_accepted_ = 0;
+    std::size_t requests_received_ = 0;
+    std::size_t solves_completed_ = 0;
+    std::size_t in_flight_ = 0;
+    std::size_t errors_bad_request_ = 0;
+    std::size_t errors_unknown_scenario_ = 0;
+    std::size_t errors_queue_full_ = 0;
+    std::size_t errors_timeout_ = 0;
+    std::size_t errors_shutting_down_ = 0;
+    std::size_t verdict_counts_[4] = {0, 0, 0, 0};  // by engine::Verdict
+    core::SearchCounters cumulative_counters_;
+    std::size_t snapshots_taken_ = 0;
+    std::string last_snapshot_error_;
+};
+
+/// Route SIGINT and SIGTERM to server.request_stop(). The handler is a
+/// relaxed atomic store — async-signal-safe. One server at a time;
+/// uninstall restores the previous dispositions (so tests can raise()
+/// without poisoning the process).
+void install_stop_signal_handlers(SolveServer& server);
+void uninstall_stop_signal_handlers();
+
+}  // namespace gact::service

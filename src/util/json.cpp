@@ -1,0 +1,545 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/require.h"
+
+namespace gact::util {
+
+Json::Json(std::uint64_t u) : type_(Type::kInt) {
+    require(u <= static_cast<std::uint64_t>(
+                     std::numeric_limits<std::int64_t>::max()),
+            "Json: unsigned value exceeds the int64 range");
+    int_ = static_cast<std::int64_t>(u);
+}
+
+bool Json::as_bool() const {
+    require(is_bool(), "Json::as_bool: not a bool");
+    return bool_;
+}
+
+std::int64_t Json::as_int() const {
+    require(is_int(), "Json::as_int: not an integer");
+    return int_;
+}
+
+double Json::as_double() const {
+    require(is_number(), "Json::as_double: not a number");
+    return is_int() ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Json::as_string() const {
+    require(is_string(), "Json::as_string: not a string");
+    return string_;
+}
+
+const Json::Array& Json::as_array() const {
+    require(is_array(), "Json::as_array: not an array");
+    return array_;
+}
+
+const Json::Object& Json::as_object() const {
+    require(is_object(), "Json::as_object: not an object");
+    return object_;
+}
+
+void Json::push_back(Json value) {
+    require(is_array(), "Json::push_back: not an array");
+    array_.push_back(std::move(value));
+}
+
+void Json::set(std::string key, Json value) {
+    require(is_object(), "Json::set: not an object");
+    object_.emplace_back(std::move(key), std::move(value));
+}
+
+const Json* Json::find(const std::string& key) const noexcept {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : object_) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+bool Json::operator==(const Json& o) const noexcept {
+    if (type_ != o.type_) return false;
+    switch (type_) {
+        case Type::kNull:
+            return true;
+        case Type::kBool:
+            return bool_ == o.bool_;
+        case Type::kInt:
+            return int_ == o.int_;
+        case Type::kDouble:
+            return double_ == o.double_;
+        case Type::kString:
+            return string_ == o.string_;
+        case Type::kArray:
+            return array_ == o.array_;
+        case Type::kObject:
+            return object_ == o.object_;
+    }
+    return false;
+}
+
+// ----------------------------------------------------------- serialization
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"':
+                out += "\\\"";
+                break;
+            case '\\':
+                out += "\\\\";
+                break;
+            case '\b':
+                out += "\\b";
+                break;
+            case '\f':
+                out += "\\f";
+                break;
+            case '\n':
+                out += "\\n";
+                break;
+            case '\r':
+                out += "\\r";
+                break;
+            case '\t':
+                out += "\\t";
+                break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;  // UTF-8 bytes pass through untouched
+                }
+        }
+    }
+    out += '"';
+}
+
+void dump_value(const Json& j, std::string& out) {
+    switch (j.type()) {
+        case Json::Type::kNull:
+            out += "null";
+            return;
+        case Json::Type::kBool:
+            out += j.as_bool() ? "true" : "false";
+            return;
+        case Json::Type::kInt:
+            out += std::to_string(j.as_int());
+            return;
+        case Json::Type::kDouble: {
+            const double d = j.as_double();
+            // JSON has no NaN/Inf; the engine never produces them, but a
+            // serializer must not emit unparseable text either way.
+            if (!std::isfinite(d)) {
+                out += "null";
+                return;
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.17g", d);
+            out += buf;
+            return;
+        }
+        case Json::Type::kString:
+            dump_string(j.as_string(), out);
+            return;
+        case Json::Type::kArray: {
+            out += '[';
+            bool first = true;
+            for (const Json& e : j.as_array()) {
+                if (!first) out += ',';
+                first = false;
+                dump_value(e, out);
+            }
+            out += ']';
+            return;
+        }
+        case Json::Type::kObject: {
+            out += '{';
+            bool first = true;
+            for (const auto& [k, v] : j.as_object()) {
+                if (!first) out += ',';
+                first = false;
+                dump_string(k, out);
+                out += ':';
+                dump_value(v, out);
+            }
+            out += '}';
+            return;
+        }
+    }
+}
+
+}  // namespace
+
+std::string Json::dump() const {
+    std::string out;
+    dump_value(*this, out);
+    return out;
+}
+
+// ----------------------------------------------------------------- parsing
+
+namespace {
+
+/// Recursive-descent parser over the input bytes. Depth-limited so a
+/// hostile frame of ten thousand '[' characters cannot overflow the
+/// stack of a service thread.
+class Parser {
+public:
+    Parser(const std::string& text, std::string* error)
+        : text_(text), error_(error) {}
+
+    std::optional<Json> run() {
+        std::optional<Json> value = parse_value(0);
+        if (!value.has_value()) return std::nullopt;
+        skip_whitespace();
+        if (pos_ != text_.size()) {
+            fail("trailing characters after the JSON value");
+            return std::nullopt;
+        }
+        return value;
+    }
+
+private:
+    static constexpr int kMaxDepth = 64;
+
+    void fail(const std::string& what) {
+        if (error_ != nullptr && error_->empty()) {
+            *error_ = what + " at byte " + std::to_string(pos_);
+        }
+    }
+
+    void skip_whitespace() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    bool consume(char expect) {
+        if (pos_ < text_.size() && text_[pos_] == expect) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool consume_literal(const char* literal) {
+        const std::size_t len = std::char_traits<char>::length(literal);
+        if (text_.compare(pos_, len, literal) != 0) return false;
+        pos_ += len;
+        return true;
+    }
+
+    std::optional<Json> parse_value(int depth) {
+        if (depth > kMaxDepth) {
+            fail("nesting deeper than " + std::to_string(kMaxDepth));
+            return std::nullopt;
+        }
+        skip_whitespace();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return std::nullopt;
+        }
+        switch (text_[pos_]) {
+            case 'n':
+                if (consume_literal("null")) return Json();
+                break;
+            case 't':
+                if (consume_literal("true")) return Json(true);
+                break;
+            case 'f':
+                if (consume_literal("false")) return Json(false);
+                break;
+            case '"':
+                return parse_string_value();
+            case '[':
+                return parse_array(depth);
+            case '{':
+                return parse_object(depth);
+            default:
+                return parse_number();
+        }
+        fail("invalid token");
+        return std::nullopt;
+    }
+
+    std::optional<Json> parse_array(int depth) {
+        ++pos_;  // '['
+        Json out = Json::array();
+        skip_whitespace();
+        if (consume(']')) return out;
+        while (true) {
+            std::optional<Json> element = parse_value(depth + 1);
+            if (!element.has_value()) return std::nullopt;
+            out.push_back(std::move(*element));
+            skip_whitespace();
+            if (consume(']')) return out;
+            if (!consume(',')) {
+                fail("expected ',' or ']' in array");
+                return std::nullopt;
+            }
+        }
+    }
+
+    std::optional<Json> parse_object(int depth) {
+        ++pos_;  // '{'
+        Json out = Json::object();
+        skip_whitespace();
+        if (consume('}')) return out;
+        while (true) {
+            skip_whitespace();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected a string key in object");
+                return std::nullopt;
+            }
+            std::optional<std::string> key = parse_string_raw();
+            if (!key.has_value()) return std::nullopt;
+            skip_whitespace();
+            if (!consume(':')) {
+                fail("expected ':' after object key");
+                return std::nullopt;
+            }
+            std::optional<Json> value = parse_value(depth + 1);
+            if (!value.has_value()) return std::nullopt;
+            out.set(std::move(*key), std::move(*value));
+            skip_whitespace();
+            if (consume('}')) return out;
+            if (!consume(',')) {
+                fail("expected ',' or '}' in object");
+                return std::nullopt;
+            }
+        }
+    }
+
+    std::optional<Json> parse_string_value() {
+        std::optional<std::string> s = parse_string_raw();
+        if (!s.has_value()) return std::nullopt;
+        return Json(std::move(*s));
+    }
+
+    /// Append Unicode code point `cp` as UTF-8.
+    static void append_utf8(std::uint32_t cp, std::string& out) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool parse_hex4(std::uint32_t& out) {
+        if (pos_ + 4 > text_.size()) return false;
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_ + i];
+            out <<= 4;
+            if (c >= '0' && c <= '9') {
+                out |= static_cast<std::uint32_t>(c - '0');
+            } else if (c >= 'a' && c <= 'f') {
+                out |= static_cast<std::uint32_t>(c - 'a' + 10);
+            } else if (c >= 'A' && c <= 'F') {
+                out |= static_cast<std::uint32_t>(c - 'A' + 10);
+            } else {
+                return false;
+            }
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    std::optional<std::string> parse_string_raw() {
+        ++pos_;  // opening '"'
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+                return std::nullopt;
+            }
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("raw control character in string");
+                return std::nullopt;
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("dangling escape");
+                return std::nullopt;
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"':
+                    out += '"';
+                    break;
+                case '\\':
+                    out += '\\';
+                    break;
+                case '/':
+                    out += '/';
+                    break;
+                case 'b':
+                    out += '\b';
+                    break;
+                case 'f':
+                    out += '\f';
+                    break;
+                case 'n':
+                    out += '\n';
+                    break;
+                case 'r':
+                    out += '\r';
+                    break;
+                case 't':
+                    out += '\t';
+                    break;
+                case 'u': {
+                    std::uint32_t cp = 0;
+                    if (!parse_hex4(cp)) {
+                        fail("bad \\u escape");
+                        return std::nullopt;
+                    }
+                    // Surrogate pair: a high surrogate must be followed
+                    // by an escaped low surrogate.
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        std::uint32_t low = 0;
+                        if (!consume('\\') || !consume('u') ||
+                            !parse_hex4(low) || low < 0xDC00 ||
+                            low > 0xDFFF) {
+                            fail("bad surrogate pair");
+                            return std::nullopt;
+                        }
+                        cp = 0x10000 + ((cp - 0xD800) << 10) +
+                             (low - 0xDC00);
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        fail("lone low surrogate");
+                        return std::nullopt;
+                    }
+                    append_utf8(cp, out);
+                    break;
+                }
+                default:
+                    fail("unknown escape");
+                    return std::nullopt;
+            }
+        }
+    }
+
+    std::optional<Json> parse_number() {
+        const std::size_t start = pos_;
+        if (consume('-')) {
+        }
+        if (pos_ >= text_.size() ||
+            !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+            fail("invalid number");
+            return std::nullopt;
+        }
+        // Leading zeros are invalid JSON ("01"); a lone zero is fine.
+        if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+            text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+            fail("leading zero in number");
+            return std::nullopt;
+        }
+        bool is_integer = true;
+        while (pos_ < text_.size() && text_[pos_] >= '0' &&
+               text_[pos_] <= '9') {
+            ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            is_integer = false;
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+                fail("digits required after decimal point");
+                return std::nullopt;
+            }
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            is_integer = false;
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-')) {
+                ++pos_;
+            }
+            if (pos_ >= text_.size() ||
+                !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+                fail("digits required in exponent");
+                return std::nullopt;
+            }
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                ++pos_;
+            }
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        if (is_integer) {
+            errno = 0;
+            char* end = nullptr;
+            const long long v = std::strtoll(token.c_str(), &end, 10);
+            if (errno == 0 && end != nullptr && *end == '\0') {
+                return Json(static_cast<std::int64_t>(v));
+            }
+            // Out of int64 range: fall through to double (lossy but
+            // parseable, matching common JSON implementations).
+        }
+        errno = 0;
+        char* end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0') {
+            fail("invalid number");
+            return std::nullopt;
+        }
+        return Json(d);
+    }
+
+    const std::string& text_;
+    std::string* error_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text,
+                                std::string* error) {
+    if (error != nullptr) error->clear();
+    Parser parser(text, error);
+    std::optional<Json> out = parser.run();
+    if (!out.has_value() && error != nullptr && error->empty()) {
+        *error = "invalid JSON";
+    }
+    return out;
+}
+
+}  // namespace gact::util

@@ -1,0 +1,112 @@
+// A minimal JSON value: parse, build, serialize — nothing else.
+//
+// The service layer (src/service/) speaks length-prefixed JSON frames
+// and the engine serializes SolveReports for the CLI's --json flag; both
+// need a JSON value type, and the build policy is "no new dependencies",
+// so this is the smallest one that covers the wire format: null, bool,
+// integer, double, string, array, object. Objects preserve insertion
+// order (a vector of pairs, not a map) so serialized output is
+// deterministic and diffs/tests stay readable. Integers are kept
+// distinct from doubles — the counters the service reports are
+// std::size_t tallies that must round-trip exactly, not through a
+// double's 53-bit mantissa.
+//
+// Parsing is strict UTF-8-agnostic byte parsing of the JSON grammar
+// (RFC 8259 structure; \uXXXX escapes are validated and passed through
+// as their UTF-8 encoding). parse() never throws: a malformed payload
+// from the network is an expected input, reported as an error string
+// the service turns into a bad-request reply.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gact::util {
+
+class Json {
+public:
+    enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+    using Array = std::vector<Json>;
+    /// Insertion-ordered: serialization order is the build order, so
+    /// wire output is deterministic across runs and platforms.
+    using Object = std::vector<std::pair<std::string, Json>>;
+
+    Json() = default;  // null
+    Json(std::nullptr_t) {}
+    Json(bool b) : type_(Type::kBool), bool_(b) {}
+    Json(std::int64_t i) : type_(Type::kInt), int_(i) {}
+    Json(int i) : Json(static_cast<std::int64_t>(i)) {}
+    // Covers std::size_t too (the same type on LP64). Values above
+    // int64 max are rejected — kInt is the only integer representation.
+    Json(std::uint64_t u);
+    Json(double d) : type_(Type::kDouble), double_(d) {}
+    Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+    Json(const char* s) : Json(std::string(s)) {}
+
+    static Json array() {
+        Json j;
+        j.type_ = Type::kArray;
+        return j;
+    }
+    static Json object() {
+        Json j;
+        j.type_ = Type::kObject;
+        return j;
+    }
+
+    Type type() const noexcept { return type_; }
+    bool is_null() const noexcept { return type_ == Type::kNull; }
+    bool is_bool() const noexcept { return type_ == Type::kBool; }
+    bool is_int() const noexcept { return type_ == Type::kInt; }
+    bool is_double() const noexcept { return type_ == Type::kDouble; }
+    /// Any JSON number (integer- or double-typed).
+    bool is_number() const noexcept { return is_int() || is_double(); }
+    bool is_string() const noexcept { return type_ == Type::kString; }
+    bool is_array() const noexcept { return type_ == Type::kArray; }
+    bool is_object() const noexcept { return type_ == Type::kObject; }
+
+    // Typed accessors: precondition is holding that type (checked,
+    // throws gact::precondition_error) — callers validate with the
+    // is_*() predicates first when the value came off the wire.
+    bool as_bool() const;
+    std::int64_t as_int() const;    // kInt only
+    double as_double() const;       // kInt or kDouble
+    const std::string& as_string() const;
+    const Array& as_array() const;
+    const Object& as_object() const;
+
+    /// Append to an array value.
+    void push_back(Json value);
+    /// Append a key (no de-duplication — callers build each key once).
+    void set(std::string key, Json value);
+    /// Object lookup; nullptr when absent or not an object.
+    const Json* find(const std::string& key) const noexcept;
+
+    /// Compact serialization (no whitespace), deterministic: object
+    /// keys serialize in insertion order.
+    std::string dump() const;
+
+    /// Strict parse of exactly one JSON value spanning the whole input
+    /// (trailing non-whitespace is an error). On failure returns
+    /// nullopt and, when `error` is non-null, a one-line diagnostic
+    /// with the byte offset.
+    static std::optional<Json> parse(const std::string& text,
+                                     std::string* error = nullptr);
+
+    bool operator==(const Json& o) const noexcept;
+
+private:
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+}  // namespace gact::util

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "core/nogood_store.h"
 #include "engine/engine.h"
@@ -307,6 +308,46 @@ TEST(PoolFileEngineRoundTrip, UnreadablePathWarnsInsteadOfSilentColdStart) {
     EXPECT_NE(report.warnings.front().find("nogood-pool"),
               std::string::npos)
         << report.warnings.front();
+}
+
+TEST(SharedNogoodPoolPersistence, SnapshotUnderConcurrentPublishes) {
+    // The solve server snapshots its resident pool on a timer while
+    // worker threads keep publishing into it. Every snapshot must be a
+    // complete, loadable file (a consistent cut — no torn reads), and
+    // publishes must never wait on the snapshot's disk I/O. This
+    // hammers save() from one thread while another publishes
+    // continuously, then loads every byte the saver produced.
+    TempFile file("snapshot-race");
+    SharedNogoodPool pool;
+    constexpr std::size_t kPublishes = 400;
+    constexpr std::size_t kSaves = 25;
+
+    std::thread publisher([&] {
+        for (std::size_t i = 0; i < kPublishes; ++i) {
+            const auto k = pool.intern(
+                topo::BaryPoint(
+                    {{0, Rational(1, static_cast<long>(i) + 2)},
+                     {1, Rational(static_cast<long>(i) + 1,
+                                  static_cast<long>(i) + 2)}}),
+                static_cast<topo::Color>(i % 3));
+            pool.publish("race-scope",
+                         {{k, static_cast<topo::VertexId>(i)}});
+        }
+    });
+    for (std::size_t s = 0; s < kSaves; ++s) {
+        ASSERT_EQ(pool.save(file.path), "");
+        // Every snapshot parses whole: a torn write would be rejected
+        // by load()'s all-or-nothing validation.
+        SharedNogoodPool check;
+        ASSERT_EQ(check.load(file.path), "") << "snapshot " << s;
+    }
+    publisher.join();
+
+    // The final save captures everything published.
+    ASSERT_EQ(pool.save(file.path), "");
+    SharedNogoodPool final_check;
+    ASSERT_EQ(final_check.load(file.path), "");
+    EXPECT_EQ(final_check.size("race-scope"), kPublishes);
 }
 
 TEST(PoolFileEngineRoundTrip, MissingFileIsACleanColdStart) {

@@ -1,0 +1,190 @@
+// The service wire framing, exercised byte by byte without a socket:
+// round trips, payloads split across arbitrary read boundaries,
+// truncation, and the garbage cases (zero length, oversized prefix)
+// that must kill the decoder rather than desync it. The socket halves
+// (read_frame/write_frame) are covered over a real pipe, including the
+// mid-frame-EOF-versus-clean-close distinction the server relies on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "service/framing.h"
+#include "util/require.h"
+
+namespace gact::service {
+namespace {
+
+TEST(Framing, EncodeProducesBigEndianPrefix) {
+    const std::string frame = encode_frame("{}");
+    ASSERT_EQ(frame.size(), 6u);
+    EXPECT_EQ(static_cast<unsigned char>(frame[0]), 0u);
+    EXPECT_EQ(static_cast<unsigned char>(frame[1]), 0u);
+    EXPECT_EQ(static_cast<unsigned char>(frame[2]), 0u);
+    EXPECT_EQ(static_cast<unsigned char>(frame[3]), 2u);
+    EXPECT_EQ(frame.substr(4), "{}");
+}
+
+TEST(Framing, EncodeRejectsEmptyPayload) {
+    EXPECT_THROW((void)encode_frame(""), precondition_error);
+}
+
+TEST(Framing, RoundTripsSeveralFramesFromOneBuffer) {
+    FrameDecoder decoder;
+    decoder.feed(encode_frame("{\"a\":1}") + encode_frame("[2]") +
+                 encode_frame("\"three\""));
+    EXPECT_EQ(decoder.next().value_or(""), "{\"a\":1}");
+    EXPECT_EQ(decoder.next().value_or(""), "[2]");
+    EXPECT_EQ(decoder.next().value_or(""), "\"three\"");
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.error().empty());
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Framing, ReassemblesAFrameFedOneByteAtATime) {
+    const std::string payload = "{\"type\":\"solve\",\"scenario\":\"x\"}";
+    const std::string frame = encode_frame(payload);
+    FrameDecoder decoder;
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        // Not ready until the very last byte arrives.
+        EXPECT_FALSE(decoder.next().has_value()) << "byte " << i;
+        decoder.feed(frame.data() + i, 1);
+    }
+    EXPECT_EQ(decoder.next().value_or(""), payload);
+    EXPECT_TRUE(decoder.error().empty());
+}
+
+TEST(Framing, TruncatedFrameStaysPendingNotErroneous) {
+    const std::string frame = encode_frame("{\"k\":12345}");
+    FrameDecoder decoder;
+    decoder.feed(frame.substr(0, frame.size() - 3));
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.error().empty());  // pending, not broken
+    decoder.feed(frame.substr(frame.size() - 3));
+    EXPECT_EQ(decoder.next().value_or(""), "{\"k\":12345}");
+}
+
+TEST(Framing, ZeroLengthPrefixIsAFatalError) {
+    FrameDecoder decoder;
+    decoder.feed(std::string(4, '\0'));
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_NE(decoder.error().find("zero-length"), std::string::npos)
+        << decoder.error();
+}
+
+TEST(Framing, OversizedPrefixIsAFatalErrorBeforeAnyAllocation) {
+    // "GET " as a length prefix = 1195725856 bytes: the classic wrong
+    // client. Must be rejected from the 4 prefix bytes alone.
+    FrameDecoder decoder;
+    decoder.feed("GET / HTTP/1.1\r\n");
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_NE(decoder.error().find("exceeds"), std::string::npos)
+        << decoder.error();
+    // The decoder stays dead: no later feed can resynchronize it.
+    decoder.feed(encode_frame("{}"));
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_FALSE(decoder.error().empty());
+}
+
+TEST(Framing, HonorsACustomPayloadCap) {
+    FrameDecoder decoder(8);
+    decoder.feed(encode_frame("exactly8"));  // at the cap: fine
+    EXPECT_EQ(decoder.next().value_or(""), "exactly8");
+    decoder.feed(encode_frame("nine char"));  // over: fatal
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_FALSE(decoder.error().empty());
+}
+
+TEST(Framing, CompactsItsBufferAcrossManyFrames) {
+    // Stream enough traffic through one decoder that an uncompacted
+    // buffer would hold megabytes; buffered() staying at zero after
+    // each drain proves consumed bytes are actually released.
+    FrameDecoder decoder;
+    const std::string payload(4096, 'x');
+    const std::string frame = encode_frame(payload);
+    for (int i = 0; i < 64; ++i) {
+        decoder.feed(frame);
+        EXPECT_EQ(decoder.next().value_or(""), payload);
+    }
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+// ----------------------------------------------------------- over a pipe
+
+struct Pipe {
+    int fds[2] = {-1, -1};
+    Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+    ~Pipe() {
+        if (fds[0] >= 0) ::close(fds[0]);
+        if (fds[1] >= 0) ::close(fds[1]);
+    }
+    void close_write() {
+        ::close(fds[1]);
+        fds[1] = -1;
+    }
+};
+
+TEST(FramingIO, WriteThenReadRoundTripsOverAPipe) {
+    Pipe p;
+    ASSERT_EQ(write_frame(p.fds[1], "{\"x\":1}"), "");
+    std::string payload;
+    std::string diagnostic;
+    EXPECT_EQ(read_frame(p.fds[0], payload, diagnostic), ReadStatus::kOk);
+    EXPECT_EQ(payload, "{\"x\":1}");
+}
+
+TEST(FramingIO, LargePayloadSurvivesPartialReadsAndWrites) {
+    Pipe p;
+    // Bigger than the 64 KiB pipe buffer, so write_frame must loop —
+    // drain from a second thread to let it finish.
+    const std::string payload(512 * 1024, 'y');
+    std::string received;
+    std::string diagnostic;
+    ReadStatus status = ReadStatus::kError;
+    std::thread reader([&] {
+        status = read_frame(p.fds[0], received, diagnostic);
+    });
+    ASSERT_EQ(write_frame(p.fds[1], payload), "");
+    reader.join();
+    EXPECT_EQ(status, ReadStatus::kOk) << diagnostic;
+    EXPECT_EQ(received, payload);
+}
+
+TEST(FramingIO, EofAtFrameBoundaryIsCleanClose) {
+    Pipe p;
+    p.close_write();
+    std::string payload;
+    std::string diagnostic;
+    EXPECT_EQ(read_frame(p.fds[0], payload, diagnostic),
+              ReadStatus::kClosed);
+}
+
+TEST(FramingIO, EofMidFrameIsAnError) {
+    Pipe p;
+    const std::string frame = encode_frame("{\"partial\":true}");
+    ASSERT_EQ(static_cast<std::size_t>(::write(p.fds[1], frame.data(), 7)),
+              7u);
+    p.close_write();
+    std::string payload;
+    std::string diagnostic;
+    EXPECT_EQ(read_frame(p.fds[0], payload, diagnostic),
+              ReadStatus::kError);
+    EXPECT_FALSE(diagnostic.empty());
+}
+
+TEST(FramingIO, OversizedPrefixReportsAFramingError) {
+    Pipe p;
+    ASSERT_EQ(static_cast<std::size_t>(::write(p.fds[1], "\xff\xff\xff\xff",
+                                               4)),
+              4u);
+    std::string payload;
+    std::string diagnostic;
+    EXPECT_EQ(read_frame(p.fds[0], payload, diagnostic),
+              ReadStatus::kError);
+    EXPECT_NE(diagnostic.find("exceeds"), std::string::npos) << diagnostic;
+}
+
+}  // namespace
+}  // namespace gact::service

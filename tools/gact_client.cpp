@@ -1,0 +1,107 @@
+// gact_client — one-shot CLI client for the gact_serve solve server.
+//
+// Usage:
+//   gact_client [--host H] [--port N] solve SCENARIO [--timeout-ms N]
+//   gact_client [--host H] [--port N] stats
+//   gact_client [--host H] [--port N] list
+//
+// Prints the server's reply JSON to stdout; exits 0 when the reply says
+// ok, 1 otherwise.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/client.h"
+#include "util/json.h"
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--host H] [--port N] solve SCENARIO "
+                 "[--timeout-ms N]\n"
+                 "       %s [--host H] [--port N] stats\n"
+                 "       %s [--host H] [--port N] list\n",
+                 argv0, argv0, argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string host = "127.0.0.1";
+    unsigned long port = 7461;
+    std::string command;
+    std::string scenario;
+    unsigned long timeout_ms = 0;
+    bool has_timeout = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--host") {
+            host = value();
+        } else if (arg == "--port") {
+            port = std::strtoul(value(), nullptr, 10);
+        } else if (arg == "--timeout-ms") {
+            timeout_ms = std::strtoul(value(), nullptr, 10);
+            has_timeout = true;
+        } else if (command.empty()) {
+            command = arg;
+        } else if (command == "solve" && scenario.empty()) {
+            scenario = arg;
+        } else {
+            std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+    if (command != "solve" && command != "stats" && command != "list") {
+        usage(argv[0]);
+        return 2;
+    }
+    if (command == "solve" && scenario.empty()) {
+        std::fprintf(stderr, "solve needs a scenario name\n");
+        return 2;
+    }
+    if (port == 0 || port > 65535) {
+        std::fprintf(stderr, "bad --port\n");
+        return 2;
+    }
+
+    gact::util::Json request = gact::util::Json::object();
+    request.set("type", gact::util::Json(command));
+    if (command == "solve") {
+        request.set("scenario", gact::util::Json(scenario));
+        if (has_timeout) {
+            request.set("timeout_ms",
+                        gact::util::Json(static_cast<std::uint64_t>(
+                            timeout_ms)));
+        }
+    }
+
+    gact::service::ServiceClient client;
+    std::string err =
+        client.connect(host, static_cast<std::uint16_t>(port));
+    if (!err.empty()) {
+        std::fprintf(stderr, "gact_client: %s\n", err.c_str());
+        return 1;
+    }
+    const std::optional<gact::util::Json> reply =
+        client.request(request, &err);
+    if (!reply.has_value()) {
+        std::fprintf(stderr, "gact_client: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("%s\n", reply->dump().c_str());
+    const gact::util::Json* ok = reply->find("ok");
+    return (ok != nullptr && ok->is_bool() && ok->as_bool()) ? 0 : 1;
+}

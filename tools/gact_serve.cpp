@@ -1,0 +1,124 @@
+// gact_serve — the long-running solve server binary.
+//
+// Binds a TCP port, keeps one resident nogood pool warm across every
+// request, and drains gracefully on SIGINT/SIGTERM: stop accepting,
+// finish admitted solves, snapshot the pool, exit 0. The wire protocol
+// and threading model live in src/service/server.h.
+//
+// Usage:
+//   gact_serve [--port N] [--threads N] [--queue-depth N]
+//              [--pool-file PATH] [--snapshot-every SECONDS]
+//              [--timeout-ms N] [--bind ADDR]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/server.h"
+
+namespace {
+
+void usage(const char* argv0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --port N             TCP port (default 7461; 0 = ephemeral)\n"
+        "  --bind ADDR          bind address (default 127.0.0.1)\n"
+        "  --threads N          solve worker threads (default 2)\n"
+        "  --queue-depth N      admission queue bound (default 16)\n"
+        "  --pool-file PATH     load/snapshot the nogood pool here\n"
+        "  --snapshot-every S   snapshot period in seconds (default 0:\n"
+        "                       only the final shutdown snapshot)\n"
+        "  --timeout-ms N       default queue-wait deadline per request\n"
+        "                       (default 0: none)\n",
+        argv0);
+}
+
+bool parse_unsigned(const char* text, unsigned long& out) {
+    char* end = nullptr;
+    out = std::strtoul(text, &end, 10);
+    return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    gact::service::ServiceConfig config;
+    config.port = 7461;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        unsigned long n = 0;
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--port") {
+            if (!parse_unsigned(value(), n) || n > 65535) {
+                std::fprintf(stderr, "bad --port\n");
+                return 2;
+            }
+            config.port = static_cast<std::uint16_t>(n);
+        } else if (arg == "--bind") {
+            config.bind_address = value();
+        } else if (arg == "--threads") {
+            if (!parse_unsigned(value(), n) || n == 0) {
+                std::fprintf(stderr, "bad --threads\n");
+                return 2;
+            }
+            config.workers = static_cast<unsigned>(n);
+        } else if (arg == "--queue-depth") {
+            if (!parse_unsigned(value(), n) || n == 0) {
+                std::fprintf(stderr, "bad --queue-depth\n");
+                return 2;
+            }
+            config.queue_depth = n;
+        } else if (arg == "--pool-file") {
+            config.pool_file = value();
+        } else if (arg == "--snapshot-every") {
+            if (!parse_unsigned(value(), n)) {
+                std::fprintf(stderr, "bad --snapshot-every\n");
+                return 2;
+            }
+            config.snapshot_every_seconds = static_cast<unsigned>(n);
+        } else if (arg == "--timeout-ms") {
+            if (!parse_unsigned(value(), n)) {
+                std::fprintf(stderr, "bad --timeout-ms\n");
+                return 2;
+            }
+            config.default_timeout_ms = n;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    gact::service::SolveServer server(std::move(config));
+    const std::string err = server.start();
+    if (!err.empty()) {
+        std::fprintf(stderr, "gact_serve: %s\n", err.c_str());
+        return 1;
+    }
+    if (!server.startup_warning().empty()) {
+        std::fprintf(stderr, "gact_serve: warning: %s\n",
+                     server.startup_warning().c_str());
+    }
+    std::printf("gact_serve listening on port %u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    gact::service::install_stop_signal_handlers(server);
+    server.wait_until_stop_requested();
+    std::printf("gact_serve: draining...\n");
+    std::fflush(stdout);
+    server.stop();
+    gact::service::uninstall_stop_signal_handlers();
+    std::printf("gact_serve: stopped\n");
+    return 0;
+}
