@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "util/require.h"
@@ -88,8 +89,15 @@ std::string write_frame(int fd, const std::string& payload) {
     }
     std::size_t sent = 0;
     while (sent < frame.size()) {
-        const ssize_t n =
-            ::write(fd, frame.data() + sent, frame.size() - sent);
+        // MSG_NOSIGNAL: a peer that hung up must surface as an EPIPE
+        // return value, not a process-killing SIGPIPE — one misbehaving
+        // client must never take down a long-running server. send() only
+        // works on sockets, so fall back to write() for pipes/files.
+        ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK) {
+            n = ::write(fd, frame.data() + sent, frame.size() - sent);
+        }
         if (n < 0) {
             if (errno == EINTR) continue;
             return std::string("write failed: ") + std::strerror(errno);

@@ -67,8 +67,10 @@ private:
 // --------------------------------------------------------------- socket I/O
 
 /// Write one frame to `fd`, looping over partial writes and EINTR.
-/// Returns "" on success, else a diagnostic. (No internal locking: the
-/// server serializes writers per connection.)
+/// Returns "" on success, else a diagnostic. A hung-up peer is an
+/// EPIPE diagnostic, never a SIGPIPE (sockets are written with
+/// MSG_NOSIGNAL; non-socket fds fall back to plain write). (No
+/// internal locking: the server serializes writers per connection.)
 std::string write_frame(int fd, const std::string& payload);
 
 /// Result of one blocking frame read.

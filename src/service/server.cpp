@@ -9,6 +9,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "engine/report_json.h"
@@ -26,11 +27,16 @@ double millis_between(std::chrono::steady_clock::time_point a,
 
 }  // namespace
 
+Connection::~Connection() {
+    if (fd >= 0) ::close(fd);
+}
+
 SolveServer::SolveServer(ServiceConfig config)
     : config_(std::move(config)),
       pool_(std::make_shared<core::SharedNogoodPool>()),
       queue_(config_.queue_depth == 0 ? 1 : config_.queue_depth) {
     if (config_.workers == 0) config_.workers = 1;
+    if (config_.max_connections == 0) config_.max_connections = 1;
 }
 
 SolveServer::~SolveServer() { stop(); }
@@ -77,16 +83,27 @@ std::string SolveServer::start() {
         bound_port_ = ntohs(bound.sin_port);
     }
 
-    // Warm the resident pool from disk. A missing file is the ordinary
-    // first-boot cold start; a present-but-rejected one is surfaced as
-    // a startup warning — the warm cache the operator configured is not
-    // happening, but the server must come up regardless (the pool only
+    // Warm the resident pool from disk. A missing file (stat → ENOENT)
+    // is the ordinary first-boot cold start; a file that exists but
+    // cannot be read or parsed — or one whose existence cannot even be
+    // checked (e.g. permission denied) — is surfaced as a startup
+    // warning: the warm cache the operator configured is not happening,
+    // but the server must come up regardless (the pool only
     // accelerates, it never decides).
     if (!config_.pool_file.empty()) {
-        const std::string err = pool_->load(config_.pool_file);
-        if (!err.empty() && err.find("cannot open") == std::string::npos) {
-            startup_warning_ =
-                "pool file rejected (" + err + ") — starting cold";
+        struct stat st{};
+        if (::stat(config_.pool_file.c_str(), &st) != 0) {
+            if (errno != ENOENT) {
+                startup_warning_ = "pool file inaccessible (" +
+                                   std::string(std::strerror(errno)) +
+                                   ") — starting cold";
+            }
+        } else {
+            const std::string err = pool_->load(config_.pool_file);
+            if (!err.empty()) {
+                startup_warning_ =
+                    "pool file rejected (" + err + ") — starting cold";
+            }
         }
     }
 
@@ -137,7 +154,9 @@ void SolveServer::stop() {
     if (!config_.pool_file.empty()) snapshot_pool();
 
     // 4. Tear down connections: shutdown() wakes readers blocked in
-    //    read(), then join and close.
+    //    read(), then join and drop the references — each Connection
+    //    closes its own fd when the last shared_ptr dies (the workers
+    //    are already joined, so clearing conns_ is the last reference).
     {
         const std::lock_guard<std::mutex> lock(conns_mutex_);
         for (ConnEntry& e : conns_) {
@@ -145,7 +164,6 @@ void SolveServer::stop() {
         }
         for (ConnEntry& e : conns_) {
             if (e.reader.joinable()) e.reader.join();
-            ::close(e.conn->fd);
         }
         conns_.clear();
     }
@@ -162,7 +180,15 @@ void SolveServer::acceptor_loop() {
             break;
         }
         // Reap connections whose reader finished (client hung up), so a
-        // long-running server does not accumulate dead threads.
+        // long-running server does not accumulate dead threads. Only
+        // the reader thread is joined and the entry's reference
+        // dropped; the fd is NOT closed here — a queued or in-flight
+        // SolveJob may still hold the Connection, and closing under it
+        // would let the kernel hand the same fd number to a new client,
+        // sending the late reply into an unrelated stream. The
+        // Connection's destructor closes the fd once the last holder
+        // (reaper or worker, whichever is later) lets go.
+        std::size_t live = 0;
         {
             const std::lock_guard<std::mutex> lock(conns_mutex_);
             for (std::size_t i = 0; i < conns_.size();) {
@@ -170,19 +196,37 @@ void SolveServer::acceptor_loop() {
                     if (conns_[i].reader.joinable()) {
                         conns_[i].reader.join();
                     }
-                    ::close(conns_[i].conn->fd);
                     conns_.erase(conns_.begin() +
                                  static_cast<std::ptrdiff_t>(i));
                 } else {
                     ++i;
                 }
             }
+            live = conns_.size();
         }
         if (ready == 0) continue;
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) continue;
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (live >= config_.max_connections) {
+            // Each connection is a live reader thread; beyond the cap a
+            // flood would grow threads and memory without bound. The
+            // refusal is explicit — one best-effort error frame, then
+            // close — so a polite client knows to back off.
+            util::Json body = util::Json::object();
+            body.set("ok", false);
+            body.set("code", "too-many-connections");
+            body.set("error",
+                     "connection limit reached (" +
+                         std::to_string(config_.max_connections) +
+                         " live connections); retry later");
+            (void)write_frame(fd, body.dump());
+            ::close(fd);
+            const std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++connections_refused_;
+            continue;
+        }
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         {
@@ -472,6 +516,7 @@ util::Json SolveServer::stats_json() const {
     out.set("in_flight", in_flight_);
     out.set("workers", static_cast<std::size_t>(config_.workers));
     out.set("connections_accepted", connections_accepted_);
+    out.set("connections_refused", connections_refused_);
     out.set("requests_received", requests_received_);
     out.set("solves_completed", solves_completed_);
 

@@ -71,6 +71,10 @@ struct ServiceConfig {
     unsigned workers = 2;
     /// Admission-queue bound: requests beyond it get queue-full replies.
     std::size_t queue_depth = 16;
+    /// Live-connection bound (one reader thread each): accepts beyond
+    /// it get a too-many-connections reply and an immediate close, so a
+    /// connection flood cannot grow threads without bound.
+    std::size_t max_connections = 256;
     /// When non-empty: load at startup (missing file = cold start,
     /// damaged file = warning), snapshot periodically and on stop().
     std::string pool_file;
@@ -88,11 +92,20 @@ struct ServiceConfig {
 };
 
 /// One client connection: the fd plus the write lock that keeps worker
-/// replies and inline replies from interleaving on the stream.
+/// replies and inline replies from interleaving on the stream. The
+/// Connection OWNS its fd — the destructor closes it — so the fd number
+/// stays valid (and cannot be reused by a newly accepted client) until
+/// the last reference drops, even when a queued SolveJob outlives the
+/// reader. A late reply to a hung-up client then fails with EPIPE
+/// instead of writing into an unrelated stream.
 struct Connection {
     int fd = -1;
     std::mutex write_mutex;
     std::atomic<bool> reader_done{false};
+    Connection() = default;
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+    ~Connection();
 };
 
 class SolveServer {
@@ -202,6 +215,7 @@ private:
     mutable std::mutex stats_mutex_;
     std::chrono::steady_clock::time_point started_at_{};
     std::size_t connections_accepted_ = 0;
+    std::size_t connections_refused_ = 0;
     std::size_t requests_received_ = 0;
     std::size_t solves_completed_ = 0;
     std::size_t in_flight_ = 0;

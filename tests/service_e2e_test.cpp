@@ -304,6 +304,103 @@ TEST(ServiceE2E, QueueFullIsExplicitBackpressure) {
     server.stop();
 }
 
+TEST(ServiceE2E, RepliesToAHungUpClientDoNotKillTheServer) {
+    // Two solves are admitted, the worker is parked, and the client
+    // hangs up before either reply is written. The first late reply
+    // draws the peer's RST; the second then hits EPIPE — which must
+    // come back as a write_frame diagnostic, not a process-killing
+    // SIGPIPE. Meanwhile the reaper retires the dead reader but must
+    // NOT close the fd out from under the queued jobs (the Connection
+    // owns it), so neither reply can land in a stranger's stream.
+    std::mutex m;
+    std::condition_variable cv;
+    bool worker_parked = false;
+    bool release = false;
+
+    ServiceConfig config;
+    config.workers = 1;
+    config.queue_depth = 4;
+    config.test_worker_hook = [&] {
+        std::unique_lock<std::mutex> lock(m);
+        worker_parked = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+    };
+    SolveServer server(std::move(config));
+    ASSERT_EQ(server.start(), "");
+
+    {
+        ServiceClient client;
+        ASSERT_EQ(client.connect("127.0.0.1", server.port()), "");
+        ASSERT_EQ(client.send(solve_request("ksa-2p-k2-wf", 1)), "");
+        {
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] { return worker_parked; });
+        }
+        ASSERT_EQ(client.send(solve_request("ksa-2p-k2-wf", 2)), "");
+        // Hang up with both replies still pending (job 1 held by the
+        // parked worker, job 2 queued), then give the acceptor's
+        // reaper time to notice the dead reader.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    {
+        const std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+
+    // The server survived both broken-pipe replies and still serves.
+    ServiceClient after;
+    ASSERT_EQ(after.connect("127.0.0.1", server.port()), "");
+    for (int i = 0; i < 100; ++i) {
+        // Wait out the parked-worker backlog; the hook is a one-shot
+        // park per pop, released above, so this converges fast.
+        const auto reply = after.request(solve_request("ksa-2p-k2-wf"));
+        ASSERT_TRUE(reply.has_value());
+        if (reply_ok(*reply)) break;
+    }
+    server.stop();
+}
+
+TEST(ServiceE2E, ConnectionsBeyondTheCapAreRefusedExplicitly) {
+    ServiceConfig config;
+    config.max_connections = 1;
+    SolveServer server(std::move(config));
+    ASSERT_EQ(server.start(), "");
+
+    ServiceClient first;
+    ASSERT_EQ(first.connect("127.0.0.1", server.port()), "");
+    ASSERT_TRUE(reply_ok(*first.request(solve_request("ksa-2p-k2-wf"))));
+
+    // The second connection meets the cap: one explicit refusal frame,
+    // then a close — never a silently parked or dropped connection.
+    ServiceClient second;
+    ASSERT_EQ(second.connect("127.0.0.1", server.port()), "");
+    std::string error;
+    const auto refusal = second.receive(&error);
+    ASSERT_TRUE(refusal.has_value()) << error;
+    EXPECT_FALSE(reply_ok(*refusal));
+    EXPECT_EQ(field(*refusal, "code")->as_string(),
+              "too-many-connections");
+    EXPECT_FALSE(second.receive().has_value());  // closed after refusal
+
+    // The first connection is unaffected, and once it hangs up its
+    // slot frees for a new client (the reaper runs on the acceptor's
+    // poll tick, so allow it a few).
+    ASSERT_TRUE(reply_ok(*first.request(solve_request("ksa-2p-k2-wf"))));
+    first.close();
+    bool admitted = false;
+    for (int i = 0; i < 40 && !admitted; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        ServiceClient retry;
+        ASSERT_EQ(retry.connect("127.0.0.1", server.port()), "");
+        const auto reply = retry.request(solve_request("ksa-2p-k2-wf"));
+        admitted = reply.has_value() && reply_ok(*reply);
+    }
+    EXPECT_TRUE(admitted);
+    server.stop();
+}
+
 TEST(ServiceE2E, ExpiredQueueWaitDeadlineIsATimeoutReply) {
     std::mutex m;
     std::condition_variable cv;

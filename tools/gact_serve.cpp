@@ -7,8 +7,9 @@
 //
 // Usage:
 //   gact_serve [--port N] [--threads N] [--queue-depth N]
-//              [--pool-file PATH] [--snapshot-every SECONDS]
-//              [--timeout-ms N] [--bind ADDR]
+//              [--max-connections N] [--pool-file PATH]
+//              [--snapshot-every SECONDS] [--timeout-ms N]
+//              [--bind ADDR]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -25,6 +26,8 @@ void usage(const char* argv0) {
         "  --bind ADDR          bind address (default 127.0.0.1)\n"
         "  --threads N          solve worker threads (default 2)\n"
         "  --queue-depth N      admission queue bound (default 16)\n"
+        "  --max-connections N  live-connection bound; accepts beyond\n"
+        "                       it are refused (default 256)\n"
         "  --pool-file PATH     load/snapshot the nogood pool here\n"
         "  --snapshot-every S   snapshot period in seconds (default 0:\n"
         "                       only the final shutdown snapshot)\n"
@@ -78,6 +81,12 @@ int main(int argc, char** argv) {
                 return 2;
             }
             config.queue_depth = n;
+        } else if (arg == "--max-connections") {
+            if (!parse_unsigned(value(), n) || n == 0) {
+                std::fprintf(stderr, "bad --max-connections\n");
+                return 2;
+            }
+            config.max_connections = n;
         } else if (arg == "--pool-file") {
             config.pool_file = value();
         } else if (arg == "--snapshot-every") {
