@@ -18,6 +18,13 @@
 // --pool-file and --no-pool contradict each other; asking for both is a
 // usage error, not a silent precedence.
 //
+// Exit codes (pinned by tools/exit_codes_e2e.cmake, aligned with
+// gact_fuzz and gact_client):
+//   0  the batch completed — including unsolvable / budget-exhausted
+//      verdicts, which are answers, not failures
+//   2  usage error (unknown scenario, contradictory flags)
+//   3  internal error (exception during solve or reporting)
+//
 // Every solvability question the other examples answer by hand is one
 // registry name here: the Scenario carries the task, the model, and the
 // budgets; the SolveReport carries the verdict, the witness, and the
@@ -152,6 +159,7 @@ int main(int argc, char** argv) {
         if (no_gc) s.options.solver.nogood_gc = false;
     }
 
+    try {
     // One pool for the whole run: scoping by problem identity keeps
     // unrelated scenarios apart, and nogood reuse is verdict-preserving.
     std::shared_ptr<core::SharedNogoodPool> pool;
@@ -209,4 +217,10 @@ int main(int argc, char** argv) {
         }
     }
     return 0;
+    } catch (const std::exception& e) {
+        // A throwing solve is an internal error, distinct from both a
+        // clean "unsolvable" answer (0) and a usage error (2).
+        std::cerr << "error: " << e.what() << "\n";
+        return 3;
+    }
 }

@@ -46,6 +46,23 @@ enum class Verdict {
 /// @brief Stable lowercase name of a verdict (for CLIs and benches).
 const char* to_string(Verdict v);
 
+/// @brief Result summary of the runtime executed-check (runtime/fuzz.h):
+/// the witness, run as an actual protocol over randomized admissible
+/// schedules on the SM substrate, checked against Definition 4.1.
+/// @note Plain data on purpose: the engine does not depend on the
+/// runtime layer; runtime::fuzz fills this in for callers that ask.
+struct ExecutedCheck {
+    std::size_t schedules = 0;   ///< admissible schedules executed
+    std::size_t violations = 0;  ///< Definition 4.1 violations observed
+    std::uint64_t seed = 0;      ///< base seed of the campaign
+    /// Deterministic digest of every execution's outputs and round
+    /// counts, folded in iteration order — equal across shard thread
+    /// counts, the replay anchor for "same seed, same behavior".
+    std::uint64_t result_digest = 0;
+    bool skipped = false;  ///< no runnable witness (see detail)
+    std::string detail;    ///< skip reason or first violation
+};
+
 /// @brief Wall time of one pipeline stage.
 struct StageTiming {
     std::string stage;   ///< stage name, e.g. "act-search"
@@ -102,6 +119,10 @@ struct SolveReport {
     core::SearchCounters counters;
     /// Per-stage wall times, in pipeline order.
     std::vector<StageTiming> timings;
+
+    /// Filled by runtime::attach_executed_check when the caller fuzzes
+    /// the witness after solving; absent on a plain Engine::solve.
+    std::optional<ExecutedCheck> executed_check;
 
     bool solvable() const { return verdict == Verdict::kSolvable; }
     /// One-line report summary for CLIs and benches.

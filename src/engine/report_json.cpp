@@ -60,6 +60,17 @@ util::Json counters_to_json(const core::SearchCounters& c) {
     return out;
 }
 
+namespace {
+
+std::string hex16(std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+}  // namespace
+
 util::Json report_to_json(const SolveReport& report) {
     util::Json out = util::Json::object();
     out.set("scenario", report.scenario);
@@ -87,6 +98,17 @@ util::Json report_to_json(const SolveReport& report) {
         timings.push_back(std::move(stage));
     }
     out.set("timings", std::move(timings));
+    if (report.executed_check.has_value()) {
+        const ExecutedCheck& ec = *report.executed_check;
+        util::Json check = util::Json::object();
+        check.set("schedules", ec.schedules);
+        check.set("violations", ec.violations);
+        check.set("seed", static_cast<std::int64_t>(ec.seed));
+        check.set("result_digest", hex16(ec.result_digest));
+        check.set("skipped", ec.skipped);
+        check.set("detail", ec.detail);
+        out.set("executed_check", std::move(check));
+    }
     out.set("summary", report.summary());
     return out;
 }

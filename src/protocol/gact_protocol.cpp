@@ -7,64 +7,44 @@
 
 namespace gact::protocol {
 
-namespace {
-
-/// The view-local landing rule ("rule D"): at depth k, process p decides
-/// the color-p vertex of delta(tau), where tau is the minimal stable
-/// simplex that (i) stabilized by stage <= k, (ii) contains the exact
-/// positions of *all* the (k-1)-views p saw in round k (the snapshot
-/// hull), and (iii) carries p's color. Withhold otherwise.
-///
-/// Using the whole snapshot hull — not just p's own position — is what
-/// makes the rule sound: a process that still sees a laggard outside every
-/// stable simplex knows the run has not landed and must not decide yet,
-/// even if its own position transits a stable region (see DESIGN.md §5
-/// and the depth-2 regression tests).
-class LandingRule {
-public:
-    LandingRule(const core::TerminatingSubdivision& tsub,
-                const core::SimplicialMap& delta)
-        : tsub_(&tsub), delta_(&delta) {
-        const auto& complex = tsub.stable_complex().complex();
-        by_dimension_.resize(
-            static_cast<std::size_t>(complex.dimension()) + 1);
-        for (const core::Simplex& s : complex.simplices()) {
-            by_dimension_[static_cast<std::size_t>(s.dimension())]
-                .push_back(s);
-        }
+// Using the whole snapshot hull — not just p's own position — is what
+// makes the rule sound: a process that still sees a laggard outside every
+// stable simplex knows the run has not landed and must not decide yet,
+// even if its own position transits a stable region (see DESIGN.md §5
+// and the depth-2 regression tests).
+ViewLandingRule::ViewLandingRule(const core::TerminatingSubdivision& tsub,
+                                 const core::SimplicialMap& delta)
+    : tsub_(&tsub), delta_(&delta) {
+    const auto& complex = tsub.stable_complex().complex();
+    by_dimension_.resize(static_cast<std::size_t>(complex.dimension()) + 1);
+    for (const core::Simplex& s : complex.simplices()) {
+        by_dimension_[static_cast<std::size_t>(s.dimension())].push_back(s);
     }
+}
 
-    std::optional<topo::VertexId> value(
-        gact::ProcessId p, std::size_t k,
-        const std::vector<topo::BaryPoint>& seen_positions) const {
-        core::Simplex support;
-        for (const topo::BaryPoint& q : seen_positions) {
-            support = support.union_with(q.support());
-        }
-        for (const auto& dimension_group : by_dimension_) {
-            for (const core::Simplex& tau : dimension_group) {
-                if (!support.is_face_of(tsub_->stable_carrier(tau))) continue;
-                if (!tsub_->stable_simplex_contains(tau, seen_positions)) {
-                    continue;
-                }
-                // tau is the carrier of the snapshot hull (minimal by the
-                // dimension-ascending scan): decide or withhold on it.
-                if (tsub_->stable_since(tau) > k) return std::nullopt;
-                const auto& stable = tsub_->stable_complex();
-                if (!stable.colors_of(tau).contains(p)) return std::nullopt;
-                return delta_->apply(stable.vertex_with_color(tau, p));
+std::optional<topo::VertexId> ViewLandingRule::value(
+    gact::ProcessId p, std::size_t k,
+    const std::vector<topo::BaryPoint>& seen_positions) const {
+    core::Simplex support;
+    for (const topo::BaryPoint& q : seen_positions) {
+        support = support.union_with(q.support());
+    }
+    for (const auto& dimension_group : by_dimension_) {
+        for (const core::Simplex& tau : dimension_group) {
+            if (!support.is_face_of(tsub_->stable_carrier(tau))) continue;
+            if (!tsub_->stable_simplex_contains(tau, seen_positions)) {
+                continue;
             }
+            // tau is the carrier of the snapshot hull (minimal by the
+            // dimension-ascending scan): decide or withhold on it.
+            if (tsub_->stable_since(tau) > k) return std::nullopt;
+            const auto& stable = tsub_->stable_complex();
+            if (!stable.colors_of(tau).contains(p)) return std::nullopt;
+            return delta_->apply(stable.vertex_with_color(tau, p));
         }
-        return std::nullopt;
     }
-
-private:
-    const core::TerminatingSubdivision* tsub_;
-    const core::SimplicialMap* delta_;
-    std::vector<std::vector<core::Simplex>> by_dimension_;
-};
-
-}  // namespace
+    return std::nullopt;
+}
 
 GactProtocolBuild build_gact_protocol(const core::TerminatingSubdivision& tsub,
                                       const core::SimplicialMap& delta,
@@ -73,7 +53,7 @@ GactProtocolBuild build_gact_protocol(const core::TerminatingSubdivision& tsub,
     GactProtocolBuild build;
     build.protocol = TableProtocol("gact(" + std::to_string(runs.size()) +
                                    " runs)");
-    const LandingRule rule(tsub, delta);
+    const ViewLandingRule rule(tsub, delta);
 
     const int n = tsub.base().dimension();
     std::vector<topo::VertexId> inputs;

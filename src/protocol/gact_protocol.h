@@ -23,6 +23,33 @@
 
 namespace gact::protocol {
 
+/// The view-local landing rule ("rule D") as a reusable decision
+/// procedure: at depth k, process p decides the color-p vertex of
+/// delta(tau), where tau is the minimal stable simplex that (i)
+/// stabilized by stage <= k, (ii) contains the exact positions of *all*
+/// the (k-1)-views p saw in round k (the snapshot hull), and (iii)
+/// carries p's color; it withholds otherwise. This is the rule
+/// build_gact_protocol tabulates over a finite run family — exposed so
+/// the execution runtime (src/runtime/) can apply it on the fly to any
+/// admissible schedule, including ones outside the enumerated compact
+/// family. The referenced tsub and delta must outlive the rule.
+class ViewLandingRule {
+public:
+    ViewLandingRule(const core::TerminatingSubdivision& tsub,
+                    const core::SimplicialMap& delta);
+
+    /// The decision of process p after round k (1-indexed), given the
+    /// exact positions of everything p saw in its round-k snapshot.
+    std::optional<topo::VertexId> value(
+        gact::ProcessId p, std::size_t k,
+        const std::vector<topo::BaryPoint>& seen_positions) const;
+
+private:
+    const core::TerminatingSubdivision* tsub_;
+    const core::SimplicialMap* delta_;
+    std::vector<std::vector<core::Simplex>> by_dimension_;
+};
+
 /// The extracted protocol plus construction diagnostics.
 struct GactProtocolBuild {
     TableProtocol protocol{"gact"};

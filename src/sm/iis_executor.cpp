@@ -77,6 +77,45 @@ void IisExecution::run_levels(const std::vector<ProcessId>& schedule,
     }
 }
 
+std::size_t IisExecution::run_partition_round(const iis::OrderedPartition& round) {
+    require(!round.empty(), "run_partition_round: empty round");
+    require(ProcessSet::full(num_processes_).contains_all(round.support()),
+            "run_partition_round: support out of range");
+    const std::size_t m = level_of(round.support().min());
+    for (ProcessId p : round.support().members()) {
+        require(procs_[p].participating,
+                "run_partition_round: process " + std::to_string(p) +
+                    " is not a participant");
+        require(procs_[p].level == m,
+                "run_partition_round: process " + std::to_string(p) +
+                    " is at level " + std::to_string(procs_[p].level) +
+                    ", round needs level " + std::to_string(m));
+    }
+    for (const ProcessSet& block : round.blocks()) {
+        // Lockstep descent: all writes of the block, then all snapshots,
+        // until the whole block returns (they terminate together, at the
+        // floor equal to the cumulative support so far).
+        while (true) {
+            bool any_pending = false;
+            for (ProcessId p : block.members()) {
+                if (procs_[p].level == m) {
+                    any_pending = true;
+                    step(p);  // write
+                }
+            }
+            if (!any_pending) break;
+            for (ProcessId p : block.members()) {
+                if (procs_[p].level == m) step(p);  // snapshot
+            }
+        }
+    }
+    ensure(partition_of_level(m) == round,
+           "run_partition_round: SM substrate realized " +
+               partition_of_level(m).to_string() + " instead of " +
+               round.to_string());
+    return m;
+}
+
 std::size_t IisExecution::level_of(ProcessId p) const {
     require(p < num_processes_, "IisExecution: unknown process");
     return procs_[p].level;

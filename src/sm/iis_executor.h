@@ -34,6 +34,19 @@ public:
     void run_levels(const std::vector<ProcessId>& schedule,
                     std::size_t levels);
 
+    /// Deterministic scheduling hook (runtime layer): drive the next IS
+    /// level so that it realizes exactly the ordered partition `round`.
+    /// Block j's processes run in write/snapshot lockstep after blocks
+    /// 1..j-1 finished, which makes them descend together and return
+    /// precisely the union of blocks 1..j — the BG schedule realizing
+    /// the partition. Every process in round's support must be a
+    /// participant standing at the same level (true whenever rounds are
+    /// driven in sequence with weakly decreasing supports). The realized
+    /// partition is re-read from the boards and checked against `round`,
+    /// so a substrate bug surfaces here, not in the caller's outputs.
+    /// Returns the level index that was driven.
+    std::size_t run_partition_round(const iis::OrderedPartition& round);
+
     /// The IS level process p is currently executing (0-based; equals the
     /// number of IS instances p has completed).
     std::size_t level_of(ProcessId p) const;

@@ -1,0 +1,215 @@
+// The tier-1 fuzzing gate (runtime/fuzz.h): every quick-registry
+// scenario's witness runs under >= 200 randomized admissible schedules
+// with zero Definition 4.1 violations, bit-reproducibly per seed; the
+// same (scenario, seed) campaign produces an identical result digest
+// across repeated runs and across 1 vs 4 shard threads; unsolvable and
+// unsupported scenarios skip instead of failing; and a deliberately
+// corrupted witness is caught and shrunk to a replayable minimal
+// counterexample.
+#include "runtime/fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "engine/executable.h"
+#include "engine/report_json.h"
+#include "engine/scenario_registry.h"
+#include "runtime/executor.h"
+
+namespace gact::runtime {
+namespace {
+
+using engine::Engine;
+using engine::Scenario;
+using engine::ScenarioRegistry;
+using engine::SolveReport;
+
+/// Solve each scenario once per test binary: the fuzz campaigns below
+/// probe the same reports repeatedly and Engine::solve is deterministic.
+const SolveReport& solved(const Scenario& scenario) {
+    static std::map<std::string, SolveReport> cache;
+    auto it = cache.find(scenario.name);
+    if (it == cache.end()) {
+        it = cache.emplace(scenario.name, Engine().solve(scenario)).first;
+    }
+    return it->second;
+}
+
+Scenario find(const std::string& name) {
+    const auto s = ScenarioRegistry::standard().find(name);
+    if (!s.has_value()) throw std::runtime_error("unknown scenario " + name);
+    return *s;
+}
+
+TEST(RuntimeFuzz, QuickRegistryIsCleanOver200SchedulesEach) {
+    // The acceptance gate: every solvable quick scenario executes 200
+    // randomized admissible schedules with zero violations; unsolvable
+    // and unsupported scenarios skip (no witness to run). check_views
+    // stays on, so each execution also cross-checks the SM substrate
+    // against abstract Run semantics.
+    FuzzConfig config;
+    config.seed = 1;
+    config.iterations = 200;
+    config.threads = 4;
+    for (const Scenario& scenario : ScenarioRegistry::standard().quick()) {
+        const SolveReport& report = solved(scenario);
+        const FuzzResult r = fuzz(scenario, report, config);
+        if (!report.solvable()) {
+            EXPECT_TRUE(r.skipped) << r.summary();
+            EXPECT_NE(r.skip_reason.find("verdict"), std::string::npos)
+                << r.skip_reason;
+            continue;
+        }
+        ASSERT_FALSE(r.skipped) << r.summary();
+        EXPECT_EQ(r.executed, 200u) << r.summary();
+        EXPECT_EQ(r.violation_count, 0u)
+            << r.summary()
+            << (r.violations.empty()
+                    ? ""
+                    : "\n  first: " + r.violations.front().detail +
+                          "\n  schedule: " +
+                          r.violations.front().schedule.to_string() +
+                          "\n  shrunk: " +
+                          r.violations.front().shrunk.to_string());
+        EXPECT_TRUE(r.clean());
+    }
+}
+
+TEST(RuntimeFuzz, ResultDigestIsReproducibleAcrossRunsAndThreadCounts) {
+    // The determinism contract (and the shard-reproducibility
+    // property): one (scenario, seed) pair names one campaign outcome,
+    // bit-identical across repeated runs and across 1 vs 4 shard
+    // threads — iteration i always draws from mix_seed(seed, i) and
+    // results fold in index order. Checked on one scenario per witness
+    // family: a depth-d table rule and a landing rule.
+    for (const char* name : {"is-2-wf", "is-2-of1"}) {
+        const Scenario scenario = find(name);
+        const SolveReport& report = solved(scenario);
+        ASSERT_TRUE(report.solvable()) << report.summary();
+
+        FuzzConfig config;
+        config.seed = 99;
+        config.iterations = 200;
+        config.threads = 1;
+        const FuzzResult serial = fuzz(scenario, report, config);
+        ASSERT_TRUE(serial.clean()) << serial.summary();
+
+        const FuzzResult again = fuzz(scenario, report, config);
+        EXPECT_EQ(again.result_digest, serial.result_digest) << name;
+
+        config.threads = 4;
+        const FuzzResult sharded = fuzz(scenario, report, config);
+        EXPECT_EQ(sharded.result_digest, serial.result_digest)
+            << name << ": digest depends on shard thread count";
+        EXPECT_EQ(sharded.executed, serial.executed);
+
+        // A different seed names a different campaign.
+        config.seed = 100;
+        const FuzzResult other = fuzz(scenario, report, config);
+        EXPECT_NE(other.result_digest, serial.result_digest) << name;
+    }
+}
+
+TEST(RuntimeFuzz, CorruptedWitnessIsCaughtAndShrunkToAReplayableSchedule) {
+    // The negative control: flip witness outputs to different
+    // same-color vertices (color-correct, so only the task relation can
+    // object) and the fuzzer must find violations, and each shrunk
+    // counterexample must still fail when replayed directly.
+    const Scenario scenario = find("is-2-wf");
+    SolveReport report = solved(scenario);
+    ASSERT_TRUE(report.solvable());
+    ASSERT_TRUE(report.witness.has_value());
+    const auto& outputs = scenario.task.outputs;
+    core::SimplicialMap corrupted = *report.witness;
+    std::size_t flipped = 0;
+    for (const auto& [v, w] : report.witness->vertex_map()) {
+        for (topo::VertexId candidate : outputs.vertex_ids()) {
+            if (candidate != w &&
+                outputs.color(candidate) == outputs.color(w)) {
+                corrupted.set(v, candidate);
+                ++flipped;
+                break;
+            }
+        }
+    }
+    ASSERT_GT(flipped, 0u);
+    report.witness = corrupted;
+
+    FuzzConfig config;
+    config.seed = 5;
+    config.iterations = 100;
+    config.threads = 2;
+    const FuzzResult r = fuzz(scenario, report, config);
+    ASSERT_FALSE(r.skipped);
+    ASSERT_GT(r.violation_count, 0u) << "corrupted witness fuzzed clean";
+    ASSERT_FALSE(r.violations.empty());
+
+    const auto rule = engine::make_decision_rule(scenario, report);
+    for (const FuzzViolation& v : r.violations) {
+        // Shrinking only simplifies: never a longer prefix, and the
+        // result is still admissible (trivially, for wait-free).
+        EXPECT_LE(v.shrunk.prefix.size(), v.schedule.prefix.size());
+
+        // Replay the shrunk schedule directly through the executor with
+        // the fuzzer's input plumbing (is-2-wf is inputless): it must
+        // still fail — that is what makes the counterexample a
+        // counterexample.
+        std::vector<std::optional<topo::VertexId>> inputs(
+            scenario.task.num_processes);
+        topo::Simplex face;
+        for (ProcessId p : v.shrunk.participants().members()) {
+            face = face.with(static_cast<topo::VertexId>(p));
+        }
+        ExecutionConfig ec;
+        ec.horizon = v.shrunk.prefix.size() + 12;
+        const ExecutionResult replay =
+            execute(scenario.task, *rule, v.shrunk, inputs,
+                    scenario.task.delta.at(face), ec);
+        EXPECT_FALSE(replay.violations.empty())
+            << "shrunk schedule " << v.shrunk.to_string()
+            << " no longer fails";
+    }
+}
+
+TEST(RuntimeFuzz, UnsolvableAndUnsupportedScenariosSkip) {
+    for (const char* name :
+         {"consensus-2-wf", "lord-2p-wf", "ksa-3p-k2-res1"}) {
+        const Scenario scenario = find(name);
+        const SolveReport& report = solved(scenario);
+        const FuzzResult r = fuzz(scenario, report, FuzzConfig{});
+        EXPECT_TRUE(r.skipped) << name << ": " << r.summary();
+        EXPECT_EQ(r.executed, 0u);
+        EXPECT_FALSE(r.clean());
+    }
+}
+
+TEST(RuntimeFuzz, AttachExecutedCheckFillsTheReportAndItsJson) {
+    const Scenario scenario = find("ksa-2p-k2-wf");
+    SolveReport report = solved(scenario);
+    ASSERT_TRUE(report.solvable());
+    ASSERT_FALSE(report.executed_check.has_value());
+
+    FuzzConfig config;
+    config.seed = 11;
+    config.iterations = 50;
+    config.threads = 2;
+    const engine::ExecutedCheck check =
+        attach_executed_check(scenario, report, config);
+    ASSERT_TRUE(report.executed_check.has_value());
+    EXPECT_EQ(report.executed_check->schedules, 50u);
+    EXPECT_EQ(report.executed_check->violations, 0u);
+    EXPECT_EQ(report.executed_check->seed, 11u);
+    EXPECT_EQ(report.executed_check->detail, "clean");
+    EXPECT_FALSE(report.executed_check->skipped);
+    EXPECT_EQ(check.result_digest, report.executed_check->result_digest);
+
+    const std::string json = engine::report_to_json(report).dump();
+    EXPECT_NE(json.find("\"executed_check\""), std::string::npos);
+    EXPECT_NE(json.find("\"result_digest\""), std::string::npos);
+    EXPECT_NE(json.find("\"clean\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gact::runtime

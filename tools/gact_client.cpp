@@ -5,8 +5,17 @@
 //   gact_client [--host H] [--port N] stats
 //   gact_client [--host H] [--port N] list
 //
-// Prints the server's reply JSON to stdout; exits 0 when the reply says
-// ok, 1 otherwise.
+// Prints the server's reply JSON to stdout.
+//
+// Exit codes (pinned by tools/exit_codes_e2e.cmake, aligned with
+// gact_fuzz and example_engine_cli):
+//   0  the server replied ok
+//   1  the server replied, but with ok: false (a solver-level failure —
+//      unknown scenario, queue-full, timeout)
+//   2  usage error
+//   3  transport error (connect or request failed: no server, broken
+//      connection) — the reply never arrived, so 1 would misreport a
+//      solver-level answer
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -93,13 +102,13 @@ int main(int argc, char** argv) {
         client.connect(host, static_cast<std::uint16_t>(port));
     if (!err.empty()) {
         std::fprintf(stderr, "gact_client: %s\n", err.c_str());
-        return 1;
+        return 3;
     }
     const std::optional<gact::util::Json> reply =
         client.request(request, &err);
     if (!reply.has_value()) {
         std::fprintf(stderr, "gact_client: %s\n", err.c_str());
-        return 1;
+        return 3;
     }
     std::printf("%s\n", reply->dump().c_str());
     const gact::util::Json* ok = reply->find("ok");
