@@ -1,14 +1,17 @@
 // E13 — batched scenario solving: Engine::solve_batch, 1 thread vs N.
 //
-// The registry's quick scenarios are independent solvability questions of
-// very different sizes (microsecond depth-0 witnesses up to the L_t
-// pipeline), exactly the shape the self-scheduling shard pool targets:
-// long solves overlap short ones instead of serializing. The report runs
-// the full quick registry sequentially and then sharded, and prints the
-// speedup; reports are verified identical across the two runs.
+// The batch is the registry's standard quick sweep grid
+// (ScenarioRegistry::quick_grid — every scenario family expanded at
+// cheap parameter points, the same ~22 cells `gact_sweep --preset
+// quick` runs): independent solvability questions of very different
+// sizes (microsecond depth-0 witnesses up to the L_t pipeline), exactly
+// the shape the self-scheduling shard pool targets: long solves overlap
+// short ones instead of serializing. The report runs the grid
+// sequentially and then sharded, and prints the speedup; reports are
+// verified identical across the two runs.
 //
 // Usage: bench_engine_batch [num_scenarios] [gbench args...] — cap on how
-// many quick-registry scenarios run (default 0 = all; CI smoke passes 1).
+// many grid cells run (default 0 = all; CI smoke passes 1).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -24,11 +27,11 @@ namespace {
 
 using namespace gact;
 
-std::size_t g_num_scenarios = 0;  // 0 = the whole quick registry
+std::size_t g_num_scenarios = 0;  // 0 = the whole quick sweep grid
 
 std::vector<engine::Scenario> scenarios() {
     std::vector<engine::Scenario> out =
-        engine::ScenarioRegistry::standard().quick();
+        engine::ScenarioRegistry::standard().quick_grid();
     if (g_num_scenarios != 0 && g_num_scenarios < out.size()) {
         out.resize(g_num_scenarios);
     }
@@ -57,7 +60,7 @@ void print_report() {
     const auto batch = scenarios();
     const unsigned threads = shard_width();
     std::cout << "=== E13: Engine::solve_batch on " << batch.size()
-              << " registry scenarios, 1 thread vs " << threads << " ===\n";
+              << " sweep grid cells, 1 thread vs " << threads << " ===\n";
     const engine::Engine engine;
 
     std::vector<engine::SolveReport> sequential;

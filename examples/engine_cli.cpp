@@ -133,14 +133,15 @@ int main(int argc, char** argv) {
             if (threads == 0) threads = 1;
             continue;
         }
-        const auto scenario = registry.find(argv[i]);
+        std::string why;
+        const auto scenario = registry.find(argv[i], &why);
         if (!scenario.has_value()) {
-            std::cerr << "unknown scenario '" << argv[i] << "'\n"
-                      << "registered scenarios:";
-            for (const std::string& name : registry.names()) {
-                std::cerr << " " << name;
-            }
-            std::cerr << "\n(--list for descriptions)\n";
+            // The registry's diagnostic cites the family grammar: a
+            // near-miss name ("lt-2-9-res1") gets its family's ranges,
+            // anything else the full grammar summary plus the
+            // registered names.
+            std::cerr << "unknown scenario '" << argv[i] << "': " << why
+                      << "\n(--list for descriptions)\n";
             return 2;
         }
         scenarios.push_back(*scenario);

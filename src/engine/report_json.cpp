@@ -217,16 +217,17 @@ std::optional<Scenario> scenario_from_request(const util::Json& request,
         name->as_string().empty()) {
         return fail("request needs a non-empty string 'scenario' field");
     }
+    // The registry resolves registered names (including the legacy
+    // aliases) and any canonical family name (`lt-3-1-res1` style); its
+    // diagnostic cites the family grammar for near-miss names and the
+    // grammar summary plus registered names otherwise.
     const ScenarioRegistry& registry = ScenarioRegistry::standard();
-    std::optional<Scenario> scenario = registry.find(name->as_string());
+    std::string why;
+    std::optional<Scenario> scenario =
+        registry.find(name->as_string(), &why);
     if (!scenario.has_value()) {
-        std::string known;
-        for (const std::string& n : registry.names()) {
-            if (!known.empty()) known += ", ";
-            known += n;
-        }
-        return fail("unknown scenario '" + name->as_string() +
-                    "' (registered: " + known + ")");
+        return fail("unknown scenario '" + name->as_string() + "': " +
+                    why);
     }
     if (const util::Json* overrides = request.find("options")) {
         const std::string err =

@@ -1,5 +1,6 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
@@ -305,6 +306,7 @@ void SolveServer::handle_payload(const std::shared_ptr<Connection>& conn,
         body.set("ok", true);
         if (!id.is_null()) body.set("id", id);
         body.set("scenarios", list_json());
+        body.set("families", families_json());
         reply(conn, body);
         return;
     }
@@ -491,17 +493,33 @@ util::Json SolveServer::list_json() const {
     // served form of `example_engine_cli --list`.
     const engine::ScenarioRegistry& registry =
         engine::ScenarioRegistry::standard();
+    std::vector<const engine::ScenarioSpec*> sorted;
+    sorted.reserve(registry.specs().size());
+    for (const engine::ScenarioSpec& spec : registry.specs()) {
+        sorted.push_back(&spec);
+    }
+    std::sort(sorted.begin(), sorted.end(),
+              [](const engine::ScenarioSpec* a,
+                 const engine::ScenarioSpec* b) { return a->name < b->name; });
     util::Json out = util::Json::array();
-    for (const std::string& name : registry.names()) {
-        for (const engine::ScenarioSpec& spec : registry.specs()) {
-            if (spec.name != name) continue;
-            util::Json entry = util::Json::object();
-            entry.set("name", spec.name);
-            entry.set("description", spec.description);
-            entry.set("heavy", spec.heavy);
-            out.push_back(std::move(entry));
-            break;
-        }
+    for (const engine::ScenarioSpec* spec : sorted) {
+        util::Json entry = util::Json::object();
+        entry.set("name", spec->name);
+        entry.set("description", spec->description);
+        entry.set("heavy", spec->heavy);
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+util::Json SolveServer::families_json() const {
+    // The structured family schemas: clients learn the whole parameter
+    // space (grammar, ranges, model variants), not just the registered
+    // points — any in-range canonical name is solvable by this server.
+    util::Json out = util::Json::array();
+    for (const engine::ScenarioFamily& f :
+         engine::ScenarioRegistry::standard().families()) {
+        out.push_back(f.schema_json());
     }
     return out;
 }

@@ -183,6 +183,9 @@ private:
     /// Save the pool to config_.pool_file, recording outcome in stats.
     void snapshot_pool();
     util::Json list_json() const;
+    /// The scenario-family schemas (grammar, ranges, model variants)
+    /// served alongside the registered names in the `list` reply.
+    util::Json families_json() const;
 
     ServiceConfig config_;
     std::shared_ptr<core::SharedNogoodPool> pool_;

@@ -152,6 +152,49 @@ TEST(ServiceE2E, StatsAndListReflectTheServer) {
         EXPECT_EQ(field(scenarios[i], "name")->as_string(), names[i])
             << "list reply not in sorted registry order at " << i;
     }
+    // The list reply also carries every scenario-family schema, so a
+    // client can construct parameterized names without guessing.
+    const auto& families = field(*list, "families")->as_array();
+    const auto& registry_families =
+        engine::ScenarioRegistry::standard().families();
+    ASSERT_EQ(families.size(), registry_families.size());
+    ASSERT_GE(families.size(), 7u);
+    for (std::size_t i = 0; i < families.size(); ++i) {
+        EXPECT_EQ(field(families[i], "family")->as_string(),
+                  registry_families[i].key());
+        EXPECT_NE(field(families[i], "grammar"), nullptr);
+        EXPECT_NE(field(families[i], "params"), nullptr);
+    }
+
+    server.stop();
+}
+
+TEST(ServiceE2E, ParameterizedFamilyNamesAreServed) {
+    // A canonical family name that is NOT a registered spec: the server
+    // resolves it through the family codec, and the served witness is
+    // bit-identical to the legacy alias's pinned golden (wf-is-2 is the
+    // canonical spelling of is-2-wf).
+    SolveServer server(ServiceConfig{});
+    ASSERT_EQ(server.start(), "");
+    ServiceClient client;
+    ASSERT_EQ(client.connect("127.0.0.1", server.port()), "");
+
+    const auto reply = client.request(solve_request("wf-is-2"));
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_TRUE(reply_ok(*reply)) << reply->dump();
+    const util::Json* report = field(*reply, "report");
+    EXPECT_EQ(field(*report, "verdict")->as_string(), "solvable");
+    EXPECT_EQ(field(*field(*report, "witness"), "digest")->as_string(),
+              "36e503452cdda31f");
+
+    // An out-of-range family name is an unknown-scenario error whose
+    // message carries the family's grammar and ranges.
+    const auto bad = client.request(solve_request("wf-is-9"));
+    ASSERT_TRUE(bad.has_value());
+    EXPECT_FALSE(reply_ok(*bad));
+    EXPECT_EQ(field(*bad, "code")->as_string(), "unknown-scenario");
+    const std::string message = field(*bad, "error")->as_string();
+    EXPECT_NE(message.find("wf-is-<n>"), std::string::npos) << message;
 
     server.stop();
 }

@@ -1,9 +1,9 @@
 # The tools' exit-code contract, pinned end to end (`cmake -P` script
-# mode; see CMakeLists.txt, test tools_exit_codes). All three CLIs agree:
+# mode; see CMakeLists.txt, test tools_exit_codes). All four CLIs agree:
 #
 #   0  the tool completed and its answer is clean — including "unsolvable"
-#      verdicts (engine_cli) and skipped scenarios (gact_fuzz), which are
-#      answers, not failures
+#      verdicts (engine_cli, gact_sweep) and skipped scenarios
+#      (gact_fuzz), which are answers, not failures
 #   1  a real negative finding: a Definition 4.1 violation (gact_fuzz) or
 #      an ok:false server reply (gact_client)
 #   2  usage error: unknown flag, unknown scenario, contradictory flags
@@ -11,12 +11,12 @@
 #      reply never arrived
 #
 # Expected -D definitions: CLI (example_engine_cli), FUZZ (gact_fuzz),
-# CLIENT (gact_client). Every invocation here is milliseconds-scale: the
-# solvable scenarios used are depth-0/1 and the client targets a port
-# nothing listens on.
+# CLIENT (gact_client), SWEEP (gact_sweep). Every invocation here is
+# milliseconds-scale: the solvable scenarios used are depth-0/1, the
+# sweep grids are tiny, and the client targets a port nothing listens on.
 
-if(NOT DEFINED CLI OR NOT DEFINED FUZZ OR NOT DEFINED CLIENT)
-  message(FATAL_ERROR "usage: cmake -DCLI=<example_engine_cli> -DFUZZ=<gact_fuzz> -DCLIENT=<gact_client> -P exit_codes_e2e.cmake")
+if(NOT DEFINED CLI OR NOT DEFINED FUZZ OR NOT DEFINED CLIENT OR NOT DEFINED SWEEP)
+  message(FATAL_ERROR "usage: cmake -DCLI=<example_engine_cli> -DFUZZ=<gact_fuzz> -DCLIENT=<gact_client> -DSWEEP=<gact_sweep> -P exit_codes_e2e.cmake")
 endif()
 
 function(expect_exit expected label)
@@ -51,6 +51,22 @@ expect_exit(2 "gact_fuzz unknown flag"
 expect_exit(2 "gact_fuzz unknown scenario"
   "${FUZZ}" --scenario no-such-scenario)
 
+# --- gact_sweep -------------------------------------------------------------
+# A completed sweep exits 0 whatever the verdicts are.
+expect_exit(0 "gact_sweep tiny grid"
+  "${SWEEP}" --family wf-is --param n=1..2 --threads 1)
+expect_exit(0 "gact_sweep list families"
+  "${SWEEP}" --list-families)
+# Usage errors: unknown family, out-of-schema axis value, unknown flag.
+expect_exit(2 "gact_sweep unknown family"
+  "${SWEEP}" --family no-such-family)
+expect_exit(2 "gact_sweep out-of-range axis"
+  "${SWEEP}" --family wf-is --param n=1..9)
+expect_exit(2 "gact_sweep unknown flag"
+  "${SWEEP}" --no-such-flag)
+expect_exit(2 "gact_sweep missing selection"
+  "${SWEEP}" --threads 1)
+
 # --- gact_client ------------------------------------------------------------
 expect_exit(2 "gact_client unknown command"
   "${CLIENT}" frobnicate)
@@ -61,4 +77,4 @@ expect_exit(2 "gact_client solve without scenario"
 expect_exit(3 "gact_client no server"
   "${CLIENT}" --port 1 stats)
 
-message(STATUS "exit-code e2e: all three tools honor the 0/1/2/3 contract")
+message(STATUS "exit-code e2e: all four tools honor the 0/1/2/3 contract")

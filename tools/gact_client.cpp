@@ -112,5 +112,15 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", reply->dump().c_str());
     const gact::util::Json* ok = reply->find("ok");
-    return (ok != nullptr && ok->is_bool() && ok->as_bool()) ? 0 : 1;
+    if (ok != nullptr && ok->is_bool() && ok->as_bool()) return 0;
+    // Solver-level failure: surface the server's diagnostic on stderr
+    // too — for unknown-scenario errors it carries the full family
+    // grammar, which is unreadable embedded in a one-line JSON dump.
+    if (const gact::util::Json* error = reply->find("error")) {
+        if (error->is_string()) {
+            std::fprintf(stderr, "gact_client: server error: %s\n",
+                         error->as_string().c_str());
+        }
+    }
+    return 1;
 }

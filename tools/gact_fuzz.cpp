@@ -114,9 +114,14 @@ int main(int argc, char** argv) {
             scenarios = registry.quick();
         } else {
             for (const std::string& name : names) {
-                const auto s = registry.find(name);
+                std::string why;
+                const auto s = registry.find(name, &why);
                 if (!s.has_value()) {
-                    std::cerr << "unknown scenario '" << name << "'\n";
+                    // The registry diagnostic cites the family grammar
+                    // (--scenario accepts any canonical family name,
+                    // not just the registered aliases).
+                    std::cerr << "unknown scenario '" << name
+                              << "': " << why << "\n";
                     return 2;
                 }
                 scenarios.push_back(*s);
