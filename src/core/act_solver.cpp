@@ -1,5 +1,6 @@
 #include "core/act_solver.h"
 
+#include "exec/cancel.h"
 #include "util/require.h"
 
 namespace gact::core {
@@ -52,6 +53,14 @@ ActResult run_act_search(const tasks::Task& task, int max_k,
     topo::SubdividedComplex chr =
         topo::SubdividedComplex::identity(task.inputs);
     for (int k = 0; k <= max_k; ++k) {
+        // Task-boundary cancellation (SolverConfig::cancel): a spent
+        // time budget stops the depth ladder here, before the next
+        // Chr^k build, instead of waiting for the CSP's backtrack
+        // checkpoints deep inside it.
+        if (config.cancel != nullptr && config.cancel->cancelled()) {
+            out.exhausted_all_depths = false;
+            return out;
+        }
         if (k > 0) chr = chr.chromatic_subdivision();
         const ChromaticMapProblem problem =
             act_problem(task, chr, lru_ptr, nogood_pool);

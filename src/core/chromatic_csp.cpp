@@ -10,6 +10,8 @@
 
 #include "core/eval_cache.h"
 #include "core/nogood_store.h"
+#include "exec/cancel.h"
+#include "exec/task_group.h"
 #include "topology/adjacency_index.h"
 #include "util/require.h"
 
@@ -196,7 +198,7 @@ struct NaiveSearcher {
     explicit NaiveSearcher(const ChromaticMapProblem& p) : problem(p) {}
 
     const ChromaticMapProblem& problem;
-    const std::atomic<bool>* stop = nullptr;
+    const exec::CancelToken* cancel = nullptr;
     std::vector<VertexId> order;                 // assignment order
     std::vector<std::vector<VertexId>> domains;  // candidates per position
     std::unordered_map<VertexId, VertexId> assignment;
@@ -213,7 +215,7 @@ struct NaiveSearcher {
     }
 
     bool assign(std::size_t idx) {
-        if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        if (cancel != nullptr && cancel->cancelled()) {
             exhausted = false;
             return false;
         }
@@ -250,11 +252,11 @@ bool naive_solve_component(const ChromaticMapProblem& problem,
                            const std::vector<VertexId>& fixed_order,
                            const std::vector<VertexId>& component_order,
                            std::size_t max_backtracks,
-                           const std::atomic<bool>* stop,
+                           const exec::CancelToken* cancel,
                            ChromaticMapResult& result,
                            std::unordered_map<VertexId, VertexId>& solution) {
     NaiveSearcher s(problem);
-    s.stop = stop;
+    s.cancel = cancel;
     s.max_backtracks = max_backtracks;
     std::unordered_set<VertexId> in_scope;
     for (VertexId v : fixed_order) {
@@ -356,7 +358,7 @@ struct FcSearcher {
     const ChromaticMapProblem& problem;
     const topo::AdjacencyIndex& index;
     const SolverConfig& config;
-    const std::atomic<bool>* stop = nullptr;
+    const exec::CancelToken* cancel = nullptr;
     // Optional incremental layers, owned by the per-thread driver
     // (solve_single): memoized constraint evaluation, learned
     // conflicts, and the portfolio exchange session. All null in the
@@ -600,7 +602,7 @@ struct FcSearcher {
     }
 
     bool stopped() const {
-        return stop != nullptr && stop->load(std::memory_order_relaxed);
+        return cancel != nullptr && cancel->cancelled();
     }
 
     /// Leaf constraint check for a fully assigned indexed simplex, via
@@ -1041,13 +1043,13 @@ bool fc_solve_component(const ChromaticMapProblem& problem,
                         const std::vector<VertexId>& fixed_order,
                         const std::vector<VertexId>& component_order,
                         std::uint64_t shuffle_salt,
-                        const std::atomic<bool>* stop,
+                        const exec::CancelToken* cancel,
                         EvalCache* cache, NogoodStore* nogoods,
                         ExchangeSession* session,
                         ChromaticMapResult& result,
                         std::unordered_map<VertexId, VertexId>& solution) {
     FcSearcher s(problem, index, config);
-    s.stop = stop;
+    s.cancel = cancel;
     s.cache = cache;
     s.nogoods = nogoods;
     s.session = session;
@@ -1145,7 +1147,7 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
                                 const DomainMap& propagated_domains,
                                 const SolverConfig& config,
                                 std::uint64_t shuffle_salt,
-                                const std::atomic<bool>* stop,
+                                const exec::CancelToken* cancel,
                                 LiveNogoodExchange* exchange = nullptr,
                                 unsigned thread_id = 0) {
     ChromaticMapResult result;
@@ -1258,12 +1260,12 @@ ChromaticMapResult solve_single(const ChromaticMapProblem& problem,
                 // constraint checks.
                 return naive_solve_component(problem, base_domains,
                                              dec.fixed_order, component_order,
-                                             config.max_backtracks, stop,
+                                             config.max_backtracks, cancel,
                                              result, solution);
             }
             return fc_solve_component(
                 problem, index, propagated_domains, config, dec.fixed_order,
-                component_order, shuffle_salt, stop,
+                component_order, shuffle_salt, cancel,
                 cache.has_value() ? &*cache : nullptr,
                 nogoods.has_value() ? &*nogoods : nullptr,
                 session.has_value() ? &*session : nullptr, result, solution);
@@ -1378,31 +1380,39 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
     ChromaticMapResult result;
     if (config.num_threads == 1) {
         result = solve_single(problem, index, dec, base_domains,
-                              propagated_domains, config, 0, nullptr);
+                              propagated_domains, config, 0, config.cancel);
     } else {
-        // Portfolio race: thread 0 keeps the configured value order, the
-        // others search with per-thread shuffles (unless
-        // diversify_portfolio is off — then every thread runs the
-        // identical search and the race only hedges scheduling). A
-        // thread that either finds a witness or exhausts the search
-        // space has settled the problem, so it stops everyone else.
-        // With live_exchange on, the threads additionally trade learned
-        // nogoods mid-flight through one shared append-only log.
+        // Portfolio race, run as a cancellable task group on the
+        // resident scheduler (exec/task_group.h): task 0 keeps the
+        // configured value order, the others search with per-task
+        // shuffles (unless diversify_portfolio is off — then every
+        // task runs the identical search and the race only hedges
+        // scheduling). A task that either finds a witness or exhausts
+        // the search space has settled the problem, so it cancels
+        // everyone else. The race token is a CHILD of the caller's
+        // token: the caller's deadline stops the race, settling the
+        // race never cancels the caller's scope. With live_exchange
+        // on, the tasks additionally trade learned nogoods mid-flight
+        // through one shared append-only log.
         //
         // Counter audit: the reported result is exactly the settling
-        // thread's ChromaticMapResult, claimed once under the mutex —
-        // never a sum that mixes a settled thread's counters with the
-        // partially-updated counters of threads the stop flag
+        // task's ChromaticMapResult, claimed once under the mutex —
+        // never a sum that mixes a settled task's counters with the
+        // partially-updated counters of tasks the cancellation
         // interrupted mid-search (such sums double-count work against
         // the settled search and vary with thread count and timing).
-        // The relaxed stop-flag ordering is safe: the flag is advisory
-        // (losing threads only ever do extra work), each `locals[i]` is
-        // written by its own thread before the join and read after it,
-        // and the claimed result is published under the mutex. Only when
-        // *no* thread settles (every budget ran out) are counters
-        // summed: there is no coherent single-thread story, and the sum
-        // is explicitly "total budgeted effort spent".
-        std::atomic<bool> stop{false};
+        // The token's relaxed ordering is safe: cancellation is
+        // advisory (losing tasks only ever do extra work), each
+        // `locals[i]` is written by its own task before the group join
+        // and read after it, and the claimed result is published under
+        // the mutex. Only when *no* task settles (every budget ran
+        // out) are counters summed: there is no coherent single-thread
+        // story, and the sum is explicitly "total budgeted effort
+        // spent".
+        exec::CancelToken race =
+            config.cancel != nullptr
+                ? exec::CancelToken::child_of(*config.cancel)
+                : exec::CancelToken();
         std::mutex mutex;
         std::optional<ChromaticMapResult> settled;
         std::vector<ChromaticMapResult> locals(config.num_threads);
@@ -1414,20 +1424,20 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
             config.nogood_learning && config.nogood_capacity > 0) {
             exchange.emplace();
         }
-        std::vector<std::thread> threads;
-        threads.reserve(config.num_threads);
+        exec::TaskGroup group;
         for (unsigned i = 0; i < config.num_threads; ++i) {
-            threads.emplace_back([&, i] {
+            group.run([&, i] {
                 try {
                     SolverConfig local = config;
                     local.num_threads = 1;
+                    local.cancel = &race;
                     if (i > 0 && config.diversify_portfolio) {
                         local.value_order = ValueOrder::kShuffled;
                     }
                     locals[i] =
                         solve_single(problem, index, dec, base_domains,
                                      propagated_domains, local,
-                                     0x9e3779b97f4a7c15ULL * i, &stop,
+                                     0x9e3779b97f4a7c15ULL * i, &race,
                                      exchange.has_value() ? &*exchange
                                                           : nullptr,
                                      i);
@@ -1436,15 +1446,15 @@ ChromaticMapResult solve_chromatic_map(const ChromaticMapProblem& problem,
                             const std::lock_guard<std::mutex> lock(mutex);
                             if (!settled.has_value()) settled = locals[i];
                         }
-                        stop.store(true, std::memory_order_relaxed);
+                        race.cancel();
                     }
                 } catch (...) {
                     errors[i] = std::current_exception();
-                    stop.store(true, std::memory_order_relaxed);
+                    race.cancel();
                 }
             });
         }
-        for (std::thread& t : threads) t.join();
+        group.wait();  // the tasks catch everything; errors rethrow below
         for (const std::exception_ptr& e : errors) {
             if (e) std::rethrow_exception(e);
         }

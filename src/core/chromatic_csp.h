@@ -22,8 +22,8 @@
 //    precomputed vertex/simplex adjacency index (topology/adjacency_index)
 //    and always branches on the most constrained vertex.
 // Independently, `num_threads > 1` races a portfolio of searches with
-// diversified value orders; the first witness wins via an atomic stop
-// flag.
+// diversified value orders as a cancellable task group on the resident
+// scheduler (src/exec/); the first witness wins via a CancelToken.
 //
 // The FC engine's per-node work is flattened by three incremental
 // layers, all on by default and all provably verdict/witness-preserving:
@@ -55,6 +55,10 @@
 
 #include "core/nogood_store.h"
 #include "topology/simplicial_map.h"
+
+namespace gact::exec {
+class CancelToken;
+}
 
 namespace gact::core {
 
@@ -154,7 +158,7 @@ struct SolverConfig {
     std::size_t max_backtracks = 1000000;
     /// @brief 1 = single-threaded. > 1 races that many searches with
     /// value orders diversified per thread; the first witness wins and
-    /// stops the rest through an atomic flag.
+    /// stops the rest through a CancelToken (exec/cancel.h).
     unsigned num_threads = 1;
     /// @brief Base seed for ValueOrder::kShuffled and portfolio
     /// diversification.
@@ -259,6 +263,16 @@ struct SolverConfig {
     /// not by the CSP core itself: it persists across subdivision depths
     /// where per-depth vertex ids do not. 0 disables it.
     std::size_t allowed_lru_capacity = 256;
+
+    /// @brief External cancellation (exec/cancel.h): when set, the
+    /// search aborts at its backtrack checkpoints once the token is
+    /// cancelled or past its deadline — the same "not a proof" abort as
+    /// a spent backtrack budget (`exhausted` comes back false). Not
+    /// owned; must outlive the solve. Null = never cancelled. The
+    /// engine threads EngineOptions::time_budget_ms through here, and
+    /// the portfolio race runs under a child of this token so settling
+    /// one race never cancels the caller's scope.
+    const exec::CancelToken* cancel = nullptr;
 
     /// @brief The seed backtracker: static order, no pruning, no caches.
     static SolverConfig naive(std::size_t max_backtracks = 1000000) {

@@ -2,7 +2,7 @@
 
 #include <unordered_map>
 
-#include "util/parallel.h"
+#include "exec/for_index.h"
 #include "util/require.h"
 
 namespace gact::core {
@@ -40,13 +40,15 @@ void TerminatingSubdivision::advance(
     // Collect Sigma_k: previously stable simplices persist; new ones come
     // from the predicate. Closure under faces is enforced by construction
     // (SimplicialComplex::add_simplex adds all faces). The predicate scan
-    // is per-facet work over immutable state, so it shards; the selected
-    // faces are merged in facet order, and since the stable set is a
-    // *set*, the merged result is identical to the sequential scan's.
+    // is per-facet work over immutable state, so it shards as
+    // index-slotted tasks on the resident scheduler; the selected faces
+    // are merged in facet order, and since the stable set is a *set*,
+    // the merged result is identical to the sequential scan's.
     const std::vector<Simplex> facets = cx.complex().facets();
     std::vector<std::vector<Simplex>> selected(facets.size());
-    gact::parallel_for_index(
-        facets.size(), num_threads, [&](std::size_t fi) {
+    exec::for_index(
+        exec::Scheduler::shared(), facets.size(), num_threads,
+        [&](std::size_t fi) {
             for (const Simplex& s : facets[fi].faces()) {
                 if (current.stable.contains(s)) continue;
                 if (stabilize(cx, s)) selected[fi].push_back(s);

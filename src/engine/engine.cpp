@@ -4,8 +4,9 @@
 
 #include "engine/general_route.h"
 #include "engine/stage_clock.h"
+#include "exec/cancel.h"
+#include "exec/for_index.h"
 #include "iis/run_enumeration.h"
-#include "util/parallel.h"
 #include "util/require.h"
 
 namespace gact::engine {
@@ -13,14 +14,14 @@ namespace gact::engine {
 namespace {
 
 SolveReport solve_wait_free(const Scenario& scenario,
+                            const core::SolverConfig& solver,
                             core::SharedNogoodPool* pool) {
     SolveReport report;
     report.scenario = scenario.name;
 
     const auto start = stage_clock_now();
     const core::ActResult act = core::run_act_search(
-        scenario.task, scenario.options.max_depth, scenario.options.solver,
-        pool);
+        scenario.task, scenario.options.max_depth, solver, pool);
     report.timings.push_back({"act-search", millis_since(start)});
 
     report.backtracks_per_depth = act.backtracks_per_depth;
@@ -48,6 +49,7 @@ SolveReport solve_wait_free(const Scenario& scenario,
 }
 
 SolveReport solve_general(const Scenario& scenario,
+                          const core::SolverConfig& solver,
                           core::SharedNogoodPool* pool) {
     SolveReport report;
     report.scenario = scenario.name;
@@ -83,8 +85,7 @@ SolveReport solve_general(const Scenario& scenario,
     GeneralWitness witness = build_general_witness(
         *scenario.affine, *scenario.options.stable_rule,
         scenario.options.subdivision_stages, scenario.options.fix_identity,
-        guidance, scenario.options.solver, scenario.options.shard_threads,
-        pool);
+        guidance, solver, scenario.options.shard_threads, pool);
     report.timings.push_back(
         {"terminating-subdivision", witness.subdivision_millis});
     report.timings.push_back(
@@ -238,11 +239,37 @@ SolveReport Engine::solve(const Scenario& scenario) const {
         }
     }
 
-    SolveReport report = scenario.is_wait_free()
-                             ? solve_wait_free(scenario, pool.get())
-                             : solve_general(scenario, pool.get());
+    // Time budget (EngineOptions::time_budget_ms): materialized as a
+    // CancelToken deadline the whole route observes — between wait-free
+    // depths, between subdivision stages, at the CSP's backtrack
+    // checkpoints, and across the portfolio race — so an over-budget
+    // solve stops at the next task boundary. A caller-provided token
+    // (solver.cancel) becomes the parent, so either source stops the
+    // solve and the deadline never leaks into the caller's scope.
+    const auto solve_start = stage_clock_now();
+    core::SolverConfig solver = scenario.options.solver;
+    exec::CancelToken budget_token;
+    const bool budgeted = scenario.options.time_budget_ms > 0;
+    if (budgeted) {
+        if (solver.cancel != nullptr) {
+            budget_token = exec::CancelToken::child_of(*solver.cancel);
+        }
+        budget_token.set_deadline_after_ms(scenario.options.time_budget_ms);
+        solver.cancel = &budget_token;
+    }
+
+    SolveReport report =
+        scenario.is_wait_free()
+            ? solve_wait_free(scenario, solver, pool.get())
+            : solve_general(scenario, solver, pool.get());
     report.warnings.insert(report.warnings.begin(), pool_warnings.begin(),
                            pool_warnings.end());
+
+    // The promised "cancelled" stage timing: when the budget's token
+    // fired, record how long the solve had run when it wound down.
+    if (budgeted && budget_token.cancelled()) {
+        report.timings.push_back({"cancelled", millis_since(solve_start)});
+    }
 
     if (!pool_file.empty()) {
         const std::string err = pool->save(pool_file);
@@ -265,15 +292,17 @@ std::vector<SolveReport> Engine::solve_batch(
         return reports;
     }
 
-    // Self-scheduling shard pool (util/parallel.h): workers pull the
-    // next unsolved scenario off an atomic index, so long solves (an L_t
-    // pipeline) overlap short ones instead of serializing behind a
-    // static partition; the first worker error stops the pool and is
-    // rethrown after the join.
-    gact::parallel_for_index(scenarios.size(), num_threads,
-                             [&](std::size_t i) {
-                                 reports[i] = solve(scenarios[i]);
-                             });
+    // Self-scheduling shards on the resident scheduler
+    // (exec/for_index.h): index-slotted tasks pull the next unsolved
+    // scenario off an atomic index, so long solves (an L_t pipeline)
+    // overlap short ones instead of serializing behind a static
+    // partition; the first task error stops the loop and is rethrown
+    // after the group join. Reports land in per-index slots, so the
+    // batch is identical to sequential solves at any thread count.
+    exec::for_index(exec::Scheduler::shared(), scenarios.size(),
+                    num_threads, [&](std::size_t i) {
+                        reports[i] = solve(scenarios[i]);
+                    });
     return reports;
 }
 

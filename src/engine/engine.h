@@ -141,11 +141,12 @@ public:
     /// violations of malformed tasks.
     SolveReport solve(const Scenario& scenario) const;
 
-    /// @brief Solve many scenarios, sharded across `num_threads` workers by a
-    /// self-scheduling atomic work index (the portfolio's atomic-stop
-    /// machinery: the first worker error stops the pool and is
-    /// rethrown). Reports come back in input order and are identical to
-    /// sequential solves regardless of shard order.
+    /// @brief Solve many scenarios as index-slotted tasks on the
+    /// resident scheduler (exec/for_index.h), at most `num_threads` in
+    /// flight, pulled off a self-scheduling atomic work index; the
+    /// first task error stops the loop and is rethrown. Reports come
+    /// back in input order and are identical to sequential solves
+    /// regardless of shard order.
     std::vector<SolveReport> solve_batch(
         const std::vector<Scenario>& scenarios,
         unsigned num_threads = 1) const;

@@ -1,6 +1,7 @@
 #include "engine/general_route.h"
 
 #include "engine/stage_clock.h"
+#include "exec/cancel.h"
 
 namespace gact::engine {
 
@@ -15,6 +16,14 @@ GeneralWitness build_general_witness(const tasks::AffineTask& task,
     auto start = stage_clock_now();
     out.tsub = core::TerminatingSubdivision(task.task.inputs);
     for (std::size_t i = 0; i < stages; ++i) {
+        // Task-boundary cancellation (SolverConfig::cancel): check
+        // BETWEEN stages only — never inside a stage's facet tasks,
+        // whose deterministic stable-set merge must see every facet.
+        // A stage cut short here leaves a coarser-but-valid T; the
+        // empty-stable or no-delta verdicts below report the budget.
+        if (solver.cancel != nullptr && solver.cancel->cancelled()) {
+            break;
+        }
         out.tsub.advance(
             [&rule](const core::SubdividedComplex& cx,
                     const topo::Simplex& s) { return rule.stable(cx, s); },

@@ -182,6 +182,9 @@ std::string apply_options_json(const util::Json& overrides,
         } else if (key == "max_landing_round") {
             err = expect_uint(value, key.c_str(), u);
             if (err.empty()) options.max_landing_round = u;
+        } else if (key == "time_budget_ms") {
+            err = expect_uint(value, key.c_str(), u);
+            if (err.empty()) options.time_budget_ms = u;
         } else if (key == "nogood_learning") {
             err = expect_bool(value, key.c_str(), b);
             if (err.empty()) options.solver.nogood_learning = b;

@@ -93,6 +93,18 @@ struct EngineOptions {
 
     /// General route: admissibility landing horizon (Theorem 6.1 (a)).
     std::size_t max_landing_round = 8;
+
+    /// @brief Wall-clock budget of the whole solve, in milliseconds
+    /// (0 = none). Enforced through a CancelToken deadline
+    /// (exec/cancel.h) observed at every task boundary — between
+    /// wait-free depths, between subdivision stages, at the CSP's
+    /// backtrack checkpoints, and across the portfolio race — so an
+    /// over-budget solve stops at the next boundary instead of only
+    /// when a backtrack budget runs out. A solve cut short reports
+    /// Verdict::kBudgetExhausted plus a "cancelled" stage timing. The
+    /// solve server maps a request's queue-wait deadline here, so long
+    /// solves are cut mid-flight rather than served late.
+    std::size_t time_budget_ms = 0;
 };
 
 /// @brief One solvability question: does `model` solve `task`?

@@ -1,0 +1,65 @@
+#include "exec/task_group.h"
+
+#include <chrono>
+#include <utility>
+
+namespace gact::exec {
+
+TaskGroup::TaskGroup(Scheduler& scheduler) : scheduler_(scheduler) {}
+
+TaskGroup::~TaskGroup() {
+    try {
+        wait();
+    } catch (...) {
+        // The header documents this drop: a destructor cannot rethrow.
+    }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+    std::size_t index;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+        index = next_index_++;
+    }
+    // run_item calls finished(index, ...) after the task retires (and
+    // after the scheduler's counters were bumped — see its contract).
+    scheduler_.enqueue(Scheduler::TaskItem{std::move(fn), this, index});
+}
+
+void TaskGroup::finished(std::size_t index, std::exception_ptr error) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (error != nullptr && index < error_index_) {
+        error_index_ = index;
+        error_ = std::move(error);
+    }
+    if (--pending_ == 0) done_cv_.notify_all();
+}
+
+void TaskGroup::wait() {
+    for (;;) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (pending_ == 0) break;
+        }
+        if (scheduler_.help_one(this)) continue;
+        // Nothing of ours is queued — everything outstanding is
+        // already running on workers (or on other helpers). Sleep
+        // until a task retires; finished() notifies under this mutex,
+        // so no wakeup is missed, and the timeout is a backstop that
+        // also re-polls for tasks a running group member may fork.
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (pending_ == 0) break;
+        done_cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    std::exception_ptr error;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        error = std::exchange(error_, nullptr);
+        error_index_ = kNoError;
+        next_index_ = 0;
+    }
+    if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace gact::exec

@@ -4,8 +4,8 @@
 #include <sstream>
 
 #include "engine/executable.h"
+#include "exec/for_index.h"
 #include "runtime/executor.h"
-#include "util/parallel.h"
 #include "util/require.h"
 
 namespace gact::runtime {
@@ -195,7 +195,8 @@ FuzzResult fuzz(const engine::Scenario& scenario,
     };
     std::vector<Slot> slots(config.iterations);
 
-    parallel_for_index(config.iterations, config.threads, [&](std::size_t i) {
+    exec::for_index(exec::Scheduler::shared(), config.iterations,
+                    config.threads, [&](std::size_t i) {
         SplitMix64 rng(mix_seed(config.seed, i));
         const Schedule s = generator.next(rng);
         const std::size_t omega_index =

@@ -110,11 +110,10 @@ std::string SolveServer::start() {
 
     started_at_ = std::chrono::steady_clock::now();
     started_ = true;
+    scheduler_ = std::make_unique<exec::Scheduler>(config_.workers);
+    permits_ = config_.workers;
     acceptor_ = std::thread([this] { acceptor_loop(); });
-    workers_.reserve(config_.workers);
-    for (unsigned w = 0; w < config_.workers; ++w) {
-        workers_.emplace_back([this] { worker_loop(); });
-    }
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
     if (!config_.pool_file.empty() &&
         config_.snapshot_every_seconds > 0) {
         snapshotter_ = std::thread([this] { snapshot_loop(); });
@@ -140,13 +139,18 @@ void SolveServer::stop() {
         listen_fd_ = -1;
     }
 
-    // 2. Drain: no new admissions, workers finish everything already
-    //    admitted (readers still running reply shutting-down to any
-    //    late request — their connections stay open so in-flight
-    //    replies can be written).
+    // 2. Drain: no new admissions; the dispatcher forwards every
+    //    already-admitted job to the scheduler and exits when the
+    //    closed queue runs dry, and all permits being home again means
+    //    every forwarded solve has finished and replied (readers still
+    //    running reply shutting-down to any late request — their
+    //    connections stay open so in-flight replies can be written).
     queue_.close();
-    for (std::thread& w : workers_) {
-        if (w.joinable()) w.join();
+    if (dispatcher_.joinable()) dispatcher_.join();
+    {
+        std::unique_lock<std::mutex> lock(permit_mutex_);
+        permit_cv_.wait(lock,
+                        [this] { return permits_ >= config_.workers; });
     }
 
     // 3. Final snapshot, after the periodic snapshotter has exited so
@@ -156,8 +160,8 @@ void SolveServer::stop() {
 
     // 4. Tear down connections: shutdown() wakes readers blocked in
     //    read(), then join and drop the references — each Connection
-    //    closes its own fd when the last shared_ptr dies (the workers
-    //    are already joined, so clearing conns_ is the last reference).
+    //    closes its own fd when the last shared_ptr dies (every solve
+    //    task has finished, so clearing conns_ is the last reference).
     {
         const std::lock_guard<std::mutex> lock(conns_mutex_);
         for (ConnEntry& e : conns_) {
@@ -373,62 +377,107 @@ void SolveServer::handle_payload(const std::shared_ptr<Connection>& conn,
     }
 }
 
-void SolveServer::worker_loop() {
-    SolveJob job;
-    while (queue_.pop(job)) {
-        if (config_.test_worker_hook) config_.test_worker_hook();
+void SolveServer::dispatcher_loop() {
+    // Acquire the permit BEFORE popping: when all `workers` permits are
+    // out, no job is popped-and-parked in the dispatcher's hands — it
+    // stays in the bounded queue where admission control can see it,
+    // exactly as when N worker threads each held at most one popped
+    // job. Scheduler::submit is detached, so the task's own epilogue
+    // returns the permit.
+    while (true) {
         {
-            const std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++in_flight_;
+            std::unique_lock<std::mutex> lock(permit_mutex_);
+            permit_cv_.wait(lock, [this] { return permits_ > 0; });
+            --permits_;
         }
-        if (job.has_deadline &&
-            std::chrono::steady_clock::now() > job.deadline) {
-            // The queue-wait budget ran out before a worker got here:
-            // the kBudgetExhausted shape of an error reply — solve not
-            // attempted, answer explicit.
-            util::Json body = util::Json::object();
-            body.set("ok", false);
-            if (!job.id.is_null()) body.set("id", job.id);
-            body.set("code", "timeout");
-            body.set("verdict",
-                     engine::to_string(engine::Verdict::kBudgetExhausted));
-            body.set("error",
-                     "queue-wait deadline exceeded before a worker was "
-                     "free; solve not attempted");
-            reply(job.conn, body);
-            const std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++errors_timeout_;
-            --in_flight_;
-            job = SolveJob{};
-            continue;
+        SolveJob job;
+        if (!queue_.pop(job)) {
+            // Closed and drained: hand the unused permit back (stop()
+            // waits for the full complement) and exit.
+            const std::lock_guard<std::mutex> lock(permit_mutex_);
+            ++permits_;
+            permit_cv_.notify_all();
+            return;
         }
-
-        util::Json body = util::Json::object();
-        try {
-            const engine::SolveReport report = engine_.solve(job.scenario);
-            body.set("ok", true);
-            if (!job.id.is_null()) body.set("id", job.id);
-            body.set("report", engine::report_to_json(report));
-            const std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++solves_completed_;
-            ++verdict_counts_[static_cast<int>(report.verdict)];
-            cumulative_counters_.add(report.counters);
-        } catch (const std::exception& e) {
-            body = util::Json::object();
-            body.set("ok", false);
-            if (!job.id.is_null()) body.set("id", job.id);
-            body.set("code", "solve-failed");
-            body.set("error", std::string("solve threw: ") + e.what());
-            const std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++errors_bad_request_;
-        }
-        reply(job.conn, body);
-        {
-            const std::lock_guard<std::mutex> lock(stats_mutex_);
-            --in_flight_;
-        }
-        job = SolveJob{};  // release the connection handle promptly
+        // shared_ptr wrapper: std::function requires a copyable
+        // callable and SolveJob holds move-only state.
+        auto boxed = std::make_shared<SolveJob>(std::move(job));
+        scheduler_->submit([this, boxed] {
+            process_job(std::move(*boxed));
+            const std::lock_guard<std::mutex> lock(permit_mutex_);
+            ++permits_;
+            permit_cv_.notify_all();
+        });
     }
+}
+
+void SolveServer::process_job(SolveJob job) {
+    if (config_.test_worker_hook) config_.test_worker_hook();
+    {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++in_flight_;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (job.has_deadline && now > job.deadline) {
+        // The queue-wait budget ran out before a permit freed up: the
+        // kBudgetExhausted shape of an error reply — solve not
+        // attempted, answer explicit.
+        util::Json body = util::Json::object();
+        body.set("ok", false);
+        if (!job.id.is_null()) body.set("id", job.id);
+        body.set("code", "timeout");
+        body.set("verdict",
+                 engine::to_string(engine::Verdict::kBudgetExhausted));
+        body.set("error",
+                 "queue-wait deadline exceeded before a worker was "
+                 "free; solve not attempted");
+        reply(job.conn, body);
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++errors_timeout_;
+        --in_flight_;
+        return;
+    }
+    if (job.has_deadline) {
+        // Deadline still ahead: hand the remaining time to the engine
+        // as a wall-clock budget (EngineOptions::time_budget_ms →
+        // CancelToken deadline), so a solve that outlives its client's
+        // patience is cut at the next task boundary and reports
+        // budget-exhausted instead of being served late. A tighter
+        // budget already on the scenario wins.
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                job.deadline - now)
+                .count();
+        const auto budget =
+            static_cast<std::size_t>(std::max<long long>(1, remaining));
+        std::size_t& scenario_budget = job.scenario.options.time_budget_ms;
+        if (scenario_budget == 0 || budget < scenario_budget) {
+            scenario_budget = budget;
+        }
+    }
+
+    util::Json body = util::Json::object();
+    try {
+        const engine::SolveReport report = engine_.solve(job.scenario);
+        body.set("ok", true);
+        if (!job.id.is_null()) body.set("id", job.id);
+        body.set("report", engine::report_to_json(report));
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++solves_completed_;
+        ++verdict_counts_[static_cast<int>(report.verdict)];
+        cumulative_counters_.add(report.counters);
+    } catch (const std::exception& e) {
+        body = util::Json::object();
+        body.set("ok", false);
+        if (!job.id.is_null()) body.set("id", job.id);
+        body.set("code", "solve-failed");
+        body.set("error", std::string("solve threw: ") + e.what());
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++errors_bad_request_;
+    }
+    reply(job.conn, body);
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    --in_flight_;
 }
 
 void SolveServer::snapshot_loop() {
@@ -572,6 +621,24 @@ util::Json SolveServer::stats_json() const {
     out.set("pool", std::move(pool));
 
     out.set("counters", engine::counters_to_json(cumulative_counters_));
+
+    // Scheduler observability (exec/exec_stats.h): how the solve tasks
+    // actually ran — steals signal imbalance, the histogram shows task
+    // granularity. Null only before start() / after a failed start.
+    if (scheduler_ != nullptr) {
+        const exec::ExecStats es = scheduler_->stats();
+        util::Json exec_stats = util::Json::object();
+        exec_stats.set("workers", es.workers);
+        exec_stats.set("tasks_executed", es.tasks_executed);
+        exec_stats.set("tasks_stolen", es.tasks_stolen);
+        exec_stats.set("tasks_overflow", es.tasks_overflow);
+        exec_stats.set("tasks_helped", es.tasks_helped);
+        exec_stats.set("queue_depth", es.queue_depth);
+        util::Json hist = util::Json::array();
+        for (std::size_t count : es.latency_log2_us) hist.push_back(count);
+        exec_stats.set("latency_log2_us", std::move(hist));
+        out.set("exec", std::move(exec_stats));
+    }
     return out;
 }
 

@@ -5,9 +5,10 @@
 // load-then-save dance is racy across concurrent CLI invocations. This
 // server turns solvability queries into a served workload: a plain
 // POSIX TCP listener speaking length-prefixed JSON frames
-// (service/framing.h), a bounded admission queue drained by a
-// self-scheduling worker pool (service/request_queue.h — the
-// solve_batch scheduling shape over an open-ended request stream), and
+// (service/framing.h), a bounded admission queue
+// (service/request_queue.h) drained by a permit-gated dispatcher onto
+// the server's resident exec::Scheduler (src/exec/ — the same
+// substrate Engine::solve_batch shards on), and
 // ONE resident core::SharedNogoodPool wired into every solve. Pool-file
 // concurrency is thereby fixed by construction: a single process owns
 // the pool, every request warms it for the next, and persistence is a
@@ -22,10 +23,16 @@
 //    inline, admit solve jobs to the queue (or reply queue-full /
 //    shutting-down immediately: backpressure is explicit, never a
 //    silent stall);
-//  * worker threads — pop jobs, run Engine::solve against the resident
-//    pool, write the report frame back under the connection's write
-//    mutex (replies carry the request's echoed "id", so clients may
-//    pipeline);
+//  * dispatcher thread + exec::Scheduler — the dispatcher acquires one
+//    of `workers` permits, pops a job, and submits it as a task on the
+//    server's resident scheduler (src/exec/); each task runs
+//    Engine::solve against the resident pool and writes the report
+//    frame back under the connection's write mutex (replies carry the
+//    request's echoed "id", so clients may pipeline). The permit is
+//    returned when the task finishes, so at most `workers` solves are
+//    ever in flight and the dispatcher never holds a popped job while
+//    all workers are busy — the same backpressure shape as the old
+//    thread-per-worker pool;
 //  * snapshot thread — saves the pool to disk every
 //    `snapshot_every_seconds` (serialization happens under the pool
 //    lock, disk I/O does not — solves never block on a snapshot).
@@ -43,6 +50,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -54,6 +62,7 @@
 #include "core/chromatic_csp.h"
 #include "core/nogood_store.h"
 #include "engine/engine.h"
+#include "exec/scheduler.h"
 #include "service/framing.h"
 #include "service/request_queue.h"
 #include "util/json.h"
@@ -67,7 +76,8 @@ struct ServiceConfig {
     /// TCP port; 0 binds an ephemeral port (read it back with port() —
     /// what the tests and the load bench do).
     std::uint16_t port = 0;
-    /// Solve worker threads draining the queue.
+    /// Concurrent solves: the size of the server's exec::Scheduler pool
+    /// and the number of dispatch permits bounding in-flight jobs.
     unsigned workers = 2;
     /// Admission-queue bound: requests beyond it get queue-full replies.
     std::size_t queue_depth = 16;
@@ -85,8 +95,8 @@ struct ServiceConfig {
     std::size_t default_timeout_ms = 0;
     /// Frame payload cap (see service/framing.h).
     std::size_t max_payload_bytes = kDefaultMaxPayload;
-    /// Test-only: run by each worker after popping a job, before
-    /// solving — lets tests hold workers to fill the queue
+    /// Test-only: run inside each solve task before solving — lets
+    /// tests hold all `workers` permits to fill the queue
     /// deterministically. Null in production.
     std::function<void()> test_worker_hook;
 };
@@ -170,7 +180,13 @@ private:
 
     void acceptor_loop();
     void reader_loop(std::shared_ptr<Connection> conn);
-    void worker_loop();
+    /// Permit-gated pump: acquire one of `workers` permits, pop a job,
+    /// submit it to the scheduler; the task returns the permit when the
+    /// solve (and its reply) finish.
+    void dispatcher_loop();
+    /// One solve job end to end: deadline check, Engine::solve, reply.
+    /// Runs as a scheduler task; never throws.
+    void process_job(SolveJob job);
     void snapshot_loop();
     /// Parse + dispatch one frame payload from `conn`; never throws.
     void handle_payload(const std::shared_ptr<Connection>& conn,
@@ -200,8 +216,19 @@ private:
     std::atomic<bool> stop_requested_{false};
     RequestQueue<SolveJob> queue_;
 
+    /// The server's resident scheduler, sized config_.workers. Created
+    /// in start() before any reader thread exists and destroyed only in
+    /// ~SolveServer (after stop() joined every thread that could read
+    /// it), so unsynchronized reads from stats_json() are safe.
+    std::unique_ptr<exec::Scheduler> scheduler_;
+    /// In-flight permits: the dispatcher blocks until one is free, so
+    /// at most config_.workers jobs are popped-but-unfinished at once.
+    std::mutex permit_mutex_;
+    std::condition_variable permit_cv_;
+    unsigned permits_ = 0;
+
     std::thread acceptor_;
-    std::vector<std::thread> workers_;
+    std::thread dispatcher_;
     std::thread snapshotter_;
 
     /// Live connections + their reader threads, under one mutex; the

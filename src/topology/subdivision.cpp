@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "exec/for_index.h"
 #include "topology/combinatorics.h"
-#include "util/parallel.h"
 
 namespace gact::topo {
 
@@ -97,7 +97,8 @@ SubdividedComplex SubdividedComplex::subdivide_impl(
         std::vector<std::vector<std::uint32_t>> tuples;  // table indices
     };
     std::vector<ParentKeys> generated(parents.size());
-    parallel_for_index(parents.size(), num_threads, [&](std::size_t pi) {
+    exec::for_index(exec::Scheduler::shared(), parents.size(), num_threads,
+                    [&](std::size_t pi) {
         const std::vector<VertexId>& pv = parents[pi].vertices();
         const std::size_t n = pv.size();
         const std::vector<std::vector<KeyRef>>& parts = pairs_by_size.at(n);
@@ -187,7 +188,8 @@ SubdividedComplex SubdividedComplex::subdivide_impl(
     // the (position, color) index, inserted in ascending id order so
     // find_vertex keeps returning the smallest matching id.
     out.position_.resize(key_of.size());
-    parallel_for_index(key_of.size(), num_threads, [&](std::size_t id) {
+    exec::for_index(exec::Scheduler::shared(), key_of.size(), num_threads,
+                    [&](std::size_t id) {
         const auto& [p, t] = *key_of[id];
         if (t.size() == 1) {
             out.position_[id] = position(p);

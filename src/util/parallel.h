@@ -3,83 +3,39 @@
 // The library's parallelism is all the same shape: N independent work
 // units, workers pulling the next unit off an atomic counter so long
 // units overlap short ones instead of serializing behind a static
-// partition (the Engine::solve_batch shard pool introduced the pattern;
-// the terminating-subdivision sharding reuses it per facet). This header
-// is that shape, once: deterministic results are the caller's business —
-// write into preallocated per-index slots and merge in index order.
+// partition. This header is the historical spelling of that shape; it
+// is now a thin alias of exec::for_index on the process-wide resident
+// scheduler (src/exec/) — same semantics, no thread spawn-and-join per
+// call. New call sites that want to name their pool (tests, the solve
+// server) should call exec::for_index directly.
+//
+// The pinned contract (tests/parallel_test.cpp) is unchanged:
+//  * num_threads <= 1 (or n < 2) runs the loop inline, byte-for-byte
+//    the sequential behavior;
+//  * each worker slot records at most ONE exception — its first — and
+//    raises an advisory stop flag (claimed units may finish, unclaimed
+//    units never start);
+//  * after the join, the LOWEST-slot exception is rethrown as the one
+//    representative failure.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cstddef>
-#include <exception>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "exec/for_index.h"
+#include "exec/scheduler.h"
 
 namespace gact {
 
-/// Run `fn(i)` for every i in [0, n), sharded across `num_threads`
-/// workers by a self-scheduling atomic index. With num_threads <= 1 (or
-/// fewer than two units) the loop runs inline — byte-for-byte the
-/// sequential behavior, no threads spawned. `fn` must be safe to call
-/// concurrently on distinct indices.
-///
-/// Exception semantics (pinned by tests/parallel_test.cpp): each worker
-/// records at most ONE exception — its first — and sets the stop flag,
-/// so the remaining workers finish their in-flight unit and take no new
-/// ones (units already claimed may still run to completion; units never
-/// claimed never run). After the join, the recorded exception of the
-/// LOWEST-numbered worker that threw is rethrown; any others are
-/// dropped. "Lowest worker index" is deliberate and deterministic given
-/// which workers threw — it is NOT "first thrown in time": wall-clock
-/// order of concurrent throws is meaningless, and callers must treat
-/// the propagated exception as "one representative failure", not "the
-/// root cause".
-///
-/// Memory ordering: both `stop` and `next` are relaxed on purpose. The
-/// stop flag is advisory (a worker observing it late merely runs one
-/// more unit — the same unit-level uncertainty self-scheduling has
-/// anyway), and no data flows through either atomic: every cross-thread
-/// result — the errors array and whatever `fn` wrote — is published by
-/// the thread join, which fully synchronizes before anything is read.
+/// Run `fn(i)` for every i in [0, n), at most `num_threads` units in
+/// flight on the shared scheduler. `fn` must be safe to call
+/// concurrently on distinct indices; deterministic results are the
+/// caller's business — write into preallocated per-index slots and
+/// merge in index order.
 template <typename Fn>
 void parallel_for_index(std::size_t n, unsigned num_threads, Fn&& fn) {
-    if (num_threads <= 1 || n < 2) {
-        for (std::size_t i = 0; i < n; ++i) fn(i);
-        return;
-    }
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(num_threads, n));
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> stop{false};
-    std::vector<std::exception_ptr> errors(workers);
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&, w] {
-            try {
-                while (!stop.load(std::memory_order_relaxed)) {
-                    const std::size_t i =
-                        next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= n) break;
-                    fn(i);
-                }
-            } catch (...) {
-                // One slot per worker: a worker that threw stops
-                // pulling units, so this assignment can happen at most
-                // once per slot.
-                errors[w] = std::current_exception();
-                stop.store(true, std::memory_order_relaxed);
-            }
-        });
-    }
-    for (std::thread& t : pool) t.join();
-    // Deterministic representative: the lowest-indexed worker's
-    // exception (see the header comment), scanned after the join has
-    // published every slot.
-    for (const std::exception_ptr& e : errors) {
-        if (e) std::rethrow_exception(e);
-    }
+    exec::for_index(exec::Scheduler::shared(), n, num_threads,
+                    std::forward<Fn>(fn));
 }
 
 }  // namespace gact

@@ -141,6 +141,31 @@ TEST(ServiceE2E, StatsAndListReflectTheServer) {
     EXPECT_EQ(field(*s, "queue_depth")->as_int(), 0);
     ASSERT_NE(field(*s, "counters"), nullptr);
 
+    // The scheduler's counters ride along (exec/exec_stats.h): the one
+    // solve ran as a task on the server's resident pool, and its wall
+    // time is in the latency histogram. The completion counter is
+    // bumped AFTER the task (and its reply write) returns, so poll: the
+    // reply having arrived does not yet order the counter bump.
+    util::Json exec_snapshot;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        const auto again = client.request(stats_req);
+        ASSERT_TRUE(again.has_value() && reply_ok(*again));
+        exec_snapshot = *field(*field(*again, "stats"), "exec");
+        if (field(exec_snapshot, "tasks_executed")->as_int() >= 1) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(field(exec_snapshot, "workers")->as_int(),
+              2);  // ServiceConfig default
+    EXPECT_GE(field(exec_snapshot, "tasks_executed")->as_int(), 1);
+    ASSERT_NE(field(exec_snapshot, "latency_log2_us"), nullptr);
+    std::int64_t histogram_mass = 0;
+    for (const util::Json& bucket :
+         field(exec_snapshot, "latency_log2_us")->as_array()) {
+        histogram_mass += bucket.as_int();
+    }
+    EXPECT_EQ(histogram_mass,
+              field(exec_snapshot, "tasks_executed")->as_int());
+
     util::Json list_req = util::Json::object();
     list_req.set("type", "list");
     const auto list = client.request(list_req);

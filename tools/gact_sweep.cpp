@@ -12,6 +12,9 @@
 //   gact_sweep ... --threads 4                   # shard width (default 2)
 //   gact_sweep ... --json                        # one deterministic JSON
 //                                                # document on stdout
+//   gact_sweep ... --stats                       # scheduler counters
+//                                                # (exec/exec_stats.h) on
+//                                                # STDERR after the sweep
 //
 // Axis syntax (engine/scenario_family.h parse_grid_axis): `n=1..3` is an
 // inclusive range, `t=1,2` an explicit list, `model=wf,res1` the model
@@ -42,6 +45,7 @@
 #include "engine/engine.h"
 #include "engine/report_json.h"
 #include "engine/scenario_registry.h"
+#include "exec/scheduler.h"
 
 namespace {
 
@@ -50,7 +54,8 @@ using namespace gact;
 int usage_error(const std::string& message) {
     std::cerr << "usage error: " << message << "\n"
               << "usage: gact_sweep (--preset quick | --family KEY"
-                 " [--param AXIS=SPEC]...) [--threads N] [--json]\n"
+                 " [--param AXIS=SPEC]...) [--threads N] [--json]"
+                 " [--stats]\n"
               << "       gact_sweep --list-families\n"
               << "axis syntax: n=1..3 (range), t=1,2 (list), "
                  "model=wf,res1 (model axis)\n";
@@ -91,6 +96,25 @@ void attach_params(const engine::ScenarioRegistry& registry,
         }
         return;
     }
+}
+
+/// --stats: the shared scheduler's counters after the sweep. STDERR on
+/// purpose — stdout (table or --json) is pinned byte-identical across
+/// runs and thread counts by tools/sweep_smoke.cmake, and these
+/// counters are timing-dependent.
+void print_exec_stats() {
+    const exec::ExecStats s = exec::Scheduler::shared().stats();
+    std::fprintf(stderr,
+                 "exec: %zu workers, %zu tasks (%zu stolen, %zu overflow, "
+                 "%zu helped), queue depth %zu\n",
+                 s.workers, s.tasks_executed, s.tasks_stolen,
+                 s.tasks_overflow, s.tasks_helped, s.queue_depth);
+    std::fprintf(stderr, "task latency (log2 us buckets):");
+    for (std::size_t b = 0; b < exec::ExecStats::kLatencyBuckets; ++b) {
+        if (s.latency_log2_us[b] == 0) continue;
+        std::fprintf(stderr, " [2^%zu us]=%zu", b, s.latency_log2_us[b]);
+    }
+    std::fprintf(stderr, "\n");
 }
 
 double total_millis(const engine::SolveReport& report) {
@@ -134,6 +158,7 @@ int main(int argc, char** argv) {
     engine::ParamGrid grid;
     unsigned threads = 2;
     bool json_output = false;
+    bool exec_stats = false;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--list-families") == 0) {
@@ -141,6 +166,10 @@ int main(int argc, char** argv) {
         }
         if (std::strcmp(argv[i], "--json") == 0) {
             json_output = true;
+            continue;
+        }
+        if (std::strcmp(argv[i], "--stats") == 0) {
+            exec_stats = true;
             continue;
         }
         if (std::strcmp(argv[i], "--preset") == 0 && i + 1 < argc) {
@@ -262,6 +291,7 @@ int main(int argc, char** argv) {
             }
             std::printf("\n");
         }
+        if (exec_stats) print_exec_stats();
         return 0;
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
