@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/act_solver_test.dir/tests/act_solver_test.cpp.o"
+  "CMakeFiles/act_solver_test.dir/tests/act_solver_test.cpp.o.d"
+  "act_solver_test"
+  "act_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/act_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

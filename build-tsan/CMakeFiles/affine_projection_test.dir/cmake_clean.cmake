@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/affine_projection_test.dir/tests/affine_projection_test.cpp.o"
+  "CMakeFiles/affine_projection_test.dir/tests/affine_projection_test.cpp.o.d"
+  "affine_projection_test"
+  "affine_projection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/affine_projection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carrier_map_test.dir/tests/carrier_map_test.cpp.o"
+  "CMakeFiles/carrier_map_test.dir/tests/carrier_map_test.cpp.o.d"
+  "carrier_map_test"
+  "carrier_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carrier_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chromatic_complex_test.dir/tests/chromatic_complex_test.cpp.o"
+  "CMakeFiles/chromatic_complex_test.dir/tests/chromatic_complex_test.cpp.o.d"
+  "chromatic_complex_test"
+  "chromatic_complex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chromatic_complex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

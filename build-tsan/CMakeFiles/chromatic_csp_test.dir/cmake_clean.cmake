@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chromatic_csp_test.dir/tests/chromatic_csp_test.cpp.o"
+  "CMakeFiles/chromatic_csp_test.dir/tests/chromatic_csp_test.cpp.o.d"
+  "chromatic_csp_test"
+  "chromatic_csp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chromatic_csp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

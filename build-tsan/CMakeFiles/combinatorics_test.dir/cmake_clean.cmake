@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/combinatorics_test.dir/tests/combinatorics_test.cpp.o"
+  "CMakeFiles/combinatorics_test.dir/tests/combinatorics_test.cpp.o.d"
+  "combinatorics_test"
+  "combinatorics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/combinatorics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

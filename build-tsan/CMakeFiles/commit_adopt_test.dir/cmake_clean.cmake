@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commit_adopt_test.dir/tests/commit_adopt_test.cpp.o"
+  "CMakeFiles/commit_adopt_test.dir/tests/commit_adopt_test.cpp.o.d"
+  "commit_adopt_test"
+  "commit_adopt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commit_adopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compactness_test.dir/tests/compactness_test.cpp.o"
+  "CMakeFiles/compactness_test.dir/tests/compactness_test.cpp.o.d"
+  "compactness_test"
+  "compactness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compactness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connectivity_test.dir/tests/connectivity_test.cpp.o"
+  "CMakeFiles/connectivity_test.dir/tests/connectivity_test.cpp.o.d"
+  "connectivity_test"
+  "connectivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

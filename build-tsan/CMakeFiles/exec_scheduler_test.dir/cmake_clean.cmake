@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_scheduler_test.dir/tests/exec_scheduler_test.cpp.o"
+  "CMakeFiles/exec_scheduler_test.dir/tests/exec_scheduler_test.cpp.o.d"
+  "exec_scheduler_test"
+  "exec_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facet_graph_test.dir/tests/facet_graph_test.cpp.o"
+  "CMakeFiles/facet_graph_test.dir/tests/facet_graph_test.cpp.o.d"
+  "facet_graph_test"
+  "facet_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facet_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,74 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/act_solver.cpp" "CMakeFiles/gact.dir/src/core/act_solver.cpp.o" "gcc" "CMakeFiles/gact.dir/src/core/act_solver.cpp.o.d"
+  "/root/repo/src/core/chromatic_csp.cpp" "CMakeFiles/gact.dir/src/core/chromatic_csp.cpp.o" "gcc" "CMakeFiles/gact.dir/src/core/chromatic_csp.cpp.o.d"
+  "/root/repo/src/core/eval_cache.cpp" "CMakeFiles/gact.dir/src/core/eval_cache.cpp.o" "gcc" "CMakeFiles/gact.dir/src/core/eval_cache.cpp.o.d"
+  "/root/repo/src/core/lt_pipeline.cpp" "CMakeFiles/gact.dir/src/core/lt_pipeline.cpp.o" "gcc" "CMakeFiles/gact.dir/src/core/lt_pipeline.cpp.o.d"
+  "/root/repo/src/core/nogood_store.cpp" "CMakeFiles/gact.dir/src/core/nogood_store.cpp.o" "gcc" "CMakeFiles/gact.dir/src/core/nogood_store.cpp.o.d"
+  "/root/repo/src/core/protocol_to_map.cpp" "CMakeFiles/gact.dir/src/core/protocol_to_map.cpp.o" "gcc" "CMakeFiles/gact.dir/src/core/protocol_to_map.cpp.o.d"
+  "/root/repo/src/core/terminating_subdivision.cpp" "CMakeFiles/gact.dir/src/core/terminating_subdivision.cpp.o" "gcc" "CMakeFiles/gact.dir/src/core/terminating_subdivision.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "CMakeFiles/gact.dir/src/engine/engine.cpp.o" "gcc" "CMakeFiles/gact.dir/src/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/executable.cpp" "CMakeFiles/gact.dir/src/engine/executable.cpp.o" "gcc" "CMakeFiles/gact.dir/src/engine/executable.cpp.o.d"
+  "/root/repo/src/engine/general_route.cpp" "CMakeFiles/gact.dir/src/engine/general_route.cpp.o" "gcc" "CMakeFiles/gact.dir/src/engine/general_route.cpp.o.d"
+  "/root/repo/src/engine/report_json.cpp" "CMakeFiles/gact.dir/src/engine/report_json.cpp.o" "gcc" "CMakeFiles/gact.dir/src/engine/report_json.cpp.o.d"
+  "/root/repo/src/engine/scenario.cpp" "CMakeFiles/gact.dir/src/engine/scenario.cpp.o" "gcc" "CMakeFiles/gact.dir/src/engine/scenario.cpp.o.d"
+  "/root/repo/src/engine/scenario_family.cpp" "CMakeFiles/gact.dir/src/engine/scenario_family.cpp.o" "gcc" "CMakeFiles/gact.dir/src/engine/scenario_family.cpp.o.d"
+  "/root/repo/src/engine/scenario_registry.cpp" "CMakeFiles/gact.dir/src/engine/scenario_registry.cpp.o" "gcc" "CMakeFiles/gact.dir/src/engine/scenario_registry.cpp.o.d"
+  "/root/repo/src/engine/stable_rule.cpp" "CMakeFiles/gact.dir/src/engine/stable_rule.cpp.o" "gcc" "CMakeFiles/gact.dir/src/engine/stable_rule.cpp.o.d"
+  "/root/repo/src/exec/scheduler.cpp" "CMakeFiles/gact.dir/src/exec/scheduler.cpp.o" "gcc" "CMakeFiles/gact.dir/src/exec/scheduler.cpp.o.d"
+  "/root/repo/src/exec/task_group.cpp" "CMakeFiles/gact.dir/src/exec/task_group.cpp.o" "gcc" "CMakeFiles/gact.dir/src/exec/task_group.cpp.o.d"
+  "/root/repo/src/iis/affine_projection.cpp" "CMakeFiles/gact.dir/src/iis/affine_projection.cpp.o" "gcc" "CMakeFiles/gact.dir/src/iis/affine_projection.cpp.o.d"
+  "/root/repo/src/iis/compactness.cpp" "CMakeFiles/gact.dir/src/iis/compactness.cpp.o" "gcc" "CMakeFiles/gact.dir/src/iis/compactness.cpp.o.d"
+  "/root/repo/src/iis/models.cpp" "CMakeFiles/gact.dir/src/iis/models.cpp.o" "gcc" "CMakeFiles/gact.dir/src/iis/models.cpp.o.d"
+  "/root/repo/src/iis/ordered_partition.cpp" "CMakeFiles/gact.dir/src/iis/ordered_partition.cpp.o" "gcc" "CMakeFiles/gact.dir/src/iis/ordered_partition.cpp.o.d"
+  "/root/repo/src/iis/projection.cpp" "CMakeFiles/gact.dir/src/iis/projection.cpp.o" "gcc" "CMakeFiles/gact.dir/src/iis/projection.cpp.o.d"
+  "/root/repo/src/iis/run.cpp" "CMakeFiles/gact.dir/src/iis/run.cpp.o" "gcc" "CMakeFiles/gact.dir/src/iis/run.cpp.o.d"
+  "/root/repo/src/iis/run_enumeration.cpp" "CMakeFiles/gact.dir/src/iis/run_enumeration.cpp.o" "gcc" "CMakeFiles/gact.dir/src/iis/run_enumeration.cpp.o.d"
+  "/root/repo/src/iis/view.cpp" "CMakeFiles/gact.dir/src/iis/view.cpp.o" "gcc" "CMakeFiles/gact.dir/src/iis/view.cpp.o.d"
+  "/root/repo/src/protocol/commit_adopt.cpp" "CMakeFiles/gact.dir/src/protocol/commit_adopt.cpp.o" "gcc" "CMakeFiles/gact.dir/src/protocol/commit_adopt.cpp.o.d"
+  "/root/repo/src/protocol/gact_protocol.cpp" "CMakeFiles/gact.dir/src/protocol/gact_protocol.cpp.o" "gcc" "CMakeFiles/gact.dir/src/protocol/gact_protocol.cpp.o.d"
+  "/root/repo/src/protocol/simple_protocols.cpp" "CMakeFiles/gact.dir/src/protocol/simple_protocols.cpp.o" "gcc" "CMakeFiles/gact.dir/src/protocol/simple_protocols.cpp.o.d"
+  "/root/repo/src/protocol/verifier.cpp" "CMakeFiles/gact.dir/src/protocol/verifier.cpp.o" "gcc" "CMakeFiles/gact.dir/src/protocol/verifier.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "CMakeFiles/gact.dir/src/runtime/executor.cpp.o" "gcc" "CMakeFiles/gact.dir/src/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/fuzz.cpp" "CMakeFiles/gact.dir/src/runtime/fuzz.cpp.o" "gcc" "CMakeFiles/gact.dir/src/runtime/fuzz.cpp.o.d"
+  "/root/repo/src/runtime/schedule.cpp" "CMakeFiles/gact.dir/src/runtime/schedule.cpp.o" "gcc" "CMakeFiles/gact.dir/src/runtime/schedule.cpp.o.d"
+  "/root/repo/src/service/client.cpp" "CMakeFiles/gact.dir/src/service/client.cpp.o" "gcc" "CMakeFiles/gact.dir/src/service/client.cpp.o.d"
+  "/root/repo/src/service/framing.cpp" "CMakeFiles/gact.dir/src/service/framing.cpp.o" "gcc" "CMakeFiles/gact.dir/src/service/framing.cpp.o.d"
+  "/root/repo/src/service/server.cpp" "CMakeFiles/gact.dir/src/service/server.cpp.o" "gcc" "CMakeFiles/gact.dir/src/service/server.cpp.o.d"
+  "/root/repo/src/sm/iis_executor.cpp" "CMakeFiles/gact.dir/src/sm/iis_executor.cpp.o" "gcc" "CMakeFiles/gact.dir/src/sm/iis_executor.cpp.o.d"
+  "/root/repo/src/sm/immediate_snapshot.cpp" "CMakeFiles/gact.dir/src/sm/immediate_snapshot.cpp.o" "gcc" "CMakeFiles/gact.dir/src/sm/immediate_snapshot.cpp.o.d"
+  "/root/repo/src/sm/registers.cpp" "CMakeFiles/gact.dir/src/sm/registers.cpp.o" "gcc" "CMakeFiles/gact.dir/src/sm/registers.cpp.o.d"
+  "/root/repo/src/tasks/affine_task.cpp" "CMakeFiles/gact.dir/src/tasks/affine_task.cpp.o" "gcc" "CMakeFiles/gact.dir/src/tasks/affine_task.cpp.o.d"
+  "/root/repo/src/tasks/standard_tasks.cpp" "CMakeFiles/gact.dir/src/tasks/standard_tasks.cpp.o" "gcc" "CMakeFiles/gact.dir/src/tasks/standard_tasks.cpp.o.d"
+  "/root/repo/src/tasks/task.cpp" "CMakeFiles/gact.dir/src/tasks/task.cpp.o" "gcc" "CMakeFiles/gact.dir/src/tasks/task.cpp.o.d"
+  "/root/repo/src/topology/adjacency_index.cpp" "CMakeFiles/gact.dir/src/topology/adjacency_index.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/adjacency_index.cpp.o.d"
+  "/root/repo/src/topology/carrier_map.cpp" "CMakeFiles/gact.dir/src/topology/carrier_map.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/carrier_map.cpp.o.d"
+  "/root/repo/src/topology/chromatic_complex.cpp" "CMakeFiles/gact.dir/src/topology/chromatic_complex.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/chromatic_complex.cpp.o.d"
+  "/root/repo/src/topology/combinatorics.cpp" "CMakeFiles/gact.dir/src/topology/combinatorics.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/combinatorics.cpp.o.d"
+  "/root/repo/src/topology/connectivity.cpp" "CMakeFiles/gact.dir/src/topology/connectivity.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/connectivity.cpp.o.d"
+  "/root/repo/src/topology/facet_graph.cpp" "CMakeFiles/gact.dir/src/topology/facet_graph.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/facet_graph.cpp.o.d"
+  "/root/repo/src/topology/geometry.cpp" "CMakeFiles/gact.dir/src/topology/geometry.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/geometry.cpp.o.d"
+  "/root/repo/src/topology/homology.cpp" "CMakeFiles/gact.dir/src/topology/homology.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/homology.cpp.o.d"
+  "/root/repo/src/topology/simplex.cpp" "CMakeFiles/gact.dir/src/topology/simplex.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/simplex.cpp.o.d"
+  "/root/repo/src/topology/simplicial_complex.cpp" "CMakeFiles/gact.dir/src/topology/simplicial_complex.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/simplicial_complex.cpp.o.d"
+  "/root/repo/src/topology/simplicial_map.cpp" "CMakeFiles/gact.dir/src/topology/simplicial_map.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/simplicial_map.cpp.o.d"
+  "/root/repo/src/topology/subdivision.cpp" "CMakeFiles/gact.dir/src/topology/subdivision.cpp.o" "gcc" "CMakeFiles/gact.dir/src/topology/subdivision.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "CMakeFiles/gact.dir/src/util/json.cpp.o" "gcc" "CMakeFiles/gact.dir/src/util/json.cpp.o.d"
+  "/root/repo/src/util/process_set.cpp" "CMakeFiles/gact.dir/src/util/process_set.cpp.o" "gcc" "CMakeFiles/gact.dir/src/util/process_set.cpp.o.d"
+  "/root/repo/src/util/rational.cpp" "CMakeFiles/gact.dir/src/util/rational.cpp.o" "gcc" "CMakeFiles/gact.dir/src/util/rational.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

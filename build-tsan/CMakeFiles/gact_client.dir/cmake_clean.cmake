@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gact_client.dir/tools/gact_client.cpp.o"
+  "CMakeFiles/gact_client.dir/tools/gact_client.cpp.o.d"
+  "gact_client"
+  "gact_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gact_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gact_depth2_stress_test.dir/tests/gact_depth2_stress_test.cpp.o"
+  "CMakeFiles/gact_depth2_stress_test.dir/tests/gact_depth2_stress_test.cpp.o.d"
+  "gact_depth2_stress_test"
+  "gact_depth2_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gact_depth2_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

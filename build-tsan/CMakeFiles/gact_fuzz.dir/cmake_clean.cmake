@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gact_fuzz.dir/tools/gact_fuzz.cpp.o"
+  "CMakeFiles/gact_fuzz.dir/tools/gact_fuzz.cpp.o.d"
+  "gact_fuzz"
+  "gact_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gact_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

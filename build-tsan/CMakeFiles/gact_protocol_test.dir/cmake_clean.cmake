@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gact_protocol_test.dir/tests/gact_protocol_test.cpp.o"
+  "CMakeFiles/gact_protocol_test.dir/tests/gact_protocol_test.cpp.o.d"
+  "gact_protocol_test"
+  "gact_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gact_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gact_serve.dir/tools/gact_serve.cpp.o"
+  "CMakeFiles/gact_serve.dir/tools/gact_serve.cpp.o.d"
+  "gact_serve"
+  "gact_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gact_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gact_sweep.dir/tools/gact_sweep.cpp.o"
+  "CMakeFiles/gact_sweep.dir/tools/gact_sweep.cpp.o.d"
+  "gact_sweep"
+  "gact_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gact_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_models_test.dir/tests/generic_models_test.cpp.o"
+  "CMakeFiles/generic_models_test.dir/tests/generic_models_test.cpp.o.d"
+  "generic_models_test"
+  "generic_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_scenarios_test.dir/tests/heavy_scenarios_test.cpp.o"
+  "CMakeFiles/heavy_scenarios_test.dir/tests/heavy_scenarios_test.cpp.o.d"
+  "heavy_scenarios_test"
+  "heavy_scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homology_test.dir/tests/homology_test.cpp.o"
+  "CMakeFiles/homology_test.dir/tests/homology_test.cpp.o.d"
+  "homology_test"
+  "homology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

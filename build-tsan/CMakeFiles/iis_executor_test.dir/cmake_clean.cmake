@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iis_executor_test.dir/tests/iis_executor_test.cpp.o"
+  "CMakeFiles/iis_executor_test.dir/tests/iis_executor_test.cpp.o.d"
+  "iis_executor_test"
+  "iis_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iis_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

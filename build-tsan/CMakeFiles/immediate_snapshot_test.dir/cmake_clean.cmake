@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/immediate_snapshot_test.dir/tests/immediate_snapshot_test.cpp.o"
+  "CMakeFiles/immediate_snapshot_test.dir/tests/immediate_snapshot_test.cpp.o.d"
+  "immediate_snapshot_test"
+  "immediate_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/immediate_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

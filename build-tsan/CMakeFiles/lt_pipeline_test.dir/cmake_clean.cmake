@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lt_pipeline_test.dir/tests/lt_pipeline_test.cpp.o"
+  "CMakeFiles/lt_pipeline_test.dir/tests/lt_pipeline_test.cpp.o.d"
+  "lt_pipeline_test"
+  "lt_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lt_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

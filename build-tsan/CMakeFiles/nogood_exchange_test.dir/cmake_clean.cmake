@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nogood_exchange_test.dir/tests/nogood_exchange_test.cpp.o"
+  "CMakeFiles/nogood_exchange_test.dir/tests/nogood_exchange_test.cpp.o.d"
+  "nogood_exchange_test"
+  "nogood_exchange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nogood_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

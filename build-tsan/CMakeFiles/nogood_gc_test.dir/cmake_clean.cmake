@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nogood_gc_test.dir/tests/nogood_gc_test.cpp.o"
+  "CMakeFiles/nogood_gc_test.dir/tests/nogood_gc_test.cpp.o.d"
+  "nogood_gc_test"
+  "nogood_gc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nogood_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nogood_pool_persistence_test.dir/tests/nogood_pool_persistence_test.cpp.o"
+  "CMakeFiles/nogood_pool_persistence_test.dir/tests/nogood_pool_persistence_test.cpp.o.d"
+  "nogood_pool_persistence_test"
+  "nogood_pool_persistence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nogood_pool_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

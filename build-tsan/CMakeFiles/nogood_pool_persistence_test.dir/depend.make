@@ -1,0 +1,2 @@
+# Empty dependencies file for nogood_pool_persistence_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_partition_test.dir/tests/ordered_partition_test.cpp.o"
+  "CMakeFiles/ordered_partition_test.dir/tests/ordered_partition_test.cpp.o.d"
+  "ordered_partition_test"
+  "ordered_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_set_test.dir/tests/process_set_test.cpp.o"
+  "CMakeFiles/process_set_test.dir/tests/process_set_test.cpp.o.d"
+  "process_set_test"
+  "process_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

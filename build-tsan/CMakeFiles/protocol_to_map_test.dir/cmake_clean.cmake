@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_to_map_test.dir/tests/protocol_to_map_test.cpp.o"
+  "CMakeFiles/protocol_to_map_test.dir/tests/protocol_to_map_test.cpp.o.d"
+  "protocol_to_map_test"
+  "protocol_to_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_to_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

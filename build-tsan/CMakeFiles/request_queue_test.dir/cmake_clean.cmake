@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_queue_test.dir/tests/request_queue_test.cpp.o"
+  "CMakeFiles/request_queue_test.dir/tests/request_queue_test.cpp.o.d"
+  "request_queue_test"
+  "request_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_enumeration_test.dir/tests/run_enumeration_test.cpp.o"
+  "CMakeFiles/run_enumeration_test.dir/tests/run_enumeration_test.cpp.o.d"
+  "run_enumeration_test"
+  "run_enumeration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_enumeration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_test.dir/tests/run_test.cpp.o"
+  "CMakeFiles/run_test.dir/tests/run_test.cpp.o.d"
+  "run_test"
+  "run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_executor_test.dir/tests/runtime_executor_test.cpp.o"
+  "CMakeFiles/runtime_executor_test.dir/tests/runtime_executor_test.cpp.o.d"
+  "runtime_executor_test"
+  "runtime_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

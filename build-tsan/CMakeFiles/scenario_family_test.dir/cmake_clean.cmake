@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_family_test.dir/tests/scenario_family_test.cpp.o"
+  "CMakeFiles/scenario_family_test.dir/tests/scenario_family_test.cpp.o.d"
+  "scenario_family_test"
+  "scenario_family_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

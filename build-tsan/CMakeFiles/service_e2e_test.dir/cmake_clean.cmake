@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_e2e_test.dir/tests/service_e2e_test.cpp.o"
+  "CMakeFiles/service_e2e_test.dir/tests/service_e2e_test.cpp.o.d"
+  "service_e2e_test"
+  "service_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

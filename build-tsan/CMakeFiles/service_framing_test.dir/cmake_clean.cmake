@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_framing_test.dir/tests/service_framing_test.cpp.o"
+  "CMakeFiles/service_framing_test.dir/tests/service_framing_test.cpp.o.d"
+  "service_framing_test"
+  "service_framing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_framing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_protocols_test.dir/tests/simple_protocols_test.cpp.o"
+  "CMakeFiles/simple_protocols_test.dir/tests/simple_protocols_test.cpp.o.d"
+  "simple_protocols_test"
+  "simple_protocols_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplicial_complex_test.dir/tests/simplicial_complex_test.cpp.o"
+  "CMakeFiles/simplicial_complex_test.dir/tests/simplicial_complex_test.cpp.o.d"
+  "simplicial_complex_test"
+  "simplicial_complex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplicial_complex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplicial_map_test.dir/tests/simplicial_map_test.cpp.o"
+  "CMakeFiles/simplicial_map_test.dir/tests/simplicial_map_test.cpp.o.d"
+  "simplicial_map_test"
+  "simplicial_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplicial_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_cache_test.dir/tests/solver_cache_test.cpp.o"
+  "CMakeFiles/solver_cache_test.dir/tests/solver_cache_test.cpp.o.d"
+  "solver_cache_test"
+  "solver_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standard_tasks_test.dir/tests/standard_tasks_test.cpp.o"
+  "CMakeFiles/standard_tasks_test.dir/tests/standard_tasks_test.cpp.o.d"
+  "standard_tasks_test"
+  "standard_tasks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standard_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

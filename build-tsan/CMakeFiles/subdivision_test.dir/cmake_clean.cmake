@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subdivision_test.dir/tests/subdivision_test.cpp.o"
+  "CMakeFiles/subdivision_test.dir/tests/subdivision_test.cpp.o.d"
+  "subdivision_test"
+  "subdivision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subdivision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terminating_subdivision_test.dir/tests/terminating_subdivision_test.cpp.o"
+  "CMakeFiles/terminating_subdivision_test.dir/tests/terminating_subdivision_test.cpp.o.d"
+  "terminating_subdivision_test"
+  "terminating_subdivision_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terminating_subdivision_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

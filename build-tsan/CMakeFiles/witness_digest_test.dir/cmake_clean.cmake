@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_digest_test.dir/tests/witness_digest_test.cpp.o"
+  "CMakeFiles/witness_digest_test.dir/tests/witness_digest_test.cpp.o.d"
+  "witness_digest_test"
+  "witness_digest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_digest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
